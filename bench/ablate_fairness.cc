@@ -1,0 +1,72 @@
+// Experiment E9 — §5.4: fairness of the Rotating Crossbar.
+//
+// "When there is no global control over the transmission of packets,
+// upstream crossbar tiles can flood the static network and prevent
+// downstream tiles from sending data." We compare the rotating token with a
+// frozen token (fixed-priority arbitration, the non-token strawman) under
+// full output contention: all four inputs flood output 2 at line rate.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "router/raw_router.h"
+
+namespace {
+
+struct FairnessResult {
+  double share[4] = {};
+  double jain = 0.0;
+  double gbps = 0.0;
+};
+
+FairnessResult run(bool rotate, std::array<std::uint32_t, 4> weights) {
+  raw::router::RouterConfig cfg;
+  cfg.runtime.rotate_token = rotate;
+  cfg.runtime.token_weights = weights;
+  raw::net::TrafficConfig t;
+  t.num_ports = 4;
+  t.pattern = raw::net::DestPattern::kHotspot;
+  t.hotspot_port = 2;
+  t.hotspot_fraction = 1.0;
+  t.size = raw::net::SizeDist::kFixed;
+  t.fixed_bytes = 256;
+  raw::router::RawRouter router(cfg, raw::net::RouteTable::simple4(), t, 21);
+  router.run(200000);
+
+  FairnessResult res;
+  double per_src[4];
+  double total = 0.0;
+  for (int s = 0; s < 4; ++s) {
+    per_src[s] = static_cast<double>(router.output(2).delivered_from(s));
+    total += per_src[s];
+  }
+  for (int s = 0; s < 4; ++s) res.share[s] = total > 0 ? per_src[s] / total : 0;
+  res.jain = raw::common::jain_fairness(per_src, 4);
+  res.gbps = router.gbps();
+  return res;
+}
+
+void report(const char* name, const FairnessResult& r) {
+  std::printf("%-26s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.3f %8.2f\n", name,
+              100 * r.share[0], 100 * r.share[1], 100 * r.share[2],
+              100 * r.share[3], r.jain, r.gbps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 5.4: fairness under full output contention\n");
+  std::printf("(all four inputs flood output 2 with 256-byte packets)\n\n");
+  std::printf("%-26s %8s %8s %8s %8s %8s %8s\n", "arbitration", "in0", "in1",
+              "in2", "in3", "Jain", "Gbps");
+
+  report("rotating token (thesis)", run(true, {1, 1, 1, 1}));
+  report("frozen token (priority)", run(false, {1, 1, 1, 1}));
+  report("weighted token 4:2:1:1", run(true, {4, 2, 1, 1}));
+
+  std::printf(
+      "\nreading: the rotating token splits the contended output evenly\n"
+      "(Jain ~1.0, each input sends at least once every four quanta); a\n"
+      "frozen token starves the downstream inputs; weighted tokens (§8.7)\n"
+      "turn the same mechanism into proportional QoS shares.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E11 — chapter 2 background: fixed-size cells vs variable-length
+// packets across the switched backplane.
+//
+// Paper claim (§2.2.2): with fixed cells "the timing of the switch fabric is
+// just a sequence of fixed size time slots" and up to 100% of the bandwidth
+// carries traffic; with variable-length packets the scheduler "must do a lot
+// of bookkeeping to keep track of available and unavailable outputs" and a
+// simple allocator that reconfigures the whole crossbar only at transfer
+// boundaries limits throughput to roughly 60%. We model both allocator
+// styles on the same switch:
+//   * cells:      every packet is segmented; iSLIP matches fresh each slot;
+//   * variable:   connections hold for whole packets and the crossbar is
+//                 reallocated as a unit — ports freed early idle until the
+//                 longest transfer of the batch completes (no per-output
+//                 bookkeeping), the behaviour the thesis argues against.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "fabric/cell_switch.h"
+
+namespace {
+
+using raw::fabric::ArrivingPacket;
+using raw::fabric::CellSwitch;
+using raw::fabric::CellSwitchConfig;
+using raw::fabric::Matching;
+using raw::fabric::QueueSnapshot;
+
+/// Batch allocator: computes a full iSLIP match only when every connection
+/// of the previous allocation has drained (slot-at-a-time semantics for
+/// variable-length transfers — no per-output completion tracking).
+class BarrierScheduler : public raw::fabric::Scheduler {
+ public:
+  explicit BarrierScheduler(int ports) : inner_(ports) {}
+
+  [[nodiscard]] std::string name() const override { return "barrier-iSLIP"; }
+
+  Matching match(const QueueSnapshot& q, const Matching& held) override {
+    for (const int h : held) {
+      if (h >= 0) return held;  // batch still draining: no reallocation
+    }
+    return inner_.match(q, Matching(held.size(), -1));
+  }
+
+ private:
+  raw::fabric::IslipScheduler inner_;
+};
+
+double run(bool cells, bool barrier, std::uint32_t long_cells,
+           std::uint64_t slots) {
+  CellSwitchConfig cfg;
+  cfg.ports = 8;
+  std::unique_ptr<raw::fabric::Scheduler> sched;
+  if (barrier) {
+    sched = std::make_unique<BarrierScheduler>(cfg.ports);
+  } else {
+    sched = std::make_unique<raw::fabric::IslipScheduler>(cfg.ports);
+  }
+  CellSwitch sw(cfg, std::move(sched));
+  raw::common::Rng rng(7);
+
+  std::vector<std::uint64_t> backlog(static_cast<std::size_t>(cfg.ports), 0);
+  std::vector<std::optional<ArrivingPacket>> arrivals(
+      static_cast<std::size_t>(cfg.ports));
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      arrivals[i].reset();
+      if (sw.backlog(static_cast<int>(i)) > 4 * long_cells) continue;
+      const bool long_pkt = rng.chance(0.5);
+      const auto pkt_cells = long_pkt ? long_cells : 1;
+      const int dst = static_cast<int>(rng.below(8));
+      if (cells) {
+        arrivals[i] = ArrivingPacket{dst, 1};
+        backlog[i] += pkt_cells - 1;
+      } else {
+        arrivals[i] = ArrivingPacket{dst, pkt_cells};
+      }
+    }
+    if (cells) {
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        if (!arrivals[i].has_value() && backlog[i] > 0) {
+          arrivals[i] = ArrivingPacket{static_cast<int>(rng.below(8)), 1};
+          --backlog[i];
+        }
+      }
+    }
+    sw.step(arrivals);
+  }
+  return sw.throughput();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSlots = 40000;
+  std::printf(
+      "Chapter 2 background: fixed cells vs variable-length packets\n"
+      "(8-port switch, saturated 50/50 bimodal traffic; 'variable' holds\n"
+      "connections for whole packets and reallocates the crossbar as a unit)\n\n");
+  std::printf("%16s | %16s | %18s | %20s\n", "long pkt (cells)",
+              "cells throughput", "variable (tracked)", "variable (batch)");
+  for (const std::uint32_t long_cells : {4u, 8u, 16u, 24u}) {
+    const double c = run(true, false, long_cells, kSlots);
+    const double tracked = run(false, false, long_cells, kSlots);
+    const double batch = run(false, true, long_cells, kSlots);
+    std::printf("%16u | %15.1f%% | %17.1f%% | %19.1f%%\n", long_cells, 100 * c,
+                100 * tracked, 100 * batch);
+  }
+  std::printf(
+      "\npaper claim: cells ~100%%, simple variable-length allocation ~60%%.\n"
+      "Per-output completion tracking ('tracked') recovers much of the loss\n"
+      "at the bookkeeping cost the thesis quotes against it.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment E14 — §8.5: scalability of the Rotating Crossbar ring.
+//
+// The rule generalizes to any ring size; larger Raw fabrics (multiple chips
+// glued into a bigger mesh) would carry more ports. This bench runs the
+// fabric-level quantum simulation across ring sizes and reports sustained
+// grant throughput under permutation and uniform traffic, plus the
+// configuration-space growth the compile-time scheduler must minimize.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "router/config_space.h"
+
+namespace {
+
+using raw::router::evaluate_rule;
+using raw::router::HeaderReq;
+
+double run(int ring, bool uniform, int quanta, std::uint64_t seed) {
+  raw::common::Rng rng(seed);
+  std::vector<std::uint32_t> pending(static_cast<std::size_t>(ring), 0);
+  std::uint64_t grants = 0;
+  int token = 0;
+  std::vector<HeaderReq> headers(static_cast<std::size_t>(ring));
+  for (int q = 0; q < quanta; ++q) {
+    for (int i = 0; i < ring; ++i) {
+      auto& dst = pending[static_cast<std::size_t>(i)];
+      if (dst == 0) {
+        const int d = uniform
+                          ? static_cast<int>(rng.below(static_cast<std::uint64_t>(ring)))
+                          : (i + 1) % ring;
+        dst = 1u << d;
+      }
+      headers[static_cast<std::size_t>(i)] = HeaderReq{dst, 16};
+    }
+    const auto cfg = evaluate_rule(headers, token);
+    for (int i = 0; i < ring; ++i) {
+      if (cfg.granted[static_cast<std::size_t>(i)]) {
+        ++grants;
+        pending[static_cast<std::size_t>(i)] = 0;
+      }
+    }
+    token = (token + 1) % ring;
+  }
+  return static_cast<double>(grants) / (static_cast<double>(ring) * quanta);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kQuanta = 20000;
+  std::printf("Section 8.5: Rotating Crossbar scalability across ring sizes\n\n");
+  std::printf("%6s | %12s | %12s | %16s | %14s\n", "ports", "perm grant",
+              "uniform grant", "global configs", "minimized");
+  for (const int ring : {4, 6, 8, 12, 16}) {
+    const double perm = run(ring, false, kQuanta, 3);
+    const double uni = run(ring, true, kQuanta, 4);
+    // Config-space enumeration is exponential in ring size; cap it.
+    std::uint64_t global = 0;
+    std::uint64_t minimized = 0;
+    if (ring <= 8) {
+      const auto s = raw::router::enumerate_space(ring);
+      global = s.global_configs;
+      minimized = s.distinct_tile_configs;
+    }
+    if (global > 0) {
+      std::printf("%6d | %11.1f%% | %11.1f%% | %16llu | %14llu\n", ring,
+                  100 * perm, 100 * uni, static_cast<unsigned long long>(global),
+                  static_cast<unsigned long long>(minimized));
+    } else {
+      std::printf("%6d | %11.1f%% | %11.1f%% | %16s | %14s\n", ring, 100 * perm,
+                  100 * uni, "(skipped)", "(skipped)");
+    }
+  }
+  std::printf(
+      "\nreading: permutation traffic stays fully granted at every ring size\n"
+      "(the two ring directions cover any permutation); uniform traffic's\n"
+      "grant rate falls with ring size as output contention and longer arcs\n"
+      "bind — the thesis's motivation for building big routers out of\n"
+      "multiple 4-port crossbars rather than one large ring.\n");
+  return 0;
+}

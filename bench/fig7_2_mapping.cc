@@ -1,0 +1,56 @@
+// Experiment E3 — Figure 7-2: mapping of router functional elements to Raw
+// tile numbers, plus the compiled switch-program footprint per tile class.
+#include <cstdio>
+
+#include "router/schedule_compiler.h"
+
+int main() {
+  using namespace raw::router;
+  const Layout layout;
+  const ScheduleCompiler compiler(layout);
+
+  std::printf("Figure 7-2: mapping of router functional elements to Raw tiles\n\n");
+  std::printf("grid (tile numbers are row-major on the 4x4 mesh):\n\n");
+
+  const char* role[16] = {};
+  char labels[16][24];
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout.port(p);
+    std::snprintf(labels[t.ingress], sizeof labels[0], "In%d", p);
+    std::snprintf(labels[t.lookup], sizeof labels[0], "Lookup%d", p);
+    std::snprintf(labels[t.crossbar], sizeof labels[0], "Xbar%d", p);
+    std::snprintf(labels[t.egress], sizeof labels[0], "Out%d", p);
+    role[t.ingress] = labels[t.ingress];
+    role[t.lookup] = labels[t.lookup];
+    role[t.crossbar] = labels[t.crossbar];
+    role[t.egress] = labels[t.egress];
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int t = r * 4 + c;
+      std::printf("  %2d:%-8s", t, role[t] != nullptr ? role[t] : "-");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nper-port tile assignment:\n");
+  std::printf("  port | ingress | lookup | crossbar | egress\n");
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout.port(p);
+    std::printf("  %4d | %7d | %6d | %8d | %6d\n", p, t.ingress, t.lookup,
+                t.crossbar, t.egress);
+  }
+  std::printf("\n(thesis Figure 7-3 confirms ingress tiles 4, 7, 8, 11; the\n"
+              "crossbar ring runs clockwise through tiles 5 -> 6 -> 10 -> 9)\n");
+
+  std::printf("\ncompiled switch-program sizes (of %zu-word switch imem):\n",
+              raw::sim::kSwitchImemWords);
+  const auto cb = compiler.compile_crossbar(0);
+  const auto in = compiler.compile_ingress(0);
+  const auto eg = compiler.compile_egress(0);
+  std::printf("  crossbar: %4zu instructions (%zu code blocks)\n",
+              cb.program->size(), cb.blocks.size());
+  std::printf("  ingress : %4zu instructions\n", in.program->size());
+  std::printf("  egress  : %4zu instructions\n", eg.program->size());
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Experiment E15 — google-benchmark microbenchmarks of the building blocks:
+// checksum arithmetic, LPM lookups, schedulers, the global rule, and the
+// chip simulator's cycle engine (simulation speed, not modelled speed).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fabric/scheduler.h"
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/route_table.h"
+#include "net/small_table.h"
+#include "router/config_space.h"
+#include "router/rule.h"
+#include "sim/chip.h"
+#include "sim/dynamic_network.h"
+
+namespace {
+
+using raw::common::Rng;
+
+void BM_Ipv4Checksum(benchmark::State& state) {
+  raw::net::Ipv4Header h;
+  h.src = raw::net::make_addr(10, 1, 2, 3);
+  h.dst = raw::net::make_addr(10, 3, 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw::net::header_checksum(h));
+    h.identification++;
+  }
+}
+BENCHMARK(BM_Ipv4Checksum);
+
+void BM_TtlDecrementIncremental(benchmark::State& state) {
+  raw::net::Ipv4Header h;
+  raw::net::finalize_checksum(h);
+  for (auto _ : state) {
+    h.ttl = 64;
+    benchmark::DoNotOptimize(raw::net::decrement_ttl(h));
+  }
+}
+BENCHMARK(BM_TtlDecrementIncremental);
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const raw::net::Packet p =
+      raw::net::make_packet(1, 0x0a000001, 0x0a010001,
+                            static_cast<raw::common::ByteCount>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw::net::packet_to_words(p));
+  }
+}
+BENCHMARK(BM_PacketSerialize)->Arg(64)->Arg(1024);
+
+void BM_PatriciaLookup(benchmark::State& state) {
+  const auto table = raw::net::RouteTable::random(
+      static_cast<std::size_t>(state.range(0)), 4, 11);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(static_cast<raw::net::Addr>(rng.next())));
+  }
+}
+BENCHMARK(BM_PatriciaLookup)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_SmallTableLookup(benchmark::State& state) {
+  const auto table = raw::net::RouteTable::random(
+      static_cast<std::size_t>(state.range(0)), 4, 11);
+  const raw::net::SmallTable small = raw::net::SmallTable::build(table.trie());
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.lookup(static_cast<raw::net::Addr>(rng.next())));
+  }
+  state.counters["table_kb"] =
+      static_cast<double>(small.total_bytes()) / 1024.0;
+}
+BENCHMARK(BM_SmallTableLookup)->Arg(10000)->Arg(100000);
+
+void BM_SmallTableBuild(benchmark::State& state) {
+  const auto table = raw::net::RouteTable::random(10000, 4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw::net::SmallTable::build(table.trie()));
+  }
+}
+BENCHMARK(BM_SmallTableBuild);
+
+void BM_IslipMatch(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  raw::fabric::IslipScheduler sched(ports);
+  Rng rng(5);
+  std::vector<std::uint32_t> depths(
+      static_cast<std::size_t>(ports * ports));
+  for (auto& d : depths) d = static_cast<std::uint32_t>(rng.below(3));
+  const raw::fabric::QueueSnapshot snap(
+      ports, depths, std::vector<int>(static_cast<std::size_t>(ports), -1));
+  const raw::fabric::Matching held(static_cast<std::size_t>(ports), -1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.match(snap, held));
+  }
+}
+BENCHMARK(BM_IslipMatch)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_RotatingCrossbarRule(benchmark::State& state) {
+  Rng rng(7);
+  std::array<raw::router::HeaderReq, 4> headers{};
+  int token = 0;
+  for (auto _ : state) {
+    for (auto& h : headers) {
+      const auto d = rng.below(5);
+      h = d == 0 ? raw::router::HeaderReq{}
+                 : raw::router::HeaderReq{1u << (d - 1), 64};
+    }
+    benchmark::DoNotOptimize(raw::router::evaluate_rule(headers, token));
+    token = (token + 1) % 4;
+  }
+}
+BENCHMARK(BM_RotatingCrossbarRule);
+
+void BM_ConfigSpaceEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raw::router::enumerate_space(4));
+  }
+}
+BENCHMARK(BM_ConfigSpaceEnumeration);
+
+void BM_ChipIdleCycle(benchmark::State& state) {
+  raw::sim::Chip chip;
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChipIdleCycle);
+
+void BM_DynNetworkRandomTraffic(benchmark::State& state) {
+  raw::sim::DynamicNetwork net(raw::sim::GridShape{4, 4});
+  Rng rng(9);
+  const std::array<raw::common::Word, 4> payload{1, 2, 3, 4};
+  for (auto _ : state) {
+    const int src = static_cast<int>(rng.below(16));
+    if (net.can_inject(src, 4)) {
+      net.inject(src, static_cast<int>(rng.below(16)), payload);
+    }
+    net.step_standalone();
+    for (int t = 0; t < 16; ++t) {
+      while (net.has_eject(t)) benchmark::DoNotOptimize(net.pop_eject(t));
+    }
+  }
+}
+BENCHMARK(BM_DynNetworkRandomTraffic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

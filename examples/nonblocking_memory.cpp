@@ -1,0 +1,88 @@
+// §8.2: "the ability to get work done while the processor is blocked on
+// external memory accesses" — Raw's exposed memory system gives the
+// advantages of a multithreaded network processor without threads, by
+// sending load messages over the dynamic network and consuming replies as
+// they arrive.
+//
+//   ./build/examples/nonblocking_memory
+#include <cstdio>
+
+#include "sim/memory_server.h"
+#include "sim/tile_task.h"
+
+namespace {
+
+using raw::common::Cycle;
+using raw::sim::Chip;
+using raw::sim::MemClient;
+using raw::sim::MemoryServer;
+using raw::sim::TileTask;
+using raw::sim::task::delay;
+
+constexpr int kLookups = 16;
+
+Cycle run(bool non_blocking) {
+  Chip chip;
+  MemoryServer dram(chip, /*tile=*/3, raw::sim::MemoryModel{}, 4096);
+  for (std::uint16_t a = 0; a < kLookups; ++a) dram.poke(a, 100u + a);
+  dram.install();
+
+  bool done = false;
+  Cycle finished = 0;
+  auto worker = [&chip, &done, &finished, non_blocking,
+                 srv = dram.tile()]() -> TileTask {
+    MemClient mem(chip, /*tile=*/12, srv);
+    int got = 0;
+    if (non_blocking) {
+      // Fire all the loads, then reap replies in completion order.
+      for (std::uint8_t t = 0; t < kLookups; ++t) {
+        while (!mem.can_issue()) co_await delay(1);
+        mem.issue_load(t, t);
+        co_await delay(1);
+      }
+      while (got < kLookups) {
+        if (mem.reply_ready()) {
+          (void)mem.take_reply();
+          ++got;
+        } else {
+          co_await delay(1);
+        }
+      }
+    } else {
+      // One at a time: the processor idles through every DRAM round trip.
+      for (std::uint8_t t = 0; t < kLookups; ++t) {
+        while (!mem.can_issue()) co_await delay(1);
+        mem.issue_load(t, t);
+        while (!mem.reply_ready()) co_await delay(1);
+        (void)mem.take_reply();
+        ++got;
+      }
+    }
+    finished = chip.cycle();
+    done = true;
+  };
+  chip.tile(12).set_program(worker());
+  chip.run_until([&] { return done; }, 100000);
+  return finished;
+}
+
+}  // namespace
+
+int main() {
+  const Cycle blocking = run(false);
+  const Cycle pipelined = run(true);
+  std::printf("%d dependent-free DRAM loads over the dynamic network:\n",
+              kLookups);
+  std::printf("  blocking (one at a time): %llu cycles (%.1f per load)\n",
+              static_cast<unsigned long long>(blocking),
+              static_cast<double>(blocking) / kLookups);
+  std::printf("  non-blocking (all in flight): %llu cycles (%.1f per load)\n",
+              static_cast<unsigned long long>(pipelined),
+              static_cast<double>(pipelined) / kLookups);
+  std::printf("  speedup: %.1fx\n",
+              static_cast<double>(blocking) / static_cast<double>(pipelined));
+  std::printf("\nThis is how a Raw Lookup Processor would hide route-table\n"
+              "memory latency to compete with multithreaded network\n"
+              "processors (thesis section 8.2).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quality of Service (§8.7): three customers share an uplink. The premium
+// customer pays for half the port; the token weights enforce it without any
+// per-packet scheduler — computation folded into the communication fabric,
+// the thesis's third contribution.
+//
+//   ./build/examples/qos_router
+#include <cstdio>
+
+#include "router/raw_router.h"
+
+namespace {
+
+void contend(const char* label, std::array<std::uint32_t, 4> weights) {
+  using namespace raw;
+  net::TrafficConfig traffic;
+  traffic.num_ports = 4;
+  traffic.pattern = net::DestPattern::kHotspot;
+  traffic.hotspot_port = 3;  // the contended uplink
+  traffic.hotspot_fraction = 1.0;
+  traffic.size = net::SizeDist::kFixed;
+  traffic.fixed_bytes = 512;
+
+  router::RouterConfig config;
+  config.runtime.token_weights = weights;
+  router::RawRouter router(config, net::RouteTable::simple4(), traffic,
+                           /*seed=*/9);
+  router.run(400000);
+
+  double total = 0;
+  double share[4];
+  for (int s = 0; s < 4; ++s) {
+    share[s] = static_cast<double>(router.output(3).delivered_from(s));
+    total += share[s];
+  }
+  std::printf("%-28s", label);
+  for (int s = 0; s < 4; ++s) std::printf(" %6.1f%%", 100.0 * share[s] / total);
+  std::printf("   (uplink at %.2f Gbps)\n", router.gbps());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("weighted-token QoS: customers 0..3 share uplink port 3\n\n");
+  std::printf("%-28s %7s %7s %7s %7s\n", "policy", "cust0", "cust1", "cust2",
+              "cust3");
+  contend("best effort (1:1:1:1)", {1, 1, 1, 1});
+  contend("premium cust0 (3:1:1:1)", {3, 1, 1, 1});
+  contend("tiered (4:2:1:1)", {4, 2, 1, 1});
+  std::printf("\nThe shares track the token weights exactly: the arbitration\n"
+              "is the same compile-time-scheduled fabric, only the token\n"
+              "dwell counter changes (no per-packet scheduler anywhere).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "click/click_router.h"
+
+#include "common/assert.h"
+#include "router/line_cards.h"  // make_test_packet: same traffic as RawRouter
+
+namespace raw::click {
+
+ClickRouter::ClickRouter(ClickConfig config, net::RouteTable table)
+    : config_(config), table_(std::move(table)), cpu_(config.cpu_clock_hz) {
+  RAW_ASSERT(config_.num_ports > 0);
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+
+  outputs_.reserve(n);
+  for (std::size_t o = 0; o < n; ++o) {
+    OutputPath out;
+    out.dec_ttl = std::make_unique<DecIPTTL>("dec" + std::to_string(o),
+                                             config_.costs);
+    out.queue = std::make_unique<Queue>("q" + std::to_string(o), config_.costs,
+                                        config_.queue_capacity);
+    out.to = std::make_unique<ToDevice>("to" + std::to_string(o), config_.costs,
+                                        out.queue.get());
+    out.dec_ttl->connect(0, out.queue.get());
+    for (Element* e : std::initializer_list<Element*>{out.dec_ttl.get(),
+                                                      out.queue.get(),
+                                                      out.to.get()}) {
+      e->attach_cpu(&cpu_);
+    }
+    outputs_.push_back(std::move(out));
+  }
+
+  inputs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    InputPath in;
+    in.from = std::make_unique<FromDevice>("from" + std::to_string(i),
+                                           config_.costs);
+    in.check = std::make_unique<CheckIPHeader>("chk" + std::to_string(i),
+                                               config_.costs);
+    in.lookup = std::make_unique<LookupIPRoute>("rt" + std::to_string(i),
+                                                config_.costs, &table_);
+    in.from->connect(0, in.check.get());
+    in.check->connect(0, in.lookup.get());
+    for (int o = 0; o < config_.num_ports; ++o) {
+      in.lookup->connect(o, outputs_[static_cast<std::size_t>(o)].dec_ttl.get());
+    }
+    for (Element* e : std::initializer_list<Element*>{in.from.get(),
+                                                      in.check.get(),
+                                                      in.lookup.get()}) {
+      e->attach_cpu(&cpu_);
+    }
+    inputs_.push_back(std::move(in));
+  }
+}
+
+void ClickRouter::offer(int port, net::Packet p) {
+  inputs_[static_cast<std::size_t>(port)].from->deposit(std::move(p));
+}
+
+bool ClickRouter::scheduler_pass() {
+  // Click's task scheduler: round-robin over device tasks; each pass runs
+  // one task (one packet's worth of work at that task).
+  const std::size_t tasks = inputs_.size() + outputs_.size();
+  for (std::size_t k = 0; k < tasks; ++k) {
+    const std::size_t t = (rr_ + k) % tasks;
+    bool did = false;
+    if (t < inputs_.size()) {
+      did = inputs_[t].from->run();
+    } else {
+      did = outputs_[t - inputs_.size()].to->run();
+    }
+    if (did) {
+      rr_ = (t + 1) % tasks;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClickRouter::run(common::Cycle cpu_cycles) {
+  const common::Cycle limit = cpu_.used() + cpu_cycles;
+  while (cpu_.used() < limit) {
+    if (!scheduler_pass()) break;
+  }
+}
+
+double ClickRouter::run_traffic(net::TrafficGen& gen, std::uint64_t packets,
+                                common::ByteCount fixed_bytes) {
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    const int port = static_cast<int>(i % static_cast<std::uint64_t>(config_.num_ports));
+    const net::PacketDesc d = gen.next(port);
+    const common::ByteCount bytes =
+        fixed_bytes > 0 ? fixed_bytes : std::max<common::ByteCount>(d.bytes, 20);
+    offer(port, router::make_test_packet(uid_++, port, d.dst_port, bytes));
+    // Keep queues bounded: interleave processing with arrivals.
+    run(100000);
+  }
+  while (scheduler_pass()) {
+  }
+  return cpu_.seconds();
+}
+
+std::uint64_t ClickRouter::forwarded_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& o : outputs_) n += o.to->sent_packets();
+  return n;
+}
+
+common::ByteCount ClickRouter::forwarded_bytes() const {
+  common::ByteCount n = 0;
+  for (const auto& o : outputs_) n += o.to->sent_bytes();
+  return n;
+}
+
+std::uint64_t ClickRouter::dropped_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& i : inputs_) n += i.check->drops() + i.lookup->drops();
+  for (const auto& o : outputs_) n += o.dec_ttl->drops() + o.queue->drops();
+  return n;
+}
+
+double ClickRouter::mpps() const {
+  const double secs = cpu_.seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(forwarded_packets()) / secs / 1e6;
+}
+
+double ClickRouter::gbps() const {
+  const double secs = cpu_.seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(forwarded_bytes()) * 8.0 / secs / 1e9;
+}
+
+}  // namespace raw::click

@@ -1,0 +1,78 @@
+// The standard 4-port Click IP router configuration and its single-CPU
+// driver — the thesis's comparison point (§2.4, Figure 7-1's "Click" bar).
+//
+// Per input port:  FromDevice -> CheckIPHeader -> LookupIPRoute
+// Per output port: -> DecIPTTL -> Queue -> ToDevice
+//
+// The driver mimics Click's task scheduler: it round-robins over FromDevice
+// and ToDevice tasks on ONE processor, accumulating per-element cycle
+// costs. Because everything shares that processor, total forwarding rate is
+// ~1 / (cycles per packet) regardless of how many ports exist — which is
+// exactly why the thesis argues for spatially distributed forwarding.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "click/elements.h"
+#include "net/traffic.h"
+
+namespace raw::click {
+
+struct ClickConfig {
+  int num_ports = 4;
+  double cpu_clock_hz = 700e6;  // PIII-class PC of the Click evaluation
+  ElementCosts costs;
+  std::size_t queue_capacity = 1000;
+};
+
+class ClickRouter {
+ public:
+  explicit ClickRouter(ClickConfig config, net::RouteTable table);
+
+  /// Offers a packet at an input port (the "wire" side).
+  void offer(int port, net::Packet p);
+
+  /// Runs scheduler passes until the CPU has consumed `cpu_cycles` or there
+  /// is no work left.
+  void run(common::Cycle cpu_cycles);
+
+  /// Drives the router with generated traffic until `packets` have been
+  /// offered, then drains. Returns the total CPU seconds consumed.
+  double run_traffic(net::TrafficGen& gen, std::uint64_t packets,
+                     common::ByteCount fixed_bytes = 0);
+
+  [[nodiscard]] std::uint64_t forwarded_packets() const;
+  [[nodiscard]] common::ByteCount forwarded_bytes() const;
+  [[nodiscard]] std::uint64_t dropped_packets() const;
+
+  /// Forwarding rate over the consumed CPU time.
+  [[nodiscard]] double mpps() const;
+  [[nodiscard]] double gbps() const;
+
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+
+ private:
+  [[nodiscard]] bool scheduler_pass();
+
+  ClickConfig config_;
+  net::RouteTable table_;
+  CpuModel cpu_;
+  std::uint64_t uid_ = 1;
+
+  struct InputPath {
+    std::unique_ptr<FromDevice> from;
+    std::unique_ptr<CheckIPHeader> check;
+    std::unique_ptr<LookupIPRoute> lookup;
+  };
+  struct OutputPath {
+    std::unique_ptr<DecIPTTL> dec_ttl;
+    std::unique_ptr<Queue> queue;
+    std::unique_ptr<ToDevice> to;
+  };
+  std::vector<InputPath> inputs_;
+  std::vector<OutputPath> outputs_;
+  std::size_t rr_ = 0;
+};
+
+}  // namespace raw::click

@@ -1,0 +1,30 @@
+#include "click/element.h"
+
+#include "common/assert.h"
+
+namespace raw::click {
+
+void Element::connect(int port, Element* downstream) {
+  RAW_ASSERT(port >= 0 && downstream != nullptr);
+  if (outputs_.size() <= static_cast<std::size_t>(port)) {
+    outputs_.resize(static_cast<std::size_t>(port) + 1, nullptr);
+  }
+  outputs_[static_cast<std::size_t>(port)] = downstream;
+}
+
+Element* Element::output(int port) const {
+  RAW_ASSERT(port >= 0 && static_cast<std::size_t>(port) < outputs_.size());
+  return outputs_[static_cast<std::size_t>(port)];
+}
+
+void Element::push(int /*port*/, net::Packet /*p*/) {}
+
+std::optional<net::Packet> Element::pull(int /*port*/) { return std::nullopt; }
+
+void Element::push_out(int port, net::Packet p) {
+  Element* next = output(port);
+  RAW_ASSERT_MSG(next != nullptr, "push into unconnected element port");
+  next->push(0, std::move(p));
+}
+
+}  // namespace raw::click

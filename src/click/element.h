@@ -1,0 +1,74 @@
+// A faithful miniature of the Click modular router's element model
+// (Morris et al., SOSP'99 — reference [14] of the thesis; §2.4).
+//
+// Elements process packets through push and pull ports; Queue is the only
+// push-to-pull boundary. Every element charges a per-packet cycle cost on
+// the single general-purpose CPU the whole graph shares — this is the point
+// the thesis makes against software routers: one processor and one memory
+// bus do all the work, so the forwarding rate is the inverse of the summed
+// per-element costs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace raw::click {
+
+/// Single-CPU cost accounting. Elements add cycles as they run; the driver
+/// converts the total into wall-clock at the modelled clock rate.
+class CpuModel {
+ public:
+  explicit CpuModel(double clock_hz = 700e6) : clock_hz_(clock_hz) {}
+
+  void charge(common::Cycle cycles) { used_ += cycles; }
+  [[nodiscard]] common::Cycle used() const { return used_; }
+  [[nodiscard]] double clock_hz() const { return clock_hz_; }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(used_) / clock_hz_;
+  }
+
+ private:
+  double clock_hz_;
+  common::Cycle used_ = 0;
+};
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Downstream push target for output port `port`.
+  void connect(int port, Element* downstream);
+  [[nodiscard]] Element* output(int port) const;
+
+  /// Push processing (packet flows downstream). Default drops.
+  virtual void push(int port, net::Packet p);
+
+  /// Pull processing (packet demanded from upstream). Default empty.
+  virtual std::optional<net::Packet> pull(int port);
+
+  void attach_cpu(CpuModel* cpu) { cpu_ = cpu; }
+
+ protected:
+  void charge(common::Cycle cycles) {
+    if (cpu_ != nullptr) cpu_->charge(cycles);
+  }
+  void push_out(int port, net::Packet p);
+
+ private:
+  std::string name_;
+  std::vector<Element*> outputs_;
+  CpuModel* cpu_ = nullptr;
+};
+
+}  // namespace raw::click

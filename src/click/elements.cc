@@ -1,0 +1,98 @@
+#include "click/elements.h"
+
+#include "common/assert.h"
+
+namespace raw::click {
+
+FromDevice::FromDevice(std::string name, const ElementCosts& costs)
+    : Element(std::move(name)), costs_(costs) {}
+
+bool FromDevice::run() {
+  if (rx_.empty()) return false;
+  net::Packet p = std::move(rx_.front());
+  rx_.pop_front();
+  charge(costs_.from_device +
+         static_cast<common::Cycle>(costs_.per_byte *
+                                    static_cast<double>(p.size_bytes())));
+  push_out(0, std::move(p));
+  return true;
+}
+
+CheckIPHeader::CheckIPHeader(std::string name, const ElementCosts& costs)
+    : Element(std::move(name)), costs_(costs) {}
+
+void CheckIPHeader::push(int /*port*/, net::Packet p) {
+  charge(costs_.check_ip_header);
+  if (p.header.version != 4 || p.header.ihl != 5 ||
+      p.header.total_length != p.size_bytes() || !net::checksum_ok(p.header)) {
+    ++drops_;
+    return;
+  }
+  push_out(0, std::move(p));
+}
+
+LookupIPRoute::LookupIPRoute(std::string name, const ElementCosts& costs,
+                             const net::RouteTable* table)
+    : Element(std::move(name)), costs_(costs), table_(table) {
+  RAW_ASSERT(table_ != nullptr);
+}
+
+void LookupIPRoute::push(int /*port*/, net::Packet p) {
+  charge(costs_.lookup_ip_route);
+  const auto port = table_->lookup(p.header.dst);
+  if (!port.has_value()) {
+    ++drops_;
+    return;
+  }
+  p.output_port = *port;
+  push_out(*port, std::move(p));
+}
+
+DecIPTTL::DecIPTTL(std::string name, const ElementCosts& costs)
+    : Element(std::move(name)), costs_(costs) {}
+
+void DecIPTTL::push(int /*port*/, net::Packet p) {
+  charge(costs_.dec_ip_ttl);
+  if (!net::decrement_ttl(p.header)) {
+    ++drops_;
+    return;
+  }
+  push_out(0, std::move(p));
+}
+
+Queue::Queue(std::string name, const ElementCosts& costs, std::size_t capacity)
+    : Element(std::move(name)), costs_(costs), capacity_(capacity) {}
+
+void Queue::push(int /*port*/, net::Packet p) {
+  if (q_.size() >= capacity_) {
+    ++drops_;
+    return;
+  }
+  q_.push_back(std::move(p));
+}
+
+std::optional<net::Packet> Queue::pull(int /*port*/) {
+  if (q_.empty()) return std::nullopt;
+  charge(costs_.queue_op);
+  net::Packet p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+ToDevice::ToDevice(std::string name, const ElementCosts& costs, Queue* upstream)
+    : Element(std::move(name)), costs_(costs), upstream_(upstream) {
+  RAW_ASSERT(upstream_ != nullptr);
+}
+
+bool ToDevice::run() {
+  auto p = upstream_->pull(0);
+  if (!p.has_value()) return false;
+  charge(costs_.to_device +
+         static_cast<common::Cycle>(costs_.per_byte *
+                                    static_cast<double>(p->size_bytes())));
+  ++sent_packets_;
+  sent_bytes_ += p->size_bytes();
+  return true;
+}
+
+}  // namespace raw::click

@@ -1,0 +1,30 @@
+// Always-on assertion macros. Simulator correctness bugs must fail loudly in
+// release builds too, so these do not compile away with NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace raw::common::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "rawswitch assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace raw::common::detail
+
+#define RAW_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::raw::common::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define RAW_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::raw::common::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RAW_UNREACHABLE(msg)                                                  \
+  ::raw::common::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace raw::common {
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width), counts_(num_buckets, 0) {
+  RAW_ASSERT_MSG(bucket_width > 0.0, "histogram bucket width must be positive");
+  RAW_ASSERT_MSG(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  const auto idx = static_cast<std::size_t>(x / bucket_width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return bucket_width_ * static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = overflow_;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+
+  std::string out;
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        counts_[i] * max_width / peak);
+    std::snprintf(line, sizeof line, "[%8.1f, %8.1f) %8llu |",
+                  static_cast<double>(i) * bucket_width_,
+                  static_cast<double>(i + 1) * bucket_width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "[overflow          ) %8llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace raw::common

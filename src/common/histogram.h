@@ -1,0 +1,37 @@
+// Linear-bucket histogram for latency and queue-depth distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raw::common {
+
+class Histogram {
+ public:
+  /// Buckets of `bucket_width` covering [0, bucket_width * num_buckets);
+  /// larger samples land in a single overflow bucket.
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Value below which `q` (in [0,1]) of the samples fall, linearly
+  /// interpolated within the containing bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact multi-line ASCII rendering (for bench report output).
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace raw::common

@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace raw::common {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used to expand the seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  RAW_ASSERT_MSG(bound > 0, "Rng::below requires positive bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  RAW_ASSERT_MSG(p > 0.0 && p <= 1.0, "geometric parameter out of range");
+  if (p >= 1.0) return 0;
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+std::array<std::uint8_t, 4> Rng::permutation4() {
+  std::array<std::uint8_t, 4> perm{0, 1, 2, 3};
+  for (std::size_t i = 3; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(below(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace raw::common

@@ -1,0 +1,47 @@
+// Deterministic xoshiro256** pseudo-random generator.
+//
+// All stochastic behaviour in the simulators (traffic arrival processes,
+// destination draws, packet sizes) flows through this generator so that any
+// experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace raw::common {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Geometric draw: number of failures before the first success, success
+  /// probability p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Fisher-Yates shuffle over indices [0, n); returns the permutation.
+  std::array<std::uint8_t, 4> permutation4();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace raw::common

@@ -1,0 +1,41 @@
+// Fundamental scalar types shared by every rawswitch library.
+#pragma once
+
+#include <cstdint>
+
+namespace raw::common {
+
+/// One 32-bit word, the unit of transfer on all Raw on-chip networks.
+using Word = std::uint32_t;
+
+/// Simulation time in processor clock cycles (250 MHz on the Raw prototype).
+using Cycle = std::uint64_t;
+
+/// Byte counts (packet and buffer sizes).
+using ByteCount = std::uint64_t;
+
+/// Raw prototype clock frequency in Hz (§3.4: 250 MHz).
+inline constexpr double kRawClockHz = 250e6;
+
+/// Bytes carried per 32-bit word.
+inline constexpr ByteCount kBytesPerWord = 4;
+
+/// Convert a byte length to the number of whole words needed to carry it.
+constexpr ByteCount words_for_bytes(ByteCount bytes) {
+  return (bytes + kBytesPerWord - 1) / kBytesPerWord;
+}
+
+/// Throughput in bits per second given bytes moved over a cycle interval.
+constexpr double gbps(ByteCount bytes, Cycle cycles, double clock_hz = kRawClockHz) {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 * clock_hz /
+         static_cast<double>(cycles) / 1e9;
+}
+
+/// Packets per second given a packet count over a cycle interval.
+constexpr double mpps(std::uint64_t packets, Cycle cycles, double clock_hz = kRawClockHz) {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(packets) * clock_hz / static_cast<double>(cycles) / 1e6;
+}
+
+}  // namespace raw::common

@@ -1,0 +1,160 @@
+#include "fabric/scheduler.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace raw::fabric {
+namespace {
+
+// Marks inputs/outputs occupied by held (mid-packet) connections.
+void seed_held(const Matching& held, Matching& result, std::vector<bool>& in_busy,
+               std::vector<bool>& out_busy) {
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (held[i] >= 0) {
+      result[i] = held[i];
+      in_busy[i] = true;
+      out_busy[static_cast<std::size_t>(held[i])] = true;
+    }
+  }
+}
+
+}  // namespace
+
+IslipScheduler::IslipScheduler(int ports, int iterations)
+    : ports_(ports),
+      iterations_(iterations),
+      grant_ptr_(static_cast<std::size_t>(ports), 0),
+      accept_ptr_(static_cast<std::size_t>(ports), 0) {
+  RAW_ASSERT(ports > 0 && iterations > 0);
+}
+
+Matching IslipScheduler::match(const QueueSnapshot& q, const Matching& held) {
+  const auto n = static_cast<std::size_t>(ports_);
+  Matching result(n, -1);
+  std::vector<bool> in_busy(n, false);
+  std::vector<bool> out_busy(n, false);
+  seed_held(held, result, in_busy, out_busy);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Step 1 (request) is implicit in the VOQ snapshot.
+    // Step 2: each unmatched output grants the requesting input next in its
+    // round-robin schedule from the grant pointer.
+    std::vector<int> granted_to(n, -1);  // per output: granted input
+    for (int out = 0; out < ports_; ++out) {
+      if (out_busy[static_cast<std::size_t>(out)]) continue;
+      for (int k = 0; k < ports_; ++k) {
+        const int in =
+            static_cast<int>((grant_ptr_[static_cast<std::size_t>(out)] +
+                              static_cast<std::uint32_t>(k)) %
+                             static_cast<std::uint32_t>(ports_));
+        if (in_busy[static_cast<std::size_t>(in)]) continue;
+        if (q.voq(in, out) == 0) continue;
+        granted_to[static_cast<std::size_t>(out)] = in;
+        break;
+      }
+    }
+    // Step 3: each input accepts the granting output next in its round-robin
+    // schedule from the accept pointer.
+    bool any = false;
+    for (int in = 0; in < ports_; ++in) {
+      if (in_busy[static_cast<std::size_t>(in)]) continue;
+      int accepted = -1;
+      for (int k = 0; k < ports_; ++k) {
+        const int out =
+            static_cast<int>((accept_ptr_[static_cast<std::size_t>(in)] +
+                              static_cast<std::uint32_t>(k)) %
+                             static_cast<std::uint32_t>(ports_));
+        if (granted_to[static_cast<std::size_t>(out)] == in) {
+          accepted = out;
+          break;
+        }
+      }
+      if (accepted < 0) continue;
+      result[static_cast<std::size_t>(in)] = accepted;
+      in_busy[static_cast<std::size_t>(in)] = true;
+      out_busy[static_cast<std::size_t>(accepted)] = true;
+      any = true;
+      // Pointers are only updated after the first iteration (§2.2.2); this
+      // is what gives iSLIP its desynchronization property.
+      if (iter == 0) {
+        accept_ptr_[static_cast<std::size_t>(in)] =
+            (static_cast<std::uint32_t>(accepted) + 1) %
+            static_cast<std::uint32_t>(ports_);
+        grant_ptr_[static_cast<std::size_t>(accepted)] =
+            (static_cast<std::uint32_t>(in) + 1) %
+            static_cast<std::uint32_t>(ports_);
+      }
+    }
+    if (!any) break;  // converged
+  }
+  return result;
+}
+
+FifoHolScheduler::FifoHolScheduler(int ports)
+    : ports_(ports), grant_ptr_(static_cast<std::size_t>(ports), 0) {
+  RAW_ASSERT(ports > 0);
+}
+
+Matching FifoHolScheduler::match(const QueueSnapshot& q, const Matching& held) {
+  const auto n = static_cast<std::size_t>(ports_);
+  Matching result(n, -1);
+  std::vector<bool> in_busy(n, false);
+  std::vector<bool> out_busy(n, false);
+  seed_held(held, result, in_busy, out_busy);
+
+  for (int out = 0; out < ports_; ++out) {
+    if (out_busy[static_cast<std::size_t>(out)]) continue;
+    for (int k = 0; k < ports_; ++k) {
+      const int in = static_cast<int>((grant_ptr_[static_cast<std::size_t>(out)] +
+                                       static_cast<std::uint32_t>(k)) %
+                                      static_cast<std::uint32_t>(ports_));
+      if (in_busy[static_cast<std::size_t>(in)]) continue;
+      if (q.hol(in) != out) continue;  // only the HOL cell may bid
+      result[static_cast<std::size_t>(in)] = out;
+      in_busy[static_cast<std::size_t>(in)] = true;
+      out_busy[static_cast<std::size_t>(out)] = true;
+      grant_ptr_[static_cast<std::size_t>(out)] =
+          (static_cast<std::uint32_t>(in) + 1) % static_cast<std::uint32_t>(ports_);
+      break;
+    }
+  }
+  return result;
+}
+
+RandomMaximalScheduler::RandomMaximalScheduler(int ports, std::uint64_t seed)
+    : ports_(ports), rng_(seed) {
+  RAW_ASSERT(ports > 0);
+}
+
+Matching RandomMaximalScheduler::match(const QueueSnapshot& q, const Matching& held) {
+  const auto n = static_cast<std::size_t>(ports_);
+  Matching result(n, -1);
+  std::vector<bool> in_busy(n, false);
+  std::vector<bool> out_busy(n, false);
+  seed_held(held, result, in_busy, out_busy);
+
+  // Visit inputs in random order; each picks a random requested free output.
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.below(i)]);
+  }
+  for (const int in : order) {
+    if (in_busy[static_cast<std::size_t>(in)]) continue;
+    std::vector<int> candidates;
+    for (int out = 0; out < ports_; ++out) {
+      if (!out_busy[static_cast<std::size_t>(out)] && q.voq(in, out) > 0) {
+        candidates.push_back(out);
+      }
+    }
+    if (candidates.empty()) continue;
+    const int out = candidates[rng_.below(candidates.size())];
+    result[static_cast<std::size_t>(in)] = out;
+    in_busy[static_cast<std::size_t>(in)] = true;
+    out_busy[static_cast<std::size_t>(out)] = true;
+  }
+  return result;
+}
+
+}  // namespace raw::fabric

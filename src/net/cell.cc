@@ -1,0 +1,47 @@
+#include "net/cell.h"
+
+#include "common/assert.h"
+
+namespace raw::net {
+
+std::vector<Cell> segment(std::uint64_t packet_uid, int src_port, int dst_port,
+                          common::ByteCount total_bytes,
+                          common::ByteCount cell_bytes) {
+  RAW_ASSERT_MSG(cell_bytes > 0, "cell size must be positive");
+  RAW_ASSERT_MSG(total_bytes > 0, "empty packet");
+  std::vector<Cell> cells;
+  common::ByteCount remaining = total_bytes;
+  std::uint16_t seq = 0;
+  while (remaining > 0) {
+    Cell c;
+    c.packet_uid = packet_uid;
+    c.src_port = src_port;
+    c.dst_port = dst_port;
+    c.seq = seq++;
+    c.bytes = remaining < cell_bytes ? remaining : cell_bytes;
+    remaining -= c.bytes;
+    c.last = remaining == 0;
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+std::optional<Reassembler::Done> Reassembler::add(const Cell& cell) {
+  const auto key = std::make_pair(cell.src_port, cell.packet_uid);
+  auto [it, inserted] = open_.try_emplace(key);
+  Open& open = it->second;
+  RAW_ASSERT_MSG(cell.seq == open.next_seq,
+                 "cell arrived out of sequence within a packet");
+  ++open.next_seq;
+  open.bytes += cell.bytes;
+  if (!cell.last) return std::nullopt;
+  Done done;
+  done.packet_uid = cell.packet_uid;
+  done.src_port = cell.src_port;
+  done.bytes = open.bytes;
+  done.cells = open.next_seq;
+  open_.erase(it);
+  return done;
+}
+
+}  // namespace raw::net

@@ -1,0 +1,62 @@
+// Fixed-size cell segmentation and reassembly (SAR).
+//
+// High-performance fabrics segment variable-length packets into fixed-size
+// cells before crossing the backplane and reassemble them at the output
+// (§2.2.2); the Raw router fragments packets the same way when they exceed
+// the crossbar's transfer quantum (§4.2/§4.3). Cells here carry metadata and
+// byte counts, not payload content — the fabric simulators account time and
+// bandwidth, while the Raw chip simulator streams real words.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace raw::net {
+
+struct Cell {
+  std::uint64_t packet_uid = 0;
+  int src_port = 0;
+  int dst_port = 0;
+  std::uint16_t seq = 0;      // cell index within the packet
+  bool last = false;          // tail cell of its packet
+  common::ByteCount bytes = 0;  // payload bytes carried (<= cell capacity)
+};
+
+/// Splits `total_bytes` of packet into cells of at most `cell_bytes` payload.
+/// Every cell but possibly the tail is full (fixed-size slots on the wire).
+std::vector<Cell> segment(std::uint64_t packet_uid, int src_port, int dst_port,
+                          common::ByteCount total_bytes,
+                          common::ByteCount cell_bytes);
+
+/// Per-output reassembly of cell streams back into packets. Cells of one
+/// packet must arrive in sequence order (a cell fabric delivers each flow
+/// over a single path); interleaving *between* packets is fine.
+class Reassembler {
+ public:
+  struct Done {
+    std::uint64_t packet_uid = 0;
+    int src_port = 0;
+    common::ByteCount bytes = 0;
+    std::uint16_t cells = 0;
+  };
+
+  /// Accepts the next cell; returns the completed packet when `cell` is the
+  /// tail. Aborts on sequence violations (fabric bug, not traffic).
+  std::optional<Done> add(const Cell& cell);
+
+  /// Packets currently mid-reassembly.
+  [[nodiscard]] std::size_t open_flows() const { return open_.size(); }
+
+ private:
+  struct Open {
+    std::uint16_t next_seq = 0;
+    common::ByteCount bytes = 0;
+  };
+  std::map<std::pair<int, std::uint64_t>, Open> open_;  // (src_port, uid)
+};
+
+}  // namespace raw::net

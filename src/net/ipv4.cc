@@ -1,0 +1,107 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace raw::net {
+
+std::string addr_to_string(Addr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (a >> 24) & 0xff, (a >> 16) & 0xff,
+                (a >> 8) & 0xff, a & 0xff);
+  return buf;
+}
+
+Addr make_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return static_cast<Addr>(a) << 24 | static_cast<Addr>(b) << 16 |
+         static_cast<Addr>(c) << 8 | static_cast<Addr>(d);
+}
+
+std::array<common::Word, Ipv4Header::kWords> serialize(const Ipv4Header& h) {
+  RAW_ASSERT_MSG(h.ihl == 5, "options not supported");
+  std::array<common::Word, Ipv4Header::kWords> w{};
+  w[0] = static_cast<common::Word>(h.version) << 28 |
+         static_cast<common::Word>(h.ihl) << 24 |
+         static_cast<common::Word>(h.tos) << 16 | h.total_length;
+  w[1] = static_cast<common::Word>(h.identification) << 16 |
+         static_cast<common::Word>(h.flags) << 13 |
+         static_cast<common::Word>(h.fragment_offset & 0x1fff);
+  w[2] = static_cast<common::Word>(h.ttl) << 24 |
+         static_cast<common::Word>(h.protocol) << 16 | h.checksum;
+  w[3] = h.src;
+  w[4] = h.dst;
+  return w;
+}
+
+Ipv4Header parse(std::span<const common::Word, Ipv4Header::kWords> w) {
+  Ipv4Header h;
+  h.version = static_cast<std::uint8_t>(w[0] >> 28);
+  h.ihl = static_cast<std::uint8_t>((w[0] >> 24) & 0xf);
+  h.tos = static_cast<std::uint8_t>((w[0] >> 16) & 0xff);
+  h.total_length = static_cast<std::uint16_t>(w[0] & 0xffff);
+  h.identification = static_cast<std::uint16_t>(w[1] >> 16);
+  h.flags = static_cast<std::uint8_t>((w[1] >> 13) & 0x7);
+  h.fragment_offset = static_cast<std::uint16_t>(w[1] & 0x1fff);
+  h.ttl = static_cast<std::uint8_t>(w[2] >> 24);
+  h.protocol = static_cast<std::uint8_t>((w[2] >> 16) & 0xff);
+  h.checksum = static_cast<std::uint16_t>(w[2] & 0xffff);
+  h.src = w[3];
+  h.dst = w[4];
+  return h;
+}
+
+namespace {
+
+std::uint16_t fold(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace
+
+std::uint16_t header_checksum(const Ipv4Header& h) {
+  Ipv4Header copy = h;
+  copy.checksum = 0;
+  const auto words = serialize(copy);
+  std::uint32_t sum = 0;
+  for (const common::Word w : words) {
+    sum += w >> 16;
+    sum += w & 0xffff;
+  }
+  return fold(sum);
+}
+
+void finalize_checksum(Ipv4Header& h) { h.checksum = header_checksum(h); }
+
+bool checksum_ok(const Ipv4Header& h) { return h.checksum == header_checksum(h); }
+
+bool decrement_ttl(Ipv4Header& h) {
+  if (h.ttl == 0) return false;
+  // RFC 1624: HC' = ~(~HC + ~m + m'), with m the 16-bit field containing TTL.
+  const std::uint16_t old_field =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.ttl) << 8 | h.protocol);
+  --h.ttl;
+  const std::uint16_t new_field =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.ttl) << 8 | h.protocol);
+  // One's-complement sum of ~HC, ~m and m'; fold() folds the carries and
+  // applies the final complement.
+  std::uint32_t sum = static_cast<std::uint32_t>(static_cast<std::uint16_t>(~h.checksum));
+  sum += static_cast<std::uint16_t>(~old_field);
+  sum += new_field;
+  h.checksum = fold(sum);
+  return true;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8 | bytes[i + 1];
+  }
+  if (bytes.size() % 2 != 0) {
+    sum += static_cast<std::uint32_t>(bytes.back()) << 8;
+  }
+  return fold(sum);
+}
+
+}  // namespace raw::net

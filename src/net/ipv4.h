@@ -1,0 +1,68 @@
+// IPv4 header handling: parse/serialize, RFC 1071 checksum, RFC 1624
+// incremental checksum update for the TTL decrement the Ingress Processor
+// performs (§4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace raw::net {
+
+using Addr = std::uint32_t;  // IPv4 address in host byte order
+
+/// Dotted-quad helpers.
+std::string addr_to_string(Addr a);
+Addr make_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d);
+
+/// The 20-byte IPv4 base header (no options), in host-order fields.
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words; we only support the 5-word base header
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 20;  // header + payload bytes
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           // [2:0] = reserved, DF, MF
+  std::uint16_t fragment_offset = 0;  // 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  // UDP by default
+  std::uint16_t checksum = 0;
+  Addr src = 0;
+  Addr dst = 0;
+
+  static constexpr std::size_t kBytes = 20;
+  static constexpr std::size_t kWords = 5;
+
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+/// Serializes to 5 network-order 32-bit words (as streamed over the Raw
+/// static network) without touching the checksum field.
+std::array<common::Word, Ipv4Header::kWords> serialize(const Ipv4Header& h);
+
+/// Parses 5 words back into a header.
+Ipv4Header parse(std::span<const common::Word, Ipv4Header::kWords> words);
+
+/// RFC 1071 Internet checksum of the serialized header with its checksum
+/// field zeroed.
+std::uint16_t header_checksum(const Ipv4Header& h);
+
+/// Writes a valid checksum into `h`.
+void finalize_checksum(Ipv4Header& h);
+
+/// True when the stored checksum validates.
+bool checksum_ok(const Ipv4Header& h);
+
+/// Decrements TTL and applies the RFC 1624 incremental checksum update
+/// (what the Ingress Processor does per packet). Returns false (and leaves
+/// the header untouched) when TTL is already 0 and the packet must be
+/// dropped.
+bool decrement_ttl(Ipv4Header& h);
+
+/// RFC 1071 checksum over arbitrary bytes (for tests against references).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+}  // namespace raw::net

@@ -1,0 +1,44 @@
+// Packet representation shared by the router, the fabric baselines, and the
+// Click baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/ipv4.h"
+
+namespace raw::net {
+
+struct Packet {
+  std::uint64_t uid = 0;  // simulator-unique id (not the IP identification)
+  Ipv4Header header;
+  std::vector<std::uint8_t> payload;  // total_length - 20 bytes
+
+  /// Simulation metadata (not on the wire).
+  int input_port = -1;
+  int output_port = -1;           // filled in by route lookup
+  common::Cycle created_cycle = 0;  // first byte offered at the input line
+
+  [[nodiscard]] common::ByteCount size_bytes() const {
+    return Ipv4Header::kBytes + payload.size();
+  }
+  [[nodiscard]] common::ByteCount size_words() const {
+    return common::words_for_bytes(size_bytes());
+  }
+};
+
+/// Builds a well-formed packet of exactly `total_bytes` (>= 20), with a
+/// deterministic payload derived from `uid` and a valid header checksum.
+Packet make_packet(std::uint64_t uid, Addr src, Addr dst,
+                   common::ByteCount total_bytes);
+
+/// Serializes header+payload into 32-bit words for network streaming (the
+/// payload is packed big-endian, zero-padded to a word boundary).
+std::vector<common::Word> packet_to_words(const Packet& p);
+
+/// Inverse of packet_to_words; `word_count` words must contain a full
+/// packet. The simulation metadata fields are left at defaults.
+Packet packet_from_words(std::vector<common::Word> words);
+
+}  // namespace raw::net

@@ -1,0 +1,48 @@
+#include "net/route_table.h"
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace raw::net {
+
+void RouteTable::add_route(Addr prefix, int len, int port) {
+  RAW_ASSERT(port >= 0);
+  trie_.insert(prefix, len, static_cast<std::uint32_t>(port));
+}
+
+bool RouteTable::remove_route(Addr prefix, int len) {
+  return trie_.erase(prefix, len);
+}
+
+std::optional<int> RouteTable::lookup(Addr dst) const {
+  const auto r = trie_.lookup(dst);
+  if (!r.has_value()) return std::nullopt;
+  return static_cast<int>(r->value);
+}
+
+RouteTable RouteTable::random(std::size_t num_routes, int num_ports,
+                              std::uint64_t seed) {
+  RAW_ASSERT(num_ports > 0);
+  common::Rng rng(seed);
+  RouteTable table;
+  table.add_route(0, 0, 0);  // default route
+  while (table.num_routes() < num_routes + 1) {
+    const int len = 8 + static_cast<int>(rng.below(17));  // 8..24
+    const Addr prefix = static_cast<Addr>(rng.next() & 0xffffffffu) &
+                        (len == 0 ? 0u : ~0u << (32 - len));
+    table.add_route(prefix, len, static_cast<int>(rng.below(
+                                     static_cast<std::uint64_t>(num_ports))));
+  }
+  return table;
+}
+
+RouteTable RouteTable::simple4() {
+  RouteTable table;
+  table.add_route(0, 0, 0);
+  for (std::uint8_t p = 0; p < 4; ++p) {
+    table.add_route(make_addr(10, p, 0, 0), 16, p);
+  }
+  return table;
+}
+
+}  // namespace raw::net

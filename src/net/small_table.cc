@@ -1,0 +1,86 @@
+#include "net/small_table.h"
+
+#include <map>
+
+#include "common/assert.h"
+
+namespace raw::net {
+namespace {
+
+constexpr std::size_t kChunkSize = 256;
+
+/// Interns `chunk` into `store`, returning its index (deduplication: real
+/// forwarding tables repeat chunk contents heavily).
+std::uint32_t intern(std::vector<std::vector<std::uint32_t>>& store,
+                     std::map<std::vector<std::uint32_t>, std::uint32_t>& index,
+                     std::vector<std::uint32_t> chunk) {
+  const auto it = index.find(chunk);
+  if (it != index.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(store.size());
+  store.push_back(chunk);
+  index.emplace(std::move(chunk), id);
+  return id;
+}
+
+std::uint32_t value_at(const PatriciaTrie& trie, Addr addr) {
+  const auto r = trie.lookup(addr);
+  return r.has_value() ? r->value + 1 : 0;  // leaf encoding
+}
+
+}  // namespace
+
+SmallTable SmallTable::build(const PatriciaTrie& trie) {
+  SmallTable table;
+  table.level1_.resize(1u << 16);
+  std::map<Chunk, std::uint32_t> l2_index;
+  std::map<Chunk, std::uint32_t> l3_index;
+
+  for (std::uint32_t p1 = 0; p1 < (1u << 16); ++p1) {
+    const Addr base1 = p1 << 16;
+    if (!trie.has_longer_prefix(base1, 16)) {
+      // Leaf-push: the whole /16 range shares one longest-prefix result.
+      table.level1_[p1] = value_at(trie, base1);
+      continue;
+    }
+    Chunk l2(kChunkSize);
+    for (std::uint32_t p2 = 0; p2 < kChunkSize; ++p2) {
+      const Addr base2 = base1 | p2 << 8;
+      if (!trie.has_longer_prefix(base2, 24)) {
+        l2[p2] = value_at(trie, base2);
+        continue;
+      }
+      Chunk l3(kChunkSize);
+      for (std::uint32_t p3 = 0; p3 < kChunkSize; ++p3) {
+        l3[p3] = value_at(trie, base2 | p3);
+      }
+      l2[p2] = kPointerBit | intern(table.level3_, l3_index, std::move(l3));
+    }
+    table.level1_[p1] = kPointerBit | intern(table.level2_, l2_index, std::move(l2));
+  }
+  return table;
+}
+
+std::optional<SmallTable::Result> SmallTable::lookup(Addr addr) const {
+  Entry e = level1_[addr >> 16];
+  int accesses = 1;
+  if ((e & kPointerBit) != 0) {
+    const Chunk& l2 = level2_[e & ~kPointerBit];
+    e = l2[addr >> 8 & 0xff];
+    ++accesses;
+    if ((e & kPointerBit) != 0) {
+      const Chunk& l3 = level3_[e & ~kPointerBit];
+      e = l3[addr & 0xff];
+      ++accesses;
+    }
+  }
+  RAW_ASSERT_MSG((e & kPointerBit) == 0, "level-3 entry must be a leaf");
+  if (e == 0) return std::nullopt;
+  return Result{e - 1, accesses};
+}
+
+std::size_t SmallTable::total_bytes() const {
+  return (level1_.size() + (level2_.size() + level3_.size()) * kChunkSize) *
+         sizeof(Entry);
+}
+
+}  // namespace raw::net

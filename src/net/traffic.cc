@@ -1,0 +1,102 @@
+#include "net/traffic.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace raw::net {
+
+TrafficGen::TrafficGen(TrafficConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  RAW_ASSERT_MSG(config_.num_ports > 0, "need at least one port");
+  RAW_ASSERT_MSG(config_.load > 0.0 && config_.load <= 1.0,
+                 "load must be in (0, 1]");
+  RAW_ASSERT_MSG(config_.mean_burst_packets >= 1.0, "burst mean below 1");
+  if (config_.pattern == DestPattern::kPermutation && config_.permutation.empty()) {
+    for (int p = 0; p < config_.num_ports; ++p) {
+      config_.permutation.push_back((p + 1) % config_.num_ports);
+    }
+  }
+  if (config_.pattern == DestPattern::kPermutation) {
+    RAW_ASSERT_MSG(
+        config_.permutation.size() == static_cast<std::size_t>(config_.num_ports),
+        "permutation size must equal port count");
+    std::vector<bool> seen(static_cast<std::size_t>(config_.num_ports), false);
+    for (const int d : config_.permutation) {
+      RAW_ASSERT_MSG(d >= 0 && d < config_.num_ports, "permutation out of range");
+      RAW_ASSERT_MSG(!seen[static_cast<std::size_t>(d)], "not a permutation");
+      seen[static_cast<std::size_t>(d)] = true;
+    }
+  }
+  for (int p = 0; p < config_.num_ports; ++p) {
+    per_port_rng_.emplace_back(seed * std::uint64_t{0x9e3779b97f4a7c15} +
+                               static_cast<std::uint64_t>(p) + 1);
+    burst_left_.push_back(0);
+  }
+}
+
+int TrafficGen::draw_dest(int src_port, common::Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(config_.num_ports);
+  switch (config_.pattern) {
+    case DestPattern::kPermutation:
+      return config_.permutation[static_cast<std::size_t>(src_port)];
+    case DestPattern::kUniform:
+      return static_cast<int>(rng.below(n));
+    case DestPattern::kHotspot:
+      if (rng.chance(config_.hotspot_fraction)) return config_.hotspot_port;
+      return static_cast<int>(rng.below(n));
+    case DestPattern::kLoopback:
+      return src_port;
+  }
+  RAW_UNREACHABLE("bad DestPattern");
+}
+
+common::ByteCount TrafficGen::draw_size(common::Rng& rng) {
+  switch (config_.size) {
+    case SizeDist::kFixed:
+      return config_.fixed_bytes;
+    case SizeDist::kBimodal:
+      return rng.chance(config_.bimodal_small_fraction) ? config_.small_bytes
+                                                        : config_.large_bytes;
+    case SizeDist::kImix: {
+      // 7:4:1 over 40 / 576 / 1500 bytes; IP packets here are >= 20 bytes
+      // header so 40 stays valid.
+      const std::uint64_t r = rng.below(12);
+      if (r < 7) return 40;
+      if (r < 11) return 576;
+      return 1500;
+    }
+    case SizeDist::kUniformRange:
+      return config_.min_bytes +
+             rng.below(config_.max_bytes - config_.min_bytes + 1);
+  }
+  RAW_UNREACHABLE("bad SizeDist");
+}
+
+PacketDesc TrafficGen::next(int src_port) {
+  RAW_ASSERT(src_port >= 0 && src_port < config_.num_ports);
+  common::Rng& rng = per_port_rng_[static_cast<std::size_t>(src_port)];
+  PacketDesc desc;
+  desc.dst_port = draw_dest(src_port, rng);
+  desc.bytes = draw_size(rng);
+
+  if (config_.load < 1.0) {
+    const auto words = static_cast<double>(common::words_for_bytes(desc.bytes));
+    const double mean_gap_per_packet = words * (1.0 - config_.load) / config_.load;
+    auto& burst = burst_left_[static_cast<std::size_t>(src_port)];
+    if (burst == 0) {
+      // Start a new burst: draw its length, and take the entire inter-burst
+      // idle period up front.
+      burst = 1 + rng.geometric(1.0 / config_.mean_burst_packets);
+      const double mean_burst_gap =
+          mean_gap_per_packet * config_.mean_burst_packets;
+      // Exponential-ish gap via geometric draw on cycles.
+      const double p = 1.0 / (1.0 + mean_burst_gap);
+      desc.gap_cycles = rng.geometric(p);
+    }
+    --burst;
+  }
+  return desc;
+}
+
+}  // namespace raw::net

@@ -1,0 +1,82 @@
+// Synthetic traffic generation for all experiments.
+//
+// The thesis drives the router from line cards at full rate ("peak" uses a
+// conflict-free permutation of destinations, "average" uniform-random
+// destinations under complete fairness, §7.2/§7.3). These generators
+// reproduce those workloads plus the bursty/hotspot patterns used by the
+// fabric background experiments, deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace raw::net {
+
+enum class DestPattern : std::uint8_t {
+  kPermutation,  // fixed conflict-free mapping (peak workload)
+  kUniform,      // iid uniform over all ports (average workload)
+  kHotspot,      // a fraction of traffic targets one port
+  kLoopback,     // dst == src (control experiments)
+};
+
+enum class SizeDist : std::uint8_t {
+  kFixed,    // every packet `fixed_bytes`
+  kBimodal,  // small with prob bimodal_small_fraction, else large
+  kImix,     // 40/576/1500 bytes at 7:4:1 (classic Internet mix)
+  kUniformRange,  // uniform in [min_bytes, max_bytes]
+};
+
+struct TrafficConfig {
+  int num_ports = 4;
+
+  DestPattern pattern = DestPattern::kUniform;
+  /// kPermutation: explicit src->dst map; empty means dst = (src+1) % N.
+  std::vector<int> permutation;
+  int hotspot_port = 0;
+  double hotspot_fraction = 0.5;  // remainder is uniform
+
+  SizeDist size = SizeDist::kFixed;
+  common::ByteCount fixed_bytes = 64;
+  common::ByteCount small_bytes = 64;
+  common::ByteCount large_bytes = 1024;
+  double bimodal_small_fraction = 0.5;
+  common::ByteCount min_bytes = 64;
+  common::ByteCount max_bytes = 1500;
+
+  /// Offered load as a fraction of line rate (1.0 = saturated inputs).
+  double load = 1.0;
+  /// Mean packets per burst; > 1 gives on/off (bursty) arrivals whose idle
+  /// periods are lumped between bursts at the same long-run load.
+  double mean_burst_packets = 1.0;
+};
+
+struct PacketDesc {
+  int dst_port = 0;
+  common::ByteCount bytes = 0;
+  /// Line idle cycles to insert before this packet's first word (arrival
+  /// process; 0 under saturation).
+  common::Cycle gap_cycles = 0;
+};
+
+class TrafficGen {
+ public:
+  TrafficGen(TrafficConfig config, std::uint64_t seed);
+
+  /// Next packet offered at `src_port`.
+  PacketDesc next(int src_port);
+
+  [[nodiscard]] const TrafficConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] int draw_dest(int src_port, common::Rng& rng);
+  [[nodiscard]] common::ByteCount draw_size(common::Rng& rng);
+
+  TrafficConfig config_;
+  std::vector<common::Rng> per_port_rng_;
+  std::vector<std::uint64_t> burst_left_;  // packets remaining in current burst
+};
+
+}  // namespace raw::net

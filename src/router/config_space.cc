@@ -1,0 +1,124 @@
+#include "router/config_space.h"
+
+#include <set>
+
+#include "common/assert.h"
+#include "sim/switch_isa.h"
+
+namespace raw::router {
+
+const char* client_name(Client c) {
+  switch (c) {
+    case Client::kNone: return "0";
+    case Client::kIn: return "in";
+    case Client::kCwPrev: return "cwprev";
+    case Client::kCcwPrev: return "ccwprev";
+  }
+  return "?";
+}
+
+std::string to_string(const TileConfig& tc) {
+  std::string s = "out<-";
+  s += client_name(tc.out);
+  s += "(" + std::to_string(tc.out_dist) + ") cwnext<-";
+  s += client_name(tc.cwnext);
+  s += "(" + std::to_string(tc.cw_dist) + ") ccwnext<-";
+  s += client_name(tc.ccwnext);
+  s += "(" + std::to_string(tc.ccw_dist) + ")";
+  if (tc.ingress_blocked) s += " BLOCKED";
+  return s;
+}
+
+TileConfig project(const RingConfig& cfg, std::span<const HeaderReq> headers,
+                   int tile) {
+  const int r = cfg.ring_size;
+  RAW_ASSERT(tile >= 0 && tile < r);
+  TileConfig tc;
+
+  // Egress server: which stream terminates (or drops off) here.
+  const int out_src = cfg.egress[static_cast<std::size_t>(tile)];
+  if (out_src >= 0) {
+    if (out_src == tile) {
+      tc.out = Client::kIn;
+    } else if ((cfg.cw_mask[static_cast<std::size_t>(out_src)] >> tile & 1u) != 0) {
+      tc.out = Client::kCwPrev;
+      tc.out_dist = static_cast<std::uint8_t>(cw_distance(r, out_src, tile));
+    } else {
+      tc.out = Client::kCcwPrev;
+      tc.out_dist = static_cast<std::uint8_t>(cw_distance(r, tile, out_src));
+    }
+  }
+
+  // Clockwise downstream ring link.
+  const int cw_src = cfg.cw_edge[static_cast<std::size_t>(tile)];
+  if (cw_src >= 0) {
+    if (cw_src == tile) {
+      tc.cwnext = Client::kIn;
+    } else {
+      tc.cwnext = Client::kCwPrev;
+      tc.cw_dist = static_cast<std::uint8_t>(cw_distance(r, cw_src, tile));
+    }
+  }
+
+  // Counter-clockwise downstream ring link.
+  const int ccw_src = cfg.ccw_edge[static_cast<std::size_t>(tile)];
+  if (ccw_src >= 0) {
+    if (ccw_src == tile) {
+      tc.ccwnext = Client::kIn;
+    } else {
+      tc.ccwnext = Client::kCcwPrev;
+      tc.ccw_dist = static_cast<std::uint8_t>(cw_distance(r, tile, ccw_src));
+    }
+  }
+
+  tc.ingress_blocked = !headers[static_cast<std::size_t>(tile)].empty() &&
+                       !cfg.granted[static_cast<std::size_t>(tile)];
+  return tc;
+}
+
+SpaceSummary enumerate_space(int ring_size, RuleOptions options) {
+  RAW_ASSERT(ring_size >= 2 && ring_size <= kMaxRingSize);
+  SpaceSummary summary;
+  summary.ring_size = ring_size;
+
+  // Header alphabet: empty + one of `ring_size` destinations (grants do not
+  // depend on fragment lengths, so words need not be enumerated).
+  const int alphabet = 1 + ring_size;
+  std::uint64_t combos = 1;
+  for (int i = 0; i < ring_size; ++i) combos *= static_cast<std::uint64_t>(alphabet);
+  summary.global_configs = combos * static_cast<std::uint64_t>(ring_size);
+  summary.instrs_per_global_config =
+      static_cast<double>(sim::kSwitchImemWords) /
+      static_cast<double>(summary.global_configs);
+
+  std::set<TileConfig> tile_set;
+  std::set<std::uint16_t> block_set;
+  std::vector<HeaderReq> headers(static_cast<std::size_t>(ring_size));
+
+  for (std::uint64_t combo = 0; combo < combos; ++combo) {
+    std::uint64_t code = combo;
+    for (int i = 0; i < ring_size; ++i) {
+      const auto digit = static_cast<int>(code % static_cast<std::uint64_t>(alphabet));
+      code /= static_cast<std::uint64_t>(alphabet);
+      headers[static_cast<std::size_t>(i)] =
+          digit == 0 ? HeaderReq{} : HeaderReq{1u << (digit - 1), 16};
+    }
+    for (int token = 0; token < ring_size; ++token) {
+      const RingConfig cfg = evaluate_rule(headers, token, options);
+      for (int tile = 0; tile < ring_size; ++tile) {
+        const TileConfig tc = project(cfg, headers, tile);
+        tile_set.insert(tc);
+        block_set.insert(tc.block_key());
+      }
+    }
+  }
+
+  summary.distinct_tile_configs = tile_set.size();
+  summary.distinct_blocks = block_set.size();
+  summary.reduction_factor = static_cast<double>(summary.global_configs) /
+                             static_cast<double>(summary.distinct_tile_configs);
+  summary.tile_configs.assign(tile_set.begin(), tile_set.end());
+  return summary;
+}
+
+}  // namespace raw::router

@@ -1,0 +1,70 @@
+// On-chip control-word formats of the Rotating Crossbar protocol.
+//
+// Three single-word messages flow beside the packet bodies:
+//  * the *local header* an Ingress Processor sends its Crossbar Processor
+//    once per quantum (§5.2) — destination port mask, fragment length,
+//    first-fragment flag and QoS priority;
+//  * the *grant* the Crossbar Processor returns — how many words the
+//    ingress may stream this quantum (0 = hold and retry);
+//  * the *descriptor* the Crossbar Processor sends ahead of a body stream to
+//    the Egress Processor — length, source port, first/last flags.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "router/rule.h"
+
+namespace raw::router {
+
+/// Local header layout: [3:0] out-port mask (0 = empty/no packet),
+/// [19:4] fragment words, [20] first fragment, [23:21] priority.
+struct LocalHeader {
+  std::uint32_t out_mask = 0;
+  std::uint32_t words = 0;
+  bool first = true;
+  std::uint32_t priority = 0;
+
+  [[nodiscard]] bool empty() const { return out_mask == 0; }
+
+  [[nodiscard]] common::Word encode() const {
+    return (out_mask & 0xfu) | (words & 0xffffu) << 4 |
+           (first ? 1u << 20 : 0u) | (priority & 0x7u) << 21;
+  }
+
+  static LocalHeader decode(common::Word w) {
+    LocalHeader h;
+    h.out_mask = w & 0xfu;
+    h.words = w >> 4 & 0xffffu;
+    h.first = (w >> 20 & 1u) != 0;
+    h.priority = w >> 21 & 0x7u;
+    return h;
+  }
+
+  [[nodiscard]] HeaderReq to_request() const { return HeaderReq{out_mask, words}; }
+};
+
+/// Egress descriptor layout: [15:0] body words following, [19:16] source
+/// port, [20] first fragment of its packet, [21] last fragment.
+struct EgressDescriptor {
+  std::uint32_t words = 0;
+  std::uint32_t src_port = 0;
+  bool first = true;
+  bool last = true;
+
+  [[nodiscard]] common::Word encode() const {
+    return (words & 0xffffu) | (src_port & 0xfu) << 16 |
+           (first ? 1u << 20 : 0u) | (last ? 1u << 21 : 0u);
+  }
+
+  static EgressDescriptor decode(common::Word w) {
+    EgressDescriptor d;
+    d.words = w & 0xffffu;
+    d.src_port = w >> 16 & 0xfu;
+    d.first = (w >> 20 & 1u) != 0;
+    d.last = (w >> 21 & 1u) != 0;
+    return d;
+  }
+};
+
+}  // namespace raw::router

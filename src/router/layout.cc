@@ -1,0 +1,35 @@
+#include "router/layout.h"
+
+namespace raw::router {
+
+using sim::Dir;
+
+Layout::Layout() {
+  ports_[0] = PortTiles{4, 0, 5, 1};
+  ports_[1] = PortTiles{7, 3, 6, 2};
+  ports_[2] = PortTiles{11, 15, 10, 14};
+  ports_[3] = PortTiles{8, 12, 9, 13};
+
+  // Ring order (clockwise): tile5 -> tile6 -> tile10 -> tile9 -> tile5.
+  //                      in        in_back   out       cw_in     cw_out    ccw_in    ccw_out
+  orient_[0] = {Dir::kWest, Dir::kWest, Dir::kNorth, Dir::kSouth,
+                Dir::kEast, Dir::kEast, Dir::kSouth};
+  orient_[1] = {Dir::kEast, Dir::kEast, Dir::kNorth, Dir::kWest,
+                Dir::kSouth, Dir::kSouth, Dir::kWest};
+  orient_[2] = {Dir::kEast, Dir::kEast, Dir::kSouth, Dir::kNorth,
+                Dir::kWest, Dir::kWest, Dir::kNorth};
+  orient_[3] = {Dir::kWest, Dir::kWest, Dir::kSouth, Dir::kEast,
+                Dir::kNorth, Dir::kNorth, Dir::kEast};
+
+  edges_[0] = {Dir::kWest, Dir::kEast, Dir::kNorth, Dir::kSouth};
+  edges_[1] = {Dir::kEast, Dir::kWest, Dir::kNorth, Dir::kSouth};
+  edges_[2] = {Dir::kEast, Dir::kWest, Dir::kSouth, Dir::kNorth};
+  edges_[3] = {Dir::kWest, Dir::kEast, Dir::kSouth, Dir::kNorth};
+
+  lookup_dir_[0] = Dir::kSouth;
+  lookup_dir_[1] = Dir::kSouth;
+  lookup_dir_[2] = Dir::kNorth;
+  lookup_dir_[3] = Dir::kNorth;
+}
+
+}  // namespace raw::router

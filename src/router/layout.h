@@ -1,0 +1,86 @@
+// Mapping of router functional elements to Raw tiles (Figure 4-1 / 7-2).
+//
+// Each of the four ports occupies four tiles: an Ingress Processor on the
+// W/E chip edge, a Lookup Processor at the adjacent corner, a Crossbar
+// Processor in the centre ring, and an Egress Processor on the N/S edge.
+// The crossbar ring runs clockwise through tiles 5 -> 6 -> 10 -> 9.
+//
+//        Lk0 | Eg0 | Eg1 | Lk1            0  1  2  3
+//        In0 | Cb0 | Cb1 | In1            4  5  6  7
+//        In3 | Cb3 | Cb2 | In2            8  9 10 11
+//        Lk3 | Eg3 | Eg2 | Lk2           12 13 14 15
+//
+// (The thesis's Figure 7-3 confirms the ingress tiles are 4, 7, 8 and 11.)
+#pragma once
+
+#include <array>
+
+#include "sim/coords.h"
+
+namespace raw::router {
+
+inline constexpr int kNumPorts = 4;
+
+struct PortTiles {
+  int ingress = -1;
+  int lookup = -1;
+  int crossbar = -1;
+  int egress = -1;
+};
+
+/// Physical directions of one crossbar tile's six logical connections
+/// (Figure 6-1): the ingress ("in"), the egress ("out"), and the clockwise /
+/// counter-clockwise ring neighbours, each with an incoming and an outgoing
+/// side on the full-duplex links.
+struct CrossbarOrientation {
+  sim::Dir in;       // from the ingress tile
+  sim::Dir in_back;  // reverse side: toward the ingress tile (grant words)
+  sim::Dir out;      // toward the egress tile
+  sim::Dir cw_in;    // clockwise stream arriving (from the cw-upstream tile)
+  sim::Dir cw_out;   // clockwise stream leaving
+  sim::Dir ccw_in;   // counter-clockwise stream arriving
+  sim::Dir ccw_out;  // counter-clockwise stream leaving
+};
+
+/// Directions used by a port's ingress and egress tiles: where the line
+/// cards attach (off-grid) and where the crossbar tile sits.
+struct PortEdges {
+  sim::Dir ingress_edge;          // off-grid direction of the input line card
+  sim::Dir ingress_to_crossbar;   // ingress tile -> crossbar tile
+  sim::Dir egress_edge;           // off-grid direction of the output line card
+  sim::Dir egress_from_crossbar;  // side of the egress tile facing its crossbar
+};
+
+class Layout {
+ public:
+  /// The thesis 4x4 / 4-port layout.
+  Layout();
+
+  [[nodiscard]] const PortTiles& port(int p) const {
+    return ports_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const CrossbarOrientation& orientation(int p) const {
+    return orient_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const PortEdges& edges(int p) const {
+    return edges_[static_cast<std::size_t>(p)];
+  }
+
+  /// Ring position of port p equals p: ports are numbered in clockwise ring
+  /// order (Cb0=tile5, Cb1=tile6, Cb2=tile10, Cb3=tile9).
+  [[nodiscard]] static constexpr int ring_position(int port) { return port; }
+
+  /// Direction from the lookup tile to its port's ingress tile (they are
+  /// vertically adjacent), used by the ingress<->lookup message path.
+  [[nodiscard]] sim::Dir lookup_to_ingress(int p) const {
+    return lookup_dir_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::array<PortTiles, kNumPorts> ports_;
+  std::array<CrossbarOrientation, kNumPorts> orient_;
+  std::array<PortEdges, kNumPorts> edges_;
+  std::array<sim::Dir, kNumPorts> lookup_dir_;
+};
+
+}  // namespace raw::router

@@ -1,0 +1,132 @@
+#include "router/line_cards.h"
+
+#include "common/assert.h"
+
+namespace raw::router {
+
+net::Packet make_test_packet(std::uint64_t uid, int src_port, int dst_port,
+                             common::ByteCount bytes) {
+  const net::Addr src = net::make_addr(
+      10, static_cast<std::uint8_t>(128 + src_port),
+      static_cast<std::uint8_t>(uid >> 8 & 0xff), static_cast<std::uint8_t>(uid & 0xff));
+  const net::Addr dst =
+      net::make_addr(10, static_cast<std::uint8_t>(dst_port),
+                     static_cast<std::uint8_t>(uid >> 3 & 0xff),
+                     static_cast<std::uint8_t>(uid * 7 & 0xff));
+  net::Packet p = net::make_packet(uid, src, dst, bytes);
+  p.header.identification = static_cast<std::uint16_t>(uid >> 16 & 0xffff);
+  net::finalize_checksum(p.header);
+  p.input_port = src_port;
+  p.output_port = dst_port;
+  return p;
+}
+
+std::uint64_t uid_of(const net::Ipv4Header& hdr) {
+  return static_cast<std::uint64_t>(hdr.identification) << 16 | (hdr.src & 0xffff);
+}
+
+int src_port_of(const net::Ipv4Header& hdr) {
+  return static_cast<int>((hdr.src >> 16 & 0xff) - 128);
+}
+
+InputLineCard::InputLineCard(sim::Channel* to_chip, int port,
+                             net::TrafficGen* traffic, PacketLedger* ledger,
+                             std::size_t queue_capacity_words)
+    : to_chip_(to_chip),
+      port_(port),
+      traffic_(traffic),
+      ledger_(ledger),
+      queue_capacity_words_(queue_capacity_words) {
+  RAW_ASSERT(to_chip_ != nullptr && traffic_ != nullptr && ledger_ != nullptr);
+}
+
+void InputLineCard::generate(sim::Chip& chip) {
+  while (!stopped_ && chip.cycle() >= next_arrival_) {
+    const net::PacketDesc desc = traffic_->next(port_);
+    const std::uint64_t uid = ledger_->next_uid++;
+    const common::ByteCount bytes = std::max<common::ByteCount>(desc.bytes, 20);
+    const auto words = common::words_for_bytes(bytes);
+    // Line spacing: the wire carries this packet for `words` cycles, then
+    // idles for the generator's gap.
+    next_arrival_ = chip.cycle() + desc.gap_cycles + words;
+    ++offered_packets_;
+    offered_bytes_ += bytes;
+    if (queue_.size() + words > queue_capacity_words_) {
+      ++dropped_packets_;  // external drop (§4.4)
+      continue;
+    }
+    const net::Packet p = make_test_packet(uid, port_, desc.dst_port, bytes);
+    ledger_->in_flight.emplace(
+        uid, PacketLedger::Entry{chip.cycle(), port_, desc.dst_port, bytes});
+    for (const common::Word w : net::packet_to_words(p)) queue_.push_back(w);
+  }
+}
+
+void InputLineCard::step(sim::Chip& chip) {
+  generate(chip);
+  if (!queue_.empty() && to_chip_->can_write()) {
+    to_chip_->write(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+OutputLineCard::OutputLineCard(sim::Channel* from_chip, int port,
+                               PacketLedger* ledger)
+    : from_chip_(from_chip), port_(port), ledger_(ledger) {
+  RAW_ASSERT(from_chip_ != nullptr && ledger_ != nullptr);
+}
+
+void OutputLineCard::step(sim::Chip& chip) {
+  if (!from_chip_->can_read()) return;
+  const common::Word w = from_chip_->read();
+  if (current_.empty()) {
+    // First word of an IP packet carries total_length in its low half.
+    const auto total_length = static_cast<common::ByteCount>(w & 0xffff);
+    if (total_length < net::Ipv4Header::kBytes) {
+      ++errors_;  // stream desynchronised; drop the word
+      return;
+    }
+    expected_words_ = common::words_for_bytes(total_length);
+  }
+  current_.push_back(w);
+  if (current_.size() == expected_words_) finish_packet(chip);
+}
+
+void OutputLineCard::finish_packet(sim::Chip& chip) {
+  net::Packet p = net::packet_from_words(std::move(current_));
+  current_.clear();
+  expected_words_ = 0;
+
+  bool ok = net::checksum_ok(p.header);
+  const std::uint64_t uid = uid_of(p.header);
+  const int src = src_port_of(p.header);
+  const auto it = ledger_->in_flight.find(uid);
+  if (it == ledger_->in_flight.end() || src < 0 || src >= 4) {
+    ++errors_;
+    return;
+  }
+  const PacketLedger::Entry entry = it->second;
+  ledger_->in_flight.erase(it);
+
+  // End-to-end validation: right output port, TTL decremented exactly once,
+  // payload untouched.
+  if (entry.dst_port != port_ || entry.bytes != p.size_bytes()) ok = false;
+  const net::Packet expected =
+      make_test_packet(uid, entry.src_port, entry.dst_port, entry.bytes);
+  if (p.header.ttl + 1 != expected.header.ttl) ok = false;
+  if (p.payload != expected.payload) ok = false;
+  if (p.header.src != expected.header.src || p.header.dst != expected.header.dst) {
+    ok = false;
+  }
+
+  if (!ok) {
+    ++errors_;
+    return;
+  }
+  ++delivered_packets_;
+  delivered_bytes_ += p.size_bytes();
+  ++per_source_[static_cast<std::size_t>(src)];
+  latency_.add(static_cast<double>(chip.cycle() - entry.created));
+}
+
+}  // namespace raw::router

@@ -1,0 +1,109 @@
+// Line-card devices attached to the chip-edge ports.
+//
+// The input card runs an open-loop arrival process from a TrafficGen and
+// buffers packets in its (external, §4.4) queue, streaming words into the
+// chip at line rate; overflow is dropped at the card, exactly as the thesis
+// assumes ("dropping ... occurring externally to the Raw chip"). The output
+// card reframes the word stream back into packets, validates them
+// end-to-end (checksum, TTL decrement, payload integrity, correct output
+// port) and records throughput and latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/packet.h"
+#include "net/traffic.h"
+#include "sim/chip.h"
+#include "sim/device.h"
+
+namespace raw::router {
+
+/// Shared bookkeeping between input and output cards (simulation-side only;
+/// nothing here is visible to the modelled hardware).
+struct PacketLedger {
+  struct Entry {
+    common::Cycle created = 0;
+    int src_port = -1;
+    int dst_port = -1;
+    common::ByteCount bytes = 0;
+  };
+  std::unordered_map<std::uint64_t, Entry> in_flight;
+  std::uint64_t next_uid = 1;
+};
+
+/// Packs the simulator uid into the IPv4 source address + identification so
+/// the output card can find the ledger entry: src = 10.(128+port).x.x with
+/// the uid's low 16 bits, identification = uid bits [31:16].
+net::Packet make_test_packet(std::uint64_t uid, int src_port, int dst_port,
+                             common::ByteCount bytes);
+std::uint64_t uid_of(const net::Ipv4Header& hdr);
+int src_port_of(const net::Ipv4Header& hdr);
+
+class InputLineCard : public sim::Device {
+ public:
+  InputLineCard(sim::Channel* to_chip, int port, net::TrafficGen* traffic,
+                PacketLedger* ledger, std::size_t queue_capacity_words);
+
+  void step(sim::Chip& chip) override;
+
+  /// Stops generating new packets (drain phase of an experiment).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t offered_packets() const { return offered_packets_; }
+  [[nodiscard]] common::ByteCount offered_bytes() const { return offered_bytes_; }
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  void generate(sim::Chip& chip);
+
+  sim::Channel* to_chip_;
+  int port_;
+  net::TrafficGen* traffic_;
+  PacketLedger* ledger_;
+  std::size_t queue_capacity_words_;
+  std::deque<common::Word> queue_;
+  common::Cycle next_arrival_ = 0;
+  bool stopped_ = false;
+  std::uint64_t offered_packets_ = 0;
+  common::ByteCount offered_bytes_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+class OutputLineCard : public sim::Device {
+ public:
+  OutputLineCard(sim::Channel* from_chip, int port, PacketLedger* ledger);
+
+  void step(sim::Chip& chip) override;
+
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+  [[nodiscard]] common::ByteCount delivered_bytes() const { return delivered_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_from(int src) const {
+    return per_source_[static_cast<std::size_t>(src)];
+  }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  [[nodiscard]] const common::RunningStat& latency() const { return latency_; }
+
+ private:
+  void finish_packet(sim::Chip& chip);
+
+  sim::Channel* from_chip_;
+  int port_;
+  PacketLedger* ledger_;
+  std::vector<common::Word> current_;
+  std::size_t expected_words_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  common::ByteCount delivered_bytes_ = 0;
+  std::array<std::uint64_t, 4> per_source_{};
+  std::uint64_t errors_ = 0;
+  common::RunningStat latency_;
+};
+
+}  // namespace raw::router

@@ -1,0 +1,99 @@
+#include "router/raw_router.h"
+
+#include "common/assert.h"
+
+namespace raw::router {
+
+RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
+                     net::TrafficConfig traffic, std::uint64_t seed)
+    : config_(config),
+      table_(std::move(table)),
+      forwarding_(net::SmallTable::build(table_.trie())),
+      compiler_(layout_),
+      traffic_(traffic, seed) {
+  RAW_ASSERT_MSG(traffic.num_ports == kNumPorts, "router has four ports");
+  RAW_ASSERT_MSG(config_.link_fifo_depth >= 5,
+                 "edge FIFOs must hold a full IP header");
+
+  sim::ChipConfig chip_cfg;
+  chip_cfg.shape = sim::GridShape{4, 4};
+  chip_cfg.with_dynamic_network = true;  // lookup RPC path
+  chip_cfg.link_fifo_depth = config_.link_fifo_depth;
+  chip_ = std::make_unique<sim::Chip>(chip_cfg);
+
+  core_.chip = chip_.get();
+  core_.layout = &layout_;
+  core_.table = &table_;
+  core_.forwarding = &forwarding_;
+  core_.config = config_.runtime;
+
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles tiles = layout_.port(p);
+    const PortEdges edges = layout_.edges(p);
+
+    // Switch programs (compile-time schedules).
+    const CrossbarSchedule cb = compiler_.compile_crossbar(p);
+    const IngressSchedule in = compiler_.compile_ingress(p);
+    const EgressSchedule eg = compiler_.compile_egress(p);
+    chip_->tile(tiles.crossbar).switch_proc().load(cb.program);
+    chip_->tile(tiles.ingress).switch_proc().load(in.program);
+    chip_->tile(tiles.egress).switch_proc().load(eg.program);
+
+    // Tile-processor programs.
+    chip_->tile(tiles.ingress).set_program(make_ingress_program(core_, p, in));
+    chip_->tile(tiles.lookup).set_program(make_lookup_program(core_, p));
+    chip_->tile(tiles.crossbar).set_program(make_crossbar_program(core_, p, cb));
+    chip_->tile(tiles.egress).set_program(make_egress_program(core_, p, eg));
+
+    // Line cards.
+    const sim::IoPort in_port = chip_->io_port(0, tiles.ingress, edges.ingress_edge);
+    const sim::IoPort out_port = chip_->io_port(0, tiles.egress, edges.egress_edge);
+    inputs_[static_cast<std::size_t>(p)] = std::make_unique<InputLineCard>(
+        in_port.to_chip, p, &traffic_, &ledger_, config_.line_card_queue_words);
+    outputs_[static_cast<std::size_t>(p)] =
+        std::make_unique<OutputLineCard>(out_port.from_chip, p, &ledger_);
+    chip_->add_device(inputs_[static_cast<std::size_t>(p)].get());
+    chip_->add_device(outputs_[static_cast<std::size_t>(p)].get());
+  }
+}
+
+void RawRouter::run(common::Cycle cycles) { chip_->run(cycles); }
+
+bool RawRouter::drain(common::Cycle max_cycles) {
+  for (auto& in : inputs_) in->stop();
+  const auto all_drained = [this] {
+    for (const auto& in : inputs_) {
+      if (!in->idle()) return false;
+    }
+    return ledger_.in_flight.empty();
+  };
+  return chip_->run_until(all_drained, max_cycles);
+}
+
+std::uint64_t RawRouter::delivered_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& out : outputs_) n += out->delivered_packets();
+  return n;
+}
+
+common::ByteCount RawRouter::delivered_bytes() const {
+  common::ByteCount n = 0;
+  for (const auto& out : outputs_) n += out->delivered_bytes();
+  return n;
+}
+
+std::uint64_t RawRouter::errors() const {
+  std::uint64_t n = 0;
+  for (const auto& out : outputs_) n += out->errors();
+  return n;
+}
+
+double RawRouter::gbps() const {
+  return common::gbps(delivered_bytes(), chip_->cycle());
+}
+
+double RawRouter::mpps() const {
+  return common::mpps(delivered_packets(), chip_->cycle());
+}
+
+}  // namespace raw::router

@@ -1,0 +1,76 @@
+// The complete single-chip Raw Router (chapter 4): a 4x4 Raw chip with four
+// ports, each mapped to an Ingress, Lookup, Crossbar and Egress tile, line
+// cards on the chip edges, compile-time-scheduled switch programs, and the
+// Rotating Crossbar on static network 1.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "net/route_table.h"
+#include "net/traffic.h"
+#include "router/line_cards.h"
+#include "router/schedule_compiler.h"
+#include "router/tile_programs.h"
+#include "sim/chip.h"
+
+namespace raw::router {
+
+struct RouterConfig {
+  RuntimeConfig runtime;
+  /// FIFO depth of the static links (the edge FIFOs must hold a full IP
+  /// header, so >= 5; the hardware interface has similar small SRAM FIFOs).
+  std::size_t link_fifo_depth = 8;
+  /// External line-card buffering per input port, in words (§4.4: buffering
+  /// and dropping happen outside the chip).
+  std::size_t line_card_queue_words = 1 << 15;
+};
+
+class RawRouter {
+ public:
+  RawRouter(RouterConfig config, net::RouteTable table,
+            net::TrafficConfig traffic, std::uint64_t seed);
+
+  /// Runs the router for `cycles` chip cycles.
+  void run(common::Cycle cycles);
+
+  /// Stops the arrival processes, then runs until the fabric drains (or
+  /// `max_cycles` pass). Returns true if fully drained.
+  bool drain(common::Cycle max_cycles);
+
+  [[nodiscard]] sim::Chip& chip() { return *chip_; }
+  [[nodiscard]] const RouterCore& core() const { return core_; }
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  [[nodiscard]] const ScheduleCompiler& compiler() const { return compiler_; }
+
+  [[nodiscard]] const InputLineCard& input(int port) const {
+    return *inputs_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] const OutputLineCard& output(int port) const {
+    return *outputs_[static_cast<std::size_t>(port)];
+  }
+
+  /// Aggregates across the four output ports.
+  [[nodiscard]] std::uint64_t delivered_packets() const;
+  [[nodiscard]] common::ByteCount delivered_bytes() const;
+  [[nodiscard]] std::uint64_t errors() const;
+
+  /// Aggregate throughput over the cycles run so far.
+  [[nodiscard]] double gbps() const;
+  [[nodiscard]] double mpps() const;
+
+ private:
+  RouterConfig config_;
+  net::RouteTable table_;
+  net::SmallTable forwarding_;
+  Layout layout_;
+  ScheduleCompiler compiler_;
+  std::unique_ptr<sim::Chip> chip_;
+  RouterCore core_;
+  net::TrafficGen traffic_;
+  PacketLedger ledger_;
+  std::array<std::unique_ptr<InputLineCard>, kNumPorts> inputs_;
+  std::array<std::unique_ptr<OutputLineCard>, kNumPorts> outputs_;
+};
+
+}  // namespace raw::router

@@ -1,0 +1,302 @@
+#include "router/schedule_compiler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace raw::router {
+
+using sim::CtrlOp;
+using sim::Dir;
+using sim::Move;
+using sim::SwitchInstr;
+using sim::SwitchProgramBuilder;
+
+namespace {
+
+/// One stream through a crossbar tile: the server it feeds, the crossbar
+/// move realizing it, and the ring distance its words have already
+/// travelled (the §6.2 expansion number).
+struct Stream {
+  int server = 0;  // 0 = out, 1 = cwnext, 2 = ccwnext
+  Move move;
+  std::uint8_t dist = 0;
+};
+
+std::vector<Stream> streams_of(const TileConfig& tc, const CrossbarOrientation& o) {
+  std::vector<Stream> streams;
+  switch (tc.out) {
+    case Client::kNone: break;
+    case Client::kIn: streams.push_back({0, {0, o.in, o.out}, 0}); break;
+    case Client::kCwPrev:
+      streams.push_back({0, {0, o.cw_in, o.out}, tc.out_dist});
+      break;
+    case Client::kCcwPrev:
+      streams.push_back({0, {0, o.ccw_in, o.out}, tc.out_dist});
+      break;
+  }
+  switch (tc.cwnext) {
+    case Client::kNone: break;
+    case Client::kIn: streams.push_back({1, {0, o.in, o.cw_out}, 0}); break;
+    case Client::kCwPrev:
+      streams.push_back({1, {0, o.cw_in, o.cw_out}, tc.cw_dist});
+      break;
+    case Client::kCcwPrev: RAW_UNREACHABLE("ccw stream on cw link");
+  }
+  switch (tc.ccwnext) {
+    case Client::kNone: break;
+    case Client::kIn: streams.push_back({2, {0, o.in, o.ccw_out}, 0}); break;
+    case Client::kCcwPrev:
+      streams.push_back({2, {0, o.ccw_in, o.ccw_out}, tc.ccw_dist});
+      break;
+    case Client::kCwPrev: RAW_UNREACHABLE("cw stream on ccw link");
+  }
+  return streams;
+}
+
+/// Two bits per position: the server index ending at that phase (3 = none).
+std::uint64_t order_code(const std::vector<int>& servers_in_end_order) {
+  std::uint64_t code = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    const std::uint64_t s =
+        p < servers_in_end_order.size()
+            ? static_cast<std::uint64_t>(servers_in_end_order[p])
+            : 3u;
+    code |= s << (2 * p);
+  }
+  return code;
+}
+
+std::uint64_t block_map_key(std::uint32_t sched_key, std::uint64_t order) {
+  return static_cast<std::uint64_t>(sched_key) << 8 | order;
+}
+
+}  // namespace
+
+CrossbarSchedule::Dispatch CrossbarSchedule::dispatch_for(
+    const TileConfig& tc, const std::array<std::uint32_t, 3>& server_words) const {
+  // Gather the present servers with their distances.
+  struct End {
+    int server;
+    std::uint32_t end;  // dist + words (slot where the stream's last word moves)
+  };
+  std::vector<End> ends;
+  const Client clients[3] = {tc.out, tc.cwnext, tc.ccwnext};
+  const std::uint8_t dists[3] = {tc.out_dist, tc.cw_dist, tc.ccw_dist};
+  std::uint32_t max_dist = 0;
+  for (int s = 0; s < 3; ++s) {
+    if (clients[s] == Client::kNone) continue;
+    const std::uint32_t words = server_words[static_cast<std::size_t>(s)];
+    RAW_ASSERT_MSG(words >= 4, "fragment shorter than the pipeline depth");
+    ends.push_back({s, dists[s] + words});
+    max_dist = std::max(max_dist, static_cast<std::uint32_t>(dists[s]));
+  }
+  std::sort(ends.begin(), ends.end(), [](const End& a, const End& b) {
+    return a.end != b.end ? a.end < b.end : a.server < b.server;
+  });
+
+  std::vector<int> order;
+  order.reserve(ends.size());
+  Dispatch d;
+  std::uint32_t prev = max_dist;
+  for (std::size_t p = 0; p < ends.size(); ++p) {
+    order.push_back(ends[p].server);
+    RAW_ASSERT(ends[p].end >= prev);
+    d.counts[p] = ends[p].end - prev;
+    prev = ends[p].end;
+  }
+
+  const auto it = blocks.find(block_map_key(tc.sched_key(), order_code(order)));
+  RAW_ASSERT_MSG(it != blocks.end(),
+                 "configuration outside the compiled self-sufficient subset");
+  d.address = it->second;
+  return d;
+}
+
+ScheduleCompiler::ScheduleCompiler(const Layout& layout)
+    : layout_(layout), space_(enumerate_space(kNumPorts)) {}
+
+CrossbarSchedule ScheduleCompiler::compile_crossbar(int port) const {
+  const CrossbarOrientation& o = layout_.orientation(port);
+  SwitchProgramBuilder b;
+
+  // --- Per-quantum preamble (phases of Figure 6-2) ---------------------
+  // headers-request / headers-send: gather the local header, circulate all
+  // four headers clockwise. The send and receive halves are separate
+  // instructions; a combined send+receive would wait on its own upstream
+  // neighbour's output and deadlock the ring.
+  b.define_label("start");
+  b.emit_route({Move{0, o.in, Dir::kProc}});                        // hdr0: local
+  b.emit_route({Move{0, Dir::kProc, o.cw_out}});                    // send own
+  b.emit_route({Move{0, o.cw_in, Dir::kProc},                       // recv n-1,
+                Move{0, o.cw_in, o.cw_out}});                       //   forward
+  b.emit_route({Move{0, o.cw_in, Dir::kProc},                       // recv n-2,
+                Move{0, o.cw_in, o.cw_out}});                       //   forward
+  b.emit_route({Move{0, o.cw_in, Dir::kProc}});                     // recv n-3
+  // recv-config / choose-new-config: grant back to the ingress, then the
+  // processor loads the chosen block address and the three phase counts
+  // into the switch registers (§6.5).
+  b.emit_route({Move{0, Dir::kProc, o.in_back}});                   // grant
+  b.emit({CtrlOp::kRecv, 0, 0, {}});                                // block addr
+  b.emit({CtrlOp::kRecv, 1, 0, {}});                                // phase 1
+  b.emit({CtrlOp::kRecv, 2, 0, {}});                                // phase 2
+  b.emit({CtrlOp::kRecv, 3, 0, {}});                                // phase 3
+  b.emit({CtrlOp::kJr, 0, 0, {}});
+
+  // --- route-body blocks ------------------------------------------------
+  // One block per minimized configuration (sched_key) and stream-exhaustion
+  // order: a prologue staggers stream start-up by expansion number; then
+  // one guarded streaming loop per phase, each dropping the stream that
+  // ends next. Every stream s moves exactly (prologue slots covering it) +
+  // (phase counts until its end) = its own word count.
+  CrossbarSchedule sched;
+  std::map<std::uint32_t, TileConfig> reps;
+  for (const TileConfig& tc : space_.tile_configs) {
+    reps.try_emplace(tc.sched_key(), tc);
+  }
+
+  int label_seq = 0;
+  for (const auto& [key, tc] : reps) {
+    const std::vector<Stream> streams = streams_of(tc, o);
+    const bool has_desc = tc.out != Client::kNone;
+
+    // All end orders (permutations of the present streams).
+    std::vector<int> perm(streams.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+    std::sort(perm.begin(), perm.end());
+    do {
+      std::vector<int> servers;
+      for (const int idx : perm) {
+        servers.push_back(streams[static_cast<std::size_t>(idx)].server);
+      }
+      sched.blocks.emplace(block_map_key(key, order_code(servers)),
+                           static_cast<common::Word>(b.next_index()));
+
+      if (has_desc) {
+        // Descriptor word ahead of the body stream (length, source, flags).
+        b.emit_route({Move{0, Dir::kProc, o.out}});
+      }
+
+      // Prologue: slot s moves every stream whose source is within s hops.
+      std::uint8_t max_dist = 0;
+      for (const Stream& s : streams) max_dist = std::max(max_dist, s.dist);
+      for (std::uint8_t slot = 0; slot < max_dist; ++slot) {
+        std::vector<Move> set;
+        for (const Stream& s : streams) {
+          if (s.dist <= slot) set.push_back(s.move);
+        }
+        if (!set.empty()) b.emit_route(std::move(set));
+      }
+
+      // Phases: guarded counted loops over the still-active streams.
+      std::vector<bool> active(streams.size(), true);
+      for (std::size_t p = 0; p < perm.size(); ++p) {
+        std::vector<Move> set;
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+          if (active[i]) set.push_back(streams[i].move);
+        }
+        const std::string skip = "skip" + std::to_string(label_seq++);
+        const auto reg = static_cast<std::uint8_t>(p + 1);
+        b.emit_branch(CtrlOp::kBeqz, reg, skip);
+        SwitchInstr loop;
+        loop.op = CtrlOp::kBnezd;
+        loop.reg = reg;
+        loop.imm = static_cast<std::int32_t>(b.next_index());
+        loop.moves = std::move(set);
+        b.emit(std::move(loop));
+        b.define_label(skip);
+        active[static_cast<std::size_t>(perm[p])] = false;
+      }
+      b.emit_jump("start");
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+
+  sched.program = std::make_shared<const sim::SwitchProgram>(b.build());
+  return sched;
+}
+
+IngressSchedule ScheduleCompiler::compile_ingress(int port) const {
+  const PortEdges& e = layout_.edges(port);
+  const Dir edge = e.ingress_edge;
+  const Dir cb = e.ingress_to_crossbar;
+  SwitchProgramBuilder b;
+
+  IngressSchedule sched;
+  b.define_label("dispatch");
+  b.emit({CtrlOp::kRecv, 0, 0, {}});
+  b.emit({CtrlOp::kRecv, 1, 0, {}});
+  b.emit({CtrlOp::kJr, 0, 0, {}});
+
+  const auto emit_loop = [&b](Move move) {
+    SwitchInstr body;
+    body.op = CtrlOp::kBnezd;
+    body.reg = 1;
+    body.imm = static_cast<std::int32_t>(b.next_index());
+    body.moves = {move};
+    b.emit(std::move(body));
+  };
+
+  sched.ingest_header = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, edge, Dir::kProc});
+  b.emit_jump("dispatch");
+
+  sched.send_header = static_cast<common::Word>(b.next_index());
+  b.emit_route({Move{0, Dir::kProc, cb}});  // local header to the crossbar
+  b.emit_route({Move{0, cb, Dir::kProc}});  // grant word back
+  b.emit_jump("dispatch");
+
+  sched.stream_proc = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, Dir::kProc, cb});
+  b.emit_jump("dispatch");
+
+  sched.stream_edge = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, edge, cb});
+  b.emit_jump("dispatch");
+
+  sched.program = std::make_shared<const sim::SwitchProgram>(b.build());
+  return sched;
+}
+
+EgressSchedule ScheduleCompiler::compile_egress(int port) const {
+  const PortEdges& e = layout_.edges(port);
+  const Dir edge = e.egress_edge;
+  const Dir cb = e.egress_from_crossbar;
+  SwitchProgramBuilder b;
+
+  EgressSchedule sched;
+  b.define_label("dispatch");
+  b.emit({CtrlOp::kRecv, 0, 0, {}});
+  b.emit({CtrlOp::kRecv, 1, 0, {}});
+  b.emit({CtrlOp::kJr, 0, 0, {}});
+
+  const auto emit_loop = [&b](Move move) {
+    SwitchInstr body;
+    body.op = CtrlOp::kBnezd;
+    body.reg = 1;
+    body.imm = static_cast<std::int32_t>(b.next_index());
+    body.moves = {move};
+    b.emit(std::move(body));
+  };
+
+  sched.recv_desc = static_cast<common::Word>(b.next_index());
+  b.emit_route({Move{0, cb, Dir::kProc}});
+  b.emit_jump("dispatch");
+
+  sched.stream_out = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, cb, edge});
+  b.emit_jump("dispatch");
+
+  sched.buffer_in = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, cb, Dir::kProc});
+  b.emit_jump("dispatch");
+
+  sched.drain_out = static_cast<common::Word>(b.next_index());
+  emit_loop(Move{0, Dir::kProc, edge});
+  b.emit_jump("dispatch");
+
+  sched.program = std::make_shared<const sim::SwitchProgram>(b.build());
+  return sched;
+}
+
+}  // namespace raw::router

@@ -1,0 +1,96 @@
+// The automatic compile-time scheduler (§6.4).
+//
+// Three passes, exactly as the thesis describes:
+//   1. *Reservation*: `enumerate_space` walks every global configuration
+//      from the master (token) tile downstream, filling in reservations for
+//      inter-crossbar and crossbar-to-egress connections (rule.cc).
+//   2. *Simplification*: the per-tile projection and minimization collapse
+//      the 2,500 global configurations to the small self-sufficient subset
+//      of client/server configurations (config_space.cc).
+//   3. *Code generation* (this file): each distinct client triple becomes
+//      one switch-code block, and the shared per-quantum preamble (header
+//      gather, ring exchange, grant return, dispatch) is emitted around
+//      them. The tile processor selects the block at run time by sending
+//      its instruction address to the switch (`recv`/`jr`, §6.5).
+//
+// The compiler also emits the (much simpler) ingress and egress switch
+// programs, which use the same recv/jr dispatch so their tile processors can
+// drive multi-phase packet handling.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "router/config_space.h"
+#include "router/layout.h"
+#include "sim/switch_isa.h"
+
+namespace raw::router {
+
+/// Compiled crossbar switch program for one ring position, plus the jump
+/// table the tile processor indexes by minimized configuration.
+///
+/// Streams have independent word counts, so a configuration's block is
+/// emitted as a *multi-phase* schedule: a software-pipelined prologue
+/// staggers stream start-up by source distance (the §6.2 expansion
+/// numbers), then one guarded counted loop per phase, each phase dropping
+/// the moves of the stream that ends next. One code variant exists per
+/// stream-exhaustion order; the tile processor picks the variant and sends
+/// the three phase counts (registers r1..r3) along with its address (r0).
+struct CrossbarSchedule {
+  std::shared_ptr<const sim::SwitchProgram> program;
+
+  /// (sched_key << 8 | order_code) -> block address. order_code encodes the
+  /// end-order of the present servers, two bits each (3 = none).
+  std::map<std::uint64_t, common::Word> blocks;
+
+  struct Dispatch {
+    common::Word address = 0;
+    std::array<common::Word, 3> counts{};  // phase loop counts (0 = skipped)
+  };
+
+  /// Server word counts are indexed out = 0, cwnext = 1, ccwnext = 2 and
+  /// must be the granted fragment length of each server's source stream
+  /// (>= 4 words; absent servers are 0).
+  [[nodiscard]] Dispatch dispatch_for(
+      const TileConfig& tc, const std::array<std::uint32_t, 3>& server_words) const;
+};
+
+/// Compiled ingress switch program and its block addresses.
+struct IngressSchedule {
+  std::shared_ptr<const sim::SwitchProgram> program;
+  common::Word ingest_header = 0;  // 5x edge>proc (IP header to processor)
+  common::Word send_header = 0;    // proc>crossbar local header + grant back
+  common::Word stream_proc = 0;    // counted loop proc>crossbar
+  common::Word stream_edge = 0;    // counted loop edge>crossbar
+};
+
+/// Compiled egress switch program and its block addresses.
+struct EgressSchedule {
+  std::shared_ptr<const sim::SwitchProgram> program;
+  common::Word recv_desc = 0;    // one descriptor word crossbar>proc
+  common::Word stream_out = 0;   // counted loop crossbar>edge (cut-through)
+  common::Word buffer_in = 0;    // counted loop crossbar>proc (fragments)
+  common::Word drain_out = 0;    // counted loop proc>edge (reassembled)
+};
+
+class ScheduleCompiler {
+ public:
+  explicit ScheduleCompiler(const Layout& layout);
+
+  /// Pass 1 + 2 output used by pass 3 (and by the tab6_1 bench). This is
+  /// the thesis's 5-letter-alphabet enumeration (Table 6.1 numbers).
+  [[nodiscard]] const SpaceSummary& space() const { return space_; }
+
+  /// Pass 3: crossbar switch code for ring position (= port) `p`.
+  [[nodiscard]] CrossbarSchedule compile_crossbar(int port) const;
+  [[nodiscard]] IngressSchedule compile_ingress(int port) const;
+  [[nodiscard]] EgressSchedule compile_egress(int port) const;
+
+ private:
+  const Layout& layout_;
+  SpaceSummary space_;
+};
+
+}  // namespace raw::router

@@ -1,0 +1,377 @@
+#include "router/tile_programs.h"
+
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "net/ipv4.h"
+#include "router/header.h"
+#include "sim/dynamic_network.h"
+
+namespace raw::router {
+namespace {
+
+using common::Cycle;
+using common::Word;
+using sim::TileTask;
+using sim::task::delay;
+using sim::task::mem_delay;
+using sim::task::read;
+using sim::task::write;
+
+constexpr Word kNoRoute = 0xffffffffu;
+
+// Sends a (block address, word count) command to the tile's switch.
+#define RAW_CMD(csto_, addr_, count_)             \
+  do {                                            \
+    co_await write((csto_), (addr_));             \
+    co_await write((csto_), (count_));            \
+  } while (false)
+
+TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
+  sim::Chip& chip = *core.chip;
+  const PortTiles tiles = core.layout->port(port);
+  sim::Tile& tile = chip.tile(tiles.ingress);
+  sim::Channel& csto = tile.csto(0);
+  sim::Channel& csti = tile.csti(0);
+  sim::Channel* edge = chip.io_port(0, tiles.ingress,
+                                    core.layout->edges(port).ingress_edge)
+                           .to_chip;
+  sim::DynamicNetwork* dyn = chip.dynamic_network();
+  RAW_ASSERT_MSG(dyn != nullptr, "router needs the dynamic network for lookups");
+  PortCounters& ctr = core.counters[static_cast<std::size_t>(port)];
+
+  struct Pending {
+    bool active = false;
+    std::uint32_t out_mask = 0;
+    std::uint32_t remaining = 0;   // words still to send (incl. header words)
+    std::uint32_t total = 0;       // total words of the packet
+    std::uint32_t hdr_sent = 0;    // of the 5 re-written IP header words
+    std::array<Word, net::Ipv4Header::kWords> hdr_words{};
+  } pkt;
+
+  // Words of line input the processor has already directed its switch to
+  // consume (ingests, drops, payload cut-through). The line interface's
+  // framing counter (modelled by the channel's arrival count) minus this
+  // tells whether a *new* packet's header has fully arrived — commanding an
+  // ingest before that would stall the switch and, with it, the whole ring.
+  std::uint64_t commanded = 0;
+
+  for (;;) {
+    if (!pkt.active) {
+      // Let the line deliver everything already committed to the switch —
+      // this cannot outlast the body transfer itself (same words) — so the
+      // next-header decision is made at body-end time, not quantum-start.
+      while (edge->words_transferred() < commanded) co_await delay(1);
+      // Grace window: a back-to-back packet's first word lands within a
+      // couple of cycles of the previous tail; only a truly idle line makes
+      // us advertise an empty input.
+      for (int grace = 0; grace < 4 && edge->words_transferred() == commanded;
+           ++grace) {
+        co_await delay(1);
+      }
+      if (edge->words_transferred() > commanded) {
+        // A new packet has started arriving; its header completes within a
+        // few cycles (the line card sends packets contiguously).
+        while (edge->words_transferred() < commanded + net::Ipv4Header::kWords) {
+          co_await delay(1);
+        }
+      }
+    }
+    if (!pkt.active &&
+        edge->words_transferred() >= commanded + net::Ipv4Header::kWords) {
+      // A full IP header is waiting on the line: ingest and process it.
+      RAW_CMD(csto, s.ingest_header, net::Ipv4Header::kWords);
+      commanded += net::Ipv4Header::kWords;
+      std::array<Word, net::Ipv4Header::kWords> raw{};
+      for (auto& w : raw) w = co_await read(csti);
+      net::Ipv4Header hdr = net::parse(raw);
+      co_await delay(core.config.header_proc_cost);  // checksum verify + TTL
+      ++ctr.packets_in;
+
+      const std::uint32_t total_words =
+          static_cast<std::uint32_t>(common::words_for_bytes(hdr.total_length));
+      const auto payload_words = static_cast<std::uint32_t>(
+          total_words - net::Ipv4Header::kWords);
+
+      bool drop = false;
+      if (!net::checksum_ok(hdr) || !net::decrement_ttl(hdr)) {
+        ++ctr.ttl_drops;
+        drop = true;
+      }
+
+      Word out_port = kNoRoute;
+      if (!drop) {
+        // Route lookup RPC to the Lookup Processor over the dynamic network.
+        const std::array<Word, 1> req{hdr.dst};
+        while (!dyn->can_inject(tiles.ingress, 1)) co_await delay(1);
+        dyn->inject(tiles.ingress, tiles.lookup, req);
+        while (!dyn->has_eject(tiles.ingress)) co_await delay(1);
+        (void)dyn->pop_eject(tiles.ingress);  // reply header word
+        while (!dyn->has_eject(tiles.ingress)) co_await delay(1);
+        out_port = dyn->pop_eject(tiles.ingress);
+        if (out_port == kNoRoute) {
+          ++ctr.no_route_drops;
+          drop = true;
+        }
+      }
+
+      if (drop) {
+        // Consume and discard the payload still on the line.
+        if (payload_words > 0) {
+          RAW_CMD(csto, s.ingest_header, payload_words);
+          commanded += payload_words;
+          for (std::uint32_t i = 0; i < payload_words; ++i) {
+            (void)co_await read(csti);
+          }
+        }
+      } else {
+        pkt.active = true;
+        pkt.out_mask = 1u << out_port;
+        pkt.remaining = total_words;
+        pkt.total = total_words;
+        pkt.hdr_sent = 0;
+        pkt.hdr_words = net::serialize(hdr);
+      }
+      continue;  // re-check for another header before joining the quantum
+    }
+
+    // Participate in the routing quantum: one local header, one grant.
+    LocalHeader lh;
+    if (pkt.active) {
+      lh.out_mask = pkt.out_mask;
+      lh.words = pkt.remaining;
+      lh.first = pkt.remaining == pkt.total;
+    }
+    RAW_CMD(csto, s.send_header, 0);
+    co_await write(csto, lh.encode());
+    const Word grant = co_await read(csti);
+
+    if (grant > 0) {
+      RAW_ASSERT_MSG(pkt.active && grant <= pkt.remaining,
+                     "crossbar granted more than requested");
+      std::uint32_t left = grant;
+      const std::uint32_t from_proc =
+          std::min<std::uint32_t>(net::Ipv4Header::kWords - pkt.hdr_sent, left);
+      if (from_proc > 0) {
+        RAW_CMD(csto, s.stream_proc, from_proc);
+        for (std::uint32_t i = 0; i < from_proc; ++i) {
+          co_await write(csto, pkt.hdr_words[pkt.hdr_sent + i]);
+        }
+        pkt.hdr_sent += from_proc;
+        left -= from_proc;
+      }
+      if (left > 0) {
+        // Payload cut-through: line card -> ingress switch -> crossbar.
+        RAW_CMD(csto, s.stream_edge, left);
+        commanded += left;
+      }
+      pkt.remaining -= grant;
+      ++ctr.fragments;
+      if (pkt.remaining == 0) pkt.active = false;
+    }
+  }
+}
+
+TileTask lookup_body(RouterCore& core, int port) {
+  sim::Chip& chip = *core.chip;
+  const PortTiles tiles = core.layout->port(port);
+  sim::DynamicNetwork* dyn = chip.dynamic_network();
+  PortCounters& ctr = core.counters[static_cast<std::size_t>(port)];
+
+  for (;;) {
+    if (!dyn->has_eject(tiles.lookup)) {
+      co_await delay(1);
+      continue;
+    }
+    const Word header = dyn->pop_eject(tiles.lookup);
+    const int reply_to = sim::dyn_header_src(header);
+    while (!dyn->has_eject(tiles.lookup)) co_await delay(1);
+    const Word addr = dyn->pop_eject(tiles.lookup);
+
+    // Consult the compiled small forwarding table and charge one cache-line
+    // touch per table access it reports (at most three, §8.2 / Degermark).
+    const auto result = core.forwarding->lookup(addr);
+    const unsigned lines = result.has_value()
+                               ? static_cast<unsigned>(result->accesses)
+                               : core.config.lookup_lines;
+    co_await mem_delay(core.config.memory.table_access_cost(
+        lines, core.config.lookup_miss_ratio));
+    ++ctr.lookups;
+
+    const std::array<Word, 1> reply{
+        result.has_value() ? static_cast<Word>(result->value) : kNoRoute};
+    while (!dyn->can_inject(tiles.lookup, 1)) co_await delay(1);
+    dyn->inject(tiles.lookup, reply_to, reply);
+  }
+}
+
+TileTask crossbar_body(RouterCore& core, int port, CrossbarSchedule s) {
+  sim::Chip& chip = *core.chip;
+  const PortTiles tiles = core.layout->port(port);
+  sim::Tile& tile = chip.tile(tiles.crossbar);
+  sim::Channel& csto = tile.csto(0);
+  sim::Channel& csti = tile.csti(0);
+  PortCounters& ctr = core.counters[static_cast<std::size_t>(port)];
+  const int me = Layout::ring_position(port);
+
+  int token = 0;
+  std::uint32_t weight_used = 0;
+
+  for (;;) {
+    // Local header, then the three foreign headers from the ring exchange
+    // (clockwise circulation delivers ring positions me-1, me-2, me-3).
+    std::array<LocalHeader, kNumPorts> headers{};
+    const Word own = co_await read(csti);
+    co_await write(csto, own);  // re-emit for the ring exchange
+    headers[static_cast<std::size_t>(me)] = LocalHeader::decode(own);
+    for (int k = 1; k < kNumPorts; ++k) {
+      const int from = ((me - k) % kNumPorts + kNumPorts) % kNumPorts;
+      headers[static_cast<std::size_t>(from)] =
+          LocalHeader::decode(co_await read(csti));
+    }
+
+    // Every tile evaluates the same rule on the same inputs (§6.5: a jump
+    // table indexed while the previous body still streams).
+    co_await delay(core.config.rule_eval_cost);
+    std::array<HeaderReq, kNumPorts> reqs;
+    for (int i = 0; i < kNumPorts; ++i) {
+      reqs[static_cast<std::size_t>(i)] =
+          headers[static_cast<std::size_t>(i)].to_request();
+    }
+    RuleOptions options = core.config.rule;
+    options.quantum_cap = core.config.quantum_max_words;
+    const RingConfig cfg = evaluate_rule(reqs, token, options);
+
+    const TileConfig tc = project(cfg, reqs, me);
+    ++ctr.quanta;
+    if (headers[static_cast<std::size_t>(me)].empty()) {
+      ++ctr.empty_headers;
+    } else if (cfg.granted[static_cast<std::size_t>(me)]) {
+      ++ctr.grants;
+    } else {
+      ++ctr.denials;
+    }
+
+    // Per-server stream lengths: the granted fragment of each server's
+    // source input. Streams are independent; the block's phases drop each
+    // one as its count expires.
+    std::array<std::uint32_t, 3> server_words{};
+    const int out_src = cfg.egress[static_cast<std::size_t>(me)];
+    const int cw_src = cfg.cw_edge[static_cast<std::size_t>(me)];
+    const int ccw_src = cfg.ccw_edge[static_cast<std::size_t>(me)];
+    if (out_src >= 0) {
+      server_words[0] = cfg.grant_words[static_cast<std::size_t>(out_src)];
+    }
+    if (cw_src >= 0) {
+      server_words[1] = cfg.grant_words[static_cast<std::size_t>(cw_src)];
+    }
+    if (ccw_src >= 0) {
+      server_words[2] = cfg.grant_words[static_cast<std::size_t>(ccw_src)];
+    }
+
+    const Word grant = cfg.grant_words[static_cast<std::size_t>(me)];
+    const CrossbarSchedule::Dispatch dispatch = s.dispatch_for(tc, server_words);
+    co_await write(csto, grant);
+    co_await write(csto, dispatch.address);
+    co_await write(csto, dispatch.counts[0]);
+    co_await write(csto, dispatch.counts[1]);
+    co_await write(csto, dispatch.counts[2]);
+
+    if (tc.out != Client::kNone) {
+      ++ctr.out_descs;
+      ctr.out_words += server_words[0];
+      const LocalHeader& sh = headers[static_cast<std::size_t>(out_src)];
+      EgressDescriptor desc;
+      desc.words = server_words[0];
+      desc.src_port = static_cast<std::uint32_t>(out_src);
+      desc.first = sh.first;
+      desc.last = server_words[0] == sh.words;
+      co_await write(csto, desc.encode());
+    }
+
+    // Weighted token rotation (§8.7): the token stays with a port for
+    // `token_weights[port]` quanta before moving on.
+    if (core.config.rotate_token &&
+        ++weight_used >=
+            core.config.token_weights[static_cast<std::size_t>(token)]) {
+      weight_used = 0;
+      token = (token + 1) % kNumPorts;
+    }
+  }
+}
+
+TileTask egress_body(RouterCore& core, int port, EgressSchedule s) {
+  sim::Chip& chip = *core.chip;
+  const PortTiles tiles = core.layout->port(port);
+  sim::Tile& tile = chip.tile(tiles.egress);
+  sim::Channel& csto = tile.csto(0);
+  sim::Channel& csti = tile.csti(0);
+  PortCounters& ctr = core.counters[static_cast<std::size_t>(port)];
+
+  std::array<std::vector<Word>, kNumPorts> reassembly;
+  std::size_t buffered_words = 0;
+
+  for (;;) {
+    RAW_CMD(csto, s.recv_desc, 0);
+    const EgressDescriptor desc = EgressDescriptor::decode(co_await read(csti));
+    RAW_ASSERT_MSG(desc.words >= 5 && desc.src_port < kNumPorts,
+                   "malformed egress descriptor: upstream framing slipped");
+
+    if (desc.first && desc.last) {
+      // Whole packet in one fragment: cut it straight through to the line.
+      RAW_CMD(csto, s.stream_out, desc.words);
+      ++ctr.cut_through;
+      continue;
+    }
+
+    // Fragmented packet: buffer into local data memory, two cycles a word
+    // (§4.4: one port on the data cache, no DMA).
+    auto& buf = reassembly[desc.src_port];
+    RAW_CMD(csto, s.buffer_in, desc.words);
+    for (std::uint32_t i = 0; i < desc.words; ++i) {
+      const Word w = co_await read(csti);
+      co_await delay(1);  // store into dmem
+      buf.push_back(w);
+    }
+    buffered_words += desc.words;
+    RAW_ASSERT_MSG(buffered_words <= sim::kTileDmemWords,
+                   "egress reassembly exceeds tile data memory");
+
+    if (desc.last) {
+      RAW_CMD(csto, s.drain_out, static_cast<Word>(buf.size()));
+      for (const Word w : buf) {
+        co_await delay(1);  // load from dmem
+        co_await write(csto, w);
+      }
+      buffered_words -= buf.size();
+      buf.clear();
+      ++ctr.reassembled;
+    }
+  }
+}
+
+#undef RAW_CMD
+
+}  // namespace
+
+TileTask make_ingress_program(RouterCore& core, int port,
+                              const IngressSchedule& schedule) {
+  return ingress_body(core, port, schedule);
+}
+
+TileTask make_lookup_program(RouterCore& core, int port) {
+  return lookup_body(core, port);
+}
+
+TileTask make_crossbar_program(RouterCore& core, int port,
+                               const CrossbarSchedule& schedule) {
+  return crossbar_body(core, port, schedule);
+}
+
+TileTask make_egress_program(RouterCore& core, int port,
+                             const EgressSchedule& schedule) {
+  return egress_body(core, port, schedule);
+}
+
+}  // namespace raw::router

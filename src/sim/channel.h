@@ -1,0 +1,90 @@
+// Word channel: one directed static-network link (or processor<->switch FIFO).
+//
+// Semantics are two-phase so that simulation results are independent of the
+// order in which agents are stepped within a cycle:
+//   * at most one word is read and one word written per cycle (link rate is
+//     one 32-bit word per cycle, §3.4);
+//   * a read observes only words committed in *earlier* cycles;
+//   * a write is staged and becomes visible at the end of the cycle, and is
+//     admitted based on the occupancy at the *start* of the cycle (a slot
+//     freed by this cycle's read is reusable only next cycle, as in the
+//     hardware FIFO's registered credit path).
+// With the default capacity of 4 (Raw's network FIFO depth) a channel
+// sustains one word per cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+
+namespace raw::sim {
+
+class Channel {
+ public:
+  using Word = common::Word;
+
+  static constexpr std::size_t kDefaultCapacity = 4;
+
+  explicit Channel(std::string name = {}, std::size_t capacity = kDefaultCapacity)
+      : name_(std::move(name)), buf_(capacity), size_at_start_(0) {}
+
+  /// Phase boundaries, driven by the chip's cycle engine.
+  void begin_cycle() {
+    size_at_start_ = buf_.size();
+    read_this_cycle_ = false;
+  }
+
+  void end_cycle() {
+    if (staged_.has_value()) {
+      buf_.push(*staged_);
+      staged_.reset();
+      ++words_transferred_;
+    }
+  }
+
+  /// True when a word committed in an earlier cycle is available and this
+  /// cycle's read slot is unused.
+  [[nodiscard]] bool can_read() const { return !buf_.empty() && !read_this_cycle_; }
+
+  [[nodiscard]] Word read() {
+    RAW_ASSERT_MSG(can_read(), "read from unready channel");
+    read_this_cycle_ = true;
+    return buf_.pop();
+  }
+
+  /// Look at the next readable word without consuming it.
+  [[nodiscard]] const Word& front() const { return buf_.front(); }
+
+  /// True when this cycle's write slot is free and there is credit based on
+  /// start-of-cycle occupancy.
+  [[nodiscard]] bool can_write() const {
+    return !staged_.has_value() && size_at_start_ < buf_.capacity();
+  }
+
+  void write(Word w) {
+    RAW_ASSERT_MSG(can_write(), "write to unready channel");
+    staged_ = w;
+  }
+
+  [[nodiscard]] std::size_t occupancy() const { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
+  [[nodiscard]] bool idle() const { return buf_.empty() && !staged_.has_value(); }
+
+  /// Total words that have crossed this link since construction.
+  [[nodiscard]] std::uint64_t words_transferred() const { return words_transferred_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  common::RingBuffer<Word> buf_;
+  std::size_t size_at_start_;
+  bool read_this_cycle_ = false;
+  std::optional<Word> staged_;
+  std::uint64_t words_transferred_ = 0;
+};
+
+}  // namespace raw::sim

@@ -1,0 +1,155 @@
+#include "sim/chip.h"
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+Chip::Chip(ChipConfig config) : config_(config) {
+  const GridShape shape = config_.shape;
+  const auto n = static_cast<std::size_t>(shape.num_tiles());
+
+  tiles_.reserve(n);
+  for (int t = 0; t < shape.num_tiles(); ++t) {
+    tiles_.push_back(std::make_unique<Tile>(t, shape.coord(t)));
+  }
+
+  for (int net = 0; net < kNumStaticNets; ++net) {
+    auto& links = static_links_[static_cast<std::size_t>(net)];
+    auto& edges = edge_in_[static_cast<std::size_t>(net)];
+    links.resize(n);
+    edges.resize(n);
+    for (int t = 0; t < shape.num_tiles(); ++t) {
+      const TileCoord c = shape.coord(t);
+      for (const Dir d : kMeshDirs) {
+        const auto di = static_cast<std::size_t>(d);
+        const std::string base =
+            "net" + std::to_string(net + 1) + "." + tile_name(t) + "." + dir_name(d);
+        links[static_cast<std::size_t>(t)][di] =
+            std::make_unique<Channel>(base + ".out", config_.link_fifo_depth);
+        if (!shape.contains(GridShape::neighbor(c, d))) {
+          edges[static_cast<std::size_t>(t)][di] =
+              std::make_unique<Channel>(base + ".in", config_.link_fifo_depth);
+        }
+      }
+    }
+  }
+
+  // Wire every switch processor's port map.
+  for (int t = 0; t < shape.num_tiles(); ++t) {
+    SwitchProcessor::Ports ports;
+    for (int net = 0; net < kNumStaticNets; ++net) {
+      const auto ni = static_cast<std::size_t>(net);
+      for (const Dir d : kMeshDirs) {
+        const auto di = static_cast<std::size_t>(d);
+        ports.out[ni][di] = out_link(net, t, d);
+        ports.in[ni][di] = in_link(net, t, d);
+      }
+      const auto pi = static_cast<std::size_t>(Dir::kProc);
+      ports.in[ni][pi] = &tile(t).csto(net);
+      ports.out[ni][pi] = &tile(t).csti(net);
+    }
+    tile(t).switch_proc().connect(ports);
+  }
+
+  if (config_.with_dynamic_network) {
+    dyn_ = std::make_unique<DynamicNetwork>(shape);
+  }
+
+  // Cache the full channel list for the cycle engine.
+  for (int net = 0; net < kNumStaticNets; ++net) {
+    for (std::size_t t = 0; t < n; ++t) {
+      for (std::size_t d = 0; d < 4; ++d) {
+        if (auto& ch = static_links_[static_cast<std::size_t>(net)][t][d]) {
+          all_channels_.push_back(ch.get());
+        }
+        if (auto& ch = edge_in_[static_cast<std::size_t>(net)][t][d]) {
+          all_channels_.push_back(ch.get());
+        }
+      }
+    }
+  }
+  for (auto& t : tiles_) {
+    for (int net = 0; net < kNumStaticNets; ++net) {
+      all_channels_.push_back(&t->csto(net));
+      all_channels_.push_back(&t->csti(net));
+    }
+  }
+  if (dyn_ != nullptr) {
+    for (Channel* ch : dyn_->all_channels()) all_channels_.push_back(ch);
+  }
+}
+
+Channel* Chip::out_link(int net, int tile_idx, Dir dir) const {
+  return static_links_[static_cast<std::size_t>(net)]
+                      [static_cast<std::size_t>(tile_idx)]
+                      [static_cast<std::size_t>(dir)]
+                          .get();
+}
+
+Channel* Chip::in_link(int net, int tile_idx, Dir dir) const {
+  const GridShape shape = config_.shape;
+  const TileCoord neighbor = GridShape::neighbor(shape.coord(tile_idx), dir);
+  if (shape.contains(neighbor)) {
+    return out_link(net, shape.index(neighbor), opposite(dir));
+  }
+  return edge_in_[static_cast<std::size_t>(net)]
+                 [static_cast<std::size_t>(tile_idx)]
+                 [static_cast<std::size_t>(dir)]
+                     .get();
+}
+
+IoPort Chip::io_port(int net, int tile_idx, Dir dir) const {
+  const GridShape shape = config_.shape;
+  RAW_ASSERT_MSG(!shape.contains(GridShape::neighbor(shape.coord(tile_idx), dir)),
+                 "io_port requested for an interior link");
+  IoPort port;
+  port.to_chip = edge_in_[static_cast<std::size_t>(net)]
+                         [static_cast<std::size_t>(tile_idx)]
+                         [static_cast<std::size_t>(dir)]
+                             .get();
+  port.from_chip = out_link(net, tile_idx, dir);
+  return port;
+}
+
+void Chip::add_device(Device* device) {
+  RAW_ASSERT(device != nullptr);
+  devices_.push_back(device);
+}
+
+void Chip::step() {
+  for (Channel* ch : all_channels_) ch->begin_cycle();
+
+  for (Device* d : devices_) d->step(*this);
+
+  const bool tracing = trace_.active(cycle_);
+  for (int t = 0; t < num_tiles(); ++t) {
+    const AgentState sw = tile(t).step_switch();
+    const AgentState proc = tile(t).step_proc();
+    if (tracing) trace_.record(cycle_, t, proc, sw);
+  }
+
+  if (dyn_ != nullptr) dyn_->step();
+
+  for (Channel* ch : all_channels_) ch->end_cycle();
+  ++cycle_;
+}
+
+void Chip::run(common::Cycle cycles) {
+  for (common::Cycle i = 0; i < cycles; ++i) step();
+}
+
+std::uint64_t Chip::static_words_transferred() const {
+  std::uint64_t total = 0;
+  for (int net = 0; net < kNumStaticNets; ++net) {
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      for (std::size_t d = 0; d < 4; ++d) {
+        if (const auto& ch = static_links_[static_cast<std::size_t>(net)][t][d]) {
+          total += ch->words_transferred();
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace raw::sim

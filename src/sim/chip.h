@@ -1,0 +1,109 @@
+// The Raw chip: an R x C grid of tiles, two static networks, one dynamic
+// network, chip-edge I/O ports, and the deterministic cycle engine.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/channel.h"
+#include "sim/device.h"
+#include "sim/dynamic_network.h"
+#include "sim/tile.h"
+#include "sim/trace.h"
+
+namespace raw::sim {
+
+struct ChipConfig {
+  GridShape shape{4, 4};
+  /// Instantiate the dynamic network (memory traffic substrate). The router
+  /// itself never uses it, so benches can drop it for speed.
+  bool with_dynamic_network = true;
+  /// FIFO depth of every static-network link.
+  std::size_t link_fifo_depth = Channel::kDefaultCapacity;
+};
+
+/// One chip-edge static-network port: the pair of channels a line card (or
+/// other device) uses to exchange words with the switch of an edge tile.
+struct IoPort {
+  Channel* to_chip = nullptr;    // device writes, edge switch reads
+  Channel* from_chip = nullptr;  // edge switch writes, device reads
+};
+
+class Chip {
+ public:
+  explicit Chip(ChipConfig config = {});
+
+  [[nodiscard]] const ChipConfig& config() const { return config_; }
+  [[nodiscard]] GridShape shape() const { return config_.shape; }
+  [[nodiscard]] int num_tiles() const { return config_.shape.num_tiles(); }
+
+  [[nodiscard]] Tile& tile(int index) { return *tiles_[static_cast<std::size_t>(index)]; }
+  [[nodiscard]] const Tile& tile(int index) const {
+    return *tiles_[static_cast<std::size_t>(index)];
+  }
+
+  /// Edge I/O port of `tile` in off-grid direction `dir` on static network
+  /// `net`. Asserts that the direction actually leaves the grid.
+  [[nodiscard]] IoPort io_port(int net, int tile, Dir dir) const;
+
+  [[nodiscard]] DynamicNetwork* dynamic_network() { return dyn_.get(); }
+
+  /// Devices are stepped (in registration order) at the start of every
+  /// cycle; the chip does not own them.
+  void add_device(Device* device);
+
+  [[nodiscard]] common::Cycle cycle() const { return cycle_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+
+  /// Runs `cycles` cycles of the whole chip.
+  void run(common::Cycle cycles);
+
+  /// Runs until `pred()` is true or `max_cycles` elapse; returns true if the
+  /// predicate fired.
+  template <typename Pred>
+  bool run_until(Pred&& pred, common::Cycle max_cycles) {
+    for (common::Cycle i = 0; i < max_cycles; ++i) {
+      if (pred()) return true;
+      step();
+    }
+    return pred();
+  }
+
+  void step();
+
+  /// Aggregate static-network words moved (both networks), for bandwidth
+  /// accounting.
+  [[nodiscard]] std::uint64_t static_words_transferred() const;
+
+  /// The static-network channel carrying words out of `tile` toward `dir`
+  /// on network `net` (always exists; edge directions are the I/O ports'
+  /// from-chip side). For per-link utilization accounting.
+  [[nodiscard]] const Channel& static_link(int net, int tile, Dir dir) const {
+    return *out_link(net, tile, dir);
+  }
+
+ private:
+  [[nodiscard]] Channel* out_link(int net, int tile, Dir dir) const;
+  [[nodiscard]] Channel* in_link(int net, int tile, Dir dir) const;
+
+  ChipConfig config_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  // static_links_[net][tile][dir]: channel carrying words out of `tile`
+  // toward `dir` (off the edge for boundary tiles — that is the I/O port's
+  // from_chip side).
+  std::array<std::vector<std::array<std::unique_ptr<Channel>, 4>>, kNumStaticNets>
+      static_links_;
+  // edge_in_[net][tile][dir]: to-chip channel of the I/O port in off-grid
+  // direction `dir` (null for interior directions).
+  std::array<std::vector<std::array<std::unique_ptr<Channel>, 4>>, kNumStaticNets>
+      edge_in_;
+  std::unique_ptr<DynamicNetwork> dyn_;
+  std::vector<Device*> devices_;
+  std::vector<Channel*> all_channels_;
+  Trace trace_;
+  common::Cycle cycle_ = 0;
+};
+
+}  // namespace raw::sim

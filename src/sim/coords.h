@@ -1,0 +1,83 @@
+// Tile coordinates and mesh directions for the Raw grid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+/// The four mesh directions plus the tile-processor port. The static switch
+/// crossbar routes between any of these five endpoints (§3.3).
+enum class Dir : std::uint8_t { kNorth = 0, kSouth = 1, kEast = 2, kWest = 3, kProc = 4 };
+
+inline constexpr std::array<Dir, 4> kMeshDirs = {Dir::kNorth, Dir::kSouth,
+                                                 Dir::kEast, Dir::kWest};
+
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kProc: return Dir::kProc;
+  }
+  RAW_UNREACHABLE("bad Dir");
+}
+
+constexpr const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::kNorth: return "N";
+    case Dir::kSouth: return "S";
+    case Dir::kEast: return "E";
+    case Dir::kWest: return "W";
+    case Dir::kProc: return "P";
+  }
+  return "?";
+}
+
+/// Row-major tile coordinate on an R x C grid.
+struct TileCoord {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+struct GridShape {
+  int rows = 4;
+  int cols = 4;
+
+  [[nodiscard]] constexpr int num_tiles() const { return rows * cols; }
+
+  [[nodiscard]] constexpr bool contains(TileCoord c) const {
+    return c.row >= 0 && c.row < rows && c.col >= 0 && c.col < cols;
+  }
+
+  [[nodiscard]] constexpr int index(TileCoord c) const {
+    return c.row * cols + c.col;
+  }
+
+  [[nodiscard]] constexpr TileCoord coord(int tile) const {
+    return TileCoord{tile / cols, tile % cols};
+  }
+
+  /// Neighbour coordinate in direction `d`; may fall outside the grid (edge
+  /// links connect to I/O ports there).
+  [[nodiscard]] static constexpr TileCoord neighbor(TileCoord c, Dir d) {
+    switch (d) {
+      case Dir::kNorth: return {c.row - 1, c.col};
+      case Dir::kSouth: return {c.row + 1, c.col};
+      case Dir::kEast: return {c.row, c.col + 1};
+      case Dir::kWest: return {c.row, c.col - 1};
+      case Dir::kProc: return c;
+    }
+    RAW_UNREACHABLE("bad Dir");
+  }
+};
+
+inline std::string tile_name(int tile) { return "tile" + std::to_string(tile); }
+
+}  // namespace raw::sim

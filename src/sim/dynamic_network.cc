@@ -1,0 +1,199 @@
+#include "sim/dynamic_network.h"
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+common::Word make_dyn_header(int src_tile, int dest_tile, std::uint32_t payload_words) {
+  RAW_ASSERT(src_tile >= 0 && src_tile < 0x10000);
+  RAW_ASSERT(dest_tile >= 0 && dest_tile < 0x100);
+  RAW_ASSERT(payload_words <= kMaxDynPayloadWords);
+  return (static_cast<common::Word>(src_tile) << 16) |
+         (static_cast<common::Word>(dest_tile) << 8) | payload_words;
+}
+
+int dyn_header_src(common::Word header) { return static_cast<int>(header >> 16); }
+int dyn_header_dest(common::Word header) {
+  return static_cast<int>((header >> 8) & 0xff);
+}
+std::uint32_t dyn_header_len(common::Word header) { return header & 0xff; }
+
+DynamicNetwork::DynamicNetwork(GridShape shape, std::size_t endpoint_queue_words)
+    : shape_(shape),
+      routers_(static_cast<std::size_t>(shape.num_tiles())),
+      links_(static_cast<std::size_t>(shape.num_tiles())) {
+  for (int t = 0; t < shape_.num_tiles(); ++t) {
+    const TileCoord c = shape_.coord(t);
+    for (const Dir d : kMeshDirs) {
+      if (shape_.contains(GridShape::neighbor(c, d))) {
+        links_[static_cast<std::size_t>(t)][static_cast<std::size_t>(d)] =
+            std::make_unique<Channel>("dyn" + std::to_string(t) + dir_name(d));
+      }
+    }
+    inject_.emplace_back(endpoint_queue_words);
+    eject_.emplace_back(endpoint_queue_words);
+  }
+}
+
+bool DynamicNetwork::can_inject(int tile, std::uint32_t payload_words) const {
+  RAW_ASSERT(payload_words <= kMaxDynPayloadWords);
+  return inject_[static_cast<std::size_t>(tile)].free_space() >= payload_words + 1;
+}
+
+void DynamicNetwork::inject(int tile, int dest_tile,
+                            std::span<const common::Word> payload) {
+  RAW_ASSERT_MSG(can_inject(tile, static_cast<std::uint32_t>(payload.size())),
+                 "dynamic-network inject queue overflow; poll can_inject first");
+  auto& q = inject_[static_cast<std::size_t>(tile)];
+  q.push(make_dyn_header(tile, dest_tile, static_cast<std::uint32_t>(payload.size())));
+  for (const common::Word w : payload) q.push(w);
+}
+
+bool DynamicNetwork::has_eject(int tile) const {
+  return !eject_[static_cast<std::size_t>(tile)].empty();
+}
+
+common::Word DynamicNetwork::pop_eject(int tile) {
+  return eject_[static_cast<std::size_t>(tile)].pop();
+}
+
+std::size_t DynamicNetwork::eject_size(int tile) const {
+  return eject_[static_cast<std::size_t>(tile)].size();
+}
+
+common::Word DynamicNetwork::peek_eject(int tile, std::size_t i) const {
+  return eject_[static_cast<std::size_t>(tile)].peek(i);
+}
+
+std::size_t DynamicNetwork::route_output(int tile, common::Word header) const {
+  const TileCoord here = shape_.coord(tile);
+  const TileCoord dest = shape_.coord(dyn_header_dest(header));
+  RAW_ASSERT_MSG(shape_.contains(dest), "dynamic message to off-chip tile");
+  // X-first dimension order.
+  if (dest.col > here.col) return static_cast<std::size_t>(Dir::kEast);
+  if (dest.col < here.col) return static_cast<std::size_t>(Dir::kWest);
+  if (dest.row > here.row) return static_cast<std::size_t>(Dir::kSouth);
+  if (dest.row < here.row) return static_cast<std::size_t>(Dir::kNorth);
+  return kEjectPort;
+}
+
+Channel* DynamicNetwork::in_link(int tile, std::size_t input) const {
+  RAW_ASSERT(input < 4);
+  const Dir d = static_cast<Dir>(input);
+  const TileCoord n = GridShape::neighbor(shape_.coord(tile), d);
+  if (!shape_.contains(n)) return nullptr;
+  // Flits flowing into `tile` from direction d travel on the neighbour's
+  // link pointing back at us.
+  return links_[static_cast<std::size_t>(shape_.index(n))]
+               [static_cast<std::size_t>(opposite(d))]
+                   .get();
+}
+
+Channel* DynamicNetwork::out_link(int tile, std::size_t output) const {
+  RAW_ASSERT(output < 4);
+  return links_[static_cast<std::size_t>(tile)][output].get();
+}
+
+void DynamicNetwork::step() {
+  for (int t = 0; t < shape_.num_tiles(); ++t) {
+    Router& r = routers_[static_cast<std::size_t>(t)];
+    for (std::size_t o = 0; o < kNumOutputs; ++o) {
+      // Pick the sending input: a locked worm continues; otherwise arbitrate
+      // round-robin among inputs whose head flit is a header routed to o.
+      std::optional<std::size_t> chosen = r.locked_input[o];
+      if (!chosen.has_value()) {
+        for (std::size_t k = 0; k < kNumInputs; ++k) {
+          const std::size_t i = (r.rr[o] + k) % kNumInputs;
+          if (r.locked_output[i].has_value()) continue;  // busy with a worm
+          common::Word head = 0;
+          if (i == kInjectPort) {
+            auto& q = inject_[static_cast<std::size_t>(t)];
+            if (q.empty()) continue;
+            head = q.front();
+          } else {
+            Channel* ch = in_link(t, i);
+            if (ch == nullptr || !ch->can_read()) continue;
+            head = ch->front();
+          }
+          if (route_output(t, head) != o) continue;
+          chosen = i;
+          r.rr[o] = (i + 1) % kNumInputs;
+          break;
+        }
+      }
+      if (!chosen.has_value()) continue;
+      const std::size_t i = *chosen;
+
+      // Source word available this cycle?
+      common::Word word = 0;
+      bool src_ready = false;
+      if (i == kInjectPort) {
+        src_ready = !inject_[static_cast<std::size_t>(t)].empty();
+        if (src_ready) word = inject_[static_cast<std::size_t>(t)].front();
+      } else {
+        Channel* ch = in_link(t, i);
+        src_ready = ch != nullptr && ch->can_read();
+        if (src_ready) word = ch->front();
+      }
+      if (!src_ready) continue;
+
+      // Destination space available?
+      if (o == kEjectPort) {
+        if (eject_[static_cast<std::size_t>(t)].full()) continue;
+      } else {
+        Channel* ch = out_link(t, o);
+        RAW_ASSERT_MSG(ch != nullptr, "dimension-ordered route fell off the mesh");
+        if (!ch->can_write()) continue;
+      }
+
+      // Transfer one flit.
+      if (i == kInjectPort) {
+        inject_[static_cast<std::size_t>(t)].pop();
+      } else {
+        (void)in_link(t, i)->read();
+      }
+      if (o == kEjectPort) {
+        eject_[static_cast<std::size_t>(t)].push(word);
+      } else {
+        out_link(t, o)->write(word);
+      }
+      ++flits_routed_;
+
+      const bool was_header = !r.locked_output[i].has_value();
+      if (was_header) {
+        r.flits_left[i] = dyn_header_len(word);
+        if (r.flits_left[i] > 0) {
+          r.locked_output[i] = o;
+          r.locked_input[o] = i;
+        } else if (o == kEjectPort) {
+          ++messages_delivered_;
+        }
+      } else {
+        RAW_ASSERT(r.flits_left[i] > 0);
+        if (--r.flits_left[i] == 0) {
+          r.locked_output[i].reset();
+          r.locked_input[o].reset();
+          if (o == kEjectPort) ++messages_delivered_;
+        }
+      }
+    }
+  }
+}
+
+void DynamicNetwork::step_standalone() {
+  for (Channel* ch : all_channels()) ch->begin_cycle();
+  step();
+  for (Channel* ch : all_channels()) ch->end_cycle();
+}
+
+std::vector<Channel*> DynamicNetwork::all_channels() {
+  std::vector<Channel*> out;
+  for (auto& per_tile : links_) {
+    for (auto& ch : per_tile) {
+      if (ch != nullptr) out.push_back(ch.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace raw::sim

@@ -1,0 +1,107 @@
+// Wormhole-routed, dimension-ordered dynamic network (§3.3).
+//
+// Messages are a header word followed by up to 31 payload words. The header
+// encodes the destination tile and payload length; routing is X-first
+// dimension order, so the network is deadlock-free for any traffic. A worm
+// locks each router output it acquires until its tail flit passes, exactly
+// like the hardware; one flit crosses each link per cycle.
+//
+// The Raw router design in this repository does not switch packets over the
+// dynamic network (the whole point of the thesis is that the *static*
+// network can do it faster); the dynamic network exists because the
+// architecture has one — it carries cache-miss/memory traffic and is used by
+// the non-blocking-memory future-work example (§8.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+#include "sim/channel.h"
+#include "sim/coords.h"
+
+namespace raw::sim {
+
+/// Maximum payload words per dynamic message (§3.3: up to 32 words
+/// including the header).
+inline constexpr std::uint32_t kMaxDynPayloadWords = 31;
+
+/// Header word layout: [31:16] source tile, [15:8] destination tile,
+/// [7:0] payload length.
+common::Word make_dyn_header(int src_tile, int dest_tile, std::uint32_t payload_words);
+int dyn_header_src(common::Word header);
+int dyn_header_dest(common::Word header);
+std::uint32_t dyn_header_len(common::Word header);
+
+class DynamicNetwork {
+ public:
+  explicit DynamicNetwork(GridShape shape, std::size_t endpoint_queue_words = 64);
+
+  [[nodiscard]] GridShape shape() const { return shape_; }
+
+  /// Injection from a tile processor. The whole message must fit in the
+  /// tile's inject queue at once (the hardware blocks the processor
+  /// otherwise; callers poll can_inject and retry next cycle).
+  [[nodiscard]] bool can_inject(int tile, std::uint32_t payload_words) const;
+  void inject(int tile, int dest_tile, std::span<const common::Word> payload);
+
+  /// Ejection at the destination tile, word at a time (header first).
+  [[nodiscard]] bool has_eject(int tile) const;
+  [[nodiscard]] common::Word pop_eject(int tile);
+
+  /// Words currently queued at a tile's eject port, and a non-consuming
+  /// look at the i-th of them (for whole-message readiness checks).
+  [[nodiscard]] std::size_t eject_size(int tile) const;
+  [[nodiscard]] common::Word peek_eject(int tile, std::size_t i) const;
+
+  /// Advances all routers by one cycle. The chip calls this inside its own
+  /// channel begin/end phases; standalone users call step() directly.
+  void step();
+
+  /// Standalone cycle driver (begin/end the internal link channels too).
+  void step_standalone();
+
+  [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Internal link channels, exposed so the chip can include them in its
+  /// two-phase cycle driving.
+  [[nodiscard]] std::vector<Channel*> all_channels();
+
+ private:
+  // Per-router input ports: the four mesh directions plus local injection.
+  static constexpr std::size_t kNumInputs = 5;   // N,S,E,W,Inject
+  static constexpr std::size_t kNumOutputs = 5;  // N,S,E,W,Eject
+  static constexpr std::size_t kEjectPort = 4;
+  static constexpr std::size_t kInjectPort = 4;
+
+  struct Router {
+    // locked_output[i]: output currently owned by input i's worm, if any.
+    std::array<std::optional<std::size_t>, kNumInputs> locked_output{};
+    std::array<std::uint32_t, kNumInputs> flits_left{};
+    // locked_input[o]: input currently owning output o, if any.
+    std::array<std::optional<std::size_t>, kNumOutputs> locked_input{};
+    // Round-robin arbitration pointer per output.
+    std::array<std::size_t, kNumOutputs> rr{};
+  };
+
+  [[nodiscard]] std::size_t route_output(int tile, common::Word header) const;
+  [[nodiscard]] Channel* in_link(int tile, std::size_t input) const;
+  [[nodiscard]] Channel* out_link(int tile, std::size_t output) const;
+
+  GridShape shape_;
+  std::vector<Router> routers_;
+  // links_[tile][dir]: channel carrying flits *out of* `tile` toward dir.
+  std::vector<std::array<std::unique_ptr<Channel>, 4>> links_;
+  std::vector<common::RingBuffer<common::Word>> inject_;
+  std::vector<common::RingBuffer<common::Word>> eject_;
+  std::uint64_t flits_routed_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace raw::sim

@@ -1,0 +1,45 @@
+// Cycle-cost model of a tile's memory system.
+//
+// The Raw tile has a 2-way set-associative, 3-cycle-latency data cache with
+// 32-byte lines, no DMA from the networks, and a cache backed over the
+// dynamic network by off-chip DRAM (§3.2, §8.2). Tile programs charge these
+// costs through `mem_delay`, which the trace attributes to memory stalls.
+#pragma once
+
+#include "common/types.h"
+
+namespace raw::sim {
+
+struct MemoryModel {
+  /// Load-use latency of a data-cache hit (§3.2: 3 cycles).
+  common::Cycle cache_hit_cycles = 3;
+  /// Round-trip of a miss serviced by off-chip DRAM across the dynamic
+  /// network (dimension hops + DRAM access; tens of cycles at 250 MHz).
+  common::Cycle cache_miss_cycles = 60;
+  /// DRAM bank occupancy: back-to-back accesses complete this far apart
+  /// even though each sees the full `cache_miss_cycles` latency — what lets
+  /// non-blocking requests pipeline (§8.2).
+  common::Cycle dram_occupancy_cycles = 8;
+  /// Words per 32-byte cache line.
+  unsigned words_per_line = 8;
+  /// §4.4: buffering a word from a network register into local data memory
+  /// costs two processor cycles (no DMA engine).
+  common::Cycle buffer_store_cycles_per_word = 2;
+
+  /// Cost of streaming `words` words from a network register into the local
+  /// data memory (ingress-side packet buffering).
+  [[nodiscard]] common::Cycle buffer_in_cost(common::ByteCount words) const {
+    return buffer_store_cycles_per_word * words;
+  }
+
+  /// Cost of one random table access touching `lines` distinct cache lines
+  /// with the given miss ratio (used by the lookup-processor model).
+  [[nodiscard]] common::Cycle table_access_cost(unsigned lines, double miss_ratio) const {
+    const double per_line =
+        miss_ratio * static_cast<double>(cache_miss_cycles) +
+        (1.0 - miss_ratio) * static_cast<double>(cache_hit_cycles);
+    return static_cast<common::Cycle>(per_line * lines);
+  }
+};
+
+}  // namespace raw::sim

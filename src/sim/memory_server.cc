@@ -1,0 +1,107 @@
+#include "sim/memory_server.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+using task::delay;
+using task::mem_delay;
+
+MemoryServer::MemoryServer(Chip& chip, int tile, MemoryModel model,
+                           std::size_t words)
+    : chip_(chip), tile_(tile), model_(model), store_(words, 0) {
+  RAW_ASSERT(chip.dynamic_network() != nullptr);
+  RAW_ASSERT_MSG(words <= 0x10000, "16-bit word addressing");
+}
+
+void MemoryServer::install() { chip_.tile(tile_).set_program(serve()); }
+
+TileTask MemoryServer::serve() {
+  DynamicNetwork& dyn = *chip_.dynamic_network();
+  // Banked-DRAM queue model: a request arriving at cycle `a` completes at
+  // max(previous completion + occupancy, a + latency) — isolated requests
+  // see the full latency, back-to-back requests pipeline at the occupancy
+  // rate (the §8.2 non-blocking advantage). Arrivals are drained into a
+  // local queue every cycle (also while an access is in flight) so arrival
+  // stamps are accurate.
+  struct Pending {
+    MemMessage msg;
+    int reply_to = 0;
+    common::Cycle arrival = 0;
+  };
+  std::vector<Pending> queue;
+  const auto drain = [&] {
+    while (dyn.eject_size(tile_) >= 3) {
+      const common::Word header = dyn.pop_eject(tile_);
+      RAW_ASSERT_MSG(dyn_header_len(header) == 2, "malformed memory request");
+      Pending p;
+      p.reply_to = dyn_header_src(header);
+      p.msg = MemMessage::decode_op(dyn.pop_eject(tile_));
+      p.msg.data = dyn.pop_eject(tile_);
+      RAW_ASSERT_MSG(p.msg.addr < store_.size(), "memory request out of range");
+      p.arrival = chip_.cycle();
+      queue.push_back(p);
+    }
+  };
+
+  common::Cycle last_completion = 0;
+  for (;;) {
+    drain();
+    if (queue.empty()) {
+      co_await delay(1);
+      continue;
+    }
+    const Pending p = queue.front();
+    queue.erase(queue.begin());
+
+    const common::Cycle completion =
+        std::max(last_completion + model_.dram_occupancy_cycles,
+                 p.arrival + model_.cache_miss_cycles);
+    last_completion = completion;
+    while (chip_.cycle() < completion) {
+      drain();  // keep stamping arrivals while the access is in flight
+      co_await mem_delay(1);
+    }
+
+    common::Word value = 0;
+    if (p.msg.is_store) {
+      store_[p.msg.addr] = p.msg.data;
+      value = p.msg.data;
+      ++stores_;
+    } else {
+      value = store_[p.msg.addr];
+      ++loads_;
+    }
+
+    const std::array<common::Word, 2> reply{
+        static_cast<common::Word>(p.msg.tag), value};
+    while (!dyn.can_inject(tile_, 2)) co_await delay(1);
+    dyn.inject(tile_, p.reply_to, reply);
+  }
+}
+
+bool MemClient::reply_ready() const {
+  if (dyn_.eject_size(tile_) < 1) return false;
+  const common::Word header = dyn_.peek_eject(tile_, 0);
+  return dyn_.eject_size(tile_) >= 1 + dyn_header_len(header);
+}
+
+std::pair<std::uint8_t, common::Word> MemClient::take_reply() {
+  RAW_ASSERT(reply_ready());
+  const common::Word header = dyn_.pop_eject(tile_);
+  RAW_ASSERT_MSG(dyn_header_len(header) == 2, "malformed memory reply");
+  const auto tag = static_cast<std::uint8_t>(dyn_.pop_eject(tile_) & 0xff);
+  const common::Word data = dyn_.pop_eject(tile_);
+  return {tag, data};
+}
+
+void MemClient::issue(const MemMessage& m) {
+  RAW_ASSERT_MSG(can_issue(), "inject queue full; poll can_issue first");
+  const std::array<common::Word, 2> payload{m.encode_op(), m.data};
+  dyn_.inject(tile_, server_, payload);
+}
+
+}  // namespace raw::sim

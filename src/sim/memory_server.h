@@ -1,0 +1,111 @@
+// Message-passing memory over the dynamic network (§8.2).
+//
+// "On the Raw Processor, memory is simply implemented in a message passing
+// style over one of the dynamic networks ... dynamic messages can be
+// created and sent to the memory system without using the cache. Thus this
+// provides the same advantage of non-blocking reads that a multi-threaded
+// network processor provides."
+//
+// A MemoryServer occupies one tile and serves load/store messages against a
+// backing word array, charging DRAM latency per request. Clients tag their
+// requests and may keep several outstanding — the non-blocking behaviour
+// the thesis contrasts with multithreaded network processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/chip.h"
+#include "sim/memory_model.h"
+#include "sim/tile_task.h"
+
+namespace raw::sim {
+
+/// Request message payload (2 words after the dyn header):
+///   word 0: [31] store flag, [23:16] tag, [15:0] word address
+///   word 1: store data (loads send 0)
+/// Reply payload (2 words): word 0 echoes the tag, word 1 carries the data
+/// (stores echo the stored value as the write acknowledgement).
+struct MemMessage {
+  bool is_store = false;
+  std::uint8_t tag = 0;
+  std::uint16_t addr = 0;
+  common::Word data = 0;
+
+  [[nodiscard]] common::Word encode_op() const {
+    return (is_store ? 0x80000000u : 0u) |
+           static_cast<common::Word>(tag) << 16 | addr;
+  }
+  static MemMessage decode_op(common::Word w) {
+    MemMessage m;
+    m.is_store = (w & 0x80000000u) != 0;
+    m.tag = static_cast<std::uint8_t>(w >> 16 & 0xff);
+    m.addr = static_cast<std::uint16_t>(w & 0xffff);
+    return m;
+  }
+};
+
+class MemoryServer {
+ public:
+  /// Serves memory requests on `tile`'s dynamic-network endpoint against a
+  /// `words`-word backing store, charging `model.cache_miss_cycles` of DRAM
+  /// access time per request.
+  MemoryServer(Chip& chip, int tile, MemoryModel model, std::size_t words);
+
+  /// Installs the server program on its tile.
+  void install();
+
+  [[nodiscard]] int tile() const { return tile_; }
+  [[nodiscard]] std::uint64_t loads() const { return loads_; }
+  [[nodiscard]] std::uint64_t stores() const { return stores_; }
+
+  /// Backing store (test/bench access).
+  [[nodiscard]] common::Word peek(std::uint16_t addr) const {
+    return store_[addr];
+  }
+  void poke(std::uint16_t addr, common::Word value) { store_[addr] = value; }
+
+ private:
+  TileTask serve();
+
+  Chip& chip_;
+  int tile_;
+  MemoryModel model_;
+  std::vector<common::Word> store_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// Client-side helper for use inside a tile coroutine: fire-and-forget
+/// request issue plus polling reply receipt. Multiple requests may be
+/// outstanding; replies carry the request tag.
+class MemClient {
+ public:
+  MemClient(Chip& chip, int tile, int server_tile)
+      : dyn_(*chip.dynamic_network()), tile_(tile), server_(server_tile) {}
+
+  /// True when the two-word request can be injected right now.
+  [[nodiscard]] bool can_issue() const { return dyn_.can_inject(tile_, 2); }
+
+  void issue_load(std::uint8_t tag, std::uint16_t addr) {
+    issue(MemMessage{false, tag, addr, 0});
+  }
+  void issue_store(std::uint8_t tag, std::uint16_t addr, common::Word data) {
+    issue(MemMessage{true, tag, addr, data});
+  }
+
+  /// Non-blocking reply poll: returns (tag, data) when a complete reply is
+  /// waiting.
+  [[nodiscard]] bool reply_ready() const;
+  std::pair<std::uint8_t, common::Word> take_reply();
+
+ private:
+  void issue(const MemMessage& m);
+
+  DynamicNetwork& dyn_;
+  int tile_;
+  int server_;
+};
+
+}  // namespace raw::sim

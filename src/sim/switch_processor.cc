@@ -1,0 +1,109 @@
+#include "sim/switch_processor.h"
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+void SwitchProcessor::load(std::shared_ptr<const SwitchProgram> program) {
+  program_ = std::move(program);
+  reset();
+}
+
+void SwitchProcessor::reset() {
+  pc_ = 0;
+  halted_ = false;
+  regs_.fill(0);
+  busy_ = 0;
+  blocked_ = 0;
+}
+
+AgentState SwitchProcessor::step() {
+  if (program_ == nullptr || halted_ || pc_ >= program_->size()) {
+    halted_ = true;
+    return AgentState::kIdle;
+  }
+  const SwitchInstr& ins = program_->at(pc_);
+
+  // Readiness check. Distinct sources are read once; each needs one
+  // available word. Destinations each need write space.
+  bool src_needed[kNumStaticNets][5] = {};
+  for (const Move& m : ins.moves) {
+    src_needed[m.net][static_cast<std::size_t>(m.src)] = true;
+  }
+  const bool needs_recv = ins.op == CtrlOp::kRecv;
+  if (needs_recv) src_needed[0][static_cast<std::size_t>(Dir::kProc)] = true;
+
+  for (std::uint8_t net = 0; net < kNumStaticNets; ++net) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      if (!src_needed[net][d]) continue;
+      Channel* ch = ports_.in[net][d];
+      RAW_ASSERT_MSG(ch != nullptr, "switch route from unconnected port");
+      if (!ch->can_read()) {
+        ++blocked_;
+        return AgentState::kBlockedRecv;
+      }
+    }
+  }
+  for (const Move& m : ins.moves) {
+    Channel* ch = ports_.output(m.net, m.dst);
+    RAW_ASSERT_MSG(ch != nullptr, "switch route to unconnected port");
+    if (!ch->can_write()) {
+      ++blocked_;
+      return AgentState::kBlockedSend;
+    }
+  }
+
+  // Fire: read each distinct source once, then fan out.
+  common::Word src_value[kNumStaticNets][5] = {};
+  for (std::uint8_t net = 0; net < kNumStaticNets; ++net) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      if (src_needed[net][d]) src_value[net][d] = ports_.in[net][d]->read();
+    }
+  }
+  for (const Move& m : ins.moves) {
+    ports_.output(m.net, m.dst)
+        ->write(src_value[m.net][static_cast<std::size_t>(m.src)]);
+  }
+
+  // Control component.
+  std::size_t next_pc = pc_ + 1;
+  switch (ins.op) {
+    case CtrlOp::kNop:
+      break;
+    case CtrlOp::kHalt:
+      halted_ = true;
+      break;
+    case CtrlOp::kJump:
+      next_pc = static_cast<std::size_t>(ins.imm);
+      break;
+    case CtrlOp::kLi:
+      regs_[ins.reg] = static_cast<common::Word>(ins.imm);
+      break;
+    case CtrlOp::kAddi:
+      regs_[ins.reg] =
+          static_cast<common::Word>(static_cast<std::int64_t>(regs_[ins.reg]) + ins.imm);
+      break;
+    case CtrlOp::kBnez:
+      if (regs_[ins.reg] != 0) next_pc = static_cast<std::size_t>(ins.imm);
+      break;
+    case CtrlOp::kBeqz:
+      if (regs_[ins.reg] == 0) next_pc = static_cast<std::size_t>(ins.imm);
+      break;
+    case CtrlOp::kRecv:
+      regs_[ins.reg] = src_value[0][static_cast<std::size_t>(Dir::kProc)];
+      break;
+    case CtrlOp::kJr:
+      next_pc = regs_[ins.reg];
+      RAW_ASSERT_MSG(next_pc < program_->size(), "jr target out of range");
+      break;
+    case CtrlOp::kBnezd:
+      regs_[ins.reg] -= 1;
+      if (regs_[ins.reg] != 0) next_pc = static_cast<std::size_t>(ins.imm);
+      break;
+  }
+  pc_ = next_pc;
+  ++busy_;
+  return AgentState::kBusy;
+}
+
+}  // namespace raw::sim

@@ -1,0 +1,82 @@
+// Execution model of a tile's static switch processor.
+//
+// The switch fetches one instruction per cycle. An instruction fires only if
+// every route source has a word available and every route destination has
+// FIFO space; otherwise the switch stalls with no side effects. When it
+// fires, each distinct (network, source) is read exactly once and fanned out
+// to all of its destinations (the crossbar can multicast), and the control
+// component executes in the same cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "sim/channel.h"
+#include "sim/switch_isa.h"
+
+namespace raw::sim {
+
+/// What a processor (tile or switch) did during a cycle, for tracing.
+enum class AgentState : std::uint8_t {
+  kBusy = 0,         // advanced (computed or moved data)
+  kBlockedRecv = 1,  // stalled waiting for an incoming word
+  kBlockedSend = 2,  // stalled on a full outgoing FIFO
+  kBlockedMem = 3,   // stalled on a (modelled) cache miss
+  kIdle = 4,         // halted or unprogrammed
+};
+
+class SwitchProcessor {
+ public:
+  /// Channel endpoints seen by this switch. `in` channels are the ones the
+  /// switch reads (from neighbouring tiles' switches, edge I/O ports, or the
+  /// tile processor's $csto); `out` channels are the ones it writes. Entries
+  /// may be null where no link exists (an unconnected chip edge): routing to
+  /// or from a null port is a hard error caught at run time.
+  struct Ports {
+    std::array<std::array<Channel*, 5>, kNumStaticNets> in{};
+    std::array<std::array<Channel*, 5>, kNumStaticNets> out{};
+
+    [[nodiscard]] Channel* input(std::uint8_t net, Dir d) const {
+      return in[net][static_cast<std::size_t>(d)];
+    }
+    [[nodiscard]] Channel* output(std::uint8_t net, Dir d) const {
+      return out[net][static_cast<std::size_t>(d)];
+    }
+  };
+
+  void connect(Ports ports) { ports_ = ports; }
+  [[nodiscard]] const Ports& ports() const { return ports_; }
+
+  /// Loads a program and resets the PC. The program is shared because the
+  /// four crossbar tiles of a port-symmetric router run rotated copies built
+  /// from the same schedule.
+  void load(std::shared_ptr<const SwitchProgram> program);
+  [[nodiscard]] bool loaded() const { return program_ != nullptr; }
+
+  void reset();
+
+  /// Advances one cycle; returns what the switch did.
+  AgentState step();
+
+  [[nodiscard]] std::size_t pc() const { return pc_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] common::Word reg(std::uint8_t r) const { return regs_[r]; }
+  void set_reg(std::uint8_t r, common::Word v) { regs_[r] = v; }
+
+  /// Cycle accounting since the last reset().
+  [[nodiscard]] std::uint64_t cycles_busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t cycles_blocked() const { return blocked_; }
+
+ private:
+  Ports ports_{};
+  std::shared_ptr<const SwitchProgram> program_;
+  std::size_t pc_ = 0;
+  bool halted_ = false;
+  std::array<common::Word, kNumSwitchRegs> regs_{};
+  std::uint64_t busy_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace raw::sim

@@ -1,0 +1,75 @@
+// One Raw tile: a tile processor (behavioural coroutine program), a static
+// switch processor, and the register-mapped FIFOs between them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/channel.h"
+#include "sim/switch_isa.h"
+#include "sim/switch_processor.h"
+#include "sim/tile_task.h"
+
+namespace raw::sim {
+
+/// Tile processor instruction memory: 8,192 32-bit words (§3.2).
+inline constexpr std::size_t kTileImemWords = 8192;
+/// Tile data memory (cache) capacity: 8,192 32-bit words (§3.2).
+inline constexpr std::size_t kTileDmemWords = 8192;
+
+class Tile {
+ public:
+  Tile(int index, TileCoord coord)
+      : index_(index),
+        coord_(coord),
+        csto_{Channel(tile_name(index) + ".csto"), Channel(tile_name(index) + ".csto2")},
+        csti_{Channel(tile_name(index) + ".csti"), Channel(tile_name(index) + ".csti2")} {}
+
+  Tile(const Tile&) = delete;
+  Tile& operator=(const Tile&) = delete;
+  Tile(Tile&&) = default;
+  Tile& operator=(Tile&&) = default;
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] TileCoord coord() const { return coord_; }
+
+  /// Processor -> switch FIFO ($csto / $csto2).
+  [[nodiscard]] Channel& csto(int net) { return csto_[static_cast<std::size_t>(net)]; }
+  /// Switch -> processor FIFO ($csti / $csti2).
+  [[nodiscard]] Channel& csti(int net) { return csti_[static_cast<std::size_t>(net)]; }
+
+  [[nodiscard]] SwitchProcessor& switch_proc() { return switch_; }
+  [[nodiscard]] const SwitchProcessor& switch_proc() const { return switch_; }
+
+  void set_program(TileTask task) { task_ = std::move(task); }
+  [[nodiscard]] bool programmed() const { return task_.valid(); }
+  [[nodiscard]] bool program_done() const { return !task_.valid() || task_.done(); }
+
+  AgentState step_proc() {
+    const AgentState s = task_.valid() ? task_.step() : AgentState::kIdle;
+    switch (s) {
+      case AgentState::kBusy: ++proc_busy_; break;
+      case AgentState::kIdle: break;
+      default: ++proc_blocked_; break;
+    }
+    return s;
+  }
+
+  AgentState step_switch() { return switch_.step(); }
+
+  [[nodiscard]] std::uint64_t proc_cycles_busy() const { return proc_busy_; }
+  [[nodiscard]] std::uint64_t proc_cycles_blocked() const { return proc_blocked_; }
+
+ private:
+  int index_;
+  TileCoord coord_;
+  std::array<Channel, kNumStaticNets> csto_;
+  std::array<Channel, kNumStaticNets> csti_;
+  SwitchProcessor switch_;
+  TileTask task_;
+  std::uint64_t proc_busy_ = 0;
+  std::uint64_t proc_blocked_ = 0;
+};
+
+}  // namespace raw::sim

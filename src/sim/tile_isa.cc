@@ -1,0 +1,277 @@
+#include "sim/tile_isa.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace raw::sim::isa {
+namespace {
+
+bool is_branch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlez || op == Op::kBgtz;
+}
+
+bool is_jump(Op op) { return op == Op::kJ || op == Op::kJal; }
+
+bool writes_rd(Op op) {
+  switch (op) {
+    case Op::kSw:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlez:
+    case Op::kBgtz:
+    case Op::kJ:
+    case Op::kJr:
+    case Op::kHalt:
+    case Op::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+TileProgram::TileProgram(std::vector<Instr> instrs) : instrs_(std::move(instrs)) {
+  const std::string err = validate(instrs_);
+  RAW_ASSERT_MSG(err.empty(), err.c_str());
+}
+
+std::string TileProgram::validate(const std::vector<Instr>& instrs) {
+  if (instrs.size() > kTileImemWords) {
+    return "tile program exceeds the 8K-word instruction memory";
+  }
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& ins = instrs[i];
+    const std::string where = " at instruction " + std::to_string(i);
+    if (ins.rd >= 32 || ins.rs >= 32 || ins.rt >= 32) {
+      return "register index out of range" + where;
+    }
+    if ((is_branch(ins.op) || is_jump(ins.op)) &&
+        (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= instrs.size())) {
+      return "branch target out of range" + where;
+    }
+    if (writes_rd(ins.op) && ins.rd == kCsti) {
+      return "$csti is read-only" + where;
+    }
+    if ((ins.op == Op::kLw || ins.op == Op::kSw) && ins.rs == kCsti) {
+      // A memory *address* taken from the blocking network FIFO is almost
+      // certainly a bug; data operands through the network are fine
+      // (lw $csto <- mem is how Raw streams from memory to the switch).
+      return "memory address from $csti" + where;
+    }
+  }
+  return {};
+}
+
+std::size_t TileProgramBuilder::emit(Instr instr) {
+  instrs_.push_back(instr);
+  return instrs_.size() - 1;
+}
+
+void TileProgramBuilder::define_label(const std::string& label) {
+  labels_.emplace_back(label, instrs_.size());
+}
+
+std::size_t TileProgramBuilder::emit_branch(Op op, std::uint8_t rs,
+                                            std::uint8_t rt,
+                                            const std::string& label) {
+  RAW_ASSERT(is_branch(op));
+  Instr ins;
+  ins.op = op;
+  ins.rs = rs;
+  ins.rt = rt;
+  fixups_.push_back({instrs_.size(), label});
+  return emit(ins);
+}
+
+std::size_t TileProgramBuilder::emit_jump(Op op, const std::string& label) {
+  RAW_ASSERT(is_jump(op));
+  Instr ins;
+  ins.op = op;
+  fixups_.push_back({instrs_.size(), label});
+  return emit(ins);
+}
+
+TileProgram TileProgramBuilder::build() {
+  std::unordered_map<std::string, std::size_t> map;
+  for (const auto& [name, index] : labels_) {
+    RAW_ASSERT_MSG(map.emplace(name, index).second, "duplicate label");
+  }
+  for (const Fixup& fix : fixups_) {
+    const auto it = map.find(fix.label);
+    RAW_ASSERT_MSG(it != map.end(), "undefined label in tile program");
+    instrs_[fix.index].imm = static_cast<std::int32_t>(it->second);
+  }
+  return TileProgram(std::move(instrs_));
+}
+
+namespace {
+
+TileTask interpret(Tile& tile, std::shared_ptr<const TileProgram> program,
+                   std::shared_ptr<Machine> machine, MemoryModel memory) {
+  using task::delay;
+  using task::mem_delay;
+  using task::read;
+  using task::write;
+
+  Machine& m = *machine;
+  Channel& csti = tile.csti(0);
+  Channel& csto = tile.csto(0);
+  std::size_t pc = 0;
+
+  const auto reg_read = [&](std::uint8_t r) -> common::Word {
+    return r == kZero ? 0u : m.regs[r];
+  };
+
+  while (!m.halted && pc < program->size()) {
+    const Instr ins = program->instrs()[pc];
+    ++m.instructions_retired;
+
+    // Source operands; network register reads block on the switch FIFO.
+    common::Word a = 0;
+    common::Word b = 0;
+    const bool needs_rs =
+        ins.op != Op::kJ && ins.op != Op::kJal && ins.op != Op::kHalt &&
+        ins.op != Op::kNop && ins.op != Op::kLui;
+    if (needs_rs) {
+      a = ins.rs == kCsti ? co_await read(csti) : reg_read(ins.rs);
+    }
+    const bool needs_rt =
+        ins.op == Op::kAdd || ins.op == Op::kSub || ins.op == Op::kAnd ||
+        ins.op == Op::kOr || ins.op == Op::kXor || ins.op == Op::kNor ||
+        ins.op == Op::kSlt || ins.op == Op::kSltu || ins.op == Op::kSllv ||
+        ins.op == Op::kSrlv || ins.op == Op::kMul || ins.op == Op::kSw ||
+        ins.op == Op::kBeq || ins.op == Op::kBne;
+    if (needs_rt) {
+      b = ins.rt == kCsti ? co_await read(csti) : reg_read(ins.rt);
+    }
+
+    common::Word result = 0;
+    std::size_t next_pc = pc + 1;
+    bool branch_taken = false;
+    bool write_result = writes_rd(ins.op);
+
+    switch (ins.op) {
+      case Op::kAdd: result = a + b; break;
+      case Op::kSub: result = a - b; break;
+      case Op::kAnd: result = a & b; break;
+      case Op::kOr: result = a | b; break;
+      case Op::kXor: result = a ^ b; break;
+      case Op::kNor: result = ~(a | b); break;
+      case Op::kSlt:
+        result = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+        break;
+      case Op::kSltu: result = a < b; break;
+      case Op::kSllv: result = a << (b & 31); break;
+      case Op::kSrlv: result = a >> (b & 31); break;
+      case Op::kMul: result = a * b; break;
+      case Op::kAddi:
+        result = a + static_cast<common::Word>(ins.imm);
+        break;
+      case Op::kAndi: result = a & static_cast<common::Word>(ins.imm); break;
+      case Op::kOri: result = a | static_cast<common::Word>(ins.imm); break;
+      case Op::kXori: result = a ^ static_cast<common::Word>(ins.imm); break;
+      case Op::kSlti:
+        result = static_cast<std::int32_t>(a) < ins.imm;
+        break;
+      case Op::kLui:
+        result = static_cast<common::Word>(ins.imm) << 16;
+        break;
+      case Op::kSll: result = a << (ins.imm & 31); break;
+      case Op::kSrl: result = a >> (ins.imm & 31); break;
+      case Op::kSra:
+        result = static_cast<common::Word>(static_cast<std::int32_t>(a) >>
+                                           (ins.imm & 31));
+        break;
+      case Op::kExt: {
+        const int shift = ins.imm & 31;
+        const int width = (ins.imm >> 5) & 31;
+        const common::Word mask =
+            width == 0 ? ~0u : (width >= 32 ? ~0u : (1u << width) - 1u);
+        result = (a >> shift) & mask;
+        break;
+      }
+      case Op::kPopc:
+        result = static_cast<common::Word>(std::popcount(a));
+        break;
+      case Op::kLw: {
+        const auto addr =
+            static_cast<std::size_t>(a + static_cast<common::Word>(ins.imm));
+        RAW_ASSERT_MSG(addr < m.dmem.size(), "load outside data memory");
+        co_await mem_delay(memory.cache_hit_cycles - 1);
+        result = m.dmem[addr];
+        break;
+      }
+      case Op::kSw: {
+        const auto addr =
+            static_cast<std::size_t>(a + static_cast<common::Word>(ins.imm));
+        RAW_ASSERT_MSG(addr < m.dmem.size(), "store outside data memory");
+        co_await mem_delay(memory.cache_hit_cycles - 1);
+        m.dmem[addr] = b;
+        break;
+      }
+      case Op::kBeq: branch_taken = a == b; break;
+      case Op::kBne: branch_taken = a != b; break;
+      case Op::kBlez:
+        branch_taken = static_cast<std::int32_t>(a) <= 0;
+        break;
+      case Op::kBgtz:
+        branch_taken = static_cast<std::int32_t>(a) > 0;
+        break;
+      case Op::kJ:
+        next_pc = static_cast<std::size_t>(ins.imm);
+        break;
+      case Op::kJal:
+        result = static_cast<common::Word>(pc + 1);
+        m.regs[kRa] = result;
+        write_result = false;
+        next_pc = static_cast<std::size_t>(ins.imm);
+        break;
+      case Op::kJr:
+        next_pc = static_cast<std::size_t>(a);
+        RAW_ASSERT_MSG(next_pc <= program->size(), "jr outside program");
+        break;
+      case Op::kHalt:
+        m.halted = true;
+        break;
+      case Op::kNop:
+        break;
+    }
+
+    if (is_branch(ins.op)) {
+      const auto target = static_cast<std::size_t>(ins.imm);
+      if (branch_taken) next_pc = target;
+      // Static prediction: backward branches predicted taken, forward
+      // predicted not-taken; a wrong guess costs three cycles (§3.2).
+      const bool predicted_taken = target <= pc;
+      if (branch_taken != predicted_taken) {
+        ++m.branch_mispredictions;
+        co_await delay(3);
+      }
+    }
+
+    if (write_result && ins.rd != kZero) {
+      if (ins.rd == kCsto) {
+        co_await write(csto, result);
+      } else {
+        m.regs[ins.rd] = result;
+      }
+    }
+
+    pc = next_pc;
+    co_await delay(1);  // single-issue: one instruction per cycle
+  }
+  m.halted = true;
+}
+
+}  // namespace
+
+TileTask run_program(Tile& tile, std::shared_ptr<const TileProgram> program,
+                     std::shared_ptr<Machine> machine, MemoryModel memory) {
+  RAW_ASSERT(program != nullptr && machine != nullptr);
+  return interpret(tile, std::move(program), std::move(machine), memory);
+}
+
+}  // namespace raw::sim::isa

@@ -1,0 +1,132 @@
+#include "sim/trace.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace raw::sim {
+
+const char* agent_state_name(AgentState s) {
+  switch (s) {
+    case AgentState::kBusy: return "busy";
+    case AgentState::kBlockedRecv: return "blocked_recv";
+    case AgentState::kBlockedSend: return "blocked_send";
+    case AgentState::kBlockedMem: return "blocked_mem";
+    case AgentState::kIdle: return "idle";
+  }
+  return "?";
+}
+
+char agent_state_char(AgentState s) {
+  switch (s) {
+    case AgentState::kBusy: return '#';
+    case AgentState::kBlockedRecv: return 'r';
+    case AgentState::kBlockedSend: return 's';
+    case AgentState::kBlockedMem: return 'm';
+    case AgentState::kIdle: return '.';
+  }
+  return '?';
+}
+
+void Trace::configure(common::Cycle start, common::Cycle end, int num_tiles) {
+  RAW_ASSERT_MSG(end > start, "empty trace window");
+  RAW_ASSERT_MSG(num_tiles > 0, "trace needs tiles");
+  start_ = start;
+  end_ = end;
+  num_tiles_ = num_tiles;
+  const std::size_t cells =
+      static_cast<std::size_t>(end - start) * static_cast<std::size_t>(num_tiles);
+  proc_.assign(cells, AgentState::kIdle);
+  switch_.assign(cells, AgentState::kIdle);
+}
+
+std::size_t Trace::index(common::Cycle cycle, int tile) const {
+  RAW_ASSERT(active(cycle));
+  RAW_ASSERT(tile >= 0 && tile < num_tiles_);
+  return static_cast<std::size_t>(cycle - start_) *
+             static_cast<std::size_t>(num_tiles_) +
+         static_cast<std::size_t>(tile);
+}
+
+void Trace::record(common::Cycle cycle, int tile, AgentState proc, AgentState sw) {
+  const std::size_t i = index(cycle, tile);
+  proc_[i] = proc;
+  switch_[i] = sw;
+}
+
+AgentState Trace::proc_state(common::Cycle cycle, int tile) const {
+  return proc_[index(cycle, tile)];
+}
+
+AgentState Trace::switch_state(common::Cycle cycle, int tile) const {
+  return switch_[index(cycle, tile)];
+}
+
+AgentState Trace::combined(common::Cycle cycle, int tile) const {
+  const AgentState p = proc_state(cycle, tile);
+  const AgentState s = switch_state(cycle, tile);
+  if (p == AgentState::kBusy || s == AgentState::kBusy) return AgentState::kBusy;
+  // Prefer the more informative blocked reason: memory, then receive, then send.
+  for (const AgentState prefer :
+       {AgentState::kBlockedMem, AgentState::kBlockedRecv, AgentState::kBlockedSend}) {
+    if (p == prefer || s == prefer) return prefer;
+  }
+  return AgentState::kIdle;
+}
+
+Trace::Utilization Trace::utilization(int tile) const {
+  Utilization u;
+  const auto window = static_cast<double>(end_ - start_);
+  for (common::Cycle c = start_; c < end_; ++c) {
+    switch (combined(c, tile)) {
+      case AgentState::kBusy: u.busy += 1.0; break;
+      case AgentState::kIdle: u.idle += 1.0; break;
+      default: u.blocked += 1.0; break;
+    }
+  }
+  u.busy /= window;
+  u.blocked /= window;
+  u.idle /= window;
+  return u;
+}
+
+std::string Trace::ascii(std::size_t width) const {
+  if (!enabled()) return {};
+  const common::Cycle window = end_ - start_;
+  if (width > window) width = static_cast<std::size_t>(window);
+  std::string out;
+  for (int tile = 0; tile < num_tiles_; ++tile) {
+    char row_label[16];
+    std::snprintf(row_label, sizeof row_label, "%2d ", tile);
+    out += row_label;
+    for (std::size_t bucket = 0; bucket < width; ++bucket) {
+      const common::Cycle lo = start_ + window * bucket / width;
+      const common::Cycle hi = start_ + window * (bucket + 1) / width;
+      std::array<std::uint32_t, 5> counts{};
+      for (common::Cycle c = lo; c < hi; ++c) {
+        ++counts[static_cast<std::size_t>(combined(c, tile))];
+      }
+      std::size_t best = 0;
+      for (std::size_t s = 1; s < counts.size(); ++s) {
+        if (counts[s] > counts[best]) best = s;
+      }
+      out += agent_state_char(static_cast<AgentState>(best));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::csv() const {
+  std::string out = "cycle,tile,proc,switch\n";
+  for (common::Cycle c = start_; c < end_; ++c) {
+    for (int tile = 0; tile < num_tiles_; ++tile) {
+      out += std::to_string(c) + ',' + std::to_string(tile) + ',' +
+             agent_state_name(proc_state(c, tile)) + ',' +
+             agent_state_name(switch_state(c, tile)) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace raw::sim

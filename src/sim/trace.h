@@ -1,0 +1,73 @@
+// Per-tile utilization tracing (reproduces Figure 7-3).
+//
+// For a configured cycle window the chip records, per tile and per cycle,
+// what the tile processor and the switch processor each did. The thesis
+// figure colours a tile gray when it is "blocked on transmit, receive, or
+// cache miss"; our combined view reports a tile busy if either of its two
+// processors advanced, blocked if at least one is blocked and none advanced,
+// and idle otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/switch_processor.h"
+
+namespace raw::sim {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Enables recording of cycles in [start, end) for `num_tiles` tiles.
+  void configure(common::Cycle start, common::Cycle end, int num_tiles);
+
+  [[nodiscard]] bool enabled() const { return num_tiles_ > 0; }
+  [[nodiscard]] bool active(common::Cycle cycle) const {
+    return enabled() && cycle >= start_ && cycle < end_;
+  }
+
+  void record(common::Cycle cycle, int tile, AgentState proc, AgentState sw);
+
+  [[nodiscard]] common::Cycle start() const { return start_; }
+  [[nodiscard]] common::Cycle window() const { return end_ - start_; }
+  [[nodiscard]] int num_tiles() const { return num_tiles_; }
+
+  [[nodiscard]] AgentState proc_state(common::Cycle cycle, int tile) const;
+  [[nodiscard]] AgentState switch_state(common::Cycle cycle, int tile) const;
+
+  /// Combined per-tile state as drawn in Figure 7-3.
+  [[nodiscard]] AgentState combined(common::Cycle cycle, int tile) const;
+
+  /// Fraction of the window a tile spent in each combined state.
+  struct Utilization {
+    double busy = 0.0;
+    double blocked = 0.0;  // recv + send + mem
+    double idle = 0.0;
+  };
+  [[nodiscard]] Utilization utilization(int tile) const;
+
+  /// ASCII rendering: one row per tile, one column per bucket of cycles.
+  /// '#' busy, '.' idle, 'r'/'s'/'m' blocked on receive/send/memory (the
+  /// majority state within the bucket).
+  [[nodiscard]] std::string ascii(std::size_t width = 100) const;
+
+  /// CSV rows: cycle,tile,proc_state,switch_state.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  [[nodiscard]] std::size_t index(common::Cycle cycle, int tile) const;
+
+  common::Cycle start_ = 0;
+  common::Cycle end_ = 0;
+  int num_tiles_ = 0;
+  std::vector<AgentState> proc_;
+  std::vector<AgentState> switch_;
+};
+
+const char* agent_state_name(AgentState s);
+char agent_state_char(AgentState s);
+
+}  // namespace raw::sim

@@ -1,0 +1,134 @@
+#include "click/click_router.h"
+
+#include <gtest/gtest.h>
+
+#include "router/line_cards.h"
+
+namespace raw::click {
+namespace {
+
+ClickRouter make_router() {
+  return ClickRouter(ClickConfig{}, net::RouteTable::simple4());
+}
+
+net::Packet pkt(std::uint64_t uid, int src, int dst, common::ByteCount bytes) {
+  return router::make_test_packet(uid, src, dst, bytes);
+}
+
+TEST(ClickTest, ForwardsAPacketToTheRightPort) {
+  ClickRouter r = make_router();
+  r.offer(0, pkt(1, 0, 2, 64));
+  r.run(100000);
+  EXPECT_EQ(r.forwarded_packets(), 1u);
+  EXPECT_EQ(r.dropped_packets(), 0u);
+}
+
+TEST(ClickTest, ChargesCpuPerPacket) {
+  ClickRouter r = make_router();
+  r.offer(0, pkt(1, 0, 1, 64));
+  r.run(1000000);
+  const common::Cycle one = r.cpu().used();
+  EXPECT_GT(one, 1000u);   // a real software path, not free
+  EXPECT_LT(one, 5000u);   // ~2.1k cycles in the Click measurements
+  r.offer(1, pkt(2, 1, 2, 64));
+  r.run(1000000);
+  // Second packet costs about the same again.
+  EXPECT_NEAR(static_cast<double>(r.cpu().used()), 2.0 * static_cast<double>(one),
+              0.3 * static_cast<double>(one));
+}
+
+TEST(ClickTest, DropsBadChecksum) {
+  ClickRouter r = make_router();
+  net::Packet p = pkt(1, 0, 1, 64);
+  p.header.checksum ^= 0x5555;
+  r.offer(0, std::move(p));
+  r.run(100000);
+  EXPECT_EQ(r.forwarded_packets(), 0u);
+  EXPECT_EQ(r.dropped_packets(), 1u);
+}
+
+TEST(ClickTest, DropsExpiredTtl) {
+  ClickRouter r = make_router();
+  net::Packet p = pkt(1, 0, 1, 64);
+  p.header.ttl = 0;
+  net::finalize_checksum(p.header);
+  r.offer(0, std::move(p));
+  r.run(100000);
+  EXPECT_EQ(r.forwarded_packets(), 0u);
+  EXPECT_EQ(r.dropped_packets(), 1u);
+}
+
+TEST(ClickTest, DropsNoRoute) {
+  ClickConfig cfg;
+  net::RouteTable table;  // empty: no default route
+  table.add_route(net::make_addr(10, 0, 0, 0), 16, 0);
+  ClickRouter r(cfg, std::move(table));
+  r.offer(0, pkt(1, 0, 3, 64));  // dst 10.3.x.x unmatched
+  r.run(100000);
+  EXPECT_EQ(r.forwarded_packets(), 0u);
+  EXPECT_EQ(r.dropped_packets(), 1u);
+}
+
+TEST(ClickTest, QueueOverflowDrops) {
+  ClickConfig cfg;
+  cfg.queue_capacity = 4;
+  ClickRouter r(cfg, net::RouteTable::simple4());
+  // Offer many packets without running ToDevice: queue fills.
+  for (std::uint64_t i = 0; i < 20; ++i) r.offer(0, pkt(i + 1, 0, 1, 64));
+  r.run(10000000);
+  EXPECT_GT(r.forwarded_packets(), 0u);
+  EXPECT_EQ(r.forwarded_packets() + r.dropped_packets(), 20u);
+}
+
+TEST(ClickTest, ForwardingRateMatchesClickMeasurements) {
+  // The thesis's Figure 7-1 plots Click at ~0.23 Gbps (64-byte minimum-size
+  // packets, a few hundred kpps on a PIII-class PC). Demand the same order
+  // of magnitude.
+  ClickRouter r = make_router();
+  net::TrafficConfig t;
+  t.num_ports = 4;
+  t.pattern = net::DestPattern::kUniform;
+  net::TrafficGen gen(t, 7);
+  r.run_traffic(gen, 2000, 64);
+  EXPECT_GT(r.mpps(), 0.15);
+  EXPECT_LT(r.mpps(), 0.8);
+  EXPECT_GT(r.gbps(), 0.08);
+  EXPECT_LT(r.gbps(), 0.5);
+}
+
+TEST(ClickTest, RateIndependentOfPortCountSingleCpu) {
+  // Doubling ports does not double throughput: one CPU does all the work.
+  ClickConfig cfg8;
+  cfg8.num_ports = 8;
+  net::RouteTable table8;
+  table8.add_route(0, 0, 0);
+  for (std::uint8_t p = 0; p < 8; ++p) {
+    table8.add_route(net::make_addr(10, p, 0, 0), 16, p);
+  }
+  ClickRouter r8(cfg8, std::move(table8));
+  ClickRouter r4 = make_router();
+
+  net::TrafficConfig t4;
+  t4.num_ports = 4;
+  net::TrafficGen g4(t4, 9);
+  net::TrafficConfig t8;
+  t8.num_ports = 8;
+  net::TrafficGen g8(t8, 9);
+
+  r4.run_traffic(g4, 1000, 64);
+  r8.run_traffic(g8, 1000, 64);
+  EXPECT_NEAR(r8.mpps(), r4.mpps(), r4.mpps() * 0.2);
+}
+
+TEST(ClickTest, LargerPacketsCostMoreBusCycles) {
+  ClickRouter small = make_router();
+  ClickRouter large = make_router();
+  small.offer(0, pkt(1, 0, 1, 64));
+  large.offer(0, pkt(1, 0, 1, 1024));
+  small.run(1000000);
+  large.run(1000000);
+  EXPECT_GT(large.cpu().used(), small.cpu().used());
+}
+
+}  // namespace
+}  // namespace raw::click

@@ -1,0 +1,52 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::common {
+namespace {
+
+TEST(HistogramTest, CountsIntoBuckets) {
+  Histogram h(10.0, 5);
+  h.add(0.0);
+  h.add(9.9);
+  h.add(10.0);
+  h.add(49.9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h(1.0, 2);
+  h.add(5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, NegativeClampsToZeroBucket) {
+  Histogram h(1.0, 2);
+  h.add(-3.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(HistogramTest, MedianQuantile) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(HistogramTest, AsciiRenderNonEmpty) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const std::string art = h.ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raw::common

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace raw::common {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  std::array<int, 4> counts{};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(4)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 4, kDraws / 40);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(13);
+  // Mean of failures-before-success is (1-p)/p.
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.1);
+}
+
+TEST(RngTest, Permutation4IsPermutation) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const auto perm = rng.permutation4();
+    std::array<bool, 4> seen{};
+    for (const auto v : perm) {
+      ASSERT_LT(v, 4);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(RngTest, Permutation4CoversAll24) {
+  Rng rng(19);
+  std::vector<int> seen(256, 0);
+  int distinct = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto perm = rng.permutation4();
+    const int key = perm[0] | perm[1] << 2 | perm[2] << 4 | perm[3] << 6;
+    if (seen[static_cast<std::size_t>(key)]++ == 0) ++distinct;
+  }
+  EXPECT_EQ(distinct, 24);
+}
+
+}  // namespace
+}  // namespace raw::common

@@ -1,0 +1,103 @@
+#include "net/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::net {
+namespace {
+
+TEST(SegmentTest, SinglePacketSingleCell) {
+  const auto cells = segment(1, 0, 2, 60, 64);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].last);
+  EXPECT_EQ(cells[0].bytes, 60u);
+  EXPECT_EQ(cells[0].seq, 0);
+}
+
+TEST(SegmentTest, ExactMultiple) {
+  const auto cells = segment(2, 1, 3, 128, 64);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].bytes, 64u);
+  EXPECT_FALSE(cells[0].last);
+  EXPECT_EQ(cells[1].bytes, 64u);
+  EXPECT_TRUE(cells[1].last);
+}
+
+TEST(SegmentTest, TailCellPartial) {
+  const auto cells = segment(3, 0, 1, 150, 64);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[2].bytes, 22u);
+  EXPECT_TRUE(cells[2].last);
+  for (std::uint16_t i = 0; i < 3; ++i) EXPECT_EQ(cells[i].seq, i);
+}
+
+TEST(SegmentTest, MetadataPropagates) {
+  const auto cells = segment(77, 2, 3, 100, 48);
+  for (const Cell& c : cells) {
+    EXPECT_EQ(c.packet_uid, 77u);
+    EXPECT_EQ(c.src_port, 2);
+    EXPECT_EQ(c.dst_port, 3);
+  }
+}
+
+TEST(ReassemblerTest, CompletesOnTail) {
+  Reassembler r;
+  const auto cells = segment(5, 1, 2, 200, 64);
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_FALSE(r.add(cells[i]).has_value());
+  }
+  const auto done = r.add(cells.back());
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->packet_uid, 5u);
+  EXPECT_EQ(done->bytes, 200u);
+  EXPECT_EQ(done->cells, cells.size());
+  EXPECT_EQ(r.open_flows(), 0u);
+}
+
+TEST(ReassemblerTest, InterleavedPacketsFromDifferentSources) {
+  Reassembler r;
+  const auto a = segment(1, 0, 3, 128, 64);
+  const auto b = segment(2, 1, 3, 128, 64);
+  EXPECT_FALSE(r.add(a[0]).has_value());
+  EXPECT_FALSE(r.add(b[0]).has_value());
+  EXPECT_EQ(r.open_flows(), 2u);
+  ASSERT_TRUE(r.add(a[1]).has_value());
+  ASSERT_TRUE(r.add(b[1]).has_value());
+}
+
+TEST(ReassemblerTest, SameUidDifferentSourcesAreDistinct) {
+  Reassembler r;
+  const auto a = segment(9, 0, 3, 128, 64);
+  const auto b = segment(9, 1, 3, 128, 64);
+  EXPECT_FALSE(r.add(a[0]).has_value());
+  EXPECT_FALSE(r.add(b[0]).has_value());
+  const auto done_a = r.add(a[1]);
+  ASSERT_TRUE(done_a.has_value());
+  EXPECT_EQ(done_a->src_port, 0);
+}
+
+TEST(ReassemblerDeathTest, OutOfOrderCellAborts) {
+  Reassembler r;
+  const auto cells = segment(5, 1, 2, 200, 64);
+  EXPECT_DEATH((void)r.add(cells[1]), "out of sequence");
+}
+
+TEST(SegmentPropertyTest, ByteConservationAcrossSizes) {
+  for (common::ByteCount packet = 1; packet <= 300; packet += 7) {
+    for (common::ByteCount cell : {16u, 53u, 64u}) {
+      const auto cells = segment(packet, 0, 1, packet, cell);
+      common::ByteCount total = 0;
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        total += cells[i].bytes;
+        EXPECT_LE(cells[i].bytes, cell);
+        if (i + 1 < cells.size()) {
+          EXPECT_EQ(cells[i].bytes, cell);
+        }
+      }
+      EXPECT_EQ(total, packet);
+      EXPECT_TRUE(cells.back().last);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raw::net

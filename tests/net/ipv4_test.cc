@@ -1,0 +1,122 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace raw::net {
+namespace {
+
+Ipv4Header sample_header() {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 1024;
+  h.identification = 0xbeef;
+  h.flags = 0x2;  // DF
+  h.fragment_offset = 0;
+  h.ttl = 61;
+  h.protocol = 6;  // TCP
+  h.src = make_addr(10, 0, 0, 1);
+  h.dst = make_addr(10, 2, 3, 4);
+  finalize_checksum(h);
+  return h;
+}
+
+TEST(Ipv4Test, AddrHelpers) {
+  const Addr a = make_addr(192, 168, 1, 42);
+  EXPECT_EQ(a, 0xc0a8012au);
+  EXPECT_EQ(addr_to_string(a), "192.168.1.42");
+}
+
+TEST(Ipv4Test, SerializeParseRoundTrip) {
+  const Ipv4Header h = sample_header();
+  const auto words = serialize(h);
+  const Ipv4Header back = parse(words);
+  EXPECT_EQ(h, back);
+}
+
+TEST(Ipv4Test, ChecksumValidates) {
+  Ipv4Header h = sample_header();
+  EXPECT_TRUE(checksum_ok(h));
+  h.ttl ^= 1;  // corrupt a field
+  EXPECT_FALSE(checksum_ok(h));
+}
+
+TEST(Ipv4Test, ChecksumMatchesRfc1071Reference) {
+  // Classic example from RFC 1071 discussions: a known header.
+  Ipv4Header h;
+  h.tos = 0;
+  h.total_length = 0x0073;
+  h.identification = 0;
+  h.flags = 0x2;
+  h.fragment_offset = 0;
+  h.ttl = 64;
+  h.protocol = 17;
+  h.src = make_addr(192, 168, 0, 1);
+  h.dst = make_addr(192, 168, 0, 199);
+  finalize_checksum(h);
+  EXPECT_EQ(h.checksum, 0xb861);
+}
+
+TEST(Ipv4Test, ChecksumAgainstBytewiseReference) {
+  common::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Header h;
+    h.tos = static_cast<std::uint8_t>(rng.below(256));
+    h.total_length = static_cast<std::uint16_t>(20 + rng.below(1481));
+    h.identification = static_cast<std::uint16_t>(rng.below(65536));
+    h.flags = static_cast<std::uint8_t>(rng.below(8));
+    h.fragment_offset = static_cast<std::uint16_t>(rng.below(8192));
+    h.ttl = static_cast<std::uint8_t>(rng.below(256));
+    h.protocol = static_cast<std::uint8_t>(rng.below(256));
+    h.src = static_cast<Addr>(rng.next());
+    h.dst = static_cast<Addr>(rng.next());
+    // Byte-serialize and checksum with the generic routine.
+    const auto words = serialize(h);
+    std::vector<std::uint8_t> bytes;
+    for (const common::Word w : words) {
+      for (int shift = 24; shift >= 0; shift -= 8) {
+        bytes.push_back(static_cast<std::uint8_t>(w >> shift));
+      }
+    }
+    EXPECT_EQ(header_checksum(h), internet_checksum(bytes));
+  }
+}
+
+TEST(Ipv4Test, DecrementTtlKeepsChecksumValid) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Header h = sample_header();
+    h.ttl = static_cast<std::uint8_t>(1 + rng.below(255));
+    h.identification = static_cast<std::uint16_t>(rng.below(65536));
+    finalize_checksum(h);
+    const std::uint8_t before = h.ttl;
+    ASSERT_TRUE(decrement_ttl(h));
+    EXPECT_EQ(h.ttl, before - 1);
+    EXPECT_TRUE(checksum_ok(h)) << "incremental update broke checksum, ttl="
+                                << static_cast<int>(before);
+  }
+}
+
+TEST(Ipv4Test, DecrementTtlChainedManyHops) {
+  Ipv4Header h = sample_header();
+  h.ttl = 64;
+  finalize_checksum(h);
+  for (int hop = 0; hop < 64; ++hop) {
+    ASSERT_TRUE(decrement_ttl(h));
+    ASSERT_TRUE(checksum_ok(h)) << "hop " << hop;
+  }
+  EXPECT_EQ(h.ttl, 0);
+  EXPECT_FALSE(decrement_ttl(h));  // expired packets are dropped
+}
+
+TEST(Ipv4Test, InternetChecksumOddLength) {
+  const std::vector<std::uint8_t> bytes{0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(bytes), 0xfbfd);
+}
+
+}  // namespace
+}  // namespace raw::net

@@ -1,0 +1,128 @@
+#include "net/small_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/route_table.h"
+
+namespace raw::net {
+namespace {
+
+TEST(SmallTableTest, EmptyTrieMissesEverywhere) {
+  PatriciaTrie trie;
+  const SmallTable t = SmallTable::build(trie);
+  EXPECT_FALSE(t.lookup(make_addr(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(t.level2_chunks(), 0u);
+  EXPECT_EQ(t.level3_chunks(), 0u);
+}
+
+TEST(SmallTableTest, DefaultRouteLeafPushesToLevel1) {
+  PatriciaTrie trie;
+  trie.insert(0, 0, 7);
+  const SmallTable t = SmallTable::build(trie);
+  const auto r = t.lookup(make_addr(200, 1, 2, 3));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 7u);
+  EXPECT_EQ(r->accesses, 1);  // a /0 never needs deeper levels
+  EXPECT_EQ(t.level2_chunks(), 0u);
+}
+
+TEST(SmallTableTest, ShortPrefixSingleAccess) {
+  PatriciaTrie trie;
+  trie.insert(make_addr(10, 0, 0, 0), 8, 3);
+  const SmallTable t = SmallTable::build(trie);
+  const auto hit = t.lookup(make_addr(10, 200, 1, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 3u);
+  EXPECT_EQ(hit->accesses, 1);
+  EXPECT_FALSE(t.lookup(make_addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(SmallTableTest, MidPrefixNeedsTwoAccesses) {
+  PatriciaTrie trie;
+  trie.insert(make_addr(10, 1, 0, 0), 16, 1);
+  trie.insert(make_addr(10, 1, 128, 0), 20, 2);  // forces level 2 under 10.1
+  const SmallTable t = SmallTable::build(trie);
+  const auto shallow = t.lookup(make_addr(10, 1, 5, 5));
+  ASSERT_TRUE(shallow.has_value());
+  EXPECT_EQ(shallow->value, 1u);
+  EXPECT_EQ(shallow->accesses, 2);
+  const auto deep = t.lookup(make_addr(10, 1, 130, 9));
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_EQ(deep->value, 2u);
+}
+
+TEST(SmallTableTest, HostRouteNeedsThreeAccesses) {
+  PatriciaTrie trie;
+  trie.insert(make_addr(10, 1, 2, 0), 24, 1);
+  trie.insert(make_addr(10, 1, 2, 99), 32, 9);
+  const SmallTable t = SmallTable::build(trie);
+  const auto host = t.lookup(make_addr(10, 1, 2, 99));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->value, 9u);
+  EXPECT_EQ(host->accesses, 3);
+  const auto neighbour = t.lookup(make_addr(10, 1, 2, 98));
+  ASSERT_TRUE(neighbour.has_value());
+  EXPECT_EQ(neighbour->value, 1u);
+}
+
+TEST(SmallTableTest, AccessesNeverExceedThree) {
+  const RouteTable table = RouteTable::random(2000, 4, 3);
+  const SmallTable t = SmallTable::build(table.trie());
+  common::Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = t.lookup(static_cast<Addr>(rng.next()));
+    ASSERT_TRUE(r.has_value());  // random table includes a default route
+    EXPECT_GE(r->accesses, 1);
+    EXPECT_LE(r->accesses, 3);
+  }
+}
+
+TEST(SmallTableTest, ChunkDeduplicationKeepsTablesSmall) {
+  // 256 /24 routes that all share the same interior pattern: chunks dedupe.
+  PatriciaTrie trie;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    trie.insert(make_addr(10, static_cast<std::uint8_t>(i), 1, 0), 24, 5);
+  }
+  const SmallTable t = SmallTable::build(trie);
+  // All 64 /16 ranges have the identical level-2 chunk.
+  EXPECT_EQ(t.level2_chunks(), 1u);
+  EXPECT_LT(t.total_bytes(), (1u << 16) * 4 + 2 * 256 * 4 + 1024);
+}
+
+// Property test: SmallTable agrees with the trie's LPM everywhere that
+// matters (random tables, random probes, and probes near prefix edges).
+TEST(SmallTablePropertyTest, MatchesPatriciaExactly) {
+  common::Rng rng(123);
+  for (int trial = 0; trial < 6; ++trial) {
+    PatriciaTrie trie;
+    std::vector<Addr> interesting;
+    const int n = 1 + static_cast<int>(rng.below(80));
+    for (int i = 0; i < n; ++i) {
+      const int len = static_cast<int>(rng.below(33));
+      const Addr mask = len == 0 ? 0 : ~Addr{0} << (32 - len);
+      const Addr prefix = static_cast<Addr>(rng.next()) & mask;
+      trie.insert(prefix, len, static_cast<std::uint32_t>(rng.below(16)));
+      interesting.push_back(prefix);
+      interesting.push_back(prefix | ~mask);      // last address of range
+      interesting.push_back((prefix | ~mask) + 1);  // first address after
+      interesting.push_back(prefix - 1);
+    }
+    const SmallTable t = SmallTable::build(trie);
+    const auto check = [&](Addr addr) {
+      const auto expect = trie.lookup(addr);
+      const auto got = t.lookup(addr);
+      ASSERT_EQ(expect.has_value(), got.has_value()) << addr_to_string(addr);
+      if (expect.has_value()) {
+        EXPECT_EQ(got->value, expect->value) << addr_to_string(addr);
+      }
+    };
+    for (const Addr a : interesting) check(a);
+    for (int probe = 0; probe < 500; ++probe) {
+      check(static_cast<Addr>(rng.next()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raw::net

@@ -1,0 +1,59 @@
+#include "router/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "router/raw_router.h"
+
+namespace raw::router {
+namespace {
+
+TEST(AnalyticTest, LargePacketsAreStreamingBound) {
+  const AnalyticModel m;
+  // 1,024 B = 256 words: streaming + quantum overhead dominates.
+  EXPECT_EQ(m.cycles_per_packet(1024), 256 + m.quantum_overhead_cycles);
+}
+
+TEST(AnalyticTest, SmallPacketsAreIngressBound) {
+  const AnalyticModel m;
+  // 64 B = 16 words: 16 + 28 < 55, so the ingress pipeline binds.
+  EXPECT_EQ(m.cycles_per_packet(64), m.ingress_packet_cycles);
+}
+
+TEST(AnalyticTest, ThroughputMonotoneInPacketSize) {
+  const AnalyticModel m;
+  double prev = 0.0;
+  for (const common::ByteCount bytes : {64u, 128u, 256u, 512u, 1024u}) {
+    const double g = m.peak_gbps(bytes);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  EXPECT_GT(prev, 20.0);  // multigigabit at 1,024 B
+}
+
+TEST(AnalyticTest, LinkEfficiencyApproachesOne) {
+  const AnalyticModel m;
+  EXPECT_LT(m.link_efficiency(64), 0.5);
+  EXPECT_GT(m.link_efficiency(1024), 0.85);
+}
+
+TEST(AnalyticTest, ModelBoundsSimulatedPeakFromAbove) {
+  // The model ignores residual stalls, so it should be an upper bound that
+  // the simulator approaches within ~35% at every size.
+  const AnalyticModel m;
+  for (const common::ByteCount bytes : {64u, 256u, 1024u}) {
+    net::TrafficConfig t;
+    t.num_ports = 4;
+    t.pattern = net::DestPattern::kPermutation;
+    t.size = net::SizeDist::kFixed;
+    t.fixed_bytes = bytes;
+    RawRouter router(RouterConfig{}, net::RouteTable::simple4(), t, 5);
+    router.run(60000);
+    const double simulated = router.gbps();
+    const double model = m.peak_gbps(bytes);
+    EXPECT_LT(simulated, model * 1.02) << bytes;
+    EXPECT_GT(simulated, model * 0.65) << bytes;
+  }
+}
+
+}  // namespace
+}  // namespace raw::router

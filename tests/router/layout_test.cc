@@ -1,0 +1,133 @@
+#include "router/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace raw::router {
+namespace {
+
+using sim::Dir;
+using sim::GridShape;
+using sim::TileCoord;
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  Layout layout_;
+  GridShape grid_{4, 4};
+
+  [[nodiscard]] TileCoord coord(int tile) const { return grid_.coord(tile); }
+};
+
+TEST_F(LayoutTest, SixteenDistinctTiles) {
+  std::set<int> tiles;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout_.port(p);
+    for (const int tile : {t.ingress, t.lookup, t.crossbar, t.egress}) {
+      EXPECT_TRUE(grid_.contains(coord(tile)));
+      EXPECT_TRUE(tiles.insert(tile).second) << "tile " << tile << " reused";
+    }
+  }
+  EXPECT_EQ(tiles.size(), 16u);
+}
+
+TEST_F(LayoutTest, IngressTilesMatchThesisFigure73) {
+  // The thesis: "gray on tiles 4, 7, 8, and 11 means that the input ports
+  // are blocked by the crossbar".
+  std::set<int> ingress;
+  for (int p = 0; p < kNumPorts; ++p) ingress.insert(layout_.port(p).ingress);
+  EXPECT_EQ(ingress, (std::set<int>{4, 7, 8, 11}));
+}
+
+TEST_F(LayoutTest, CrossbarTilesFormTheCentreRing) {
+  std::set<int> cb;
+  for (int p = 0; p < kNumPorts; ++p) cb.insert(layout_.port(p).crossbar);
+  EXPECT_EQ(cb, (std::set<int>{5, 6, 9, 10}));
+}
+
+TEST_F(LayoutTest, IngressAdjacentToItsCrossbar) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout_.port(p);
+    const TileCoord n = GridShape::neighbor(
+        coord(t.ingress), layout_.edges(p).ingress_to_crossbar);
+    EXPECT_EQ(grid_.index(n), t.crossbar) << "port " << p;
+  }
+}
+
+TEST_F(LayoutTest, EgressAdjacentToItsCrossbar) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout_.port(p);
+    const TileCoord n = GridShape::neighbor(
+        coord(t.egress), layout_.edges(p).egress_from_crossbar);
+    EXPECT_EQ(grid_.index(n), t.crossbar) << "port " << p;
+  }
+}
+
+TEST_F(LayoutTest, LookupAdjacentToItsIngress) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout_.port(p);
+    const TileCoord n =
+        GridShape::neighbor(coord(t.lookup), layout_.lookup_to_ingress(p));
+    EXPECT_EQ(grid_.index(n), t.ingress) << "port " << p;
+  }
+}
+
+TEST_F(LayoutTest, LineCardEdgesAreOffGrid) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles t = layout_.port(p);
+    EXPECT_FALSE(grid_.contains(GridShape::neighbor(
+        coord(t.ingress), layout_.edges(p).ingress_edge)))
+        << "port " << p << " ingress edge points inward";
+    EXPECT_FALSE(grid_.contains(GridShape::neighbor(
+        coord(t.egress), layout_.edges(p).egress_edge)))
+        << "port " << p << " egress edge points inward";
+  }
+}
+
+TEST_F(LayoutTest, RingIsClosedClockwise) {
+  // Crossbar of port p's cw_out neighbour is the crossbar of port (p+1)%4.
+  for (int p = 0; p < kNumPorts; ++p) {
+    const int cb = layout_.port(p).crossbar;
+    const int next = layout_.port((p + 1) % kNumPorts).crossbar;
+    const TileCoord n =
+        GridShape::neighbor(coord(cb), layout_.orientation(p).cw_out);
+    EXPECT_EQ(grid_.index(n), next) << "port " << p;
+  }
+}
+
+TEST_F(LayoutTest, RingIsClosedCounterClockwise) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const int cb = layout_.port(p).crossbar;
+    const int prev = layout_.port((p + 3) % kNumPorts).crossbar;
+    const TileCoord n =
+        GridShape::neighbor(coord(cb), layout_.orientation(p).ccw_out);
+    EXPECT_EQ(grid_.index(n), prev) << "port " << p;
+  }
+}
+
+TEST_F(LayoutTest, InAndOutDirectionsConsistent) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const CrossbarOrientation& o = layout_.orientation(p);
+    const PortTiles t = layout_.port(p);
+    // `in` faces the ingress tile, `out` faces the egress tile.
+    EXPECT_EQ(grid_.index(GridShape::neighbor(coord(t.crossbar), o.in)),
+              t.ingress);
+    EXPECT_EQ(grid_.index(GridShape::neighbor(coord(t.crossbar), o.out)),
+              t.egress);
+    // Incoming sides are the opposite of the upstream tile's outgoing side.
+    EXPECT_EQ(o.cw_in, sim::opposite(
+                           layout_.orientation((p + 3) % kNumPorts).cw_out));
+    EXPECT_EQ(o.ccw_in, sim::opposite(
+                            layout_.orientation((p + 1) % kNumPorts).ccw_out));
+    EXPECT_EQ(o.in, o.in_back);  // full duplex: same physical side
+  }
+}
+
+TEST_F(LayoutTest, RingPositionEqualsPortNumber) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    EXPECT_EQ(Layout::ring_position(p), p);
+  }
+}
+
+}  // namespace
+}  // namespace raw::router

@@ -1,0 +1,172 @@
+#include "router/raw_router.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::router {
+namespace {
+
+RouterConfig default_config() { return RouterConfig{}; }
+
+net::TrafficConfig traffic(net::DestPattern pattern, common::ByteCount bytes,
+                           double load = 1.0) {
+  net::TrafficConfig t;
+  t.num_ports = 4;
+  t.pattern = pattern;
+  t.size = net::SizeDist::kFixed;
+  t.fixed_bytes = bytes;
+  t.load = load;
+  return t;
+}
+
+TEST(RawRouterTest, DeliversASinglePacket) {
+  net::TrafficConfig t = traffic(net::DestPattern::kPermutation, 64, 0.0001);
+  t.load = 0.01;  // widely spaced packets
+  RawRouter router(default_config(), net::RouteTable::simple4(), t, 1);
+  router.run(20000);
+  EXPECT_GT(router.delivered_packets(), 0u);
+  EXPECT_EQ(router.errors(), 0u);
+}
+
+TEST(RawRouterTest, PermutationTrafficAllPortsDeliver) {
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kPermutation, 256), 2);
+  router.run(30000);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_GT(router.output(p).delivered_packets(), 10u) << "port " << p;
+  }
+  EXPECT_EQ(router.errors(), 0u);
+}
+
+TEST(RawRouterTest, PacketsValidateEndToEnd) {
+  // The output card checks checksum, TTL decrement, payload integrity and
+  // port correctness; any violation counts as an error.
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kUniform, 128), 3);
+  router.run(50000);
+  EXPECT_GT(router.delivered_packets(), 100u);
+  EXPECT_EQ(router.errors(), 0u);
+}
+
+TEST(RawRouterTest, DrainCompletes) {
+  net::TrafficConfig t = traffic(net::DestPattern::kUniform, 256, 0.5);
+  RawRouter router(default_config(), net::RouteTable::simple4(), t, 4);
+  router.run(20000);
+  EXPECT_TRUE(router.drain(300000));
+  // Everything offered minus line-card drops was delivered.
+  std::uint64_t offered = 0;
+  std::uint64_t dropped = 0;
+  for (int p = 0; p < 4; ++p) {
+    offered += router.input(p).offered_packets();
+    dropped += router.input(p).dropped_packets();
+  }
+  EXPECT_EQ(router.delivered_packets() + dropped, offered);
+  EXPECT_EQ(router.errors(), 0u);
+}
+
+TEST(RawRouterTest, FragmentedPacketsReassemble) {
+  // 1,500-byte packets exceed the 256-word quantum: two fragments each,
+  // rebuilt by the Egress Processor.
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kPermutation, 1500, 0.5), 5);
+  router.run(60000);
+  EXPECT_TRUE(router.drain(300000));
+  EXPECT_EQ(router.errors(), 0u);
+  EXPECT_GT(router.delivered_packets(), 20u);
+  std::uint64_t reassembled = 0;
+  for (const auto& c : router.core().counters) reassembled += c.reassembled;
+  EXPECT_GT(reassembled, 0u);
+}
+
+TEST(RawRouterTest, ThroughputGrowsWithPacketSize) {
+  double prev = 0.0;
+  for (const common::ByteCount bytes : {64u, 256u, 1024u}) {
+    RawRouter router(default_config(), net::RouteTable::simple4(),
+                     traffic(net::DestPattern::kPermutation, bytes), 6);
+    router.run(60000);
+    const double gbps = router.gbps();
+    EXPECT_GT(gbps, prev) << bytes << " bytes";
+    prev = gbps;
+  }
+  // 1,024-byte peak should be well into the multigigabit range.
+  EXPECT_GT(prev, 10.0);
+}
+
+TEST(RawRouterTest, UniformLoadBelowPermutationPeak) {
+  RawRouter peak(default_config(), net::RouteTable::simple4(),
+                 traffic(net::DestPattern::kPermutation, 1024), 7);
+  peak.run(60000);
+  RawRouter avg(default_config(), net::RouteTable::simple4(),
+                traffic(net::DestPattern::kUniform, 1024), 7);
+  avg.run(60000);
+  EXPECT_LT(avg.gbps(), peak.gbps());
+  // §7.3: average is ~69% of peak; allow a generous band.
+  EXPECT_GT(avg.gbps() / peak.gbps(), 0.45);
+  EXPECT_LT(avg.gbps() / peak.gbps(), 0.95);
+}
+
+TEST(RawRouterTest, TokenFairnessUnderHotspot) {
+  // All inputs flood output 2; deliveries per source must be near-equal.
+  net::TrafficConfig t = traffic(net::DestPattern::kHotspot, 256);
+  t.hotspot_port = 2;
+  t.hotspot_fraction = 1.0;
+  RawRouter router(default_config(), net::RouteTable::simple4(), t, 8);
+  router.run(80000);
+  double per_src[4];
+  for (int s = 0; s < 4; ++s) {
+    per_src[s] = static_cast<double>(router.output(2).delivered_from(s));
+    EXPECT_GT(per_src[s], 0.0) << "source " << s << " starved";
+  }
+  EXPECT_GT(common::jain_fairness(per_src, 4), 0.98);
+}
+
+TEST(RawRouterTest, DeterministicRerun) {
+  const auto run_once = [] {
+    RawRouter router(default_config(), net::RouteTable::simple4(),
+                     traffic(net::DestPattern::kUniform, 128), 99);
+    router.run(30000);
+    return std::make_tuple(router.delivered_packets(), router.delivered_bytes(),
+                           router.chip().static_words_transferred());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RawRouterTest, TtlExpiredPacketsDropped) {
+  // Not directly injectable via TrafficGen; exercised through counters by
+  // running normal traffic (TTL 64 never expires) and asserting none were
+  // dropped for TTL while some packets flowed.
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kUniform, 64), 10);
+  router.run(20000);
+  std::uint64_t ttl_drops = 0;
+  for (const auto& c : router.core().counters) ttl_drops += c.ttl_drops;
+  EXPECT_EQ(ttl_drops, 0u);
+  EXPECT_GT(router.delivered_packets(), 0u);
+}
+
+TEST(RawRouterTest, QuantumCountersConsistent) {
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kUniform, 256), 11);
+  router.run(40000);
+  for (const auto& c : router.core().counters) {
+    EXPECT_EQ(c.quanta, c.grants + c.denials + c.empty_headers);
+    EXPECT_GT(c.quanta, 0u);
+  }
+}
+
+TEST(RawRouterTest, WeightedTokenBiasesThroughput) {
+  // §8.7: give port 0 a heavy token weight under full output contention and
+  // it should win proportionally more of output 2's bandwidth.
+  net::TrafficConfig t = traffic(net::DestPattern::kHotspot, 256);
+  t.hotspot_port = 2;
+  t.hotspot_fraction = 1.0;
+  RouterConfig cfg = default_config();
+  cfg.runtime.token_weights = {6, 1, 1, 1};
+  RawRouter router(cfg, net::RouteTable::simple4(), t, 12);
+  router.run(80000);
+  const auto from0 = router.output(2).delivered_from(0);
+  const auto from1 = router.output(2).delivered_from(1);
+  EXPECT_GT(from0, from1 * 2);
+}
+
+}  // namespace
+}  // namespace raw::router

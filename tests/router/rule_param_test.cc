@@ -1,0 +1,164 @@
+// Property sweeps of the global Rotating Crossbar rule across ring sizes:
+// random (including multicast) request patterns must always produce
+// conflict-free, fair, deterministic allocations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "router/rule.h"
+
+namespace raw::router {
+namespace {
+
+class RuleRingTest : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] std::vector<HeaderReq> random_headers(common::Rng& rng,
+                                                      double multicast_p) const {
+    const int r = GetParam();
+    std::vector<HeaderReq> h(static_cast<std::size_t>(r));
+    for (auto& req : h) {
+      if (rng.chance(0.2)) continue;  // empty input
+      if (rng.chance(multicast_p)) {
+        req.out_mask = static_cast<std::uint32_t>(rng.below((1u << r) - 1) + 1);
+      } else {
+        req.out_mask = 1u << rng.below(static_cast<std::uint64_t>(r));
+      }
+      req.words = static_cast<std::uint32_t>(5 + rng.below(400));
+    }
+    return h;
+  }
+};
+
+TEST_P(RuleRingTest, ResourcesNeverDoubleClaimed) {
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 101);
+  RuleOptions opts;
+  opts.quantum_cap = 256;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto headers = random_headers(rng, 0.3);
+    const int token = static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+    const RingConfig cfg = evaluate_rule(headers, token, opts);
+    for (int e = 0; e < r; ++e) {
+      for (const int owner : {cfg.cw_edge[static_cast<std::size_t>(e)],
+                              cfg.ccw_edge[static_cast<std::size_t>(e)],
+                              cfg.egress[static_cast<std::size_t>(e)]}) {
+        if (owner >= 0) {
+          EXPECT_TRUE(cfg.granted[static_cast<std::size_t>(owner)]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RuleRingTest, GrantedInputsGetAllTheirEgresses) {
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 313);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto headers = random_headers(rng, 0.4);
+    const int token = static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+    const RingConfig cfg = evaluate_rule(headers, token);
+    for (int i = 0; i < r; ++i) {
+      if (!cfg.granted[static_cast<std::size_t>(i)]) continue;
+      const std::uint32_t mask = headers[static_cast<std::size_t>(i)].out_mask;
+      for (int j = 0; j < r; ++j) {
+        if ((mask >> j & 1u) != 0) {
+          EXPECT_EQ(cfg.egress[static_cast<std::size_t>(j)], i)
+              << "multicast grant must be all-or-nothing";
+        }
+      }
+      // Served destinations partition into the two arcs plus self.
+      const std::uint32_t remote = mask & ~(1u << i);
+      EXPECT_EQ(cfg.cw_mask[static_cast<std::size_t>(i)] |
+                    cfg.ccw_mask[static_cast<std::size_t>(i)],
+                remote);
+      EXPECT_EQ(cfg.cw_mask[static_cast<std::size_t>(i)] &
+                    cfg.ccw_mask[static_cast<std::size_t>(i)],
+                0u);
+    }
+  }
+}
+
+TEST_P(RuleRingTest, TokenOwnerAlwaysGrantedForUnicast) {
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 991);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto headers = random_headers(rng, 0.0);  // unicast only
+    const int token = static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+    const RingConfig cfg = evaluate_rule(headers, token);
+    if (!headers[static_cast<std::size_t>(token)].empty()) {
+      EXPECT_TRUE(cfg.granted[static_cast<std::size_t>(token)]);
+    }
+  }
+}
+
+TEST_P(RuleRingTest, GrantWordsRespectCapAndFloor) {
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 777);
+  RuleOptions opts;
+  opts.quantum_cap = 64;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto headers = random_headers(rng, 0.2);
+    const RingConfig cfg = evaluate_rule(headers, 0, opts);
+    for (int i = 0; i < r; ++i) {
+      const auto w = cfg.grant_words[static_cast<std::size_t>(i)];
+      if (!cfg.granted[static_cast<std::size_t>(i)]) {
+        EXPECT_EQ(w, 0u);
+        continue;
+      }
+      const auto requested = headers[static_cast<std::size_t>(i)].words;
+      EXPECT_GE(w, 5u);
+      EXPECT_LE(w, std::min(requested, opts.quantum_cap));
+      const auto tail = requested - w;
+      EXPECT_TRUE(tail == 0 || tail >= 5) << "tiny tail fragment";
+    }
+  }
+}
+
+TEST_P(RuleRingTest, DeterministicAcrossEvaluations) {
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 555);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto headers = random_headers(rng, 0.5);
+    const int token = static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+    const RingConfig a = evaluate_rule(headers, token);
+    const RingConfig b = evaluate_rule(headers, token);
+    EXPECT_EQ(a.cw_edge, b.cw_edge);
+    EXPECT_EQ(a.ccw_edge, b.ccw_edge);
+    EXPECT_EQ(a.egress, b.egress);
+    EXPECT_EQ(a.grant_words, b.grant_words);
+  }
+}
+
+TEST_P(RuleRingTest, EveryInputGrantedWithinOneTokenRotation) {
+  // Long-run fairness: with persistent demand, no input waits more than R
+  // quanta for a grant.
+  const int r = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(r) * 222);
+  std::vector<int> wait(static_cast<std::size_t>(r), 0);
+  std::vector<HeaderReq> headers(static_cast<std::size_t>(r));
+  for (int q = 0; q < 200; ++q) {
+    for (int i = 0; i < r; ++i) {
+      headers[static_cast<std::size_t>(i)] =
+          HeaderReq{1u << rng.below(static_cast<std::uint64_t>(r)), 16};
+    }
+    const RingConfig cfg = evaluate_rule(headers, q % r);
+    for (int i = 0; i < r; ++i) {
+      if (cfg.granted[static_cast<std::size_t>(i)]) {
+        wait[static_cast<std::size_t>(i)] = 0;
+      } else {
+        EXPECT_LE(++wait[static_cast<std::size_t>(i)], r)
+            << "input " << i << " waited beyond a full token rotation";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, RuleRingTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "ring" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace raw::router

@@ -1,0 +1,198 @@
+#include "router/schedule_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace raw::router {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  Layout layout_;
+  ScheduleCompiler compiler_{layout_};
+};
+
+TEST_F(CompilerTest, CrossbarProgramFitsInSwitchImem) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const CrossbarSchedule s = compiler_.compile_crossbar(p);
+    EXPECT_LE(s.program->size(), sim::kSwitchImemWords);
+    // The whole point of the minimization: the program is a few hundred
+    // instructions (multi-phase blocks per configuration and exhaustion order)
+    // instead of 2,500 blocks.
+    EXPECT_LT(s.program->size(), 1200u);
+  }
+}
+
+// Per-server word counts for a configuration: every present server gets
+// `base`, with optional overrides.
+std::array<std::uint32_t, 3> words_for(const TileConfig& tc, std::uint32_t base,
+                                       std::array<std::int64_t, 3> delta = {0, 0,
+                                                                            0}) {
+  std::array<std::uint32_t, 3> w{};
+  const Client clients[3] = {tc.out, tc.cwnext, tc.ccwnext};
+  for (std::size_t s = 0; s < 3; ++s) {
+    if (clients[s] != Client::kNone) {
+      w[s] = static_cast<std::uint32_t>(static_cast<std::int64_t>(base) + delta[s]);
+    }
+  }
+  return w;
+}
+
+int stream_count(const TileConfig& tc) {
+  int n = 0;
+  for (const Client c : {tc.out, tc.cwnext, tc.ccwnext}) {
+    n += c != Client::kNone ? 1 : 0;
+  }
+  return n;
+}
+
+TEST_F(CompilerTest, EveryEnumeratedConfigDispatches) {
+  const CrossbarSchedule s = compiler_.compile_crossbar(2);
+  for (const TileConfig& tc : compiler_.space().tile_configs) {
+    for (const std::uint32_t base : {5u, 16u, 256u}) {
+      const auto d = s.dispatch_for(tc, words_for(tc, base));
+      EXPECT_LT(d.address, s.program->size()) << to_string(tc) << " w=" << base;
+    }
+  }
+}
+
+TEST_F(CompilerTest, PhaseCountsCoverEveryStreamExactly) {
+  // Equal stream lengths: all streams end together, so only phase 1 runs
+  // and its count is base + min_dist - max_dist... ends are dist + W; with
+  // equal W the phase boundaries are the distinct distances.
+  const CrossbarSchedule s = compiler_.compile_crossbar(0);
+  for (const TileConfig& tc : compiler_.space().tile_configs) {
+    if (stream_count(tc) == 0) continue;
+    const std::uint32_t base = 64;
+    const auto d = s.dispatch_for(tc, words_for(tc, base));
+    std::uint64_t total = 0;
+    for (const auto c : d.counts) total += c;
+    // Phase counts cover [max_dist, max_end): max_end - max_dist where
+    // max_end = max(dist) + base here.
+    EXPECT_EQ(total, base) << to_string(tc);
+    EXPECT_GE(d.counts[0], 1u);
+  }
+}
+
+TEST_F(CompilerTest, UnequalStreamLengthsPickDistinctVariants) {
+  // Different exhaustion orders of the same configuration must dispatch to
+  // different code blocks with matching phase counts.
+  const CrossbarSchedule s = compiler_.compile_crossbar(0);
+  for (const TileConfig& tc : compiler_.space().tile_configs) {
+    if (stream_count(tc) < 2) continue;
+    const auto d1 = s.dispatch_for(tc, words_for(tc, 32, {0, 10, 20}));
+    const auto d2 = s.dispatch_for(tc, words_for(tc, 32, {20, 10, 0}));
+    if (tc.out != Client::kNone && tc.cwnext != Client::kNone) {
+      EXPECT_NE(d1.address, d2.address) << to_string(tc);
+    }
+    for (const auto& d : {d1, d2}) {
+      for (const auto c : d.counts) {
+        EXPECT_LT(c, 1000u);  // sane, non-underflowed counts
+      }
+    }
+  }
+}
+
+TEST_F(CompilerTest, BlockAddressesPointPastPreamble) {
+  const CrossbarSchedule s = compiler_.compile_crossbar(0);
+  for (const auto& [key, addr] : s.blocks) {
+    EXPECT_GE(addr, 11u);  // preamble is 11 instructions
+  }
+}
+
+TEST_F(CompilerTest, OneBlockPerConfigAndExhaustionOrder) {
+  const CrossbarSchedule s = compiler_.compile_crossbar(0);
+  std::size_t expected = 0;
+  std::set<std::uint32_t> seen;
+  for (const TileConfig& tc : compiler_.space().tile_configs) {
+    if (!seen.insert(tc.sched_key()).second) continue;
+    const int n = stream_count(tc);
+    expected += n == 0 ? 1 : n == 1 ? 1 : n == 2 ? 2 : 6;
+  }
+  EXPECT_EQ(s.blocks.size(), expected);
+}
+
+TEST_F(CompilerTest, CrossbarPreambleShape) {
+  // Instruction 0 must pull the local header from the ingress direction;
+  // instruction 10 must be the jr dispatch.
+  for (int p = 0; p < kNumPorts; ++p) {
+    const CrossbarSchedule s = compiler_.compile_crossbar(p);
+    const sim::SwitchInstr& first = s.program->at(0);
+    ASSERT_EQ(first.moves.size(), 1u);
+    EXPECT_EQ(first.moves[0].src, layout_.orientation(p).in);
+    EXPECT_EQ(first.moves[0].dst, sim::Dir::kProc);
+    EXPECT_EQ(s.program->at(10).op, sim::CtrlOp::kJr);
+  }
+}
+
+TEST_F(CompilerTest, BlocksUseOnlyValidMoves) {
+  // No block may route between the two ring directions (a cw stream never
+  // leaves on the ccw link and vice versa).
+  for (int p = 0; p < kNumPorts; ++p) {
+    const CrossbarOrientation& o = layout_.orientation(p);
+    const CrossbarSchedule s = compiler_.compile_crossbar(p);
+    for (const sim::SwitchInstr& ins : s.program->instrs()) {
+      for (const sim::Move& m : ins.moves) {
+        EXPECT_FALSE(m.src == o.cw_in && m.dst == o.ccw_out);
+        EXPECT_FALSE(m.src == o.ccw_in && m.dst == o.cw_out);
+      }
+    }
+  }
+}
+
+TEST_F(CompilerTest, StreamingLoopsAreSingleInstruction) {
+  // Every bnezd targets itself: one word per cycle per stream.
+  const CrossbarSchedule s = compiler_.compile_crossbar(1);
+  for (std::size_t i = 0; i < s.program->size(); ++i) {
+    if (s.program->at(i).op == sim::CtrlOp::kBnezd) {
+      EXPECT_EQ(s.program->at(i).imm, static_cast<std::int32_t>(i));
+    }
+  }
+}
+
+TEST_F(CompilerTest, IngressProgramBlocks) {
+  const IngressSchedule s = compiler_.compile_ingress(0);
+  EXPECT_LT(s.program->size(), 20u);
+  for (const common::Word addr :
+       {s.ingest_header, s.send_header, s.stream_proc, s.stream_edge}) {
+    EXPECT_GE(addr, 3u);  // past the dispatch
+    EXPECT_LT(addr, s.program->size());
+  }
+}
+
+TEST_F(CompilerTest, EgressProgramBlocks) {
+  const EgressSchedule s = compiler_.compile_egress(3);
+  for (const common::Word addr :
+       {s.recv_desc, s.stream_out, s.buffer_in, s.drain_out}) {
+    EXPECT_GE(addr, 3u);
+    EXPECT_LT(addr, s.program->size());
+  }
+}
+
+TEST_F(CompilerTest, ProgramsValidatePerRotatedOrientation) {
+  // Programs for the four ring positions differ (rotated directions) but
+  // have the same size and block structure.
+  const CrossbarSchedule a = compiler_.compile_crossbar(0);
+  const CrossbarSchedule b = compiler_.compile_crossbar(2);
+  EXPECT_EQ(a.program->size(), b.program->size());
+  EXPECT_EQ(a.blocks.size(), b.blocks.size());
+  for (const auto& [key, addr] : a.blocks) {
+    ASSERT_TRUE(b.blocks.contains(key));
+    EXPECT_EQ(addr, b.blocks.at(key));
+  }
+  EXPECT_NE(a.program->instrs(), b.program->instrs());
+}
+
+TEST_F(CompilerTest, TotalFootprintSupportsThesisClaim) {
+  // §6.2: before minimization, 2,500 configs x (roughly a block each) would
+  // blow the 8K imem; after, the entire program is a few dozen instructions.
+  const CrossbarSchedule s = compiler_.compile_crossbar(0);
+  const double instrs_per_config =
+      static_cast<double>(s.program->size()) /
+      static_cast<double>(compiler_.space().global_configs);
+  EXPECT_LT(instrs_per_config, 0.2);
+}
+
+}  // namespace
+}  // namespace raw::router

@@ -1,0 +1,245 @@
+#include "sim/chip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/tile_task.h"
+
+namespace raw::sim {
+namespace {
+
+using task::read;
+using task::write;
+
+std::shared_ptr<const SwitchProgram> prog(const std::string& text) {
+  std::string error;
+  SwitchProgram p = assemble(text, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return std::make_shared<const SwitchProgram>(std::move(p));
+}
+
+// Streams a fixed word sequence into an edge port.
+class SourceDevice : public Device {
+ public:
+  SourceDevice(Channel* to_chip, std::vector<common::Word> words)
+      : to_chip_(to_chip), words_(std::move(words)) {}
+
+  void step(Chip&) override {
+    if (next_ < words_.size() && to_chip_->can_write()) {
+      to_chip_->write(words_[next_++]);
+    }
+  }
+
+ private:
+  Channel* to_chip_;
+  std::vector<common::Word> words_;
+  std::size_t next_ = 0;
+};
+
+// Drains an edge port, recording arrival cycles.
+class SinkDevice : public Device {
+ public:
+  explicit SinkDevice(Channel* from_chip) : from_chip_(from_chip) {}
+
+  void step(Chip& chip) override {
+    if (from_chip_->can_read()) {
+      received_.push_back(from_chip_->read());
+      arrival_cycles_.push_back(chip.cycle());
+    }
+  }
+
+  [[nodiscard]] const std::vector<common::Word>& received() const { return received_; }
+  [[nodiscard]] const std::vector<common::Cycle>& arrivals() const {
+    return arrival_cycles_;
+  }
+
+ private:
+  Channel* from_chip_;
+  std::vector<common::Word> received_;
+  std::vector<common::Cycle> arrival_cycles_;
+};
+
+TEST(ChipTest, GridWiring4x4) {
+  Chip chip;
+  EXPECT_EQ(chip.num_tiles(), 16);
+  EXPECT_EQ(chip.tile(5).coord(), (TileCoord{1, 1}));
+  // Edge ports exist on the boundary only.
+  const IoPort west = chip.io_port(0, 4, Dir::kWest);
+  EXPECT_NE(west.to_chip, nullptr);
+  EXPECT_NE(west.from_chip, nullptr);
+}
+
+TEST(ChipDeathTest, InteriorIoPortAborts) {
+  Chip chip;
+  EXPECT_DEATH((void)chip.io_port(0, 5, Dir::kWest), "interior");
+}
+
+TEST(ChipTest, StreamAcrossRowAtFullRate) {
+  // Words enter tile 4's west edge, traverse switches 4..7, and exit east.
+  Chip chip;
+  std::vector<common::Word> payload;
+  for (common::Word i = 0; i < 64; ++i) payload.push_back(i);
+
+  for (int t : {4, 5, 6, 7}) {
+    chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E"));
+  }
+  SourceDevice src(chip.io_port(0, 4, Dir::kWest).to_chip, payload);
+  SinkDevice sink(chip.io_port(0, 7, Dir::kEast).from_chip);
+  chip.add_device(&src);
+  chip.add_device(&sink);
+
+  chip.run(200);
+  ASSERT_EQ(sink.received().size(), payload.size());
+  EXPECT_EQ(sink.received(), payload);
+  // Steady-state rate: one word per cycle (arrivals of consecutive words
+  // one cycle apart once the pipeline fills).
+  const auto& arr = sink.arrivals();
+  for (std::size_t i = 17; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i] - arr[i - 1], 1u) << "stall at word " << i;
+  }
+}
+
+TEST(ChipTest, Figure32TileToTileSendSouth) {
+  // Reproduces the §3.3 example: tile 0 sends a value south to tile 4; the
+  // send-to-use latency must be exactly three cycles.
+  Chip chip;
+  common::Cycle write_fired = 0;
+  common::Cycle read_fired = 0;
+  common::Word result = 0;
+
+  auto sender = [&chip, &write_fired]() -> TileTask {
+    co_await write(chip.tile(0).csto(0), 0xabcd);
+    write_fired = chip.cycle();
+  };
+  auto receiver = [&chip, &read_fired, &result]() -> TileTask {
+    const common::Word w = co_await read(chip.tile(4).csti(0));
+    read_fired = chip.cycle();
+    result = w & 0xffff;
+  };
+  chip.tile(0).set_program(sender());
+  chip.tile(4).set_program(receiver());
+  chip.tile(0).switch_proc().load(prog("route P>S\nhalt"));
+  chip.tile(4).switch_proc().load(prog("route N>P\nhalt"));
+
+  chip.run(20);
+  EXPECT_EQ(result, 0xabcdu);
+  // Three cycles from the OR writing $csto to the AND reading $csti.
+  EXPECT_EQ(read_fired - write_fired, 3u);
+}
+
+TEST(ChipTest, MulticastToTwoEdges) {
+  // Tile 5's switch fans one west-edge stream out to both its north and
+  // east neighbours, which forward to edge sinks.
+  Chip chip;
+  std::vector<common::Word> payload{1, 2, 3, 4, 5};
+  chip.tile(4).switch_proc().load(prog("loop: jump loop | W>E"));
+  chip.tile(5).switch_proc().load(prog("loop: jump loop | W>N, W>E"));
+  chip.tile(1).switch_proc().load(prog("loop: jump loop | S>N"));
+  chip.tile(6).switch_proc().load(prog("loop: jump loop | W>E"));
+  chip.tile(7).switch_proc().load(prog("loop: jump loop | W>E"));
+
+  SourceDevice src(chip.io_port(0, 4, Dir::kWest).to_chip, payload);
+  SinkDevice north_sink(chip.io_port(0, 1, Dir::kNorth).from_chip);
+  SinkDevice east_sink(chip.io_port(0, 7, Dir::kEast).from_chip);
+  chip.add_device(&src);
+  chip.add_device(&north_sink);
+  chip.add_device(&east_sink);
+
+  chip.run(100);
+  EXPECT_EQ(north_sink.received(), payload);
+  EXPECT_EQ(east_sink.received(), payload);
+}
+
+TEST(ChipTest, SecondStaticNetworkIsIndependent) {
+  Chip chip;
+  std::vector<common::Word> p1{10, 11, 12};
+  std::vector<common::Word> p2{20, 21, 22};
+  // Net 1 carries a stream across row 1 while net 2 carries an independent
+  // stream across row 2.
+  for (int t : {4, 5, 6, 7}) {
+    chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E"));
+  }
+  for (int t : {8, 9, 10, 11}) {
+    chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E@2"));
+  }
+  SourceDevice src1(chip.io_port(0, 4, Dir::kWest).to_chip, p1);
+  SourceDevice src2(chip.io_port(1, 8, Dir::kWest).to_chip, p2);
+  SinkDevice sink1(chip.io_port(0, 7, Dir::kEast).from_chip);
+  SinkDevice sink2(chip.io_port(1, 8 + 3, Dir::kEast).from_chip);
+  for (Device* d : std::initializer_list<Device*>{&src1, &src2, &sink1, &sink2}) {
+    chip.add_device(d);
+  }
+  chip.run(100);
+  EXPECT_EQ(sink1.received(), p1);
+  EXPECT_EQ(sink2.received(), p2);
+}
+
+TEST(ChipTest, DeterministicRerun) {
+  // Two identical chips produce identical word-transfer counts.
+  auto run_once = []() -> std::uint64_t {
+    Chip chip;
+    std::vector<common::Word> payload;
+    for (common::Word i = 0; i < 32; ++i) payload.push_back(i * 3);
+    for (int t : {8, 9, 10, 11}) {
+      chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E"));
+    }
+    SourceDevice src(chip.io_port(0, 8, Dir::kWest).to_chip, payload);
+    SinkDevice sink(chip.io_port(0, 11, Dir::kEast).from_chip);
+    chip.add_device(&src);
+    chip.add_device(&sink);
+    chip.run(123);
+    return chip.static_words_transferred();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ChipTest, TraceRecordsBlockedSwitch) {
+  Chip chip;
+  chip.trace().configure(0, 10, chip.num_tiles());
+  // Tile 5 waits forever on a word from the west that never comes.
+  chip.tile(5).switch_proc().load(prog("route W>E\nhalt"));
+  chip.run(10);
+  const auto u = chip.trace().utilization(5);
+  EXPECT_GT(u.blocked, 0.9);
+  const auto idle = chip.trace().utilization(10);
+  EXPECT_GT(idle.idle, 0.9);
+}
+
+TEST(ChipTest, ProcessorComputesOnStream) {
+  // Tile 5's processor doubles each word of a west-edge stream and sends it
+  // back out east: W -> proc -> E, exercising csti/csto both ways.
+  Chip chip;
+  std::vector<common::Word> payload{3, 5, 7};
+  chip.tile(4).switch_proc().load(prog("loop: jump loop | W>E"));
+  // W>P and P>E must be separate instructions: a single atomic instruction
+  // would wait for the processor's reply before accepting the word that
+  // produces it, deadlocking (the schedule compiler avoids such schedules).
+  chip.tile(5).switch_proc().load(prog("loop: route W>P\njump loop | P>E"));
+  chip.tile(6).switch_proc().load(prog("loop: jump loop | W>E"));
+  chip.tile(7).switch_proc().load(prog("loop: jump loop | W>E"));
+  auto doubler = [&chip]() -> TileTask {
+    for (;;) {
+      const common::Word w = co_await read(chip.tile(5).csti(0));
+      co_await write(chip.tile(5).csto(0), w * 2);
+    }
+  };
+  chip.tile(5).set_program(doubler());
+  SourceDevice src(chip.io_port(0, 4, Dir::kWest).to_chip, payload);
+  SinkDevice sink(chip.io_port(0, 7, Dir::kEast).from_chip);
+  chip.add_device(&src);
+  chip.add_device(&sink);
+  chip.run(100);
+  EXPECT_EQ(sink.received(), (std::vector<common::Word>{6, 10, 14}));
+}
+
+TEST(ChipTest, RunUntilPredicate) {
+  Chip chip;
+  const bool hit = chip.run_until([&] { return chip.cycle() >= 7; }, 100);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(chip.cycle(), 7u);
+}
+
+}  // namespace
+}  // namespace raw::sim

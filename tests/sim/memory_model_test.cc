@@ -1,0 +1,48 @@
+#include "sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::sim {
+namespace {
+
+TEST(MemoryModelTest, BufferCostIsTwoCyclesPerWord) {
+  // §4.4: "buffering data on a tile's local memory requires two processor
+  // cycles per word".
+  const MemoryModel m;
+  EXPECT_EQ(m.buffer_in_cost(0), 0u);
+  EXPECT_EQ(m.buffer_in_cost(1), 2u);
+  EXPECT_EQ(m.buffer_in_cost(256), 512u);
+}
+
+TEST(MemoryModelTest, AllHitsCostHitLatency) {
+  const MemoryModel m;
+  EXPECT_EQ(m.table_access_cost(3, 0.0), 3 * m.cache_hit_cycles);
+}
+
+TEST(MemoryModelTest, AllMissesCostMissLatency) {
+  const MemoryModel m;
+  EXPECT_EQ(m.table_access_cost(2, 1.0), 2 * m.cache_miss_cycles);
+}
+
+TEST(MemoryModelTest, MixedRatioInterpolates) {
+  const MemoryModel m;
+  const common::Cycle half = m.table_access_cost(2, 0.5);
+  EXPECT_EQ(half, static_cast<common::Cycle>(
+                      (0.5 * static_cast<double>(m.cache_miss_cycles) +
+                       0.5 * static_cast<double>(m.cache_hit_cycles)) *
+                      2));
+  EXPECT_GT(half, m.table_access_cost(2, 0.0));
+  EXPECT_LT(half, m.table_access_cost(2, 1.0));
+}
+
+TEST(MemoryModelTest, DefaultsMatchThesisConstraints) {
+  const MemoryModel m;
+  EXPECT_EQ(m.cache_hit_cycles, 3u);            // §3.2: 3-cycle data cache
+  EXPECT_EQ(m.buffer_store_cycles_per_word, 2u);  // §4.4
+  EXPECT_EQ(m.words_per_line, 8u);              // 32-byte lines
+  EXPECT_GT(m.cache_miss_cycles, m.cache_hit_cycles);
+  EXPECT_LT(m.dram_occupancy_cycles, m.cache_miss_cycles);
+}
+
+}  // namespace
+}  // namespace raw::sim

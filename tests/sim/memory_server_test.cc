@@ -1,0 +1,168 @@
+#include "sim/memory_server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/tile_task.h"
+
+namespace raw::sim {
+namespace {
+
+using task::delay;
+
+TEST(MemoryServerTest, StoreThenLoadReadsBack) {
+  Chip chip;
+  MemoryServer server(chip, /*tile=*/0, MemoryModel{}, 1024);
+  server.install();
+
+  bool done = false;
+  common::Word loaded = 0;
+  auto client = [&]() -> TileTask {
+    MemClient mem(chip, /*tile=*/15, server.tile());
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_store(1, 100, 0xdeadbeef);
+    while (!mem.reply_ready()) co_await delay(1);
+    (void)mem.take_reply();  // write acknowledgement
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_load(2, 100);
+    while (!mem.reply_ready()) co_await delay(1);
+    const auto [tag, data] = mem.take_reply();
+    EXPECT_EQ(tag, 2);
+    loaded = data;
+    done = true;
+  };
+  chip.tile(15).set_program(client());
+  EXPECT_TRUE(chip.run_until([&] { return done; }, 5000));
+  EXPECT_EQ(loaded, 0xdeadbeefu);
+  EXPECT_EQ(server.loads(), 1u);
+  EXPECT_EQ(server.stores(), 1u);
+  EXPECT_EQ(server.peek(100), 0xdeadbeefu);
+}
+
+TEST(MemoryServerTest, NonBlockingLoadsOverlap) {
+  // §8.2's point: issuing N loads back to back costs far less than N
+  // sequential round trips because the DRAM accesses pipeline.
+  constexpr int kLoads = 8;
+  const auto run = [](bool pipelined) -> common::Cycle {
+    Chip chip;
+    MemoryServer server(chip, 3, MemoryModel{}, 256);
+    for (std::uint16_t a = 0; a < kLoads; ++a) {
+      server.poke(a, 1000u + a);
+    }
+    server.install();
+    bool done = false;
+    common::Cycle finished = 0;
+    auto client = [&chip, &done, &finished, pipelined,
+                   srv = server.tile()]() -> TileTask {
+      MemClient mem(chip, 12, srv);
+      int received = 0;
+      if (pipelined) {
+        for (std::uint8_t t = 0; t < kLoads; ++t) {
+          while (!mem.can_issue()) co_await delay(1);
+          mem.issue_load(t, t);
+          co_await delay(1);
+        }
+        while (received < kLoads) {
+          if (mem.reply_ready()) {
+            const auto [tag, data] = mem.take_reply();
+            EXPECT_EQ(data, 1000u + tag);
+            ++received;
+          } else {
+            co_await delay(1);
+          }
+        }
+      } else {
+        for (std::uint8_t t = 0; t < kLoads; ++t) {
+          while (!mem.can_issue()) co_await delay(1);
+          mem.issue_load(t, t);
+          while (!mem.reply_ready()) co_await delay(1);
+          const auto [tag, data] = mem.take_reply();
+          EXPECT_EQ(tag, t);
+          EXPECT_EQ(data, 1000u + t);
+          ++received;
+        }
+      }
+      finished = chip.cycle();
+      done = true;
+    };
+    chip.tile(12).set_program(client());
+    EXPECT_TRUE(chip.run_until([&] { return done; }, 50000));
+    return finished;
+  };
+
+  const common::Cycle blocking = run(false);
+  const common::Cycle pipelined = run(true);
+  EXPECT_LT(pipelined * 2, blocking)
+      << "non-blocking issue should at least halve total latency";
+}
+
+TEST(MemoryServerTest, RepliesCarryTagsForOutOfOrderMatching) {
+  Chip chip;
+  MemoryServer server(chip, 5, MemoryModel{}, 64);
+  server.poke(7, 70);
+  server.poke(9, 90);
+  server.install();
+  std::map<int, common::Word> results;
+  bool done = false;
+  auto client = [&]() -> TileTask {
+    MemClient mem(chip, 2, server.tile());
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_load(7, 7);
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_load(9, 9);
+    while (results.size() < 2) {
+      if (mem.reply_ready()) {
+        const auto [tag, data] = mem.take_reply();
+        results[tag] = data;
+      } else {
+        co_await delay(1);
+      }
+    }
+    done = true;
+  };
+  chip.tile(2).set_program(client());
+  EXPECT_TRUE(chip.run_until([&] { return done; }, 10000));
+  EXPECT_EQ(results.at(7), 70u);
+  EXPECT_EQ(results.at(9), 90u);
+}
+
+TEST(MemoryServerTest, TwoClientsShareOneServer) {
+  Chip chip;
+  MemoryServer server(chip, 10, MemoryModel{}, 64);
+  server.install();
+  int finished = 0;
+  const auto make_client = [&](int tile, std::uint16_t slot,
+                               common::Word value) -> TileTask {
+    MemClient mem(chip, tile, server.tile());
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_store(0, slot, value);
+    while (!mem.reply_ready()) co_await delay(1);
+    (void)mem.take_reply();
+    while (!mem.can_issue()) co_await delay(1);
+    mem.issue_load(1, slot);
+    while (!mem.reply_ready()) co_await delay(1);
+    const auto [tag, data] = mem.take_reply();
+    EXPECT_EQ(data, value);
+    ++finished;
+  };
+  chip.tile(0).set_program(make_client(0, 1, 111));
+  chip.tile(15).set_program(make_client(15, 2, 222));
+  EXPECT_TRUE(chip.run_until([&] { return finished == 2; }, 20000));
+  EXPECT_EQ(server.peek(1), 111u);
+  EXPECT_EQ(server.peek(2), 222u);
+}
+
+TEST(MemMessageTest, OpWordRoundTrip) {
+  const MemMessage m{true, 0xab, 0x1234, 0};
+  const MemMessage back = MemMessage::decode_op(m.encode_op());
+  EXPECT_EQ(back.is_store, true);
+  EXPECT_EQ(back.tag, 0xab);
+  EXPECT_EQ(back.addr, 0x1234);
+  const MemMessage load{false, 3, 77, 0};
+  EXPECT_FALSE(MemMessage::decode_op(load.encode_op()).is_store);
+}
+
+}  // namespace
+}  // namespace raw::sim

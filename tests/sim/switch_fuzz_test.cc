@@ -1,0 +1,129 @@
+// Fuzz-style robustness tests: random valid switch programs and random
+// assembler inputs must never corrupt the simulator (they may stall, which
+// is legal hardware behaviour).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/chip.h"
+
+namespace raw::sim {
+namespace {
+
+SwitchInstr random_instr(common::Rng& rng, std::size_t program_len) {
+  SwitchInstr ins;
+  switch (rng.below(8)) {
+    case 0: ins.op = CtrlOp::kNop; break;
+    case 1:
+      ins.op = CtrlOp::kLi;
+      ins.reg = static_cast<std::uint8_t>(rng.below(kNumSwitchRegs));
+      ins.imm = static_cast<std::int32_t>(rng.below(100));
+      break;
+    case 2:
+      ins.op = CtrlOp::kAddi;
+      ins.reg = static_cast<std::uint8_t>(rng.below(kNumSwitchRegs));
+      ins.imm = static_cast<std::int32_t>(rng.below(7)) - 3;
+      break;
+    case 3:
+      ins.op = CtrlOp::kBnez;
+      ins.reg = static_cast<std::uint8_t>(rng.below(kNumSwitchRegs));
+      ins.imm = static_cast<std::int32_t>(rng.below(program_len));
+      break;
+    case 4:
+      ins.op = CtrlOp::kBeqz;
+      ins.reg = static_cast<std::uint8_t>(rng.below(kNumSwitchRegs));
+      ins.imm = static_cast<std::int32_t>(rng.below(program_len));
+      break;
+    case 5:
+      ins.op = CtrlOp::kJump;
+      ins.imm = static_cast<std::int32_t>(rng.below(program_len));
+      break;
+    default:
+      ins.op = CtrlOp::kNop;
+      break;
+  }
+  // Random route component: distinct destinations per network.
+  bool dst_used[kNumStaticNets][5] = {};
+  const auto n_moves = rng.below(4);
+  for (std::uint64_t m = 0; m < n_moves; ++m) {
+    Move move;
+    move.net = static_cast<std::uint8_t>(rng.below(kNumStaticNets));
+    move.src = static_cast<Dir>(rng.below(5));
+    move.dst = static_cast<Dir>(rng.below(5));
+    if (move.src == move.dst) continue;
+    auto& used = dst_used[move.net][static_cast<std::size_t>(move.dst)];
+    if (used) continue;
+    used = true;
+    ins.moves.push_back(move);
+  }
+  return ins;
+}
+
+TEST(SwitchFuzzTest, RandomValidProgramsNeverCorruptTheChip) {
+  common::Rng rng(314159);
+  for (int trial = 0; trial < 30; ++trial) {
+    Chip chip;
+    for (int t = 0; t < chip.num_tiles(); ++t) {
+      const std::size_t len = 4 + rng.below(12);
+      std::vector<SwitchInstr> instrs;
+      for (std::size_t i = 0; i < len; ++i) {
+        instrs.push_back(random_instr(rng, len));
+      }
+      if (!SwitchProgram::validate(instrs).empty()) continue;  // skip invalid
+      chip.tile(t).switch_proc().load(
+          std::make_shared<const SwitchProgram>(std::move(instrs)));
+    }
+    // Feed all edges so routes have data to chew on.
+    chip.run(300);  // must not abort; stalls are fine
+    SUCCEED();
+  }
+}
+
+TEST(SwitchFuzzTest, AssemblerNeverCrashesOnGarbage) {
+  common::Rng rng(2718);
+  const std::string alphabet = "rnopjbeqzlia0123456789 ,|>@NSEWP:#\n\t";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const auto len = rng.below(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      text += alphabet[rng.below(alphabet.size())];
+    }
+    std::string error;
+    (void)assemble(text, &error);  // must return or set error, never crash
+  }
+  SUCCEED();
+}
+
+TEST(SwitchFuzzTest, AssembleDisassembleFixpoint) {
+  // Disassembly of a valid program reassembles to the identical program
+  // (after stripping the index prefixes) across randomized programs.
+  common::Rng rng(979);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 3 + rng.below(10);
+    std::vector<SwitchInstr> instrs;
+    for (std::size_t i = 0; i < len; ++i) instrs.push_back(random_instr(rng, len));
+    if (!SwitchProgram::validate(instrs).empty()) continue;
+    const SwitchProgram p1(std::move(instrs));
+    std::string stripped;
+    const std::string disasm = disassemble(p1);
+    for (std::size_t pos = 0; pos < disasm.size();) {
+      const std::size_t colon = disasm.find(": ", pos);
+      const std::size_t eol = disasm.find('\n', pos);
+      stripped += disasm.substr(colon + 2, eol - colon - 2);
+      stripped += '\n';
+      pos = eol + 1;
+    }
+    std::string error;
+    const SwitchProgram p2 = assemble(stripped, &error);
+    ASSERT_TRUE(error.empty()) << error << "\n" << stripped;
+    ASSERT_EQ(p1.size(), p2.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      EXPECT_EQ(p1.at(i), p2.at(i)) << stripped;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raw::sim

@@ -1,0 +1,97 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::sim {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.active(0));
+}
+
+TEST(TraceTest, ActiveOnlyInsideWindow) {
+  Trace t;
+  t.configure(100, 200, 4);
+  EXPECT_FALSE(t.active(99));
+  EXPECT_TRUE(t.active(100));
+  EXPECT_TRUE(t.active(199));
+  EXPECT_FALSE(t.active(200));
+}
+
+TEST(TraceTest, RecordAndReadBack) {
+  Trace t;
+  t.configure(0, 10, 2);
+  t.record(3, 1, AgentState::kBusy, AgentState::kBlockedRecv);
+  EXPECT_EQ(t.proc_state(3, 1), AgentState::kBusy);
+  EXPECT_EQ(t.switch_state(3, 1), AgentState::kBlockedRecv);
+  EXPECT_EQ(t.proc_state(3, 0), AgentState::kIdle);  // default
+}
+
+TEST(TraceTest, CombinedPrefersBusy) {
+  Trace t;
+  t.configure(0, 1, 1);
+  t.record(0, 0, AgentState::kBlockedRecv, AgentState::kBusy);
+  EXPECT_EQ(t.combined(0, 0), AgentState::kBusy);
+}
+
+TEST(TraceTest, CombinedReportsBlockReason) {
+  Trace t;
+  t.configure(0, 3, 1);
+  t.record(0, 0, AgentState::kBlockedRecv, AgentState::kIdle);
+  t.record(1, 0, AgentState::kIdle, AgentState::kBlockedSend);
+  t.record(2, 0, AgentState::kBlockedMem, AgentState::kBlockedSend);
+  EXPECT_EQ(t.combined(0, 0), AgentState::kBlockedRecv);
+  EXPECT_EQ(t.combined(1, 0), AgentState::kBlockedSend);
+  // Memory stall is the most informative reason.
+  EXPECT_EQ(t.combined(2, 0), AgentState::kBlockedMem);
+}
+
+TEST(TraceTest, UtilizationFractions) {
+  Trace t;
+  t.configure(0, 10, 1);
+  for (common::Cycle c = 0; c < 5; ++c) {
+    t.record(c, 0, AgentState::kBusy, AgentState::kIdle);
+  }
+  for (common::Cycle c = 5; c < 8; ++c) {
+    t.record(c, 0, AgentState::kBlockedRecv, AgentState::kIdle);
+  }
+  const auto u = t.utilization(0);
+  EXPECT_DOUBLE_EQ(u.busy, 0.5);
+  EXPECT_DOUBLE_EQ(u.blocked, 0.3);
+  EXPECT_DOUBLE_EQ(u.idle, 0.2);
+}
+
+TEST(TraceTest, AsciiHasOneRowPerTile) {
+  Trace t;
+  t.configure(0, 100, 3);
+  for (common::Cycle c = 0; c < 100; ++c) {
+    t.record(c, 0, AgentState::kBusy, AgentState::kIdle);
+    t.record(c, 1, AgentState::kBlockedRecv, AgentState::kIdle);
+  }
+  const std::string art = t.ascii(20);
+  int rows = 0;
+  for (const char ch : art) {
+    if (ch == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('r'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(TraceTest, CsvHasHeaderAndRows) {
+  Trace t;
+  t.configure(0, 2, 2);
+  const std::string csv = t.csv();
+  int lines = 0;
+  for (const char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + 2 * 2);
+  EXPECT_EQ(csv.rfind("cycle,tile,proc,switch", 0), 0u);
+}
+
+}  // namespace
+}  // namespace raw::sim
