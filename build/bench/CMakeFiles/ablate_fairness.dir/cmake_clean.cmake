@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fairness.dir/ablate_fairness.cc.o"
+  "CMakeFiles/ablate_fairness.dir/ablate_fairness.cc.o.d"
+  "ablate_fairness"
+  "ablate_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

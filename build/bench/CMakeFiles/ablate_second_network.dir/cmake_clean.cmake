@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_second_network.dir/ablate_second_network.cc.o"
+  "CMakeFiles/ablate_second_network.dir/ablate_second_network.cc.o.d"
+  "ablate_second_network"
+  "ablate_second_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_second_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

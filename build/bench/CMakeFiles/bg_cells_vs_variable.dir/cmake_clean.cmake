@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg_cells_vs_variable.dir/bg_cells_vs_variable.cc.o"
+  "CMakeFiles/bg_cells_vs_variable.dir/bg_cells_vs_variable.cc.o.d"
+  "bg_cells_vs_variable"
+  "bg_cells_vs_variable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg_cells_vs_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

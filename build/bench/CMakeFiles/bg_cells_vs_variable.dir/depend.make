@@ -1,0 +1,2 @@
+# Empty dependencies file for bg_cells_vs_variable.
+# This may be replaced when dependencies are built.

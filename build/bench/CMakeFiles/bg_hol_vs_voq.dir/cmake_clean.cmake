@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bg_hol_vs_voq.dir/bg_hol_vs_voq.cc.o"
+  "CMakeFiles/bg_hol_vs_voq.dir/bg_hol_vs_voq.cc.o.d"
+  "bg_hol_vs_voq"
+  "bg_hol_vs_voq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bg_hol_vs_voq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bg_hol_vs_voq.
+# This may be replaced when dependencies are built.

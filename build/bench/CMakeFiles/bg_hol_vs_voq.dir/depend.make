@@ -1,0 +1,2 @@
+# Empty dependencies file for bg_hol_vs_voq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicast.dir/ext_multicast.cc.o"
+  "CMakeFiles/ext_multicast.dir/ext_multicast.cc.o.d"
+  "ext_multicast"
+  "ext_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

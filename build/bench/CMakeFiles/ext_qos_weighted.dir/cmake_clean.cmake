@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qos_weighted.dir/ext_qos_weighted.cc.o"
+  "CMakeFiles/ext_qos_weighted.dir/ext_qos_weighted.cc.o.d"
+  "ext_qos_weighted"
+  "ext_qos_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qos_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

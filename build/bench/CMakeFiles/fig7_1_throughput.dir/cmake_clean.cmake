@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_1_throughput.dir/fig7_1_throughput.cc.o"
+  "CMakeFiles/fig7_1_throughput.dir/fig7_1_throughput.cc.o.d"
+  "fig7_1_throughput"
+  "fig7_1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_2_mapping.dir/fig7_2_mapping.cc.o"
+  "CMakeFiles/fig7_2_mapping.dir/fig7_2_mapping.cc.o.d"
+  "fig7_2_mapping"
+  "fig7_2_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_2_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_1_config_space.dir/tab6_1_config_space.cc.o"
+  "CMakeFiles/tab6_1_config_space.dir/tab6_1_config_space.cc.o.d"
+  "tab6_1_config_space"
+  "tab6_1_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_1_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

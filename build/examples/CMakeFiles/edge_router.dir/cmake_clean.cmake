@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_router.dir/edge_router.cpp.o"
+  "CMakeFiles/edge_router.dir/edge_router.cpp.o.d"
+  "edge_router"
+  "edge_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

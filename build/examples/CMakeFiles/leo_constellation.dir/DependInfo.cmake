@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/leo_constellation.cpp" "examples/CMakeFiles/leo_constellation.dir/leo_constellation.cpp.o" "gcc" "examples/CMakeFiles/leo_constellation.dir/leo_constellation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/rawrouter.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/rawclick.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rawfabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rawnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rawsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_constellation.dir/leo_constellation.cpp.o"
+  "CMakeFiles/leo_constellation.dir/leo_constellation.cpp.o.d"
+  "leo_constellation"
+  "leo_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonblocking_memory.dir/nonblocking_memory.cpp.o"
+  "CMakeFiles/nonblocking_memory.dir/nonblocking_memory.cpp.o.d"
+  "nonblocking_memory"
+  "nonblocking_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonblocking_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_router.dir/qos_router.cpp.o"
+  "CMakeFiles/qos_router.dir/qos_router.cpp.o.d"
+  "qos_router"
+  "qos_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_playground.dir/switch_playground.cpp.o"
+  "CMakeFiles/switch_playground.dir/switch_playground.cpp.o.d"
+  "switch_playground"
+  "switch_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawclick.dir/click_router.cc.o"
+  "CMakeFiles/rawclick.dir/click_router.cc.o.d"
+  "CMakeFiles/rawclick.dir/element.cc.o"
+  "CMakeFiles/rawclick.dir/element.cc.o.d"
+  "CMakeFiles/rawclick.dir/elements.cc.o"
+  "CMakeFiles/rawclick.dir/elements.cc.o.d"
+  "librawclick.a"
+  "librawclick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawclick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawcommon.dir/histogram.cc.o"
+  "CMakeFiles/rawcommon.dir/histogram.cc.o.d"
+  "CMakeFiles/rawcommon.dir/log.cc.o"
+  "CMakeFiles/rawcommon.dir/log.cc.o.d"
+  "CMakeFiles/rawcommon.dir/rng.cc.o"
+  "CMakeFiles/rawcommon.dir/rng.cc.o.d"
+  "CMakeFiles/rawcommon.dir/stats.cc.o"
+  "CMakeFiles/rawcommon.dir/stats.cc.o.d"
+  "librawcommon.a"
+  "librawcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

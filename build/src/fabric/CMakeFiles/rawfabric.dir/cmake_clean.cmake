@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawfabric.dir/cell_switch.cc.o"
+  "CMakeFiles/rawfabric.dir/cell_switch.cc.o.d"
+  "CMakeFiles/rawfabric.dir/scheduler.cc.o"
+  "CMakeFiles/rawfabric.dir/scheduler.cc.o.d"
+  "librawfabric.a"
+  "librawfabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawfabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

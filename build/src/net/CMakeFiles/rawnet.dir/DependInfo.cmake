@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cell.cc" "src/net/CMakeFiles/rawnet.dir/cell.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/cell.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/rawnet.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/rawnet.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/packet.cc.o.d"
+  "/root/repo/src/net/patricia.cc" "src/net/CMakeFiles/rawnet.dir/patricia.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/patricia.cc.o.d"
+  "/root/repo/src/net/route_table.cc" "src/net/CMakeFiles/rawnet.dir/route_table.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/route_table.cc.o.d"
+  "/root/repo/src/net/small_table.cc" "src/net/CMakeFiles/rawnet.dir/small_table.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/small_table.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/rawnet.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/rawnet.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

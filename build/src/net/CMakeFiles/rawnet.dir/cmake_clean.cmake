@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawnet.dir/cell.cc.o"
+  "CMakeFiles/rawnet.dir/cell.cc.o.d"
+  "CMakeFiles/rawnet.dir/ipv4.cc.o"
+  "CMakeFiles/rawnet.dir/ipv4.cc.o.d"
+  "CMakeFiles/rawnet.dir/packet.cc.o"
+  "CMakeFiles/rawnet.dir/packet.cc.o.d"
+  "CMakeFiles/rawnet.dir/patricia.cc.o"
+  "CMakeFiles/rawnet.dir/patricia.cc.o.d"
+  "CMakeFiles/rawnet.dir/route_table.cc.o"
+  "CMakeFiles/rawnet.dir/route_table.cc.o.d"
+  "CMakeFiles/rawnet.dir/small_table.cc.o"
+  "CMakeFiles/rawnet.dir/small_table.cc.o.d"
+  "CMakeFiles/rawnet.dir/traffic.cc.o"
+  "CMakeFiles/rawnet.dir/traffic.cc.o.d"
+  "librawnet.a"
+  "librawnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

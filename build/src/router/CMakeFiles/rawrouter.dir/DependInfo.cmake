@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/config_space.cc" "src/router/CMakeFiles/rawrouter.dir/config_space.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/config_space.cc.o.d"
+  "/root/repo/src/router/layout.cc" "src/router/CMakeFiles/rawrouter.dir/layout.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/layout.cc.o.d"
+  "/root/repo/src/router/line_cards.cc" "src/router/CMakeFiles/rawrouter.dir/line_cards.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/line_cards.cc.o.d"
+  "/root/repo/src/router/raw_router.cc" "src/router/CMakeFiles/rawrouter.dir/raw_router.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/raw_router.cc.o.d"
+  "/root/repo/src/router/rule.cc" "src/router/CMakeFiles/rawrouter.dir/rule.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/rule.cc.o.d"
+  "/root/repo/src/router/schedule_compiler.cc" "src/router/CMakeFiles/rawrouter.dir/schedule_compiler.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/schedule_compiler.cc.o.d"
+  "/root/repo/src/router/tile_programs.cc" "src/router/CMakeFiles/rawrouter.dir/tile_programs.cc.o" "gcc" "src/router/CMakeFiles/rawrouter.dir/tile_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rawsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rawnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawrouter.dir/config_space.cc.o"
+  "CMakeFiles/rawrouter.dir/config_space.cc.o.d"
+  "CMakeFiles/rawrouter.dir/layout.cc.o"
+  "CMakeFiles/rawrouter.dir/layout.cc.o.d"
+  "CMakeFiles/rawrouter.dir/line_cards.cc.o"
+  "CMakeFiles/rawrouter.dir/line_cards.cc.o.d"
+  "CMakeFiles/rawrouter.dir/raw_router.cc.o"
+  "CMakeFiles/rawrouter.dir/raw_router.cc.o.d"
+  "CMakeFiles/rawrouter.dir/rule.cc.o"
+  "CMakeFiles/rawrouter.dir/rule.cc.o.d"
+  "CMakeFiles/rawrouter.dir/schedule_compiler.cc.o"
+  "CMakeFiles/rawrouter.dir/schedule_compiler.cc.o.d"
+  "CMakeFiles/rawrouter.dir/tile_programs.cc.o"
+  "CMakeFiles/rawrouter.dir/tile_programs.cc.o.d"
+  "librawrouter.a"
+  "librawrouter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawrouter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

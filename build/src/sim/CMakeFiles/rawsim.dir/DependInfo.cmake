@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chip.cc" "src/sim/CMakeFiles/rawsim.dir/chip.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/chip.cc.o.d"
+  "/root/repo/src/sim/dynamic_network.cc" "src/sim/CMakeFiles/rawsim.dir/dynamic_network.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/dynamic_network.cc.o.d"
+  "/root/repo/src/sim/memory_server.cc" "src/sim/CMakeFiles/rawsim.dir/memory_server.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/memory_server.cc.o.d"
+  "/root/repo/src/sim/switch_isa.cc" "src/sim/CMakeFiles/rawsim.dir/switch_isa.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/switch_isa.cc.o.d"
+  "/root/repo/src/sim/switch_processor.cc" "src/sim/CMakeFiles/rawsim.dir/switch_processor.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/switch_processor.cc.o.d"
+  "/root/repo/src/sim/tile_isa.cc" "src/sim/CMakeFiles/rawsim.dir/tile_isa.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/tile_isa.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/rawsim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/rawsim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

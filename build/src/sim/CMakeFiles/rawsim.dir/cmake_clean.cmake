@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawsim.dir/chip.cc.o"
+  "CMakeFiles/rawsim.dir/chip.cc.o.d"
+  "CMakeFiles/rawsim.dir/dynamic_network.cc.o"
+  "CMakeFiles/rawsim.dir/dynamic_network.cc.o.d"
+  "CMakeFiles/rawsim.dir/memory_server.cc.o"
+  "CMakeFiles/rawsim.dir/memory_server.cc.o.d"
+  "CMakeFiles/rawsim.dir/switch_isa.cc.o"
+  "CMakeFiles/rawsim.dir/switch_isa.cc.o.d"
+  "CMakeFiles/rawsim.dir/switch_processor.cc.o"
+  "CMakeFiles/rawsim.dir/switch_processor.cc.o.d"
+  "CMakeFiles/rawsim.dir/tile_isa.cc.o"
+  "CMakeFiles/rawsim.dir/tile_isa.cc.o.d"
+  "CMakeFiles/rawsim.dir/trace.cc.o"
+  "CMakeFiles/rawsim.dir/trace.cc.o.d"
+  "librawsim.a"
+  "librawsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

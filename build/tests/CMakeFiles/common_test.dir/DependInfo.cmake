@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/ring_buffer_test.cc" "tests/CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

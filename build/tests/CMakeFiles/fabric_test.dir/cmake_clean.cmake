@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_test.dir/fabric/cell_switch_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/cell_switch_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_param_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_param_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/scheduler_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/scheduler_test.cc.o.d"
+  "fabric_test"
+  "fabric_test.pdb"
+  "fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

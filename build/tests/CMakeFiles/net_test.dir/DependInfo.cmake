@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/cell_test.cc" "tests/CMakeFiles/net_test.dir/net/cell_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/cell_test.cc.o.d"
+  "/root/repo/tests/net/ipv4_test.cc" "tests/CMakeFiles/net_test.dir/net/ipv4_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/ipv4_test.cc.o.d"
+  "/root/repo/tests/net/packet_test.cc" "tests/CMakeFiles/net_test.dir/net/packet_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/packet_test.cc.o.d"
+  "/root/repo/tests/net/patricia_test.cc" "tests/CMakeFiles/net_test.dir/net/patricia_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/patricia_test.cc.o.d"
+  "/root/repo/tests/net/small_table_test.cc" "tests/CMakeFiles/net_test.dir/net/small_table_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/small_table_test.cc.o.d"
+  "/root/repo/tests/net/traffic_test.cc" "tests/CMakeFiles/net_test.dir/net/traffic_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net/traffic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rawnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/router/analytic_test.cc" "tests/CMakeFiles/router_test.dir/router/analytic_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/analytic_test.cc.o.d"
+  "/root/repo/tests/router/config_space_test.cc" "tests/CMakeFiles/router_test.dir/router/config_space_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/config_space_test.cc.o.d"
+  "/root/repo/tests/router/header_test.cc" "tests/CMakeFiles/router_test.dir/router/header_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/header_test.cc.o.d"
+  "/root/repo/tests/router/layout_test.cc" "tests/CMakeFiles/router_test.dir/router/layout_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/layout_test.cc.o.d"
+  "/root/repo/tests/router/line_cards_test.cc" "tests/CMakeFiles/router_test.dir/router/line_cards_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/line_cards_test.cc.o.d"
+  "/root/repo/tests/router/raw_router_test.cc" "tests/CMakeFiles/router_test.dir/router/raw_router_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/raw_router_test.cc.o.d"
+  "/root/repo/tests/router/router_param_test.cc" "tests/CMakeFiles/router_test.dir/router/router_param_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/router_param_test.cc.o.d"
+  "/root/repo/tests/router/rule_param_test.cc" "tests/CMakeFiles/router_test.dir/router/rule_param_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/rule_param_test.cc.o.d"
+  "/root/repo/tests/router/rule_test.cc" "tests/CMakeFiles/router_test.dir/router/rule_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/rule_test.cc.o.d"
+  "/root/repo/tests/router/schedule_compiler_test.cc" "tests/CMakeFiles/router_test.dir/router/schedule_compiler_test.cc.o" "gcc" "tests/CMakeFiles/router_test.dir/router/schedule_compiler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/rawrouter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rawsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rawnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

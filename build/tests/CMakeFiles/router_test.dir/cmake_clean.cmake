@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_test.dir/router/analytic_test.cc.o"
+  "CMakeFiles/router_test.dir/router/analytic_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/config_space_test.cc.o"
+  "CMakeFiles/router_test.dir/router/config_space_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/header_test.cc.o"
+  "CMakeFiles/router_test.dir/router/header_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/layout_test.cc.o"
+  "CMakeFiles/router_test.dir/router/layout_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/line_cards_test.cc.o"
+  "CMakeFiles/router_test.dir/router/line_cards_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/raw_router_test.cc.o"
+  "CMakeFiles/router_test.dir/router/raw_router_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/router_param_test.cc.o"
+  "CMakeFiles/router_test.dir/router/router_param_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/rule_param_test.cc.o"
+  "CMakeFiles/router_test.dir/router/rule_param_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/rule_test.cc.o"
+  "CMakeFiles/router_test.dir/router/rule_test.cc.o.d"
+  "CMakeFiles/router_test.dir/router/schedule_compiler_test.cc.o"
+  "CMakeFiles/router_test.dir/router/schedule_compiler_test.cc.o.d"
+  "router_test"
+  "router_test.pdb"
+  "router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/channel_test.cc" "tests/CMakeFiles/sim_test.dir/sim/channel_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/channel_test.cc.o.d"
+  "/root/repo/tests/sim/chip_test.cc" "tests/CMakeFiles/sim_test.dir/sim/chip_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/chip_test.cc.o.d"
+  "/root/repo/tests/sim/dynamic_network_test.cc" "tests/CMakeFiles/sim_test.dir/sim/dynamic_network_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/dynamic_network_test.cc.o.d"
+  "/root/repo/tests/sim/memory_model_test.cc" "tests/CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o.d"
+  "/root/repo/tests/sim/memory_server_test.cc" "tests/CMakeFiles/sim_test.dir/sim/memory_server_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/memory_server_test.cc.o.d"
+  "/root/repo/tests/sim/switch_fuzz_test.cc" "tests/CMakeFiles/sim_test.dir/sim/switch_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/switch_fuzz_test.cc.o.d"
+  "/root/repo/tests/sim/switch_isa_test.cc" "tests/CMakeFiles/sim_test.dir/sim/switch_isa_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/switch_isa_test.cc.o.d"
+  "/root/repo/tests/sim/switch_processor_test.cc" "tests/CMakeFiles/sim_test.dir/sim/switch_processor_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/switch_processor_test.cc.o.d"
+  "/root/repo/tests/sim/tile_isa_test.cc" "tests/CMakeFiles/sim_test.dir/sim/tile_isa_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/tile_isa_test.cc.o.d"
+  "/root/repo/tests/sim/tile_task_test.cc" "tests/CMakeFiles/sim_test.dir/sim/tile_task_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/tile_task_test.cc.o.d"
+  "/root/repo/tests/sim/trace_test.cc" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rawsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rawnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rawcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

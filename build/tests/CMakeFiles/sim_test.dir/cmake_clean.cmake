@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/channel_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/channel_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/chip_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/chip_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/dynamic_network_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/dynamic_network_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_server_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/memory_server_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/switch_fuzz_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/switch_fuzz_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/switch_isa_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/switch_isa_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/switch_processor_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/switch_processor_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/tile_isa_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/tile_isa_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/tile_task_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/tile_task_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
