@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "click/click_router.h"
+#include "common/metrics.h"
 #include "router/analytic.h"
 #include "router/raw_router.h"
 
@@ -23,6 +25,7 @@ struct Args {
   Cycle cycles = 200000;
   std::uint32_t quantum = 256;
   std::uint64_t seed = 2003;
+  const char* metrics_json = nullptr;
 };
 
 Args parse(int argc, char** argv) {
@@ -34,6 +37,8 @@ Args parse(int argc, char** argv) {
       a.quantum = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       a.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+      a.metrics_json = argv[++i];
     }
   }
   return a;
@@ -45,7 +50,8 @@ struct Result {
 };
 
 Result run_router(const Args& args, raw::net::DestPattern pattern,
-                  ByteCount bytes) {
+                  ByteCount bytes, raw::common::MetricRegistry* reg,
+                  const std::string& prefix) {
   raw::router::RouterConfig cfg;
   cfg.runtime.quantum_max_words = args.quantum;
   raw::net::TrafficConfig t;
@@ -61,6 +67,7 @@ Result run_router(const Args& args, raw::net::DestPattern pattern,
     std::fprintf(stderr, "validation errors: %llu\n",
                  static_cast<unsigned long long>(router.errors()));
   }
+  if (reg != nullptr) router.export_metrics(*reg, prefix);
   return {router.gbps(), router.mpps()};
 }
 
@@ -86,22 +93,30 @@ int main(int argc, char** argv) {
   const double paper_avg[] = {5.0, 9.9, 13.8, 16.9, 18.6};
 
   const raw::router::AnalyticModel model;
+  raw::common::MetricRegistry registry;
+  raw::common::MetricRegistry* reg =
+      args.metrics_json != nullptr ? &registry : nullptr;
 
   std::printf("Figure 7-1: Raw Router performance vs the Click router\n");
   std::printf("(250 MHz Raw chip, 4 ports, quantum %u words, %llu cycles per point)\n\n",
               args.quantum, static_cast<unsigned long long>(args.cycles));
 
   const Result click = run_click(args, 64);
+  if (reg != nullptr) {
+    reg->gauge("fig7_1/click/64B/gbps").set(click.gbps);
+    reg->gauge("fig7_1/click/64B/mpps").set(click.mpps);
+  }
   std::printf("%-10s %18s %18s %12s\n", "workload", "peak Gbps (paper)",
               "avg Gbps (paper)", "model Gbps");
   std::printf("%-10s %11.2f %6s %11.2f %6s %12s\n", "Click 64B", click.gbps,
               "(0.23)", click.gbps, "(0.23)", "-");
 
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const std::string size_tag = std::to_string(sizes[i]) + "B";
     const Result peak = run_router(args, raw::net::DestPattern::kPermutation,
-                                   sizes[i]);
+                                   sizes[i], reg, "fig7_1/peak/" + size_tag);
     const Result avg = run_router(args, raw::net::DestPattern::kUniform,
-                                  sizes[i]);
+                                  sizes[i], reg, "fig7_1/avg/" + size_tag);
     char label[16];
     std::snprintf(label, sizeof label, "%llu B",
                   static_cast<unsigned long long>(sizes[i]));
@@ -114,6 +129,18 @@ int main(int argc, char** argv) {
                   "(paper: 69%%)\n",
                   peak.mpps, peak.gbps, 100.0 * avg.gbps / peak.gbps);
     }
+  }
+
+  if (reg != nullptr) {
+    std::FILE* f = std::fopen(args.metrics_json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json);
+      return 1;
+    }
+    const std::string json = reg->to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %zu metrics to %s\n", reg->size(), args.metrics_json);
   }
   return 0;
 }

@@ -1,11 +1,19 @@
 // Experiment E3 — Figure 7-2: mapping of router functional elements to Raw
 // tile numbers, plus the compiled switch-program footprint per tile class.
 #include <cstdio>
+#include <cstring>
 
+#include "common/metrics.h"
 #include "router/schedule_compiler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace raw::router;
+  const char* metrics_json = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+      metrics_json = argv[++i];
+    }
+  }
   const Layout layout;
   const ScheduleCompiler compiler(layout);
 
@@ -52,5 +60,26 @@ int main() {
               cb.program->size(), cb.blocks.size());
   std::printf("  ingress : %4zu instructions\n", in.program->size());
   std::printf("  egress  : %4zu instructions\n", eg.program->size());
+
+  if (metrics_json != nullptr) {
+    raw::common::MetricRegistry reg;
+    reg.counter("fig7_2/program_words/crossbar")
+        .set(static_cast<std::uint64_t>(cb.program->size()));
+    reg.counter("fig7_2/program_words/ingress")
+        .set(static_cast<std::uint64_t>(in.program->size()));
+    reg.counter("fig7_2/program_words/egress")
+        .set(static_cast<std::uint64_t>(eg.program->size()));
+    reg.counter("fig7_2/switch_imem_words")
+        .set(static_cast<std::uint64_t>(raw::sim::kSwitchImemWords));
+    std::FILE* f = std::fopen(metrics_json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json);
+      return 1;
+    }
+    const std::string json = reg.to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %zu metrics to %s\n", reg.size(), metrics_json);
+  }
   return 0;
 }

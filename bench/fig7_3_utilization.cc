@@ -7,12 +7,15 @@
 // streaming limit.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "common/metrics.h"
 #include "router/raw_router.h"
 
 namespace {
 
-void run_case(raw::common::ByteCount bytes, bool csv) {
+void run_case(raw::common::ByteCount bytes, bool csv,
+              raw::common::MetricRegistry* reg) {
   raw::router::RouterConfig cfg;
   raw::net::TrafficConfig t;
   t.num_ports = 4;
@@ -25,6 +28,19 @@ void run_case(raw::common::ByteCount bytes, bool csv) {
   constexpr raw::common::Cycle kWarmup = 4000;
   router.chip().trace().configure(kWarmup, kWarmup + 800, 16);
   router.run(kWarmup + 800);
+
+  if (reg != nullptr) {
+    const std::string prefix =
+        "fig7_3/" + std::to_string(bytes) + "B";
+    router.export_metrics(*reg, prefix);
+    for (int tile = 0; tile < 16; ++tile) {
+      const auto u = router.chip().trace().utilization(tile);
+      const std::string tp = prefix + "/tile" + std::to_string(tile);
+      reg->gauge(tp + "/busy_frac").set(u.busy);
+      reg->gauge(tp + "/blocked_frac").set(u.blocked);
+      reg->gauge(tp + "/idle_frac").set(u.idle);
+    }
+  }
 
   if (csv) {
     std::printf("%s", router.chip().trace().csv().c_str());
@@ -47,9 +63,33 @@ void run_case(raw::common::ByteCount bytes, bool csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
+  bool csv = false;
+  const char* metrics_json = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--csv")) {
+      csv = true;
+    } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+      metrics_json = argv[++i];
+    }
+  }
+  raw::common::MetricRegistry registry;
+  raw::common::MetricRegistry* reg =
+      metrics_json != nullptr ? &registry : nullptr;
+
   std::printf("Figure 7-3: per-tile utilization, 800-cycle window\n");
-  run_case(64, csv);
-  run_case(1024, csv);
+  run_case(64, csv, reg);
+  run_case(1024, csv, reg);
+
+  if (reg != nullptr) {
+    std::FILE* f = std::fopen(metrics_json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json);
+      return 1;
+    }
+    const std::string json = reg->to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %zu metrics to %s\n", reg->size(), metrics_json);
+  }
   return 0;
 }

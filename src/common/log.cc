@@ -1,6 +1,9 @@
 #include "common/log.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace raw::common {
 namespace {
@@ -18,12 +21,59 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+bool iequals(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+/// One-time environment read, sequenced before the first level access.
+bool apply_env_once() {
+  set_log_level_from_env();
+  return true;
+}
+
+bool ensure_env_applied() {
+  static const bool applied = apply_env_once();
+  return applied;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+LogLevel parse_log_level(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  if (iequals(value, "debug")) return LogLevel::kDebug;
+  if (iequals(value, "info")) return LogLevel::kInfo;
+  if (iequals(value, "warn") || iequals(value, "warning")) return LogLevel::kWarn;
+  if (iequals(value, "error")) return LogLevel::kError;
+  if (iequals(value, "off") || iequals(value, "none")) return LogLevel::kOff;
+  if (std::strlen(value) == 1 && value[0] >= '0' && value[0] <= '4') {
+    return static_cast<LogLevel>(value[0] - '0');
+  }
+  return fallback;
+}
+
+void set_log_level_from_env() {
+  const char* env = std::getenv("RAW_LOG_LEVEL");
+  if (env != nullptr) g_level = parse_log_level(env, g_level);
+}
+
+void set_log_level(LogLevel level) {
+  ensure_env_applied();
+  g_level = level;
+}
+
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level;
+}
 
 void log(LogLevel level, const std::string& message) {
+  ensure_env_applied();
   if (level < g_level || g_level == LogLevel::kOff) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }

@@ -9,9 +9,19 @@ namespace raw::common {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global threshold; messages below it are dropped. Defaults to kWarn so
-/// tests and benches stay quiet.
+/// tests and benches stay quiet, unless the RAW_LOG_LEVEL environment
+/// variable overrides it at startup.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive) or
+/// a numeric level 0..4; anything else yields `fallback`.
+LogLevel parse_log_level(const char* value, LogLevel fallback);
+
+/// Re-reads RAW_LOG_LEVEL and applies it (no-op when unset or unparsable).
+/// Called once automatically before the first log-level access; exposed so
+/// tests and long-lived tools can re-apply an environment change.
+void set_log_level_from_env();
 
 void log(LogLevel level, const std::string& message);
 

@@ -59,14 +59,31 @@ void InputLineCard::generate(sim::Chip& chip) {
     ledger_->in_flight.emplace(
         uid, PacketLedger::Entry{chip.cycle(), port_, desc.dst_port, bytes});
     for (const common::Word w : net::packet_to_words(p)) queue_.push_back(w);
+    queued_packets_.emplace_back(uid, static_cast<std::uint32_t>(words));
+    if (ledger_->tracer != nullptr && ledger_->tracer->enabled()) {
+      ledger_->tracer->record(uid, chip.cycle(), common::PacketEvent::kArrival,
+                              input_card_track(port_),
+                              static_cast<std::uint32_t>(bytes));
+    }
   }
 }
 
 void InputLineCard::step(sim::Chip& chip) {
   generate(chip);
   if (!queue_.empty() && to_chip_->can_write()) {
+    if (front_words_sent_ == 0 && ledger_->tracer != nullptr &&
+        ledger_->tracer->enabled() && !queued_packets_.empty()) {
+      ledger_->tracer->record(queued_packets_.front().first, chip.cycle(),
+                              common::PacketEvent::kHeadOfQueue,
+                              input_card_track(port_));
+    }
     to_chip_->write(queue_.front());
     queue_.pop_front();
+    if (!queued_packets_.empty() &&
+        ++front_words_sent_ >= queued_packets_.front().second) {
+      queued_packets_.pop_front();
+      front_words_sent_ = 0;
+    }
   }
 }
 
@@ -126,7 +143,14 @@ void OutputLineCard::finish_packet(sim::Chip& chip) {
   ++delivered_packets_;
   delivered_bytes_ += p.size_bytes();
   ++per_source_[static_cast<std::size_t>(src)];
-  latency_.add(static_cast<double>(chip.cycle() - entry.created));
+  const double latency = static_cast<double>(chip.cycle() - entry.created);
+  latency_.add(latency);
+  latency_hist_.add(latency);
+  if (ledger_->tracer != nullptr && ledger_->tracer->enabled()) {
+    ledger_->tracer->record(uid, chip.cycle(), common::PacketEvent::kExitChip,
+                            output_card_track(port_),
+                            static_cast<std::uint32_t>(p.size_bytes()));
+  }
 }
 
 }  // namespace raw::router

@@ -17,6 +17,7 @@
 
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "common/trace_event.h"
 #include "common/types.h"
 #include "net/packet.h"
 #include "net/traffic.h"
@@ -36,7 +37,15 @@ struct PacketLedger {
   };
   std::unordered_map<std::uint64_t, Entry> in_flight;
   std::uint64_t next_uid = 1;
+  /// Optional packet-lifecycle tracer shared by the line cards and the tile
+  /// programs (null or disabled: no events, no cost).
+  common::PacketTracer* tracer = nullptr;
 };
+
+/// Trace-track ids: chip events use the tile index directly; line-card
+/// events get their own per-port tracks above the tile range.
+constexpr int input_card_track(int port) { return 100 + port; }
+constexpr int output_card_track(int port) { return 200 + port; }
 
 /// Packs the simulator uid into the IPv4 source address + identification so
 /// the output card can find the ledger entry: src = 10.(128+port).x.x with
@@ -70,6 +79,11 @@ class InputLineCard : public sim::Device {
   PacketLedger* ledger_;
   std::size_t queue_capacity_words_;
   std::deque<common::Word> queue_;
+  // Packet boundaries of `queue_`, for head-of-queue lifecycle events:
+  // (uid, total words), oldest first, with the words of the front packet
+  // already written to the chip.
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> queued_packets_;
+  std::uint32_t front_words_sent_ = 0;
   common::Cycle next_arrival_ = 0;
   bool stopped_ = false;
   std::uint64_t offered_packets_ = 0;
@@ -90,6 +104,10 @@ class OutputLineCard : public sim::Device {
   }
   [[nodiscard]] std::uint64_t errors() const { return errors_; }
   [[nodiscard]] const common::RunningStat& latency() const { return latency_; }
+  /// End-to-end latency distribution (cycles), for p50/p95/p99 reporting.
+  [[nodiscard]] const common::Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
 
  private:
   void finish_packet(sim::Chip& chip);
@@ -104,6 +122,7 @@ class OutputLineCard : public sim::Device {
   std::array<std::uint64_t, 4> per_source_{};
   std::uint64_t errors_ = 0;
   common::RunningStat latency_;
+  common::Histogram latency_hist_{16.0, 2048};  // covers 32K cycles + overflow
 };
 
 }  // namespace raw::router

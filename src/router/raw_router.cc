@@ -55,6 +55,88 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
     chip_->add_device(inputs_[static_cast<std::size_t>(p)].get());
     chip_->add_device(outputs_[static_cast<std::size_t>(p)].get());
   }
+
+  if (config_.channel_stats) chip_->enable_channel_stats();
+}
+
+void RawRouter::set_tracer(common::PacketTracer* tracer) {
+  ledger_.tracer = tracer;
+  core_.tracer = tracer;
+  if (tracer == nullptr) return;
+  static const char* kRoleNames[] = {"In", "Lookup", "Xbar", "Out"};
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles tiles = layout_.port(p);
+    const int role_tiles[] = {tiles.ingress, tiles.lookup, tiles.crossbar,
+                              tiles.egress};
+    for (int r = 0; r < 4; ++r) {
+      tracer->set_track_name(role_tiles[r], "tile" + std::to_string(role_tiles[r]) +
+                                                " " + kRoleNames[r] +
+                                                std::to_string(p));
+    }
+    tracer->set_track_name(input_card_track(p),
+                           "port" + std::to_string(p) + " in-card");
+    tracer->set_track_name(output_card_track(p),
+                           "port" + std::to_string(p) + " out-card");
+  }
+}
+
+void RawRouter::export_metrics(common::MetricRegistry& registry,
+                               const std::string& prefix) const {
+  const common::Cycle cycles = chip_->cycle();
+  for (int p = 0; p < kNumPorts; ++p) {
+    const InputLineCard& in = *inputs_[static_cast<std::size_t>(p)];
+    const OutputLineCard& out = *outputs_[static_cast<std::size_t>(p)];
+    const PortCounters& ctr = core_.counters[static_cast<std::size_t>(p)];
+    const std::string port = prefix + "/port" + std::to_string(p);
+
+    registry.counter(port + "/ingress/offered_packets").set(in.offered_packets());
+    registry.counter(port + "/ingress/offered_bytes").set(in.offered_bytes());
+    registry.counter(port + "/ingress/dropped_packets").set(in.dropped_packets());
+    registry.counter(port + "/ingress/packets_in").set(ctr.packets_in);
+    registry.counter(port + "/ingress/fragments").set(ctr.fragments);
+    registry.counter(port + "/ingress/ttl_drops").set(ctr.ttl_drops);
+    registry.counter(port + "/ingress/no_route_drops").set(ctr.no_route_drops);
+
+    registry.counter(port + "/lookup/lookups").set(ctr.lookups);
+
+    registry.counter(port + "/crossbar/quanta").set(ctr.quanta);
+    registry.counter(port + "/crossbar/grants").set(ctr.grants);
+    registry.counter(port + "/crossbar/denials").set(ctr.denials);
+    registry.counter(port + "/crossbar/empty_headers").set(ctr.empty_headers);
+    registry.counter(port + "/crossbar/out_descs").set(ctr.out_descs);
+    registry.counter(port + "/crossbar/out_words").set(ctr.out_words);
+
+    registry.counter(port + "/egress/cut_through").set(ctr.cut_through);
+    registry.counter(port + "/egress/reassembled").set(ctr.reassembled);
+
+    registry.counter(port + "/egress/delivered_packets").set(out.delivered_packets());
+    registry.counter(port + "/egress/delivered_bytes").set(out.delivered_bytes());
+    registry.counter(port + "/egress/errors").set(out.errors());
+
+    const common::Histogram& lat = out.latency_histogram();
+    registry.gauge(port + "/latency/p50").set(lat.quantile(0.50));
+    registry.gauge(port + "/latency/p95").set(lat.quantile(0.95));
+    registry.gauge(port + "/latency/p99").set(lat.quantile(0.99));
+    registry.gauge(port + "/latency/max").set(out.latency().max());
+    registry.gauge(port + "/latency/mean").set(out.latency().mean());
+    registry.counter(port + "/latency/samples").set(out.latency().count());
+
+    registry.gauge(port + "/gbps").set(common::gbps(out.delivered_bytes(), cycles));
+    registry.gauge(port + "/mpps").set(common::mpps(out.delivered_packets(), cycles));
+    registry.gauge(port + "/drop_fraction")
+        .set(in.offered_packets() > 0
+                 ? static_cast<double>(in.dropped_packets()) /
+                       static_cast<double>(in.offered_packets())
+                 : 0.0);
+  }
+
+  registry.gauge(prefix + "/gbps").set(gbps());
+  registry.gauge(prefix + "/mpps").set(mpps());
+  registry.counter(prefix + "/delivered_packets").set(delivered_packets());
+  registry.counter(prefix + "/delivered_bytes").set(delivered_bytes());
+  registry.counter(prefix + "/errors").set(errors());
+
+  chip_->export_metrics(registry, prefix + "/chip");
 }
 
 void RawRouter::run(common::Cycle cycles) { chip_->run(cycles); }

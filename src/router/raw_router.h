@@ -24,6 +24,9 @@ struct RouterConfig {
   /// External line-card buffering per input port, in words (§4.4: buffering
   /// and dropping happen outside the chip).
   std::size_t line_card_queue_words = 1 << 15;
+  /// Sample per-channel FIFO occupancy/backpressure every cycle (small
+  /// constant cost per channel; off for throughput benches).
+  bool channel_stats = false;
 };
 
 class RawRouter {
@@ -58,6 +61,21 @@ class RawRouter {
   /// Aggregate throughput over the cycles run so far.
   [[nodiscard]] double gbps() const;
   [[nodiscard]] double mpps() const;
+
+  /// Attaches (or detaches, with nullptr) a packet-lifecycle tracer to the
+  /// line cards and tile programs, and labels its tracks (one per tile and
+  /// per line card). Call `tracer->enable(budget)` to start recording.
+  void set_tracer(common::PacketTracer* tracer);
+
+  /// Publishes the router's observability into `registry` under `prefix`:
+  ///   <prefix>/port<P>/ingress/{offered,dropped,delivered}_packets, ...
+  ///   <prefix>/port<P>/crossbar/{quanta,grants,denials,empty_headers}
+  ///   <prefix>/port<P>/latency/{p50,p95,p99,max,mean} (cycles)
+  ///   <prefix>/port<P>/{gbps,mpps,drop_fraction}
+  /// plus the chip-level metrics (see sim::Chip::export_metrics) under
+  /// <prefix>/chip. Safe to call repeatedly: totals are overwritten.
+  void export_metrics(common::MetricRegistry& registry,
+                      const std::string& prefix = "router") const;
 
  private:
   RouterConfig config_;

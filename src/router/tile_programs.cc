@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "net/ipv4.h"
 #include "router/header.h"
+#include "router/line_cards.h"
 #include "sim/dynamic_network.h"
 
 namespace raw::router {
@@ -43,6 +44,7 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
 
   struct Pending {
     bool active = false;
+    std::uint64_t uid = 0;  // ledger uid, for lifecycle tracing
     std::uint32_t out_mask = 0;
     std::uint32_t remaining = 0;   // words still to send (incl. header words)
     std::uint32_t total = 0;       // total words of the packet
@@ -88,6 +90,12 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
       net::Ipv4Header hdr = net::parse(raw);
       co_await delay(core.config.header_proc_cost);  // checksum verify + TTL
       ++ctr.packets_in;
+      const bool tracing = core.tracer != nullptr && core.tracer->enabled();
+      const std::uint64_t trace_uid = tracing ? uid_of(hdr) : 0;
+      if (tracing) {
+        core.tracer->record(trace_uid, chip.cycle(),
+                            common::PacketEvent::kEnterChip, tiles.ingress);
+      }
 
       const std::uint32_t total_words =
           static_cast<std::uint32_t>(common::words_for_bytes(hdr.total_length));
@@ -110,6 +118,11 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
         (void)dyn->pop_eject(tiles.ingress);  // reply header word
         while (!dyn->has_eject(tiles.ingress)) co_await delay(1);
         out_port = dyn->pop_eject(tiles.ingress);
+        if (tracing) {
+          core.tracer->record(trace_uid, chip.cycle(),
+                              common::PacketEvent::kLookupDone, tiles.lookup,
+                              out_port);
+        }
         if (out_port == kNoRoute) {
           ++ctr.no_route_drops;
           drop = true;
@@ -127,6 +140,7 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
         }
       } else {
         pkt.active = true;
+        pkt.uid = uid_of(hdr);
         pkt.out_mask = 1u << out_port;
         pkt.remaining = total_words;
         pkt.total = total_words;
@@ -150,6 +164,11 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
     if (grant > 0) {
       RAW_ASSERT_MSG(pkt.active && grant <= pkt.remaining,
                      "crossbar granted more than requested");
+      if (core.tracer != nullptr && core.tracer->enabled()) {
+        core.tracer->record(pkt.uid, chip.cycle(),
+                            common::PacketEvent::kCrossbarGrant, tiles.crossbar,
+                            grant);
+      }
       std::uint32_t left = grant;
       const std::uint32_t from_proc =
           std::min<std::uint32_t>(net::Ipv4Header::kWords - pkt.hdr_sent, left);

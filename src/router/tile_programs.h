@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/trace_event.h"
 #include "common/types.h"
 #include "net/route_table.h"
 #include "net/small_table.h"
@@ -85,6 +86,9 @@ struct RouterCore {
   const net::SmallTable* forwarding = nullptr;
   RuntimeConfig config;
   std::array<PortCounters, kNumPorts> counters{};
+  /// Optional packet-lifecycle tracer (enter-chip / lookup-done /
+  /// crossbar-grant events); null or disabled costs one branch per packet.
+  common::PacketTracer* tracer = nullptr;
 };
 
 sim::TileTask make_ingress_program(RouterCore& core, int port,

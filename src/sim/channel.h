@@ -43,6 +43,11 @@ class Channel {
       staged_.reset();
       ++words_transferred_;
     }
+    if (stats_enabled_) {
+      ++stats_cycles_;
+      occupancy_sum_ += buf_.size();
+      if (size_at_start_ >= buf_.capacity()) ++full_cycles_;
+    }
   }
 
   /// True when a word committed in an earlier cycle is available and this
@@ -76,6 +81,18 @@ class Channel {
   /// Total words that have crossed this link since construction.
   [[nodiscard]] std::uint64_t words_transferred() const { return words_transferred_; }
 
+  /// Optional occupancy/backpressure accounting, sampled once per cycle at
+  /// end_cycle(). Off by default so the per-cycle cost when disabled is one
+  /// predicted branch.
+  void set_stats_enabled(bool on) { stats_enabled_ = on; }
+  [[nodiscard]] bool stats_enabled() const { return stats_enabled_; }
+  /// Cycles sampled since stats were enabled.
+  [[nodiscard]] std::uint64_t stats_cycles() const { return stats_cycles_; }
+  /// Sum of end-of-cycle occupancies; divide by stats_cycles() for the mean.
+  [[nodiscard]] std::uint64_t occupancy_sum() const { return occupancy_sum_; }
+  /// Cycles the FIFO entered full — any writer was backpressure-stalled.
+  [[nodiscard]] std::uint64_t full_cycles() const { return full_cycles_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
@@ -83,8 +100,12 @@ class Channel {
   common::RingBuffer<Word> buf_;
   std::size_t size_at_start_;
   bool read_this_cycle_ = false;
+  bool stats_enabled_ = false;
   std::optional<Word> staged_;
   std::uint64_t words_transferred_ = 0;
+  std::uint64_t stats_cycles_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::uint64_t full_cycles_ = 0;
 };
 
 }  // namespace raw::sim

@@ -138,6 +138,44 @@ void Chip::run(common::Cycle cycles) {
   for (common::Cycle i = 0; i < cycles; ++i) step();
 }
 
+void Chip::enable_channel_stats(bool on) {
+  for (Channel* ch : all_channels_) ch->set_stats_enabled(on);
+}
+
+void Chip::export_metrics(common::MetricRegistry& registry,
+                          const std::string& prefix) const {
+  registry.counter(prefix + "/cycles").set(cycle_);
+  registry.counter(prefix + "/static_words_transferred")
+      .set(static_words_transferred());
+
+  for (int t = 0; t < num_tiles(); ++t) {
+    const Tile& tl = tile(t);
+    const std::string base = prefix + "/tile" + std::to_string(t);
+    registry.counter(base + "/proc/busy_cycles").set(tl.proc_cycles_busy());
+    registry.counter(base + "/proc/blocked_cycles").set(tl.proc_cycles_blocked());
+    const SwitchProcessor& sw = tl.switch_proc();
+    registry.counter(base + "/switch/busy_cycles").set(sw.cycles_busy());
+    registry.counter(base + "/switch/blocked_recv_cycles")
+        .set(sw.cycles_blocked_recv());
+    registry.counter(base + "/switch/blocked_send_cycles")
+        .set(sw.cycles_blocked_send());
+    registry.counter(base + "/switch/idle_cycles").set(sw.cycles_idle());
+  }
+
+  for (const Channel* ch : all_channels_) {
+    if (ch->words_transferred() == 0 && ch->stats_cycles() == 0) continue;
+    if (ch->name().empty()) continue;
+    const std::string base = prefix + "/channel/" + ch->name();
+    registry.counter(base + "/words").set(ch->words_transferred());
+    if (ch->stats_cycles() > 0) {
+      registry.gauge(base + "/mean_occupancy")
+          .set(static_cast<double>(ch->occupancy_sum()) /
+               static_cast<double>(ch->stats_cycles()));
+      registry.counter(base + "/backpressure_cycles").set(ch->full_cycles());
+    }
+  }
+}
+
 std::uint64_t Chip::static_words_transferred() const {
   std::uint64_t total = 0;
   for (int net = 0; net < kNumStaticNets; ++net) {

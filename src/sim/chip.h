@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/channel.h"
 #include "sim/device.h"
@@ -76,6 +77,22 @@ class Chip {
   /// Aggregate static-network words moved (both networks), for bandwidth
   /// accounting.
   [[nodiscard]] std::uint64_t static_words_transferred() const;
+
+  /// Turns per-channel occupancy/backpressure sampling on (or off) for every
+  /// channel on the chip, including tile<->switch FIFOs and the dynamic
+  /// network. Off by default; the simulation is unaffected either way.
+  void enable_channel_stats(bool on = true);
+
+  /// Publishes chip-level observability into `registry` under `prefix`:
+  ///   <prefix>/cycles
+  ///   <prefix>/tile<T>/proc/{busy,blocked}_cycles
+  ///   <prefix>/tile<T>/switch/{busy,blocked_recv,blocked_send,idle}_cycles
+  ///   <prefix>/channel/<name>/{words,mean_occupancy,backpressure_cycles}
+  /// Channel metrics appear only for channels with activity (or with stats
+  /// enabled), so an idle mesh does not flood the registry. Safe to call
+  /// repeatedly; values are overwritten with current totals.
+  void export_metrics(common::MetricRegistry& registry,
+                      const std::string& prefix = "chip") const;
 
   /// The static-network channel carrying words out of `tile` toward `dir`
   /// on network `net` (always exists; edge directions are the I/O ports'

@@ -14,12 +14,15 @@ void SwitchProcessor::reset() {
   halted_ = false;
   regs_.fill(0);
   busy_ = 0;
-  blocked_ = 0;
+  blocked_recv_ = 0;
+  blocked_send_ = 0;
+  idle_ = 0;
 }
 
 AgentState SwitchProcessor::step() {
   if (program_ == nullptr || halted_ || pc_ >= program_->size()) {
     halted_ = true;
+    ++idle_;
     return AgentState::kIdle;
   }
   const SwitchInstr& ins = program_->at(pc_);
@@ -39,7 +42,7 @@ AgentState SwitchProcessor::step() {
       Channel* ch = ports_.in[net][d];
       RAW_ASSERT_MSG(ch != nullptr, "switch route from unconnected port");
       if (!ch->can_read()) {
-        ++blocked_;
+        ++blocked_recv_;
         return AgentState::kBlockedRecv;
       }
     }
@@ -48,7 +51,7 @@ AgentState SwitchProcessor::step() {
     Channel* ch = ports_.output(m.net, m.dst);
     RAW_ASSERT_MSG(ch != nullptr, "switch route to unconnected port");
     if (!ch->can_write()) {
-      ++blocked_;
+      ++blocked_send_;
       return AgentState::kBlockedSend;
     }
   }

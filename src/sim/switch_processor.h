@@ -65,9 +65,14 @@ class SwitchProcessor {
   [[nodiscard]] common::Word reg(std::uint8_t r) const { return regs_[r]; }
   void set_reg(std::uint8_t r, common::Word v) { regs_[r] = v; }
 
-  /// Cycle accounting since the last reset().
+  /// Cycle accounting since the last reset(), split by block cause.
   [[nodiscard]] std::uint64_t cycles_busy() const { return busy_; }
-  [[nodiscard]] std::uint64_t cycles_blocked() const { return blocked_; }
+  [[nodiscard]] std::uint64_t cycles_blocked() const {
+    return blocked_recv_ + blocked_send_;
+  }
+  [[nodiscard]] std::uint64_t cycles_blocked_recv() const { return blocked_recv_; }
+  [[nodiscard]] std::uint64_t cycles_blocked_send() const { return blocked_send_; }
+  [[nodiscard]] std::uint64_t cycles_idle() const { return idle_; }
 
  private:
   Ports ports_{};
@@ -76,7 +81,9 @@ class SwitchProcessor {
   bool halted_ = false;
   std::array<common::Word, kNumSwitchRegs> regs_{};
   std::uint64_t busy_ = 0;
-  std::uint64_t blocked_ = 0;
+  std::uint64_t blocked_recv_ = 0;
+  std::uint64_t blocked_send_ = 0;
+  std::uint64_t idle_ = 0;
 };
 
 }  // namespace raw::sim

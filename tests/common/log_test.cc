@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace raw::common {
+namespace {
+
+TEST(LogTest, ParseNamedLevels) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kWarn), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseNumericLevels) {
+  EXPECT_EQ(parse_log_level("0", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4", LogLevel::kWarn), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseFallsBackOnGarbage) {
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("loud", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("7", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("10", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(LogTest, EnvOverridesLevel) {
+  const LogLevel saved = log_level();
+
+  ASSERT_EQ(setenv("RAW_LOG_LEVEL", "debug", 1), 0);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  ASSERT_EQ(setenv("RAW_LOG_LEVEL", "off", 1), 0);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+
+  // Unset: the last applied level sticks (no silent reset).
+  ASSERT_EQ(unsetenv("RAW_LOG_LEVEL"), 0);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+
+  // Unparsable values leave the level untouched.
+  ASSERT_EQ(setenv("RAW_LOG_LEVEL", "extremely-loud", 1), 0);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+
+  unsetenv("RAW_LOG_LEVEL");
+  set_log_level(saved);
+}
+
+TEST(LogTest, SetLogLevelStillWins) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace raw::common

@@ -1,0 +1,118 @@
+#include "common/trace_event.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::common {
+namespace {
+
+TEST(PacketTracerTest, DisabledRecordsNothing) {
+  PacketTracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(1, 10, PacketEvent::kArrival, 0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(PacketTracerTest, RecordsInOrder) {
+  PacketTracer t;
+  t.enable(16);
+  t.record(1, 10, PacketEvent::kArrival, 100);
+  t.record(1, 12, PacketEvent::kEnterChip, 4, 5);
+  t.record(2, 13, PacketEvent::kArrival, 101);
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].uid, 1u);
+  EXPECT_EQ(ev[0].event, PacketEvent::kArrival);
+  EXPECT_EQ(ev[1].cycle, 12u);
+  EXPECT_EQ(ev[1].track, 4);
+  EXPECT_EQ(ev[1].arg, 5u);
+  EXPECT_EQ(ev[2].uid, 2u);
+}
+
+TEST(PacketTracerTest, BudgetOverwritesOldest) {
+  PacketTracer t;
+  t.enable(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(i, i, PacketEvent::kArrival, 0);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.overwritten(), 6u);
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 4u);
+  // The most recent window survives, oldest first.
+  EXPECT_EQ(ev[0].uid, 6u);
+  EXPECT_EQ(ev[3].uid, 9u);
+}
+
+TEST(PacketTracerTest, EventNames) {
+  EXPECT_STREQ(packet_event_name(PacketEvent::kArrival), "arrival");
+  EXPECT_STREQ(packet_event_name(PacketEvent::kExitChip), "exit_chip");
+}
+
+// Structural checks of the Chrome trace_event JSON: balanced nesting, the
+// required top-level key, metadata thread names, and per-event fields —
+// enough to know chrome://tracing / Perfetto will load it.
+class ChromeJsonTest : public ::testing::Test {
+ protected:
+  std::string make_trace() {
+    tracer_.enable(64);
+    tracer_.set_track_name(4, "tile4 In0");
+    tracer_.set_track_name(100, "port0 in-card");
+    tracer_.record(7, 100, PacketEvent::kArrival, 100, 64);
+    tracer_.record(7, 120, PacketEvent::kEnterChip, 4);
+    tracer_.record(7, 150, PacketEvent::kExitChip, 200, 64);
+    return tracer_.chrome_json();
+  }
+  PacketTracer tracer_;
+};
+
+TEST_F(ChromeJsonTest, HasTraceEventsArrayAndBalancedNesting) {
+  const std::string json = make_trace();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(ChromeJsonTest, EmitsThreadNameMetadataPerTrack) {
+  const std::string json = make_trace();
+  // Named tracks keep their labels; tracks that only appear in events get a
+  // generated label.
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"tid\":4,\"args\":{\"name\":\"tile4 In0\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"port0 in-card\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"track200\"}"), std::string::npos);
+}
+
+TEST_F(ChromeJsonTest, EventsCarryRequiredFields) {
+  const std::string json = make_trace();
+  // 100 cycles at 250 MHz = 0.4 us.
+  EXPECT_NE(json.find("{\"name\":\"arrival\",\"cat\":\"packet\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":0.4000,\"pid\":0,\"tid\":100,"
+                      "\"args\":{\"uid\":7,\"arg\":64}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"enter_chip\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"exit_chip\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raw::common

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace_event.h"
+
 namespace raw::router {
 namespace {
 
@@ -166,6 +169,107 @@ TEST(RawRouterTest, WeightedTokenBiasesThroughput) {
   const auto from0 = router.output(2).delivered_from(0);
   const auto from1 = router.output(2).delivered_from(1);
   EXPECT_GT(from0, from1 * 2);
+}
+
+TEST(RawRouterTest, MetricsExportPublishesRegistry) {
+  RouterConfig cfg = default_config();
+  cfg.channel_stats = true;
+  RawRouter router(cfg, net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kUniform, 256), 13);
+  router.run(40000);
+
+  common::MetricRegistry reg;
+  router.export_metrics(reg);
+
+  // Port counters mirror the line cards and PortCounters exactly.
+  for (int p = 0; p < 4; ++p) {
+    const std::string port = "router/port" + std::to_string(p);
+    EXPECT_EQ(reg.counter_value(port + "/ingress/offered_packets"),
+              router.input(p).offered_packets());
+    EXPECT_EQ(reg.counter_value(port + "/egress/delivered_packets"),
+              router.output(p).delivered_packets());
+    EXPECT_EQ(reg.counter_value(port + "/crossbar/grants"),
+              router.core().counters[static_cast<std::size_t>(p)].grants);
+    // Latency percentiles are monotone and positive once packets flowed.
+    const double p50 = reg.gauge_value(port + "/latency/p50");
+    const double p95 = reg.gauge_value(port + "/latency/p95");
+    const double p99 = reg.gauge_value(port + "/latency/p99");
+    const double max = reg.gauge_value(port + "/latency/max");
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, max + 16.0);  // p99 interpolates within a 16-cycle bucket
+    EXPECT_GT(reg.gauge_value(port + "/gbps"), 0.0);
+  }
+  EXPECT_EQ(reg.counter_value("router/delivered_packets"),
+            router.delivered_packets());
+  EXPECT_EQ(reg.counter_value("router/chip/cycles"), 40000u);
+
+  // Switch block-cause counters: the full cycle budget is accounted for.
+  const auto& sw = router.chip().tile(5).switch_proc();
+  EXPECT_EQ(sw.cycles_busy() + sw.cycles_blocked_recv() +
+                sw.cycles_blocked_send() + sw.cycles_idle(),
+            40000u);
+  EXPECT_EQ(reg.counter_value("router/chip/tile5/switch/busy_cycles"),
+            sw.cycles_busy());
+
+  // channel_stats sampled every cycle on active channels.
+  bool found_channel = false;
+  for (const auto& s : reg.snapshot()) {
+    if (s.name.find("/channel/") != std::string::npos &&
+        s.name.find("/mean_occupancy") != std::string::npos) {
+      found_channel = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_channel);
+
+  // Re-export overwrites in place rather than duplicating.
+  const std::size_t size_before = reg.size();
+  router.export_metrics(reg);
+  EXPECT_EQ(reg.size(), size_before);
+}
+
+TEST(RawRouterTest, PacketTracerRecordsFullLifecycle) {
+  RawRouter router(default_config(), net::RouteTable::simple4(),
+                   traffic(net::DestPattern::kUniform, 256), 14);
+  common::PacketTracer tracer;
+  router.set_tracer(&tracer);
+  tracer.enable(1 << 16);
+  router.run(20000);
+
+  EXPECT_GT(tracer.size(), 0u);
+  bool seen[6] = {};
+  for (const auto& ev : tracer.events()) {
+    seen[static_cast<std::size_t>(ev.event)] = true;
+  }
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_TRUE(seen[e]) << common::packet_event_name(
+        static_cast<common::PacketEvent>(e));
+  }
+
+  // Every delivered packet has exactly one exit event (budget not exceeded).
+  std::uint64_t exits = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.event == common::PacketEvent::kExitChip) ++exits;
+  }
+  EXPECT_EQ(exits, router.delivered_packets());
+
+  // One lifecycle, in causal order, for a sampled uid.
+  const auto events = tracer.events();
+  const std::uint64_t uid = events.front().uid;
+  common::Cycle last = 0;
+  for (const auto& ev : events) {
+    if (ev.uid != uid) continue;
+    EXPECT_GE(ev.cycle, last);
+    last = ev.cycle;
+  }
+
+  const std::string json = tracer.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Per-tile tracks are named after the port roles (Figure 7-2 mapping).
+  EXPECT_NE(json.find("\"name\":\"tile4 In0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"port0 in-card\""), std::string::npos);
 }
 
 }  // namespace

@@ -81,6 +81,54 @@ TEST(TraceTest, AsciiHasOneRowPerTile) {
   EXPECT_NE(art.find('.'), std::string::npos);
 }
 
+TEST(TraceTest, AsciiEmptyWhenUnconfigured) {
+  Trace t;
+  EXPECT_EQ(t.ascii(), "");
+}
+
+TEST(TraceTest, CsvHeaderOnlyWhenUnconfigured) {
+  Trace t;
+  EXPECT_EQ(t.csv(), "cycle,tile,proc,switch\n");
+}
+
+TEST(TraceTest, SingleTileCsvRowsInCycleOrder) {
+  Trace t;
+  t.configure(5, 8, 1);
+  t.record(5, 0, AgentState::kBusy, AgentState::kIdle);
+  t.record(6, 0, AgentState::kBlockedRecv, AgentState::kBusy);
+  t.record(7, 0, AgentState::kIdle, AgentState::kBlockedMem);
+  EXPECT_EQ(t.csv(),
+            "cycle,tile,proc,switch\n"
+            "5,0,busy,idle\n"
+            "6,0,blocked_recv,busy\n"
+            "7,0,idle,blocked_mem\n");
+}
+
+TEST(TraceTest, SingleTileAsciiOneColumnPerCycle) {
+  Trace t;
+  t.configure(0, 4, 1);
+  t.record(0, 0, AgentState::kBusy, AgentState::kIdle);
+  t.record(1, 0, AgentState::kBlockedRecv, AgentState::kIdle);
+  t.record(2, 0, AgentState::kIdle, AgentState::kBlockedSend);
+  t.record(3, 0, AgentState::kIdle, AgentState::kIdle);
+  EXPECT_EQ(t.ascii(4), " 0 #rs.\n");
+}
+
+TEST(TraceTest, AsciiBucketMajorityAndTieBreak) {
+  Trace t;
+  t.configure(0, 6, 1);
+  // Bucket 1 (cycles 0-2): majority blocked_recv.
+  t.record(0, 0, AgentState::kBlockedRecv, AgentState::kIdle);
+  t.record(1, 0, AgentState::kBlockedRecv, AgentState::kIdle);
+  t.record(2, 0, AgentState::kBusy, AgentState::kIdle);
+  // Bucket 2 (cycles 3-5): busy and idle tie 1-1 (plus one blocked_send);
+  // equal counts resolve to the lowest state index, i.e. busy.
+  t.record(3, 0, AgentState::kBusy, AgentState::kIdle);
+  t.record(4, 0, AgentState::kIdle, AgentState::kIdle);
+  t.record(5, 0, AgentState::kIdle, AgentState::kBlockedSend);
+  EXPECT_EQ(t.ascii(2), " 0 r#\n");
+}
+
 TEST(TraceTest, CsvHasHeaderAndRows) {
   Trace t;
   t.configure(0, 2, 2);

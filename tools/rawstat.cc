@@ -1,0 +1,245 @@
+// rawstat — run a configured Raw Router scenario and watch it live.
+//
+// Prints a refreshing text dashboard (per-port Gbps/Mpps, drop %, latency
+// percentiles, per-tile busy/blocked/idle) sourced from the MetricRegistry
+// the router exports into, and can dump the full registry as JSON/CSV or a
+// packet-lifecycle Chrome trace (chrome://tracing / Perfetto).
+//
+//   rawstat                         # default: 4 ports, uniform, 256 B, load 1.0
+//   rawstat --bytes 1024 --pattern permutation
+//   rawstat --json > metrics.json   # machine-readable registry dump
+//   rawstat --trace trace.json      # packet-lifecycle Chrome trace
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "common/metrics.h"
+#include "common/trace_event.h"
+#include "router/raw_router.h"
+
+namespace {
+
+using raw::common::Cycle;
+using raw::common::MetricRegistry;
+
+struct Args {
+  Cycle cycles = 200000;
+  Cycle interval = 0;  // 0: cycles / 10
+  raw::common::ByteCount bytes = 256;
+  double load = 1.0;
+  raw::net::DestPattern pattern = raw::net::DestPattern::kUniform;
+  std::uint64_t seed = 1;
+  std::uint32_t quantum = 256;
+  bool json = false;
+  bool csv = false;
+  bool channel_stats = false;
+  bool no_refresh = false;
+  const char* trace_path = nullptr;
+  std::size_t trace_budget = 1 << 16;
+};
+
+void usage() {
+  std::printf(
+      "usage: rawstat [options]\n"
+      "  --cycles N        chip cycles to run (default 200000)\n"
+      "  --interval N      dashboard refresh interval in cycles (default cycles/10)\n"
+      "  --bytes B         fixed packet size in bytes (default 256)\n"
+      "  --load L          offered load in [0,1] (default 1.0)\n"
+      "  --pattern P       uniform | permutation (default uniform)\n"
+      "  --quantum W       max words per routing quantum (default 256)\n"
+      "  --seed S          traffic RNG seed (default 1)\n"
+      "  --json            dump the full metric registry as JSON (no dashboard)\n"
+      "  --csv             dump the full metric registry as CSV (no dashboard)\n"
+      "  --trace FILE      write a packet-lifecycle Chrome trace to FILE\n"
+      "  --trace-budget N  tracer ring-buffer size in events (default 65536)\n"
+      "  --channel-stats   sample per-channel occupancy/backpressure\n"
+      "  --no-refresh      append dashboard frames instead of redrawing\n");
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--cycles")) {
+      a.cycles = std::strtoull(next("--cycles"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--interval")) {
+      a.interval = std::strtoull(next("--interval"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--bytes")) {
+      a.bytes = std::strtoull(next("--bytes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--load")) {
+      a.load = std::strtod(next("--load"), nullptr);
+    } else if (!std::strcmp(argv[i], "--pattern")) {
+      const char* p = next("--pattern");
+      if (!std::strcmp(p, "uniform")) {
+        a.pattern = raw::net::DestPattern::kUniform;
+      } else if (!std::strcmp(p, "permutation")) {
+        a.pattern = raw::net::DestPattern::kPermutation;
+      } else {
+        std::fprintf(stderr, "unknown pattern '%s'\n", p);
+        std::exit(2);
+      }
+    } else if (!std::strcmp(argv[i], "--quantum")) {
+      a.quantum = static_cast<std::uint32_t>(
+          std::strtoul(next("--quantum"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      a.json = true;
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      a.csv = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      a.trace_path = next("--trace");
+    } else if (!std::strcmp(argv[i], "--trace-budget")) {
+      a.trace_budget = std::strtoull(next("--trace-budget"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--channel-stats")) {
+      a.channel_stats = true;
+    } else if (!std::strcmp(argv[i], "--no-refresh")) {
+      a.no_refresh = true;
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      usage();
+      std::exit(2);
+    }
+  }
+  if (a.interval == 0) a.interval = a.cycles / 10 > 0 ? a.cycles / 10 : a.cycles;
+  return a;
+}
+
+/// Publishes the Figure 7-3-style per-tile utilization of the last traced
+/// window into the registry, so the dashboard reads everything from one
+/// place.
+void export_tile_utilization(const raw::sim::Trace& trace, MetricRegistry& reg) {
+  if (!trace.enabled()) return;
+  for (int t = 0; t < trace.num_tiles(); ++t) {
+    const auto u = trace.utilization(t);
+    const std::string base = "router/chip/tile" + std::to_string(t);
+    reg.gauge(base + "/busy_frac").set(u.busy);
+    reg.gauge(base + "/blocked_frac").set(u.blocked);
+    reg.gauge(base + "/idle_frac").set(u.idle);
+  }
+}
+
+void print_dashboard(const Args& args, const MetricRegistry& reg, Cycle now,
+                     bool redraw) {
+  if (redraw) std::printf("\x1b[H\x1b[J");
+  std::printf("rawstat — %s traffic, %llu B packets, load %.2f, cycle %llu/%llu\n\n",
+              args.pattern == raw::net::DestPattern::kUniform ? "uniform"
+                                                              : "permutation",
+              static_cast<unsigned long long>(args.bytes), args.load,
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(args.cycles));
+
+  std::printf("%-5s %8s %7s %7s %8s %8s %8s %8s\n", "port", "Gbps", "Mpps",
+              "drop%", "p50", "p95", "p99", "max");
+  for (int p = 0; p < raw::router::kNumPorts; ++p) {
+    const std::string base = "router/port" + std::to_string(p);
+    std::printf("%-5d %8.2f %7.3f %6.2f%% %8.0f %8.0f %8.0f %8.0f\n", p,
+                reg.gauge_value(base + "/gbps"), reg.gauge_value(base + "/mpps"),
+                100.0 * reg.gauge_value(base + "/drop_fraction"),
+                reg.gauge_value(base + "/latency/p50"),
+                reg.gauge_value(base + "/latency/p95"),
+                reg.gauge_value(base + "/latency/p99"),
+                reg.gauge_value(base + "/latency/max"));
+  }
+  std::printf("%-5s %8.2f %7.3f   (latency percentiles in cycles)\n", "all",
+              reg.gauge_value("router/gbps"), reg.gauge_value("router/mpps"));
+
+  std::printf("\nper-tile busy/blocked/idle %% (last %llu-cycle window):\n",
+              static_cast<unsigned long long>(args.interval));
+  for (int row = 0; row < 4; ++row) {
+    std::printf("  ");
+    for (int col = 0; col < 4; ++col) {
+      const int t = row * 4 + col;
+      const std::string base = "router/chip/tile" + std::to_string(t);
+      std::printf("t%-2d %3.0f/%3.0f/%3.0f   ", t,
+                  100.0 * reg.gauge_value(base + "/busy_frac"),
+                  100.0 * reg.gauge_value(base + "/blocked_frac"),
+                  100.0 * reg.gauge_value(base + "/idle_frac"));
+    }
+    std::printf("\n");
+  }
+
+  const std::uint64_t errors = reg.counter_value("router/errors");
+  if (errors > 0) {
+    std::printf("\nVALIDATION ERRORS: %llu\n",
+                static_cast<unsigned long long>(errors));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  raw::router::RouterConfig cfg;
+  cfg.runtime.quantum_max_words = args.quantum;
+  cfg.channel_stats = args.channel_stats;
+
+  raw::net::TrafficConfig traffic;
+  traffic.num_ports = raw::router::kNumPorts;
+  traffic.pattern = args.pattern;
+  traffic.size = raw::net::SizeDist::kFixed;
+  traffic.fixed_bytes = args.bytes;
+  traffic.load = args.load;
+
+  raw::router::RawRouter router(cfg, raw::net::RouteTable::simple4(), traffic,
+                                args.seed);
+
+  raw::common::PacketTracer tracer;
+  if (args.trace_path != nullptr) {
+    router.set_tracer(&tracer);
+    tracer.enable(args.trace_budget);
+  }
+
+  MetricRegistry registry;
+  const bool quiet = args.json || args.csv;
+  const bool redraw = !quiet && !args.no_refresh && isatty(STDOUT_FILENO) != 0;
+
+  Cycle now = 0;
+  while (now < args.cycles) {
+    const Cycle chunk = std::min(args.interval, args.cycles - now);
+    router.chip().trace().configure(now, now + chunk, 16);
+    router.run(chunk);
+    now += chunk;
+    router.export_metrics(registry);
+    export_tile_utilization(router.chip().trace(), registry);
+    if (!quiet) print_dashboard(args, registry, now, redraw);
+  }
+
+  if (args.json) std::printf("%s", registry.to_json().c_str());
+  if (args.csv) std::printf("%s", registry.to_csv().c_str());
+
+  if (args.trace_path != nullptr) {
+    FILE* f = std::fopen(args.trace_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.trace_path);
+      return 1;
+    }
+    const std::string json = tracer.chrome_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (!quiet) {
+      std::printf("\nwrote %zu trace events (%llu recorded, %llu overwritten) "
+                  "to %s\n",
+                  tracer.size(),
+                  static_cast<unsigned long long>(tracer.recorded()),
+                  static_cast<unsigned long long>(tracer.overwritten()),
+                  args.trace_path);
+    }
+  }
+
+  return router.errors() == 0 ? 0 : 1;
+}
