@@ -1,0 +1,87 @@
+// Chaos soak: sweep seeds x the standard fault mixes through the full
+// router and verify the self-protection invariants on every combination
+// (see router/chaos.h). The default sweep is 16 seeds x 13 mixes = 208
+// combinations; the tier2 ctest runs a bounded version.
+//
+//   ./chaos_soak [--seeds N] [--cycles N]
+//
+// Exit status 0 only when every combination passes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "router/chaos.h"
+
+namespace {
+
+struct Args {
+  int seeds = 16;
+  raw::common::Cycle cycles = 40000;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+      a.seeds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc) {
+      a.cycles = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run\n\n",
+              args.seeds, raw::router::standard_mixes().size(),
+              static_cast<unsigned long long>(args.cycles));
+
+  const raw::router::ChaosSweepSummary summary =
+      raw::router::chaos_sweep(args.seeds, args.cycles);
+
+  // Per-mix rollup.
+  struct MixAgg {
+    int runs = 0, passed = 0;
+    std::uint64_t delivered = 0, errors = 0, lost = 0, malformed = 0,
+                  resyncs = 0, trips = 0;
+  };
+  std::map<std::string, MixAgg> by_mix;
+  for (const raw::router::ChaosResult& r : summary.results) {
+    MixAgg& agg = by_mix[r.mix];
+    ++agg.runs;
+    if (r.pass) ++agg.passed;
+    agg.delivered += r.delivered;
+    agg.errors += r.errors;
+    agg.lost += r.lost;
+    agg.malformed += r.malformed;
+    agg.resyncs += r.resyncs;
+    agg.trips += r.watchdog_trips;
+  }
+  std::printf("%-28s %9s %10s %6s %5s %5s %6s %6s\n", "mix", "pass",
+              "delivered", "errors", "lost", "malf", "resync", "trips");
+  for (const auto& [mix, agg] : by_mix) {
+    std::printf("%-28s %4d/%-4d %10llu %6llu %5llu %5llu %6llu %6llu\n",
+                mix.c_str(), agg.passed, agg.runs,
+                static_cast<unsigned long long>(agg.delivered),
+                static_cast<unsigned long long>(agg.errors),
+                static_cast<unsigned long long>(agg.lost),
+                static_cast<unsigned long long>(agg.malformed),
+                static_cast<unsigned long long>(agg.resyncs),
+                static_cast<unsigned long long>(agg.trips));
+  }
+
+  for (const raw::router::ChaosResult& r : summary.results) {
+    if (!r.pass) {
+      std::printf("\nFAIL %s seed %llu: %s\n", r.mix.c_str(),
+                  static_cast<unsigned long long>(r.seed), r.failure.c_str());
+      if (!r.stall_summary.empty()) std::printf("%s\n", r.stall_summary.c_str());
+    }
+  }
+
+  std::printf("\n%d/%d combinations passed\n", summary.passed, summary.total);
+  return summary.all_passed() ? 0 : 1;
+}

@@ -47,6 +47,12 @@ class RingBuffer {
     return slots_[head_];
   }
 
+  /// Mutable front, for in-place corruption by the fault injector.
+  [[nodiscard]] T& front() {
+    RAW_ASSERT_MSG(!empty(), "front of empty ring buffer");
+    return slots_[head_];
+  }
+
   /// Element `i` positions behind the front (0 == front). Used by the
   /// wormhole router to peek at header words without consuming them.
   [[nodiscard]] const T& peek(std::size_t i) const {

@@ -14,6 +14,7 @@ const char* packet_event_name(PacketEvent e) {
     case PacketEvent::kLookupDone: return "lookup_done";
     case PacketEvent::kCrossbarGrant: return "crossbar_grant";
     case PacketEvent::kExitChip: return "exit_chip";
+    case PacketEvent::kFault: return "fault";
   }
   return "?";
 }

@@ -31,6 +31,7 @@ enum class PacketEvent : std::uint8_t {
   kLookupDone = 3,     // LPM reply received by the ingress tile
   kCrossbarGrant = 4,  // crossbar granted words to this packet
   kExitChip = 5,       // packet reassembled and validated at the output card
+  kFault = 6,          // injected fault fired (uid = fault ordinal, arg = kind)
 };
 
 const char* packet_event_name(PacketEvent e);

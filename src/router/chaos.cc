@@ -1,0 +1,257 @@
+#include "router/chaos.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace raw::router {
+
+std::string ChaosMix::name() const {
+  std::string s;
+  const auto tag = [&s](const char* t) {
+    if (!s.empty()) s += "+";
+    s += t;
+  };
+  if (bitflips) tag("flip");
+  if (stalls) tag("stall");
+  if (freezes) tag("freeze");
+  if (overruns) tag("overrun");
+  if (permanent_freeze) tag("permafreeze");
+  if (s.empty()) s = "clean";
+  return s;
+}
+
+sim::FaultPlan make_fault_plan(const ChaosSpec& spec, RawRouter& router,
+                               int* permanent_tile) {
+  common::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 1);
+  sim::FaultPlan plan;
+  sim::Chip& chip = router.chip();
+
+  // Faults land while traffic is flowing but well before the run ends, so
+  // transients have time to wash out before the drain.
+  const common::Cycle lo = spec.run_cycles / 8;
+  const common::Cycle hi = spec.run_cycles * 3 / 4;
+  const auto when = [&] { return lo + rng.below(hi - lo); };
+
+  // The eight chip-edge channels (line card <-> chip), the only places line
+  // noise can corrupt a word.
+  std::vector<std::string> edges;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles tiles = router.layout().port(p);
+    const PortEdges dirs = router.layout().edges(p);
+    edges.push_back(
+        chip.io_port(0, tiles.ingress, dirs.ingress_edge).to_chip->name());
+    edges.push_back(
+        chip.io_port(0, tiles.egress, dirs.egress_edge).from_chip->name());
+  }
+
+  // Any static-network link is fair game for a transient outage.
+  std::vector<std::string> links;
+  for (const sim::Channel* ch : chip.all_channels()) {
+    if (ch->name().rfind("net", 0) == 0) links.push_back(ch->name());
+  }
+
+  if (spec.mix.bitflips) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      sim::FaultEvent e;
+      e.kind = sim::FaultKind::kBitFlip;
+      e.at = when();
+      e.channel = edges[rng.below(edges.size())];
+      e.bit = static_cast<std::uint32_t>(rng.below(32));
+      plan.add(std::move(e));
+    }
+  }
+  if (spec.mix.stalls) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      sim::FaultEvent e;
+      e.kind = sim::FaultKind::kLinkStall;
+      e.at = when();
+      e.channel = links[rng.below(links.size())];
+      e.duration = 16 + rng.below(241);  // 16..256 cycles
+      plan.add(std::move(e));
+    }
+  }
+  if (spec.mix.freezes) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      sim::FaultEvent e;
+      e.kind = sim::FaultKind::kTileFreeze;
+      e.at = when();
+      e.tile = static_cast<int>(rng.below(16));
+      e.duration = 64 + rng.below(449);  // 64..512 cycles
+      plan.add(std::move(e));
+    }
+  }
+  if (spec.mix.overruns) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      sim::FaultEvent e;
+      e.kind = sim::FaultKind::kOverrun;
+      e.at = when();
+      e.port = static_cast<int>(rng.below(kNumPorts));
+      e.duration = 2000 + rng.below(6001);  // 2k..8k cycles
+      e.factor = 4;
+      plan.add(std::move(e));
+    }
+  }
+  if (spec.mix.permanent_freeze) {
+    sim::FaultEvent e;
+    e.kind = sim::FaultKind::kTileFreeze;
+    e.at = spec.run_cycles / 2;
+    e.tile = static_cast<int>(rng.below(16));
+    e.permanent = true;
+    if (permanent_tile != nullptr) *permanent_tile = e.tile;
+    plan.add(std::move(e));
+  }
+  return plan;
+}
+
+ChaosResult run_chaos(const ChaosSpec& spec) {
+  RouterConfig cfg;
+  net::TrafficConfig traffic;
+  traffic.num_ports = 4;
+  traffic.pattern = net::DestPattern::kUniform;
+  traffic.size = net::SizeDist::kFixed;
+  traffic.fixed_bytes = spec.bytes;
+  traffic.load = spec.load;
+  RawRouter router(cfg, net::RouteTable::simple4(), traffic, spec.seed);
+
+  int permanent_tile = -1;
+  sim::FaultPlan plan = make_fault_plan(spec, router, &permanent_tile);
+  router.set_fault_plan(&plan);
+
+  const RunStatus rs = router.run(spec.run_cycles);
+  if (rs == RunStatus::kOk) (void)router.drain(spec.drain_cycles);
+
+  ChaosResult r;
+  r.seed = spec.seed;
+  r.mix = spec.mix.name();
+  r.stalled_in_run = rs == RunStatus::kStalled;
+  r.outcome = r.stalled_in_run ? DrainOutcome::kStalled : router.drain_outcome();
+  r.offered = router.offered_packets();
+  r.delivered = router.delivered_packets();
+  r.dropped_card = router.dropped_at_card();
+  r.ingress_drops = router.ledger().erased_ingress;
+  r.errors = router.errors();
+  r.lost = router.lost_packets();
+  r.watchdog_trips = router.watchdog_trips();
+  r.faults_injected = plan.fired();
+  for (int p = 0; p < kNumPorts; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    r.malformed += router.core().counters[pi].malformed_drops;
+    r.resyncs += router.output(p).resyncs();
+  }
+  if (router.stall_report().has_value()) {
+    r.stall_summary = router.stall_report()->to_string();
+  }
+
+  const auto fail = [&r](std::string why) {
+    if (r.failure.empty()) r.failure = std::move(why);
+  };
+
+  // Conservation must hold at every exit, stalled runs included.
+  const std::uint64_t accounted = r.dropped_card + router.ledger().erased_total() +
+                                  router.ledger().in_flight.size();
+  if (r.offered != accounted) {
+    fail("conservation violated: offered " + std::to_string(r.offered) +
+         " != accounted " + std::to_string(accounted));
+  }
+
+  const bool stalled = r.stalled_in_run || r.outcome == DrainOutcome::kStalled;
+  if (spec.mix.permanent_freeze) {
+    // A permanently frozen tile must wedge the fabric and be caught, and
+    // the report must pin the blame on the right tile.
+    if (!stalled) {
+      fail("permanent freeze of tile " + std::to_string(permanent_tile) +
+           " was not detected (outcome " +
+           std::string(drain_outcome_name(r.outcome)) + ")");
+    } else if (!router.stall_report().has_value()) {
+      fail("stalled without a StallReport");
+    } else {
+      const StallReport& report = *router.stall_report();
+      const bool named = std::any_of(
+          report.tiles.begin(), report.tiles.end(),
+          [&](const StallReport::TileState& t) {
+            return t.tile == permanent_tile &&
+                   t.cause == StallReport::BlockCause::kFrozen;
+          });
+      if (!named) {
+        fail("StallReport does not name tile " +
+             std::to_string(permanent_tile) + " as frozen");
+      }
+    }
+  } else if (stalled) {
+    fail("watchdog tripped with no permanent fault injected: " +
+         r.stall_summary);
+  } else if (r.outcome == DrainOutcome::kTimeout) {
+    fail("drain timed out: silent non-progress");
+  } else if (r.outcome == DrainOutcome::kLossQuiesced && !spec.mix.corrupting()) {
+    fail("packets lost (" + std::to_string(r.lost) +
+         ") under a non-corrupting mix");
+  }
+
+  if (!spec.mix.corrupting()) {
+    if (r.errors != 0) fail("validation errors under a non-corrupting mix");
+    if (r.malformed != 0) fail("malformed drops under a non-corrupting mix");
+    if (r.resyncs != 0) fail("output resyncs under a non-corrupting mix");
+  }
+  if (r.delivered == 0) fail("nothing delivered");
+
+  r.pass = r.failure.empty();
+  return r;
+}
+
+std::vector<ChaosMix> standard_mixes() {
+  using M = ChaosMix;
+  return {
+      M{.bitflips = true},
+      M{.stalls = true},
+      M{.freezes = true},
+      M{.overruns = true},
+      M{.bitflips = true, .stalls = true},
+      M{.bitflips = true, .freezes = true},
+      M{.bitflips = true, .overruns = true},
+      M{.stalls = true, .freezes = true},
+      M{.stalls = true, .overruns = true},
+      M{.freezes = true, .overruns = true},
+      M{.bitflips = true, .stalls = true, .freezes = true, .overruns = true},
+      M{.permanent_freeze = true},
+      M{.bitflips = true, .permanent_freeze = true},
+  };
+}
+
+bool parse_mix(const std::string& s, ChaosMix* out) {
+  ChaosMix m;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find('+', pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string part = s.substr(pos, end - pos);
+    if (part == "flip") m.bitflips = true;
+    else if (part == "stall") m.stalls = true;
+    else if (part == "freeze") m.freezes = true;
+    else if (part == "overrun") m.overruns = true;
+    else if (part == "permafreeze") m.permanent_freeze = true;
+    else return false;
+    pos = end + 1;
+  }
+  *out = m;
+  return true;
+}
+
+ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles) {
+  ChaosSweepSummary summary;
+  for (const ChaosMix& mix : standard_mixes()) {
+    for (int s = 1; s <= num_seeds; ++s) {
+      ChaosSpec spec;
+      spec.seed = static_cast<std::uint64_t>(s);
+      spec.mix = mix;
+      spec.run_cycles = run_cycles;
+      ChaosResult r = run_chaos(spec);
+      ++summary.total;
+      if (r.pass) ++summary.passed;
+      summary.results.push_back(std::move(r));
+    }
+  }
+  return summary;
+}
+
+}  // namespace raw::router

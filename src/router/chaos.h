@@ -1,0 +1,108 @@
+// Chaos harness: seeded fault mixes driven through the full router with the
+// self-protection invariants checked afterwards.
+//
+// Each (seed, mix) combination builds a FaultPlan from the mix's fault
+// kinds, runs the router under uniform traffic, drains, and verifies:
+//
+//   * packet conservation — every offered packet is accounted for as
+//     delivered, dropped at a card, dropped at an ingress, invalid at an
+//     output card, lost (written off at drain), or still in flight;
+//   * no silent hang — the run either completes, quiesces with explained
+//     losses, or stops with a StallReport; a watchdog trip is a pass only
+//     when the mix injected a permanent tile freeze, and the report must
+//     name that tile as frozen;
+//   * no unexplained damage — validation errors, malformed drops, resyncs
+//     and losses appear only under corrupting (bit-flip) mixes;
+//   * the router still forwards — delivered packets (which are validated
+//     end-to-end by the output cards) stay nonzero.
+//
+// Used by tools/rawchaos (interactive), bench/chaos_soak (full sweep), and
+// the tier2 ctest soak (bounded sweep).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "router/raw_router.h"
+#include "sim/fault_plan.h"
+
+namespace raw::router {
+
+/// Which fault kinds a run injects.
+struct ChaosMix {
+  bool bitflips = false;
+  bool stalls = false;
+  bool freezes = false;  // transient windows
+  bool overruns = false;
+  bool permanent_freeze = false;
+
+  /// Only bit flips corrupt words; everything else just perturbs timing.
+  [[nodiscard]] bool corrupting() const { return bitflips; }
+  [[nodiscard]] bool any() const {
+    return bitflips || stalls || freezes || overruns || permanent_freeze;
+  }
+  [[nodiscard]] std::string name() const;
+};
+
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  ChaosMix mix;
+  common::Cycle run_cycles = 40000;
+  common::Cycle drain_cycles = 400000;
+  /// Scheduled events per enabled transient kind.
+  int faults_per_kind = 6;
+  common::ByteCount bytes = 256;
+  double load = 0.9;
+};
+
+struct ChaosResult {
+  bool pass = false;
+  std::string failure;  // first violated invariant, empty on pass
+  std::uint64_t seed = 0;
+  std::string mix;
+  DrainOutcome outcome = DrainOutcome::kDrained;
+  bool stalled_in_run = false;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_card = 0;
+  std::uint64_t ingress_drops = 0;  // ttl + no-route + malformed (ledger view)
+  std::uint64_t errors = 0;         // output-card validation failures
+  std::uint64_t lost = 0;
+  std::uint64_t malformed = 0;      // ingress integrity-check drops
+  std::uint64_t resyncs = 0;        // output-card realignment episodes
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t faults_injected = 0;
+  std::string stall_summary;  // StallReport::to_string() when one was raised
+};
+
+/// Builds the seeded fault schedule for `spec` against `router`'s chip.
+/// Bit flips target only the chip-edge (line-card) channels — on-chip
+/// control words are the schedule compiler's domain and a flip there models
+/// a different fault class than line noise. When the mix includes a
+/// permanent freeze, `permanent_tile` (if non-null) receives the tile index.
+sim::FaultPlan make_fault_plan(const ChaosSpec& spec, RawRouter& router,
+                               int* permanent_tile = nullptr);
+
+/// Runs one (seed, mix) combination and checks every invariant.
+ChaosResult run_chaos(const ChaosSpec& spec);
+
+/// The 13 standard mixes: each kind alone, bit-flip pairs, timing pairs,
+/// everything transient, and the two permanent-freeze variants.
+std::vector<ChaosMix> standard_mixes();
+
+/// Parses a '+'-separated mix string ("flip+stall+freeze+overrun",
+/// "permafreeze") into `out`. Returns false on an unknown kind name.
+bool parse_mix(const std::string& s, ChaosMix* out);
+
+struct ChaosSweepSummary {
+  int total = 0;
+  int passed = 0;
+  std::vector<ChaosResult> results;  // every combination, in run order
+  [[nodiscard]] bool all_passed() const { return passed == total; }
+};
+
+/// Sweeps seeds x standard_mixes(): seeds 1..num_seeds against every mix.
+ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles);
+
+}  // namespace raw::router

@@ -1,6 +1,7 @@
 #include "router/line_cards.h"
 
 #include "common/assert.h"
+#include "sim/fault_plan.h"
 
 namespace raw::router {
 
@@ -47,8 +48,12 @@ void InputLineCard::generate(sim::Chip& chip) {
     const common::ByteCount bytes = std::max<common::ByteCount>(desc.bytes, 20);
     const auto words = common::words_for_bytes(bytes);
     // Line spacing: the wire carries this packet for `words` cycles, then
-    // idles for the generator's gap.
-    next_arrival_ = chip.cycle() + desc.gap_cycles + words;
+    // idles for the generator's gap. An injected overrun burst compresses
+    // the spacing by its factor, modelling an upstream link running hot.
+    const sim::FaultPlan* faults = chip.fault_plan();
+    const std::uint64_t factor =
+        faults != nullptr ? faults->overrun_factor(port_, chip.cycle()) : 1;
+    next_arrival_ = chip.cycle() + (desc.gap_cycles + words) / factor;
     ++offered_packets_;
     offered_bytes_ += bytes;
     if (queue_.size() + words > queue_capacity_words_) {
@@ -95,18 +100,35 @@ OutputLineCard::OutputLineCard(sim::Channel* from_chip, int port,
 
 void OutputLineCard::step(sim::Chip& chip) {
   if (!from_chip_->can_read()) return;
-  const common::Word w = from_chip_->read();
-  if (current_.empty()) {
-    // First word of an IP packet carries total_length in its low half.
-    const auto total_length = static_cast<common::ByteCount>(w & 0xffff);
-    if (total_length < net::Ipv4Header::kBytes) {
-      ++errors_;  // stream desynchronised; drop the word
-      return;
+  current_.push_back(from_chip_->read());
+  if (expected_words_ == 0) {
+    // Not locked onto a frame: once a full header's worth of words has
+    // accumulated, judge the candidate at the front of the buffer. A
+    // corrupted stream (bit flip in the length or checksum words) fails the
+    // check; the card then slides forward one word at a time until a
+    // plausible header lines up again, so one torn frame costs one resync
+    // episode instead of desynchronising every subsequent packet.
+    while (current_.size() >= net::Ipv4Header::kWords) {
+      const auto hdr = net::parse(
+          std::span<const common::Word, net::Ipv4Header::kWords>(
+              current_.data(), net::Ipv4Header::kWords));
+      if (hdr.version == 4 && hdr.ihl == 5 &&
+          hdr.total_length >= net::Ipv4Header::kBytes && net::checksum_ok(hdr)) {
+        expected_words_ = common::words_for_bytes(hdr.total_length);
+        in_resync_ = false;
+        break;
+      }
+      if (!in_resync_) {
+        in_resync_ = true;
+        ++resyncs_;
+      }
+      ++resync_words_;
+      current_.erase(current_.begin());
     }
-    expected_words_ = common::words_for_bytes(total_length);
   }
-  current_.push_back(w);
-  if (current_.size() == expected_words_) finish_packet(chip);
+  if (expected_words_ != 0 && current_.size() >= expected_words_) {
+    finish_packet(chip);
+  }
 }
 
 void OutputLineCard::finish_packet(sim::Chip& chip) {
@@ -119,7 +141,11 @@ void OutputLineCard::finish_packet(sim::Chip& chip) {
   const int src = src_port_of(p.header);
   const auto it = ledger_->in_flight.find(uid);
   if (it == ledger_->in_flight.end() || src < 0 || src >= 4) {
-    ++errors_;
+    // No in-flight entry: a corrupted uid field, or the surviving fragment
+    // of a frame whose original was already written off. The packet itself
+    // was accounted for when its entry was erased, so this counts as frame
+    // damage, not a second packet loss.
+    ++unmatched_frames_;
     return;
   }
   const PacketLedger::Entry entry = it->second;
@@ -137,9 +163,11 @@ void OutputLineCard::finish_packet(sim::Chip& chip) {
   }
 
   if (!ok) {
-    ++errors_;
+    ++dropped_invalid_;
+    ++ledger_->erased_invalid;
     return;
   }
+  ++ledger_->erased_delivered;
   ++delivered_packets_;
   delivered_bytes_ += p.size_bytes();
   ++per_source_[static_cast<std::size_t>(src)];

@@ -40,6 +40,21 @@ struct PacketLedger {
   /// Optional packet-lifecycle tracer shared by the line cards and the tile
   /// programs (null or disabled: no events, no cost).
   common::PacketTracer* tracer = nullptr;
+
+  /// Where erased entries went, for packet-conservation accounting. Every
+  /// erase from `in_flight` increments exactly one of these, so at any
+  /// instant
+  ///   offered == dropped_at_card + erased_delivered + erased_invalid
+  ///            + erased_ingress + erased_lost + in_flight.size()
+  /// (RawRouter asserts this at drain).
+  std::uint64_t erased_delivered = 0;  // validated at an output card
+  std::uint64_t erased_invalid = 0;    // reached an output card, failed validation
+  std::uint64_t erased_ingress = 0;    // dropped by an ingress tile (ttl/route/malformed)
+  std::uint64_t erased_lost = 0;       // written off when a drain quiesced short
+
+  [[nodiscard]] std::uint64_t erased_total() const {
+    return erased_delivered + erased_invalid + erased_ingress + erased_lost;
+  }
 };
 
 /// Trace-track ids: chip events use the tile index directly; line-card
@@ -102,7 +117,21 @@ class OutputLineCard : public sim::Device {
   [[nodiscard]] std::uint64_t delivered_from(int src) const {
     return per_source_[static_cast<std::size_t>(src)];
   }
-  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  /// All frames that failed validation, however they failed.
+  [[nodiscard]] std::uint64_t errors() const {
+    return dropped_invalid_ + unmatched_frames_;
+  }
+  /// Frames with a ledger entry that failed end-to-end validation
+  /// (corrupted payload, wrong port, bad TTL).
+  [[nodiscard]] std::uint64_t dropped_invalid() const { return dropped_invalid_; }
+  /// Frames whose uid matched no in-flight entry (a corrupted uid field, or
+  /// the surviving half of a torn frame).
+  [[nodiscard]] std::uint64_t unmatched_frames() const { return unmatched_frames_; }
+  /// Resynchronisation episodes: the card lost framing mid-stream and slid
+  /// forward to the next plausible header.
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  /// Words discarded while realigning.
+  [[nodiscard]] std::uint64_t resync_words() const { return resync_words_; }
   [[nodiscard]] const common::RunningStat& latency() const { return latency_; }
   /// End-to-end latency distribution (cycles), for p50/p95/p99 reporting.
   [[nodiscard]] const common::Histogram& latency_histogram() const {
@@ -116,11 +145,15 @@ class OutputLineCard : public sim::Device {
   int port_;
   PacketLedger* ledger_;
   std::vector<common::Word> current_;
-  std::size_t expected_words_ = 0;
+  std::size_t expected_words_ = 0;  // 0 = not locked onto a frame yet
+  bool in_resync_ = false;
   std::uint64_t delivered_packets_ = 0;
   common::ByteCount delivered_bytes_ = 0;
   std::array<std::uint64_t, 4> per_source_{};
-  std::uint64_t errors_ = 0;
+  std::uint64_t dropped_invalid_ = 0;
+  std::uint64_t unmatched_frames_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t resync_words_ = 0;
   common::RunningStat latency_;
   common::Histogram latency_hist_{16.0, 2048};  // covers 32K cycles + overflow
 };

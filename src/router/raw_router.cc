@@ -1,8 +1,41 @@
 #include "router/raw_router.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "common/assert.h"
 
 namespace raw::router {
+
+void RouterConfig::validate() const {
+  if (link_fifo_depth < net::Ipv4Header::kWords) {
+    throw std::invalid_argument(
+        "RouterConfig.link_fifo_depth must be >= " +
+        std::to_string(net::Ipv4Header::kWords) +
+        " (edge FIFOs hold a full IP header); got " +
+        std::to_string(link_fifo_depth));
+  }
+  if (line_card_queue_words == 0) {
+    throw std::invalid_argument(
+        "RouterConfig.line_card_queue_words must be positive: a zero-capacity "
+        "card queue drops every packet before it reaches the chip");
+  }
+  if (watchdog.enabled && watchdog.check_interval == 0) {
+    throw std::invalid_argument(
+        "RouterConfig.watchdog.check_interval must be positive when the "
+        "watchdog is enabled");
+  }
+}
+
+const char* drain_outcome_name(DrainOutcome o) {
+  switch (o) {
+    case DrainOutcome::kDrained: return "drained";
+    case DrainOutcome::kLossQuiesced: return "loss_quiesced";
+    case DrainOutcome::kStalled: return "stalled";
+    case DrainOutcome::kTimeout: return "timeout";
+  }
+  return "?";
+}
 
 RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
                      net::TrafficConfig traffic, std::uint64_t seed)
@@ -12,8 +45,7 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
       compiler_(layout_),
       traffic_(traffic, seed) {
   RAW_ASSERT_MSG(traffic.num_ports == kNumPorts, "router has four ports");
-  RAW_ASSERT_MSG(config_.link_fifo_depth >= 5,
-                 "edge FIFOs must hold a full IP header");
+  config_.validate();
 
   sim::ChipConfig chip_cfg;
   chip_cfg.shape = sim::GridShape{4, 4};
@@ -26,6 +58,7 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
   core_.table = &table_;
   core_.forwarding = &forwarding_;
   core_.config = config_.runtime;
+  core_.ledger = &ledger_;
 
   for (int p = 0; p < kNumPorts; ++p) {
     const PortTiles tiles = layout_.port(p);
@@ -109,9 +142,16 @@ void RawRouter::export_metrics(common::MetricRegistry& registry,
     registry.counter(port + "/egress/cut_through").set(ctr.cut_through);
     registry.counter(port + "/egress/reassembled").set(ctr.reassembled);
 
+    registry.counter(port + "/ingress/malformed_drops").set(ctr.malformed_drops);
+    registry.counter(port + "/ingress/resync_slides").set(ctr.resync_slides);
+
     registry.counter(port + "/egress/delivered_packets").set(out.delivered_packets());
     registry.counter(port + "/egress/delivered_bytes").set(out.delivered_bytes());
     registry.counter(port + "/egress/errors").set(out.errors());
+    registry.counter(port + "/egress/dropped_invalid").set(out.dropped_invalid());
+    registry.counter(port + "/egress/unmatched_frames").set(out.unmatched_frames());
+    registry.counter(port + "/egress/resyncs").set(out.resyncs());
+    registry.counter(port + "/egress/resync_words").set(out.resync_words());
 
     const common::Histogram& lat = out.latency_histogram();
     registry.gauge(port + "/latency/p50").set(lat.quantile(0.50));
@@ -136,10 +176,96 @@ void RawRouter::export_metrics(common::MetricRegistry& registry,
   registry.counter(prefix + "/delivered_bytes").set(delivered_bytes());
   registry.counter(prefix + "/errors").set(errors());
 
+  registry.counter(prefix + "/watchdog/trips").set(watchdog_trips_);
+  registry.counter(prefix + "/conservation/offered").set(offered_packets());
+  registry.counter(prefix + "/conservation/dropped_at_card").set(dropped_at_card());
+  registry.counter(prefix + "/conservation/delivered").set(ledger_.erased_delivered);
+  registry.counter(prefix + "/conservation/invalid").set(ledger_.erased_invalid);
+  registry.counter(prefix + "/conservation/ingress_drops").set(ledger_.erased_ingress);
+  registry.counter(prefix + "/conservation/lost").set(ledger_.erased_lost);
+  registry.counter(prefix + "/conservation/in_flight").set(ledger_.in_flight.size());
+  if (const sim::FaultPlan* faults = chip_->fault_plan()) {
+    faults->export_metrics(registry, "faults");
+  }
+
   chip_->export_metrics(registry, prefix + "/chip");
 }
 
-void RawRouter::run(common::Cycle cycles) { chip_->run(cycles); }
+void RawRouter::set_fault_plan(sim::FaultPlan* plan) {
+  if (plan != nullptr && ledger_.tracer != nullptr) {
+    plan->set_tracer(ledger_.tracer);
+  }
+  chip_->set_fault_plan(plan);
+}
+
+bool RawRouter::work_pending() const {
+  for (const auto& in : inputs_) {
+    if (!in->idle()) return true;
+  }
+  return !ledger_.in_flight.empty();
+}
+
+bool RawRouter::check_watchdog() {
+  const WatchdogConfig& wd = config_.watchdog;
+  const common::Cycle now = chip_->cycle();
+
+  // Hard trip: nothing moved anywhere for the bound while work is queued.
+  // The idle quantum ring circulates continuously on a healthy chip, so
+  // this fires only when the fabric is genuinely wedged.
+  if (now - chip_->last_progress_cycle() >= wd.no_progress_bound &&
+      work_pending()) {
+    ++watchdog_trips_;
+    stall_report_ = build_stall_report(*chip_, layout_,
+                                       StallReport::Cause::kNoForwardProgress,
+                                       ledger_.in_flight.size());
+    return true;
+  }
+
+  // Soft flag: a port with queued input whose grants stopped advancing.
+  // Reported, not fatal — an unfair token policy starves without wedging
+  // (the fairness ablation does this deliberately).
+  std::vector<int> starved;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    const std::uint64_t grants = core_.counters[pi].grants;
+    if (grants != starve_grants_[pi] || inputs_[pi]->idle()) {
+      starve_grants_[pi] = grants;
+      starve_since_[pi] = now;
+    } else if (now - starve_since_[pi] >= wd.starvation_bound) {
+      starved.push_back(p);
+    }
+  }
+  if (!starved.empty()) {
+    stall_report_ = build_stall_report(*chip_, layout_,
+                                       StallReport::Cause::kPortStarvation,
+                                       ledger_.in_flight.size());
+    stall_report_->starved_ports = std::move(starved);
+  }
+  return false;
+}
+
+void RawRouter::check_conservation() const {
+  const std::uint64_t offered = offered_packets();
+  const std::uint64_t accounted =
+      dropped_at_card() + ledger_.erased_total() + ledger_.in_flight.size();
+  RAW_ASSERT_MSG(offered == accounted,
+                 "packet conservation violated: offered != dropped_at_card + "
+                 "delivered + invalid + ingress_drops + lost + in_flight");
+}
+
+RunStatus RawRouter::run(common::Cycle cycles) {
+  const WatchdogConfig& wd = config_.watchdog;
+  if (!wd.enabled) {
+    chip_->run(cycles);
+    return RunStatus::kOk;
+  }
+  const common::Cycle deadline = chip_->cycle() + cycles;
+  while (chip_->cycle() < deadline) {
+    chip_->run(std::min(wd.check_interval, deadline - chip_->cycle()));
+    if (check_watchdog()) return RunStatus::kStalled;
+  }
+  return RunStatus::kOk;
+}
 
 bool RawRouter::drain(common::Cycle max_cycles) {
   for (auto& in : inputs_) in->stop();
@@ -149,7 +275,65 @@ bool RawRouter::drain(common::Cycle max_cycles) {
     }
     return ledger_.in_flight.empty();
   };
-  return chip_->run_until(all_drained, max_cycles);
+
+  const WatchdogConfig& wd = config_.watchdog;
+  if (!wd.enabled) {
+    const bool ok = chip_->run_until(all_drained, max_cycles);
+    drain_outcome_ = ok ? DrainOutcome::kDrained : DrainOutcome::kTimeout;
+    check_conservation();
+    return ok;
+  }
+
+  // Watchdog path. Forward progress cannot signal quiescence here — the
+  // quantum ring circulates empty headers forever — so the drain watches the
+  // ledger instead: once the inputs are empty and the in-flight set has not
+  // shrunk for the no-progress bound, whatever remains is lost (eaten by an
+  // injected fault) and is written off so the accounting still closes.
+  const common::Cycle deadline = chip_->cycle() + max_cycles;
+  std::size_t last_in_flight = ledger_.in_flight.size();
+  common::Cycle last_shrink = chip_->cycle();
+  while (true) {
+    const common::Cycle remaining = deadline - chip_->cycle();
+    if (chip_->run_until(all_drained, std::min(wd.check_interval, remaining))) {
+      drain_outcome_ = DrainOutcome::kDrained;
+      check_conservation();
+      return true;
+    }
+    if (check_watchdog()) {
+      drain_outcome_ = DrainOutcome::kStalled;
+      check_conservation();
+      return false;
+    }
+    if (ledger_.in_flight.size() != last_in_flight) {
+      last_in_flight = ledger_.in_flight.size();
+      last_shrink = chip_->cycle();
+    } else if (std::all_of(inputs_.begin(), inputs_.end(),
+                           [](const auto& in) { return in->idle(); }) &&
+               chip_->cycle() - last_shrink >= wd.no_progress_bound) {
+      ledger_.erased_lost += ledger_.in_flight.size();
+      ledger_.in_flight.clear();
+      drain_outcome_ = DrainOutcome::kLossQuiesced;
+      check_conservation();
+      return false;
+    }
+    if (chip_->cycle() >= deadline) {
+      drain_outcome_ = DrainOutcome::kTimeout;
+      check_conservation();
+      return false;
+    }
+  }
+}
+
+std::uint64_t RawRouter::offered_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& in : inputs_) n += in->offered_packets();
+  return n;
+}
+
+std::uint64_t RawRouter::dropped_at_card() const {
+  std::uint64_t n = 0;
+  for (const auto& in : inputs_) n += in->dropped_packets();
+  return n;
 }
 
 std::uint64_t RawRouter::delivered_packets() const {

@@ -6,13 +6,16 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 
 #include "net/route_table.h"
 #include "net/traffic.h"
 #include "router/line_cards.h"
 #include "router/schedule_compiler.h"
 #include "router/tile_programs.h"
+#include "router/watchdog.h"
 #include "sim/chip.h"
+#include "sim/fault_plan.h"
 
 namespace raw::router {
 
@@ -27,19 +30,72 @@ struct RouterConfig {
   /// Sample per-channel FIFO occupancy/backpressure every cycle (small
   /// constant cost per channel; off for throughput benches).
   bool channel_stats = false;
+  /// Progress watchdog (see router/watchdog.h). Enabled by default; the
+  /// checks run every `check_interval` cycles and read only counters, so
+  /// cycle-exact behaviour is unchanged.
+  WatchdogConfig watchdog;
+
+  /// Rejects configurations that would misbehave deep inside the fabric
+  /// (edge FIFOs too small to hold an IP header, a zero-capacity line-card
+  /// queue). Throws std::invalid_argument with a message naming the field.
+  void validate() const;
 };
+
+/// Outcome of a bounded run() under the watchdog.
+enum class RunStatus : std::uint8_t {
+  kOk = 0,       // ran the requested cycles
+  kStalled = 1,  // watchdog tripped: see stall_report()
+};
+
+/// Outcome of drain(), recoverable via drain_outcome() after the call.
+enum class DrainOutcome : std::uint8_t {
+  kDrained = 0,       // every offered packet is accounted for at the cards
+  kLossQuiesced = 1,  // fabric went quiet with packets missing (written off
+                      // as lost — expected under corrupting fault plans)
+  kStalled = 2,       // watchdog tripped mid-drain: see stall_report()
+  kTimeout = 3,       // max_cycles elapsed with work still moving
+};
+
+const char* drain_outcome_name(DrainOutcome o);
 
 class RawRouter {
  public:
   RawRouter(RouterConfig config, net::RouteTable table,
             net::TrafficConfig traffic, std::uint64_t seed);
 
-  /// Runs the router for `cycles` chip cycles.
-  void run(common::Cycle cycles);
+  /// Runs the router for `cycles` chip cycles. With the watchdog enabled the
+  /// run stops early (returning kStalled) if the fabric wedges; the partial
+  /// cycle count is visible via chip().cycle().
+  RunStatus run(common::Cycle cycles);
 
   /// Stops the arrival processes, then runs until the fabric drains (or
-  /// `max_cycles` pass). Returns true if fully drained.
-  bool drain(common::Cycle max_cycles);
+  /// `max_cycles` pass). Returns true only when every offered packet is
+  /// accounted for; on false, drain_outcome() says how it ended (stalled,
+  /// quiesced with losses, or timed out). Packet conservation is asserted on
+  /// every exit path.
+  [[nodiscard]] bool drain(common::Cycle max_cycles);
+
+  [[nodiscard]] DrainOutcome drain_outcome() const { return drain_outcome_; }
+
+  /// The most recent watchdog report (no-progress trip or starvation flag);
+  /// empty while the router is healthy.
+  [[nodiscard]] const std::optional<StallReport>& stall_report() const {
+    return stall_report_;
+  }
+  /// Hard watchdog trips (no-forward-progress) so far.
+  [[nodiscard]] std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+
+  /// Attaches a fault-injection plan to the chip (see sim::FaultPlan) and
+  /// points it at the router's tracer if one is set. Call before run().
+  void set_fault_plan(sim::FaultPlan* plan);
+
+  /// Simulation-side packet accounting shared by the line cards.
+  [[nodiscard]] const PacketLedger& ledger() const { return ledger_; }
+  /// Aggregates across the four input ports.
+  [[nodiscard]] std::uint64_t offered_packets() const;
+  [[nodiscard]] std::uint64_t dropped_at_card() const;
+  /// Packets written off by a quiesced drain (lost inside the fabric).
+  [[nodiscard]] std::uint64_t lost_packets() const { return ledger_.erased_lost; }
 
   [[nodiscard]] sim::Chip& chip() { return *chip_; }
   [[nodiscard]] const RouterCore& core() const { return core_; }
@@ -78,6 +134,13 @@ class RawRouter {
                       const std::string& prefix = "router") const;
 
  private:
+  /// True when any port still has work: queued input or in-flight packets.
+  [[nodiscard]] bool work_pending() const;
+  /// Runs the watchdog checks; returns true on a hard (no-progress) trip.
+  bool check_watchdog();
+  /// Asserts the packet-conservation identity (see PacketLedger).
+  void check_conservation() const;
+
   RouterConfig config_;
   net::RouteTable table_;
   net::SmallTable forwarding_;
@@ -89,6 +152,13 @@ class RawRouter {
   PacketLedger ledger_;
   std::array<std::unique_ptr<InputLineCard>, kNumPorts> inputs_;
   std::array<std::unique_ptr<OutputLineCard>, kNumPorts> outputs_;
+  std::optional<StallReport> stall_report_;
+  std::uint64_t watchdog_trips_ = 0;
+  DrainOutcome drain_outcome_ = DrainOutcome::kDrained;
+  // Per-port starvation tracking: last observed grant count and the cycle it
+  // last changed.
+  std::array<std::uint64_t, kNumPorts> starve_grants_{};
+  std::array<common::Cycle, kNumPorts> starve_since_{};
 };
 
 }  // namespace raw::router

@@ -59,8 +59,21 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
   // ingest before that would stall the switch and, with it, the whole ring.
   std::uint64_t commanded = 0;
 
+  // Resynchronisation window. After a malformed header the claimed length
+  // cannot be trusted, so stream alignment is unknown: the last kWords-1
+  // candidate words are held here and the ingress slides forward one word at
+  // a time until a checksum-valid header lines up again. Words are only
+  // ingested when already at the edge, so realignment never blocks the
+  // switch (and with it the quantum ring) on a word that may never come.
+  std::array<Word, net::Ipv4Header::kWords> win{};
+  std::size_t held = 0;
+
   for (;;) {
-    if (!pkt.active) {
+    bool have_candidate = false;
+    bool aligned = false;  // candidate came from a trusted packet boundary
+    std::array<Word, net::Ipv4Header::kWords> raw{};
+
+    if (!pkt.active && held == 0) {
       // Let the line deliver everything already committed to the switch —
       // this cannot outlast the body transfer itself (same words) — so the
       // next-header decision is made at body-end time, not quantum-start.
@@ -79,15 +92,62 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
           co_await delay(1);
         }
       }
+      if (edge->words_transferred() >= commanded + net::Ipv4Header::kWords) {
+        // A full IP header is waiting on the line: ingest it.
+        RAW_CMD(csto, s.ingest_header, net::Ipv4Header::kWords);
+        commanded += net::Ipv4Header::kWords;
+        for (auto& w : raw) w = co_await read(csti);
+        have_candidate = true;
+        aligned = true;
+      }
+    } else if (!pkt.active) {
+      // Realigning: top the window up with whatever has already arrived,
+      // then judge it. If the line is quiet the quantum participation below
+      // keeps the ring turning.
+      while (held < net::Ipv4Header::kWords &&
+             edge->words_transferred() > commanded) {
+        RAW_CMD(csto, s.ingest_header, 1);
+        ++commanded;
+        win[held++] = co_await read(csti);
+      }
+      if (held == net::Ipv4Header::kWords) {
+        raw = win;
+        held = 0;
+        have_candidate = true;
+      }
     }
-    if (!pkt.active &&
-        edge->words_transferred() >= commanded + net::Ipv4Header::kWords) {
-      // A full IP header is waiting on the line: ingest and process it.
-      RAW_CMD(csto, s.ingest_header, net::Ipv4Header::kWords);
-      commanded += net::Ipv4Header::kWords;
-      std::array<Word, net::Ipv4Header::kWords> raw{};
-      for (auto& w : raw) w = co_await read(csti);
+
+    if (have_candidate) {
       net::Ipv4Header hdr = net::parse(raw);
+      // Structural sanity first (checksum_ok cannot even be computed over a
+      // header claiming options), then the checksum.
+      if (hdr.version != 4 || hdr.ihl != 5 ||
+          hdr.total_length < net::Ipv4Header::kBytes || !net::checksum_ok(hdr)) {
+        // Integrity check failed before the packet touched the fabric. The
+        // claimed length is untrustworthy, so drop exactly one word and
+        // hunt for the next header instead of consuming by length.
+        co_await delay(core.config.header_proc_cost);  // checksum verify
+        if (aligned) {
+          ++ctr.malformed_drops;
+          if (core.ledger != nullptr) {
+            // Best effort: the uid field may itself be corrupt, in which
+            // case the entry is written off as lost at drain instead.
+            const auto it = core.ledger->in_flight.find(uid_of(hdr));
+            if (it != core.ledger->in_flight.end()) {
+              core.ledger->in_flight.erase(it);
+              ++core.ledger->erased_ingress;
+            }
+          }
+        } else {
+          ++ctr.resync_slides;
+        }
+        for (std::size_t i = 1; i < net::Ipv4Header::kWords; ++i) {
+          win[i - 1] = raw[i];
+        }
+        held = net::Ipv4Header::kWords - 1;
+        continue;
+      }
+
       co_await delay(core.config.header_proc_cost);  // checksum verify + TTL
       ++ctr.packets_in;
       const bool tracing = core.tracer != nullptr && core.tracer->enabled();
@@ -103,7 +163,7 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
           total_words - net::Ipv4Header::kWords);
 
       bool drop = false;
-      if (!net::checksum_ok(hdr) || !net::decrement_ttl(hdr)) {
+      if (!net::decrement_ttl(hdr)) {
         ++ctr.ttl_drops;
         drop = true;
       }
@@ -130,7 +190,16 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
       }
 
       if (drop) {
-        // Consume and discard the payload still on the line.
+        // The header validated, so its length is trusted: consume and
+        // discard the payload still on the line, and release the ledger
+        // entry (the packet will never reach an output card).
+        if (core.ledger != nullptr) {
+          const auto it = core.ledger->in_flight.find(uid_of(hdr));
+          if (it != core.ledger->in_flight.end()) {
+            core.ledger->in_flight.erase(it);
+            ++core.ledger->erased_ingress;
+          }
+        }
         if (payload_words > 0) {
           RAW_CMD(csto, s.ingest_header, payload_words);
           commanded += payload_words;

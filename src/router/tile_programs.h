@@ -71,11 +71,15 @@ struct PortCounters {
   std::uint64_t lookups = 0;           // LPM requests served
   std::uint64_t ttl_drops = 0;         // expired packets dropped at ingress
   std::uint64_t no_route_drops = 0;    // no LPM match
+  std::uint64_t malformed_drops = 0;   // failed the ingress integrity check
+  std::uint64_t resync_slides = 0;     // words discarded realigning on a header
   std::uint64_t reassembled = 0;       // multi-fragment packets re-built
   std::uint64_t cut_through = 0;       // whole packets streamed directly
   std::uint64_t out_descs = 0;         // descriptors sent toward the egress
   std::uint64_t out_words = 0;         // body words promised to the egress
 };
+
+struct PacketLedger;
 
 struct RouterCore {
   sim::Chip* chip = nullptr;
@@ -89,6 +93,10 @@ struct RouterCore {
   /// Optional packet-lifecycle tracer (enter-chip / lookup-done /
   /// crossbar-grant events); null or disabled costs one branch per packet.
   common::PacketTracer* tracer = nullptr;
+  /// Simulation-side conservation accounting: ingress drops (TTL, no-route,
+  /// malformed) erase the packet's in-flight entry here. Null in unit tests
+  /// that drive programs without line cards.
+  PacketLedger* ledger = nullptr;
 };
 
 sim::TileTask make_ingress_program(RouterCore& core, int port,

@@ -1,0 +1,109 @@
+#include "router/watchdog.h"
+
+#include <cstdio>
+
+#include "router/layout.h"
+#include "sim/chip.h"
+#include "sim/fault_plan.h"
+
+namespace raw::router {
+
+const char* stall_cause_name(StallReport::Cause c) {
+  switch (c) {
+    case StallReport::Cause::kNoForwardProgress: return "no_forward_progress";
+    case StallReport::Cause::kPortStarvation: return "port_starvation";
+  }
+  return "?";
+}
+
+const char* block_cause_name(StallReport::BlockCause c) {
+  switch (c) {
+    case StallReport::BlockCause::kFrozen: return "frozen";
+    case StallReport::BlockCause::kBlockedRecv: return "blocked_recv";
+    case StallReport::BlockCause::kBlockedSend: return "blocked_send";
+    case StallReport::BlockCause::kBlockedMem: return "blocked_mem";
+    case StallReport::BlockCause::kBusy: return "busy";
+    case StallReport::BlockCause::kIdle: return "idle";
+  }
+  return "?";
+}
+
+namespace {
+
+StallReport::BlockCause block_cause_of(sim::AgentState s) {
+  switch (s) {
+    case sim::AgentState::kBusy: return StallReport::BlockCause::kBusy;
+    case sim::AgentState::kBlockedRecv: return StallReport::BlockCause::kBlockedRecv;
+    case sim::AgentState::kBlockedSend: return StallReport::BlockCause::kBlockedSend;
+    case sim::AgentState::kBlockedMem: return StallReport::BlockCause::kBlockedMem;
+    case sim::AgentState::kIdle: return StallReport::BlockCause::kIdle;
+  }
+  return StallReport::BlockCause::kIdle;
+}
+
+std::string role_of(const Layout& layout, int tile) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const PortTiles& t = layout.port(p);
+    if (tile == t.ingress) return "In" + std::to_string(p);
+    if (tile == t.lookup) return "Lookup" + std::to_string(p);
+    if (tile == t.crossbar) return "Xbar" + std::to_string(p);
+    if (tile == t.egress) return "Eg" + std::to_string(p);
+  }
+  return "?";
+}
+
+}  // namespace
+
+StallReport build_stall_report(const sim::Chip& chip, const Layout& layout,
+                               StallReport::Cause cause,
+                               std::uint64_t queued_packets) {
+  StallReport report;
+  report.cause = cause;
+  report.detected_cycle = chip.cycle();
+  report.last_progress_cycle = chip.last_progress_cycle();
+  report.queued_packets = queued_packets;
+
+  const sim::FaultPlan* faults = chip.fault_plan();
+  for (int t = 0; t < chip.num_tiles(); ++t) {
+    const sim::Tile& tile = chip.tile(t);
+    const sim::SwitchProcessor& sw = tile.switch_proc();
+    StallReport::TileState ts;
+    ts.tile = t;
+    ts.coord = tile.coord();
+    ts.role = role_of(layout, t);
+    ts.switch_pc = sw.pc();
+    if (faults != nullptr && faults->tile_frozen(t)) {
+      ts.cause = StallReport::BlockCause::kFrozen;
+    } else {
+      ts.cause = block_cause_of(sw.last_state());
+      if (sw.last_block_channel() != nullptr) {
+        ts.channel = sw.last_block_channel()->name();
+      }
+    }
+    if (ts.cause == StallReport::BlockCause::kIdle) continue;
+    report.tiles.push_back(std::move(ts));
+  }
+  return report;
+}
+
+std::string StallReport::to_string() const {
+  std::string s = "StallReport{" + std::string(stall_cause_name(cause)) +
+                  " at cycle " + std::to_string(detected_cycle) +
+                  ", last progress " + std::to_string(last_progress_cycle) +
+                  ", " + std::to_string(queued_packets) + " packets queued";
+  for (const int p : starved_ports) {
+    s += ", port" + std::to_string(p) + " starved";
+  }
+  s += "}";
+  for (const TileState& t : tiles) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "\n  tile %2d (row %d, col %d) %-8s %-12s pc=%zu %s", t.tile,
+                  t.coord.row, t.coord.col, t.role.c_str(),
+                  block_cause_name(t.cause), t.switch_pc, t.channel.c_str());
+    s += line;
+  }
+  return s;
+}
+
+}  // namespace raw::router

@@ -13,6 +13,7 @@
 // sustains one word per cycle.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -35,24 +36,32 @@ class Channel {
   void begin_cycle() {
     size_at_start_ = buf_.size();
     read_this_cycle_ = false;
+    if (stall_remaining_ > 0) --stall_remaining_;
   }
 
-  void end_cycle() {
+  /// Commits this cycle's staged word; returns true when a word actually
+  /// crossed the link (the chip's forward-progress signal).
+  bool end_cycle() {
+    bool moved = false;
     if (staged_.has_value()) {
       buf_.push(*staged_);
       staged_.reset();
       ++words_transferred_;
+      moved = true;
     }
     if (stats_enabled_) {
       ++stats_cycles_;
       occupancy_sum_ += buf_.size();
       if (size_at_start_ >= buf_.capacity()) ++full_cycles_;
     }
+    return moved;
   }
 
   /// True when a word committed in an earlier cycle is available and this
   /// cycle's read slot is unused.
-  [[nodiscard]] bool can_read() const { return !buf_.empty() && !read_this_cycle_; }
+  [[nodiscard]] bool can_read() const {
+    return !buf_.empty() && !read_this_cycle_ && stall_remaining_ == 0;
+  }
 
   [[nodiscard]] Word read() {
     RAW_ASSERT_MSG(can_read(), "read from unready channel");
@@ -66,7 +75,33 @@ class Channel {
   /// True when this cycle's write slot is free and there is credit based on
   /// start-of-cycle occupancy.
   [[nodiscard]] bool can_write() const {
-    return !staged_.has_value() && size_at_start_ < buf_.capacity();
+    return !staged_.has_value() && size_at_start_ < buf_.capacity() &&
+           stall_remaining_ == 0;
+  }
+
+  /// Fault injection (sim::FaultPlan): takes the link down for `cycles`
+  /// cycles starting now — no reads, no writes, occupancy frozen. Writers see
+  /// backpressure and readers see an empty FIFO, exactly as if the wire went
+  /// quiet. Extends (never shortens) an active stall.
+  void fault_stall(std::uint64_t cycles) {
+    stall_remaining_ = std::max(stall_remaining_, cycles);
+  }
+  [[nodiscard]] bool fault_stalled() const { return stall_remaining_ > 0; }
+
+  /// Fault injection: flips bit `bit % 32` of the word nearest the reader
+  /// (the FIFO front, else the word staged this cycle). Returns false when
+  /// the channel holds no word to corrupt.
+  bool fault_flip(std::uint32_t bit) {
+    const Word mask = Word{1} << (bit % 32u);
+    if (!buf_.empty()) {
+      buf_.front() ^= mask;
+      return true;
+    }
+    if (staged_.has_value()) {
+      *staged_ ^= mask;
+      return true;
+    }
+    return false;
   }
 
   void write(Word w) {
@@ -101,6 +136,7 @@ class Channel {
   std::size_t size_at_start_;
   bool read_this_cycle_ = false;
   bool stats_enabled_ = false;
+  std::uint64_t stall_remaining_ = 0;  // injected link outage, in cycles
   std::optional<Word> staged_;
   std::uint64_t words_transferred_ = 0;
   std::uint64_t stats_cycles_ = 0;

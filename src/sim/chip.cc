@@ -1,6 +1,7 @@
 #include "sim/chip.h"
 
 #include "common/assert.h"
+#include "sim/fault_plan.h"
 
 namespace raw::sim {
 
@@ -116,13 +117,33 @@ void Chip::add_device(Device* device) {
   devices_.push_back(device);
 }
 
+void Chip::set_fault_plan(FaultPlan* plan) {
+  faults_ = plan;
+  if (faults_ != nullptr) faults_->bind(*this);
+}
+
+Channel* Chip::find_channel(const std::string& name) const {
+  for (Channel* ch : all_channels_) {
+    if (ch->name() == name) return ch;
+  }
+  return nullptr;
+}
+
 void Chip::step() {
   for (Channel* ch : all_channels_) ch->begin_cycle();
+
+  if (faults_ != nullptr) faults_->step(*this);
 
   for (Device* d : devices_) d->step(*this);
 
   const bool tracing = trace_.active(cycle_);
   for (int t = 0; t < num_tiles(); ++t) {
+    if (faults_ != nullptr && faults_->tile_frozen(t)) {
+      // A frozen tile executes nothing this cycle; its FIFOs keep their
+      // contents and neighbours simply see no words move.
+      if (tracing) trace_.record(cycle_, t, AgentState::kIdle, AgentState::kIdle);
+      continue;
+    }
     const AgentState sw = tile(t).step_switch();
     const AgentState proc = tile(t).step_proc();
     if (tracing) trace_.record(cycle_, t, proc, sw);
@@ -130,7 +151,9 @@ void Chip::step() {
 
   if (dyn_ != nullptr) dyn_->step();
 
-  for (Channel* ch : all_channels_) ch->end_cycle();
+  bool progress = false;
+  for (Channel* ch : all_channels_) progress |= ch->end_cycle();
+  if (progress) last_progress_cycle_ = cycle_;
   ++cycle_;
 }
 

@@ -16,6 +16,8 @@
 
 namespace raw::sim {
 
+class FaultPlan;
+
 struct ChipConfig {
   GridShape shape{4, 4};
   /// Instantiate the dynamic network (memory traffic substrate). The router
@@ -57,6 +59,28 @@ class Chip {
 
   [[nodiscard]] common::Cycle cycle() const { return cycle_; }
   [[nodiscard]] Trace& trace() { return trace_; }
+
+  /// Attaches (or detaches, with nullptr) a fault-injection plan. The plan
+  /// is bound immediately (channel names resolved) and then stepped every
+  /// cycle after channels begin the cycle and before devices run. The chip
+  /// does not own it. With no plan attached the per-cycle cost is one
+  /// predicted null test and behaviour is bit-identical.
+  void set_fault_plan(FaultPlan* plan);
+  [[nodiscard]] FaultPlan* fault_plan() const { return faults_; }
+
+  /// Cycle at which a word last crossed any channel on the chip (0 until the
+  /// first transfer). The progress watchdog compares this against cycle().
+  [[nodiscard]] common::Cycle last_progress_cycle() const {
+    return last_progress_cycle_;
+  }
+
+  /// Every channel on the chip (static links, edge ports, tile FIFOs, and
+  /// the dynamic network), for diagnostics and fault targeting.
+  [[nodiscard]] const std::vector<Channel*>& all_channels() const {
+    return all_channels_;
+  }
+  /// Channel with the given name, or nullptr.
+  [[nodiscard]] Channel* find_channel(const std::string& name) const;
 
   /// Runs `cycles` cycles of the whole chip.
   void run(common::Cycle cycles);
@@ -119,8 +143,10 @@ class Chip {
   std::unique_ptr<DynamicNetwork> dyn_;
   std::vector<Device*> devices_;
   std::vector<Channel*> all_channels_;
+  FaultPlan* faults_ = nullptr;
   Trace trace_;
   common::Cycle cycle_ = 0;
+  common::Cycle last_progress_cycle_ = 0;
 };
 
 }  // namespace raw::sim

@@ -1,0 +1,129 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/chip.h"
+
+namespace raw::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kLinkStall: return "link_stall";
+    case FaultKind::kTileFreeze: return "tile_freeze";
+    case FaultKind::kOverrun: return "overrun";
+  }
+  return "?";
+}
+
+bool FaultPlan::has_permanent_fault() const {
+  return std::any_of(events_.begin(), events_.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kTileFreeze && e.permanent;
+  });
+}
+
+void FaultPlan::set_tracer(common::PacketTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->set_track_name(kFaultTrack, "faults");
+}
+
+void FaultPlan::bind(Chip& chip) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  targets_.assign(events_.size(), nullptr);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    switch (e.kind) {
+      case FaultKind::kBitFlip:
+      case FaultKind::kLinkStall:
+        targets_[i] = chip.find_channel(e.channel);
+        RAW_ASSERT_MSG(targets_[i] != nullptr,
+                       "fault plan targets an unknown channel");
+        break;
+      case FaultKind::kTileFreeze:
+        RAW_ASSERT_MSG(e.tile >= 0 && e.tile < chip.num_tiles(),
+                       "fault plan freezes an out-of-grid tile");
+        break;
+      case FaultKind::kOverrun:
+        RAW_ASSERT_MSG(e.port >= 0, "fault plan overrun needs a port");
+        break;
+    }
+  }
+  next_ = 0;
+  bound_ = true;
+}
+
+void FaultPlan::step(Chip& chip) {
+  RAW_ASSERT_MSG(bound_, "FaultPlan stepped before bind()");
+  const common::Cycle now = chip.cycle();
+  now_ = now;
+  while (next_ < events_.size() && events_[next_].at <= now) {
+    fire(chip, events_[next_]);
+    ++next_;
+  }
+  std::erase_if(freezes_, [now](const FreezeWindow& w) {
+    return !w.permanent && now >= w.until;
+  });
+  std::erase_if(overruns_, [now](const OverrunWindow& w) { return now >= w.until; });
+  frozen_tile_cycles_ += freezes_.size();
+}
+
+void FaultPlan::fire(Chip& chip, const FaultEvent& e) {
+  const common::Cycle now = chip.cycle();
+  const std::size_t idx = static_cast<std::size_t>(&e - events_.data());
+  ++fired_;
+  switch (e.kind) {
+    case FaultKind::kBitFlip:
+      if (targets_[idx]->fault_flip(e.bit)) {
+        ++bit_flips_applied_;
+      } else {
+        ++bit_flips_missed_;  // link was empty: the upset hit no live word
+      }
+      break;
+    case FaultKind::kLinkStall:
+      targets_[idx]->fault_stall(e.duration);
+      ++link_stalls_;
+      break;
+    case FaultKind::kTileFreeze:
+      freezes_.push_back({e.tile, now + e.duration, e.permanent});
+      ++tile_freezes_;
+      break;
+    case FaultKind::kOverrun:
+      overruns_.push_back({e.port, now + e.duration, e.factor});
+      ++overrun_bursts_;
+      break;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(fired_, now, common::PacketEvent::kFault, kFaultTrack,
+                    static_cast<std::uint32_t>(e.kind));
+  }
+}
+
+bool FaultPlan::tile_frozen(int tile) const {
+  for (const FreezeWindow& w : freezes_) {
+    if (w.tile == tile && (w.permanent || now_ < w.until)) return true;
+  }
+  return false;
+}
+
+std::uint32_t FaultPlan::overrun_factor(int port, common::Cycle now) const {
+  std::uint32_t factor = 1;
+  for (const OverrunWindow& w : overruns_) {
+    if (w.port == port && now < w.until) factor = std::max(factor, w.factor);
+  }
+  return factor;
+}
+
+void FaultPlan::export_metrics(common::MetricRegistry& registry,
+                               const std::string& prefix) const {
+  registry.counter(prefix + "/injected").set(fired_);
+  registry.counter(prefix + "/bit_flips").set(bit_flips_applied_);
+  registry.counter(prefix + "/bit_flips_missed").set(bit_flips_missed_);
+  registry.counter(prefix + "/link_stalls").set(link_stalls_);
+  registry.counter(prefix + "/tile_freezes").set(tile_freezes_);
+  registry.counter(prefix + "/frozen_tile_cycles").set(frozen_tile_cycles_);
+  registry.counter(prefix + "/overrun_bursts").set(overrun_bursts_);
+}
+
+}  // namespace raw::sim

@@ -17,13 +17,16 @@ void SwitchProcessor::reset() {
   blocked_recv_ = 0;
   blocked_send_ = 0;
   idle_ = 0;
+  last_state_ = AgentState::kIdle;
+  last_block_channel_ = nullptr;
 }
 
 AgentState SwitchProcessor::step() {
+  last_block_channel_ = nullptr;
   if (program_ == nullptr || halted_ || pc_ >= program_->size()) {
     halted_ = true;
     ++idle_;
-    return AgentState::kIdle;
+    return last_state_ = AgentState::kIdle;
   }
   const SwitchInstr& ins = program_->at(pc_);
 
@@ -43,7 +46,8 @@ AgentState SwitchProcessor::step() {
       RAW_ASSERT_MSG(ch != nullptr, "switch route from unconnected port");
       if (!ch->can_read()) {
         ++blocked_recv_;
-        return AgentState::kBlockedRecv;
+        last_block_channel_ = ch;
+        return last_state_ = AgentState::kBlockedRecv;
       }
     }
   }
@@ -52,7 +56,8 @@ AgentState SwitchProcessor::step() {
     RAW_ASSERT_MSG(ch != nullptr, "switch route to unconnected port");
     if (!ch->can_write()) {
       ++blocked_send_;
-      return AgentState::kBlockedSend;
+      last_block_channel_ = ch;
+      return last_state_ = AgentState::kBlockedSend;
     }
   }
 
@@ -106,7 +111,7 @@ AgentState SwitchProcessor::step() {
   }
   pc_ = next_pc;
   ++busy_;
-  return AgentState::kBusy;
+  return last_state_ = AgentState::kBusy;
 }
 
 }  // namespace raw::sim

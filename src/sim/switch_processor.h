@@ -65,6 +65,13 @@ class SwitchProcessor {
   [[nodiscard]] common::Word reg(std::uint8_t r) const { return regs_[r]; }
   void set_reg(std::uint8_t r, common::Word v) { regs_[r] = v; }
 
+  /// What the last step() returned, and — when it blocked — the channel it
+  /// blocked on. Consumed by the progress watchdog to explain stalls.
+  [[nodiscard]] AgentState last_state() const { return last_state_; }
+  [[nodiscard]] const Channel* last_block_channel() const {
+    return last_block_channel_;
+  }
+
   /// Cycle accounting since the last reset(), split by block cause.
   [[nodiscard]] std::uint64_t cycles_busy() const { return busy_; }
   [[nodiscard]] std::uint64_t cycles_blocked() const {
@@ -84,6 +91,8 @@ class SwitchProcessor {
   std::uint64_t blocked_recv_ = 0;
   std::uint64_t blocked_send_ = 0;
   std::uint64_t idle_ = 0;
+  AgentState last_state_ = AgentState::kIdle;
+  const Channel* last_block_channel_ = nullptr;
 };
 
 }  // namespace raw::sim

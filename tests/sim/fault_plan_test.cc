@@ -1,0 +1,314 @@
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace_event.h"
+#include "sim/chip.h"
+
+namespace raw::sim {
+namespace {
+
+std::shared_ptr<const SwitchProgram> prog(const std::string& text) {
+  std::string error;
+  SwitchProgram p = assemble(text, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return std::make_shared<const SwitchProgram>(std::move(p));
+}
+
+// Streams a fixed word sequence into an edge port.
+class SourceDevice : public Device {
+ public:
+  SourceDevice(Channel* to_chip, std::vector<common::Word> words)
+      : to_chip_(to_chip), words_(std::move(words)) {}
+
+  void step(Chip&) override {
+    if (next_ < words_.size() && to_chip_->can_write()) {
+      to_chip_->write(words_[next_++]);
+    }
+  }
+
+ private:
+  Channel* to_chip_;
+  std::vector<common::Word> words_;
+  std::size_t next_ = 0;
+};
+
+// Drains an edge port, recording arrival cycles.
+class SinkDevice : public Device {
+ public:
+  explicit SinkDevice(Channel* from_chip) : from_chip_(from_chip) {}
+
+  void step(Chip& chip) override {
+    if (from_chip_->can_read()) {
+      received_.push_back(from_chip_->read());
+      arrival_cycles_.push_back(chip.cycle());
+    }
+  }
+
+  [[nodiscard]] const std::vector<common::Word>& received() const {
+    return received_;
+  }
+  [[nodiscard]] const std::vector<common::Cycle>& arrivals() const {
+    return arrival_cycles_;
+  }
+
+ private:
+  Channel* from_chip_;
+  std::vector<common::Word> received_;
+  std::vector<common::Cycle> arrival_cycles_;
+};
+
+// A chip streaming `payload` across row 1 (tiles 4..7, west to east) with a
+// fault plan attached before the first cycle.
+struct RowStream {
+  explicit RowStream(std::vector<common::Word> payload, FaultPlan* plan = nullptr) {
+    for (int t : {4, 5, 6, 7}) {
+      chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E"));
+    }
+    src = std::make_unique<SourceDevice>(chip.io_port(0, 4, Dir::kWest).to_chip,
+                                         std::move(payload));
+    sink = std::make_unique<SinkDevice>(chip.io_port(0, 7, Dir::kEast).from_chip);
+    chip.add_device(src.get());
+    chip.add_device(sink.get());
+    if (plan != nullptr) chip.set_fault_plan(plan);
+  }
+
+  Chip chip;
+  std::unique_ptr<SourceDevice> src;
+  std::unique_ptr<SinkDevice> sink;
+};
+
+std::vector<common::Word> iota_payload(common::Word n) {
+  std::vector<common::Word> p;
+  for (common::Word i = 0; i < n; ++i) p.push_back(i + 1);
+  return p;
+}
+
+FaultEvent flip(common::Cycle at, std::string channel, std::uint32_t bit = 0) {
+  FaultEvent e;
+  e.kind = FaultKind::kBitFlip;
+  e.at = at;
+  e.channel = std::move(channel);
+  e.bit = bit;
+  return e;
+}
+
+FaultEvent stall(common::Cycle at, std::string channel, std::uint64_t duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkStall;
+  e.at = at;
+  e.channel = std::move(channel);
+  e.duration = duration;
+  return e;
+}
+
+FaultEvent freeze(common::Cycle at, int tile, std::uint64_t duration,
+                  bool permanent = false) {
+  FaultEvent e;
+  e.kind = FaultKind::kTileFreeze;
+  e.at = at;
+  e.tile = tile;
+  e.duration = duration;
+  e.permanent = permanent;
+  return e;
+}
+
+FaultEvent overrun(common::Cycle at, int port, std::uint64_t duration,
+                   std::uint32_t factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kOverrun;
+  e.at = at;
+  e.port = port;
+  e.duration = duration;
+  e.factor = factor;
+  return e;
+}
+
+TEST(FaultPlanTest, KindNames) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kBitFlip), "bit_flip");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kLinkStall), "link_stall");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kTileFreeze), "tile_freeze");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kOverrun), "overrun");
+}
+
+TEST(FaultPlanTest, BitFlipCorruptsExactlyOneWord) {
+  const std::vector<common::Word> payload = iota_payload(32);
+  FaultPlan plan;
+  Chip probe;  // only used to learn the edge channel's name
+  const std::string edge = probe.io_port(0, 4, Dir::kWest).to_chip->name();
+  plan.add(flip(20, edge, 7));
+
+  RowStream s(payload, &plan);
+  s.chip.run(200);
+
+  EXPECT_EQ(plan.bit_flips_applied(), 1u);
+  EXPECT_EQ(plan.bit_flips_missed(), 0u);
+  ASSERT_EQ(s.sink->received().size(), payload.size());
+  int damaged = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (s.sink->received()[i] != payload[i]) {
+      ++damaged;
+      EXPECT_EQ(s.sink->received()[i], payload[i] ^ (1u << 7));
+    }
+  }
+  EXPECT_EQ(damaged, 1);
+}
+
+TEST(FaultPlanTest, BitFlipOnEmptyChannelIsCountedAsMissed) {
+  FaultPlan plan;
+  Chip chip;
+  const std::string edge = chip.io_port(0, 4, Dir::kWest).to_chip->name();
+  plan.add(flip(5, edge));
+  chip.set_fault_plan(&plan);
+  chip.run(20);  // nothing ever writes the channel
+  EXPECT_EQ(plan.bit_flips_applied(), 0u);
+  EXPECT_EQ(plan.bit_flips_missed(), 1u);
+  EXPECT_EQ(plan.fired(), 1u);
+}
+
+TEST(FaultPlanTest, LinkStallDelaysButDoesNotDamage) {
+  const std::vector<common::Word> payload = iota_payload(32);
+  RowStream clean(payload);
+  clean.chip.run(300);
+  ASSERT_EQ(clean.sink->received().size(), payload.size());
+  const common::Cycle clean_last = clean.sink->arrivals().back();
+
+  FaultPlan plan;
+  Chip probe;
+  const std::string edge = probe.io_port(0, 4, Dir::kWest).to_chip->name();
+  plan.add(stall(10, edge, 40));
+  RowStream stalled(payload, &plan);
+  stalled.chip.run(300);
+
+  EXPECT_EQ(plan.link_stalls(), 1u);
+  ASSERT_EQ(stalled.sink->received().size(), payload.size());
+  EXPECT_EQ(stalled.sink->received(), payload);  // delayed, never corrupted
+  EXPECT_GE(stalled.sink->arrivals().back(), clean_last + 30);
+}
+
+TEST(FaultPlanTest, TransientTileFreezeThaws) {
+  const std::vector<common::Word> payload = iota_payload(48);
+  FaultPlan plan;
+  plan.add(freeze(12, 5, 50));
+  EXPECT_FALSE(plan.has_permanent_fault());
+
+  RowStream s(payload, &plan);
+  s.chip.run(8);
+  EXPECT_FALSE(plan.tile_frozen(5));
+  s.chip.run(8);  // now past cycle 12
+  EXPECT_TRUE(plan.tile_frozen(5));
+  EXPECT_FALSE(plan.tile_frozen(6));
+  s.chip.run(300);
+  EXPECT_FALSE(plan.tile_frozen(5));  // thawed
+
+  EXPECT_EQ(plan.tile_freezes(), 1u);
+  EXPECT_EQ(plan.frozen_tile_cycles(), 50u);
+  // The stream stalls during the window but completes unharmed after it.
+  EXPECT_EQ(s.sink->received(), payload);
+}
+
+TEST(FaultPlanTest, PermanentFreezeStopsTheStream) {
+  const std::vector<common::Word> payload = iota_payload(64);
+  FaultPlan plan;
+  plan.add(freeze(30, 6, 1, /*permanent=*/true));
+  EXPECT_TRUE(plan.has_permanent_fault());
+
+  RowStream s(payload, &plan);
+  s.chip.run(1000);
+  EXPECT_TRUE(plan.tile_frozen(6));
+  EXPECT_LT(s.sink->received().size(), payload.size());
+  // Whatever got through before the freeze is intact.
+  for (std::size_t i = 0; i < s.sink->received().size(); ++i) {
+    EXPECT_EQ(s.sink->received()[i], payload[i]);
+  }
+}
+
+TEST(FaultPlanTest, FrozenTileStopsAdvancingProgress) {
+  // With every row-1 switch frozen permanently, nothing moves after the
+  // freeze cycle, so the chip's last_progress_cycle stops advancing — the
+  // raw signal the router watchdog trips on.
+  FaultPlan plan;
+  for (int t : {4, 5, 6, 7}) {
+    plan.add(freeze(40, t, 1, /*permanent=*/true));
+  }
+  RowStream s(iota_payload(200), &plan);
+  s.chip.run(500);
+  EXPECT_LT(s.chip.last_progress_cycle(), 60u);
+  EXPECT_EQ(s.chip.cycle(), 500u);
+}
+
+TEST(FaultPlanTest, OverrunFactorWindows) {
+  FaultPlan plan;
+  plan.add(overrun(10, 2, 20, 4));
+  Chip chip;
+  chip.set_fault_plan(&plan);
+  chip.run(5);
+  EXPECT_EQ(plan.overrun_factor(2, chip.cycle()), 1u);  // not yet fired
+  chip.run(10);
+  EXPECT_EQ(plan.overrun_factor(2, chip.cycle()), 4u);
+  EXPECT_EQ(plan.overrun_factor(0, chip.cycle()), 1u);  // other port untouched
+  chip.run(30);
+  EXPECT_EQ(plan.overrun_factor(2, chip.cycle()), 1u);  // window expired
+  EXPECT_EQ(plan.overrun_bursts(), 1u);
+}
+
+TEST(FaultPlanDeathTest, UnknownChannelNameAborts) {
+  FaultPlan plan;
+  plan.add(flip(1, "no.such.channel"));
+  Chip chip;
+  EXPECT_DEATH(chip.set_fault_plan(&plan), "unknown channel");
+}
+
+TEST(FaultPlanTest, EmptyPlanIsByteIdenticalToNoPlan) {
+  const std::vector<common::Word> payload = iota_payload(64);
+  RowStream bare(payload);
+  bare.chip.run(250);
+
+  FaultPlan empty;
+  RowStream hooked(payload, &empty);
+  hooked.chip.run(250);
+
+  EXPECT_EQ(bare.sink->received(), hooked.sink->received());
+  EXPECT_EQ(bare.sink->arrivals(), hooked.sink->arrivals());
+  EXPECT_EQ(bare.chip.static_words_transferred(),
+            hooked.chip.static_words_transferred());
+  EXPECT_EQ(empty.fired(), 0u);
+}
+
+TEST(FaultPlanTest, ExportsMetricsAndTracesFaults) {
+  FaultPlan plan;
+  Chip probe;
+  const std::string edge = probe.io_port(0, 4, Dir::kWest).to_chip->name();
+  plan.add(flip(15, edge));
+  plan.add(freeze(20, 5, 10));
+  common::PacketTracer tracer;
+  tracer.enable(64);
+  plan.set_tracer(&tracer);
+
+  RowStream s(iota_payload(16), &plan);
+  s.chip.run(200);
+
+  common::MetricRegistry reg;
+  plan.export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("faults/injected"), 2u);
+  EXPECT_EQ(reg.counter_value("faults/bit_flips"), 1u);
+  EXPECT_EQ(reg.counter_value("faults/tile_freezes"), 1u);
+
+  // One instant tracer event per fired fault, on the fault track.
+  std::size_t fault_events = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.event == common::PacketEvent::kFault) {
+      ++fault_events;
+      EXPECT_EQ(ev.track, kFaultTrack);
+    }
+  }
+  EXPECT_EQ(fault_events, 2u);
+}
+
+}  // namespace
+}  // namespace raw::sim

@@ -9,6 +9,7 @@
 //   rawstat --bytes 1024 --pattern permutation
 //   rawstat --json > metrics.json   # machine-readable registry dump
 //   rawstat --trace trace.json      # packet-lifecycle Chrome trace
+//   rawstat --chaos flip+stall      # seeded fault injection + faults panel
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +19,9 @@
 
 #include "common/metrics.h"
 #include "common/trace_event.h"
+#include "router/chaos.h"
 #include "router/raw_router.h"
+#include "sim/fault_plan.h"
 
 namespace {
 
@@ -39,6 +42,8 @@ struct Args {
   bool no_refresh = false;
   const char* trace_path = nullptr;
   std::size_t trace_budget = 1 << 16;
+  const char* chaos = nullptr;  // fault mix, e.g. "flip+stall"
+  std::uint64_t chaos_seed = 1;
 };
 
 void usage() {
@@ -55,6 +60,10 @@ void usage() {
       "  --csv             dump the full metric registry as CSV (no dashboard)\n"
       "  --trace FILE      write a packet-lifecycle Chrome trace to FILE\n"
       "  --trace-budget N  tracer ring-buffer size in events (default 65536)\n"
+      "  --chaos MIX       inject a seeded fault mix while running\n"
+      "                    (flip | stall | freeze | overrun | permafreeze,\n"
+      "                    '+'-separated; shows the faults/... panel)\n"
+      "  --chaos-seed S    fault-schedule RNG seed (default 1)\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
       "  --no-refresh      append dashboard frames instead of redrawing\n");
 }
@@ -100,6 +109,10 @@ Args parse(int argc, char** argv) {
       a.trace_path = next("--trace");
     } else if (!std::strcmp(argv[i], "--trace-budget")) {
       a.trace_budget = std::strtoull(next("--trace-budget"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--chaos")) {
+      a.chaos = next("--chaos");
+    } else if (!std::strcmp(argv[i], "--chaos-seed")) {
+      a.chaos_seed = std::strtoull(next("--chaos-seed"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--channel-stats")) {
       a.channel_stats = true;
     } else if (!std::strcmp(argv[i], "--no-refresh")) {
@@ -179,6 +192,29 @@ void print_dashboard(const Args& args, const MetricRegistry& reg, Cycle now,
   std::fflush(stdout);
 }
 
+/// The fault-injection / self-protection panel: shown whenever a fault plan
+/// is attached (every counter sourced from the registry's faults/... and
+/// router/... entries the router exports).
+void print_fault_panel(const MetricRegistry& reg) {
+  const auto c = [&reg](const char* name) {
+    return static_cast<unsigned long long>(reg.counter_value(name));
+  };
+  std::printf(
+      "\nfaults: %llu injected (flips %llu applied / %llu missed, "
+      "stalls %llu, freezes %llu, overruns %llu; frozen-tile cycles %llu)\n",
+      c("faults/injected"), c("faults/bit_flips"), c("faults/bit_flips_missed"),
+      c("faults/link_stalls"), c("faults/tile_freezes"),
+      c("faults/overrun_bursts"), c("faults/frozen_tile_cycles"));
+  std::printf(
+      "self-protection: malformed %llu  resyncs %llu  invalid %llu  "
+      "lost %llu  watchdog trips %llu\n",
+      c("router/conservation/ingress_drops"),
+      c("router/port0/egress/resyncs") + c("router/port1/egress/resyncs") +
+          c("router/port2/egress/resyncs") + c("router/port3/egress/resyncs"),
+      c("router/conservation/invalid"), c("router/conservation/lost"),
+      c("router/watchdog/trips"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,19 +240,41 @@ int main(int argc, char** argv) {
     tracer.enable(args.trace_budget);
   }
 
+  raw::sim::FaultPlan fault_plan;
+  if (args.chaos != nullptr) {
+    raw::router::ChaosMix mix;
+    if (!raw::router::parse_mix(args.chaos, &mix)) {
+      std::fprintf(stderr, "unknown fault mix '%s'\n", args.chaos);
+      return 2;
+    }
+    raw::router::ChaosSpec spec;
+    spec.seed = args.chaos_seed;
+    spec.mix = mix;
+    spec.run_cycles = args.cycles;
+    fault_plan = raw::router::make_fault_plan(spec, router);
+    router.set_fault_plan(&fault_plan);
+  }
+
   MetricRegistry registry;
   const bool quiet = args.json || args.csv;
   const bool redraw = !quiet && !args.no_refresh && isatty(STDOUT_FILENO) != 0;
 
   Cycle now = 0;
-  while (now < args.cycles) {
+  bool stalled = false;
+  while (now < args.cycles && !stalled) {
     const Cycle chunk = std::min(args.interval, args.cycles - now);
     router.chip().trace().configure(now, now + chunk, 16);
-    router.run(chunk);
-    now += chunk;
+    stalled = router.run(chunk) == raw::router::RunStatus::kStalled;
+    now = router.chip().cycle();
     router.export_metrics(registry);
     export_tile_utilization(router.chip().trace(), registry);
-    if (!quiet) print_dashboard(args, registry, now, redraw);
+    if (!quiet) {
+      print_dashboard(args, registry, now, redraw);
+      if (args.chaos != nullptr) print_fault_panel(registry);
+    }
+  }
+  if (!quiet && router.stall_report().has_value()) {
+    std::printf("\n%s\n", router.stall_report()->to_string().c_str());
   }
 
   if (args.json) std::printf("%s", registry.to_json().c_str());
@@ -241,5 +299,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  return router.errors() == 0 ? 0 : 1;
+  // Validation errors are the interesting output of a chaos run, not a tool
+  // failure; without fault injection they mean the router misbehaved.
+  return (args.chaos == nullptr && router.errors() != 0) ? 1 : 0;
 }
