@@ -3,7 +3,7 @@
 // (see router/chaos.h). The default sweep is 16 seeds x 13 mixes = 208
 // combinations; the tier2 ctest runs a bounded version.
 //
-//   ./chaos_soak [--seeds N] [--cycles N]
+//   ./chaos_soak [--seeds N] [--cycles N] [--threads T]
 //
 // Exit status 0 only when every combination passes.
 #include <cstdio>
@@ -18,6 +18,7 @@ namespace {
 struct Args {
   int seeds = 16;
   raw::common::Cycle cycles = 40000;
+  int threads = 0;
 };
 
 Args parse(int argc, char** argv) {
@@ -27,6 +28,8 @@ Args parse(int argc, char** argv) {
       a.seeds = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc) {
       a.cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      a.threads = std::atoi(argv[++i]);
     }
   }
   return a;
@@ -41,7 +44,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(args.cycles));
 
   const raw::router::ChaosSweepSummary summary =
-      raw::router::chaos_sweep(args.seeds, args.cycles);
+      raw::router::chaos_sweep(args.seeds, args.cycles, args.threads);
 
   // Per-mix rollup.
   struct MixAgg {

@@ -5,10 +5,21 @@
 // fabric-level quantum simulation across ring sizes and reports sustained
 // grant throughput under permutation and uniform traffic, plus the
 // configuration-space growth the compile-time scheduler must minimize.
+//
+// A second section runs the cycle-accurate mesh itself at growing grid
+// sizes (the StreamMesh streaming workload) under the execution engine, so
+// scaling of the *simulator* — not just the rule — is measured too:
+//
+//   ./ext_scaling [--threads T] [--mesh-cycles N]
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/parallel_runner.h"
+#include "exec/stream_mesh.h"
 #include "router/config_space.h"
 
 namespace {
@@ -45,9 +56,45 @@ double run(int ring, bool uniform, int quanta, std::uint64_t seed) {
   return static_cast<double>(grants) / (static_cast<double>(ring) * quanta);
 }
 
+/// Cycle-accurate mesh scaling: simulated cycles/second of the StreamMesh
+/// workload at each grid size, under the resolved engine thread count.
+void run_mesh_section(int threads, raw::common::Cycle cycles) {
+  const int resolved = raw::exec::resolve_threads(threads);
+  std::printf("\nmesh-level scaling (StreamMesh, %d engine thread%s, %llu cycles):\n\n",
+              resolved, resolved == 1 ? "" : "s",
+              static_cast<unsigned long long>(cycles));
+  std::printf("%8s | %12s | %14s | %12s\n", "grid", "words", "cycles/sec",
+              "wall ms");
+  for (const int dim : {4, 8, 12}) {
+    raw::exec::StreamMeshConfig cfg;
+    cfg.shape = raw::sim::GridShape{dim, dim};
+    cfg.proc_work = 4;
+    raw::exec::StreamMesh mesh(cfg);
+    raw::exec::ParallelRunner runner(mesh.chip(), threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    runner.run(cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    char grid[16];
+    std::snprintf(grid, sizeof grid, "%dx%d", dim, dim);
+    std::printf("%8s | %12llu | %14.0f | %12.1f\n", grid,
+                static_cast<unsigned long long>(mesh.words_delivered()),
+                static_cast<double>(cycles) / secs, 1e3 * secs);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;
+  raw::common::Cycle mesh_cycles = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--mesh-cycles") && i + 1 < argc) {
+      mesh_cycles = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
   constexpr int kQuanta = 20000;
   std::printf("Section 8.5: Rotating Crossbar scalability across ring sizes\n\n");
   std::printf("%6s | %12s | %12s | %16s | %14s\n", "ports", "perm grant",
@@ -78,5 +125,7 @@ int main() {
       "grant rate falls with ring size as output contention and longer arcs\n"
       "bind — the thesis's motivation for building big routers out of\n"
       "multiple 4-port crossbars rather than one large ring.\n");
+
+  run_mesh_section(threads, mesh_cycles);
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "exec/parallel_runner.h"
+#include "exec/stream_mesh.h"
 #include "fabric/scheduler.h"
 #include "net/ipv4.h"
 #include "net/packet.h"
@@ -127,6 +129,38 @@ void BM_ChipIdleCycle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ChipIdleCycle);
+
+void BM_ChipIdleCycleNoDyn(benchmark::State& state) {
+  raw::sim::ChipConfig cfg;
+  cfg.with_dynamic_network = false;
+  raw::sim::Chip chip(cfg);
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChipIdleCycleNoDyn);
+
+void BM_StreamMeshCycle(benchmark::State& state) {
+  raw::exec::StreamMeshConfig cfg;
+  const int dim = static_cast<int>(state.range(0));
+  cfg.shape = raw::sim::GridShape{dim, dim};
+  cfg.proc_work = 4;
+  raw::exec::StreamMesh mesh(cfg);
+  raw::exec::ParallelRunner runner(mesh.chip(),
+                                   static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    runner.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["words"] = static_cast<double>(mesh.words_delivered());
+}
+BENCHMARK(BM_StreamMeshCycle)
+    ->ArgNames({"dim", "threads"})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4});
 
 void BM_DynNetworkRandomTraffic(benchmark::State& state) {
   raw::sim::DynamicNetwork net(raw::sim::GridShape{4, 4});

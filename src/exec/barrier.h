@@ -1,0 +1,64 @@
+// Lightweight centralized sense-reversing barrier.
+//
+// The parallel engine crosses a barrier several times per simulated cycle,
+// so the happy path must be a handful of atomic operations. Each worker
+// keeps its own sense flag (passed in by reference); the last arriver
+// resets the count and flips the shared sense, releasing everyone. Waiters
+// spin briefly for the multicore fast path and then fall back to
+// std::atomic::wait (a futex on Linux), so an oversubscribed or single-core
+// host schedules past the barrier instead of burning its quantum spinning.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace raw::exec {
+
+class Barrier {
+ public:
+  explicit Barrier(int parties)
+      : parties_(parties), remaining_(parties) {
+    RAW_ASSERT_MSG(parties >= 1, "barrier needs at least one party");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+  /// Blocks until all parties have arrived. `local_sense` is the caller's
+  /// private sense flag: initialize it to false and pass the same variable
+  /// to every arrival from that thread.
+  void arrive_and_wait(bool& local_sense) {
+    const bool my = !local_sense;
+    local_sense = my;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my, std::memory_order_release);
+      sense_.notify_all();
+      return;
+    }
+    for (int spins = spin_budget(); spins > 0; --spins) {
+      if (sense_.load(std::memory_order_acquire) == my) return;
+    }
+    while (sense_.load(std::memory_order_acquire) != my) {
+      sense_.wait(!my, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  /// Spinning only helps when another core can flip the sense concurrently.
+  static int spin_budget() {
+    static const int budget =
+        std::thread::hardware_concurrency() > 1 ? 2048 : 0;
+    return budget;
+  }
+
+  const int parties_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace raw::exec

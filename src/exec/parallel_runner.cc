@@ -1,0 +1,183 @@
+#include "exec/parallel_runner.h"
+
+#include "common/assert.h"
+#include "sim/chip.h"
+#include "sim/fault_plan.h"
+
+namespace raw::exec {
+
+ParallelRunner::ParallelRunner(sim::Chip& chip, int threads)
+    : chip_(chip),
+      partition_(Partition::build(chip, resolve_threads(threads))),
+      barrier_(partition_.workers()),
+      sense_(static_cast<std::size_t>(partition_.workers())),
+      progress_(static_cast<std::size_t>(partition_.workers())) {
+  const int n = partition_.workers();
+  threads_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (int w = 1; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelRunner::set_tracer(common::PacketTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->configure_shards(workers());
+}
+
+void ParallelRunner::run(common::Cycle cycles) {
+  if (workers() == 1) {  // serial fast path: the engine adds nothing
+    chip_.run(cycles);
+    return;
+  }
+  dispatch_and_join(Mode::kRun, cycles, nullptr);
+}
+
+bool ParallelRunner::run_until(const std::function<bool()>& pred,
+                               common::Cycle max_cycles) {
+  if (workers() == 1) {
+    return chip_.run_until(pred, max_cycles);
+  }
+  dispatch_and_join(Mode::kRunUntil, max_cycles, &pred);
+  return result_;
+}
+
+void ParallelRunner::dispatch_and_join(Mode mode, common::Cycle limit,
+                                       const std::function<bool()>* pred) {
+  staging_ = tracer_ != nullptr && tracer_->enabled();
+  if (staging_) tracer_->set_staging(true);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mode_ = mode;
+    limit_ = limit;
+    pred_ = pred;
+    stop_.store(false, std::memory_order_relaxed);
+    ++job_gen_;
+  }
+  cv_.notify_all();
+
+  // The calling thread is worker 0; when execute(0) returns, every shared
+  // write by the helper workers is ordered before us by the final barrier.
+  result_ = execute(0);
+
+  if (staging_) tracer_->set_staging(false);
+  staging_ = false;
+}
+
+void ParallelRunner::worker_main(int wid) {
+  common::PacketTracer::bind_thread_shard(wid);
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || job_gen_ != seen; });
+      if (shutdown_) return;
+      seen = job_gen_;
+    }
+    (void)execute(wid);
+  }
+}
+
+bool ParallelRunner::execute(int wid) {
+  if (wid == 0) common::PacketTracer::bind_thread_shard(0);
+
+  const Stripe& stripe = partition_.stripe(wid);
+  const std::vector<sim::Channel*>& chans = chip_.all_channels();
+  sim::DynamicNetwork* const dyn = chip_.dynamic_network();
+  bool& sense = sense_[static_cast<std::size_t>(wid)].value;
+  const Mode mode = mode_;
+  const common::Cycle limit = limit_;
+  bool fired = false;
+
+  for (common::Cycle i = 0; i < limit; ++i) {
+    if (mode == Mode::kRunUntil) {
+      // [pred] Worker 0 decides; the barrier publishes the decision.
+      if (wid == 0 && (*pred_)()) stop_.store(true, std::memory_order_relaxed);
+      barrier_.arrive_and_wait(sense);
+      if (stop_.load(std::memory_order_relaxed)) {
+        fired = true;
+        break;
+      }
+    }
+
+    // A: start-of-cycle channel latch, striped.
+    for (std::size_t c = stripe.chan_begin; c < stripe.chan_end; ++c) {
+      chans[c]->begin_cycle();
+    }
+    barrier_.arrive_and_wait(sense);
+
+    // B: fault injection and device stepping are inherently global (RNG
+    // draws, cross-port queues), so they stay serial on worker 0 — exactly
+    // where they sit in Chip::step().
+    if (wid == 0) {
+      if (sim::FaultPlan* faults = chip_.fault_plan()) faults->step(chip_);
+      for (sim::Device* d : chip_.devices()) d->step(chip_);
+    }
+    barrier_.arrive_and_wait(sense);
+
+    // C: tile stepping, striped. Reads of fault/trace state written in B
+    // are ordered by the barrier above.
+    {
+      sim::FaultPlan* const faults = chip_.fault_plan();
+      const common::Cycle now = chip_.cycle();
+      sim::Trace& trace = chip_.trace();
+      const bool tracing = trace.active(now);
+      for (int t = stripe.tile_begin; t < stripe.tile_end; ++t) {
+        if (faults != nullptr && faults->tile_frozen(t)) {
+          if (tracing) {
+            trace.record(now, t, sim::AgentState::kIdle, sim::AgentState::kIdle);
+          }
+          continue;
+        }
+        const sim::AgentState sw = chip_.tile(t).step_switch();
+        const sim::AgentState proc = chip_.tile(t).step_proc();
+        if (tracing) trace.record(now, t, proc, sw);
+      }
+    }
+    barrier_.arrive_and_wait(sense);
+
+    // D: dynamic-network routing touches queues across the whole mesh, so
+    // it runs serial between tile stepping and commit, as in Chip::step().
+    if (dyn != nullptr) {
+      if (wid == 0) dyn->step();
+      barrier_.arrive_and_wait(sense);
+    }
+
+    // E: commit, striped; per-worker progress OR.
+    {
+      bool progress = false;
+      for (std::size_t c = stripe.chan_begin; c < stripe.chan_end; ++c) {
+        progress |= chans[c]->end_cycle();
+      }
+      progress_[static_cast<std::size_t>(wid)].value = progress;
+    }
+    barrier_.arrive_and_wait(sense);
+
+    // F: close the cycle on worker 0. No trailing barrier: helper workers
+    // race ahead into the next cycle's phase A, which touches only channel
+    // state that F never reads or writes; every later phase that does see
+    // F's effects (cycle counter, tracer ring) sits behind at least one
+    // more barrier crossing.
+    if (wid == 0) {
+      bool any = false;
+      for (const PaddedBool& p : progress_) any |= p.value;
+      chip_.finish_cycle(any);
+      if (staging_) tracer_->merge_staged();
+    }
+  }
+
+  if (mode == Mode::kRunUntil && wid == 0 && !fired) {
+    fired = (*pred_)();  // matches Chip::run_until's final check
+  }
+  return fired;
+}
+
+}  // namespace raw::exec

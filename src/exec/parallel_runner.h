@@ -1,0 +1,121 @@
+// Deterministic parallel execution engine.
+//
+// ParallelRunner drives a Chip with N worker threads and produces results
+// bit-identical to Chip::run()/run_until()/step() at any worker count. It
+// exploits the simulator's two-phase channel semantics: within a cycle every
+// agent reads only start-of-cycle channel state and all writes are staged,
+// so agents may step in any order — including concurrently — as long as the
+// phase boundaries (begin, step, commit) are kept globally ordered. The
+// engine therefore runs each simulated cycle as a short SPMD pipeline of
+// barrier-separated phases:
+//
+//   [pred]  worker 0 evaluates the run_until predicate      (run_until only)
+//   A       begin_cycle, each worker over its channel stripe      (parallel)
+//   B       fault plan + devices, worker 0                          (serial)
+//   C       tile stepping, each worker over its tile stripe      (parallel)
+//   D       dynamic-network routing, worker 0          (serial, if present)
+//   E       end_cycle commit, each worker over its channel stripe (parallel)
+//   F       progress reduction + cycle close, worker 0             (serial)
+//
+// Why this is deterministic (see DESIGN.md "Execution engine" for the full
+// argument): during C a channel's reader-side state is touched only by the
+// thread owning the reader tile, its writer-side staging only by the thread
+// owning the writer tile, and everything else about it is frozen until E.
+// The remaining cross-thread mutations are (a) ingress ledger drops, which
+// commute and go through a mutex, and (b) packet-tracer records, which are
+// staged per worker and replayed in worker order — exactly the serial
+// recording order — before the ring buffer sees them.
+//
+// The calling thread acts as worker 0; N-1 helper threads are spawned at
+// construction and parked on a condition variable between runs. With a
+// resolved worker count of 1 the runner delegates straight to the chip's
+// serial loop and the engine adds zero overhead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/trace_event.h"
+#include "common/types.h"
+#include "exec/barrier.h"
+#include "exec/partition.h"
+
+namespace raw::sim {
+class Chip;
+}
+
+namespace raw::exec {
+
+class ParallelRunner {
+ public:
+  /// Wraps `chip` (not owned; must outlive the runner) with `threads`
+  /// workers. `threads` goes through resolve_threads() and is then clamped
+  /// to the tile count, so 0 honours RAWSIM_THREADS and defaults to serial.
+  explicit ParallelRunner(sim::Chip& chip, int threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] int workers() const { return partition_.workers(); }
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+
+  /// Same contract as Chip::run.
+  void run(common::Cycle cycles);
+  /// Same contract as Chip::run_until: pred is evaluated before every cycle
+  /// (and once more at the end) by worker 0 only, so it may freely read any
+  /// chip, device, or ledger state.
+  bool run_until(const std::function<bool()>& pred, common::Cycle max_cycles);
+  /// Single cycle (one full phase pipeline).
+  void step() { run(1); }
+
+  /// Registers the packet-lifecycle tracer whose ring buffer must be kept
+  /// deterministic. Null detaches. The runner sizes the tracer's staging
+  /// shards; staging itself is switched on only while a run is in flight
+  /// and the tracer is enabled.
+  void set_tracer(common::PacketTracer* tracer);
+
+ private:
+  enum class Mode { kRun, kRunUntil };
+
+  struct alignas(64) PaddedBool {
+    bool value = false;
+  };
+
+  void worker_main(int wid);
+  /// The per-worker phase pipeline; run by helper threads and by the
+  /// calling thread (as worker 0). Returns run_until's result on worker 0.
+  bool execute(int wid);
+  void dispatch_and_join(Mode mode, common::Cycle limit,
+                         const std::function<bool()>* pred);
+
+  sim::Chip& chip_;
+  Partition partition_;
+  Barrier barrier_;
+  std::vector<std::thread> threads_;
+  std::vector<PaddedBool> sense_;     // per-worker barrier sense, all runs
+  std::vector<PaddedBool> progress_;  // per-worker end_cycle progress OR
+
+  // Job slot: written by the caller under mutex_, read by workers after the
+  // generation bump, so no per-field synchronization is needed.
+  Mode mode_ = Mode::kRun;
+  common::Cycle limit_ = 0;
+  const std::function<bool()>* pred_ = nullptr;
+  bool staging_ = false;
+  std::atomic<bool> stop_{false};
+  bool result_ = false;
+
+  common::PacketTracer* tracer_ = nullptr;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t job_gen_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace raw::exec

@@ -1,0 +1,74 @@
+#include "exec/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/assert.h"
+#include "sim/chip.h"
+
+namespace raw::exec {
+
+Partition Partition::build(sim::GridShape shape, std::size_t num_channels,
+                           int workers) {
+  const int tiles = shape.num_tiles();
+  RAW_ASSERT_MSG(tiles > 0, "cannot partition an empty grid");
+  const int n = std::clamp(workers, 1, tiles);
+
+  Partition p;
+  p.stripes_.resize(static_cast<std::size_t>(n));
+
+  if (n <= shape.rows) {
+    // Row-aligned stripes: rows/n whole rows each, the first rows%n stripes
+    // taking one extra row.
+    const int base = shape.rows / n;
+    const int extra = shape.rows % n;
+    int row = 0;
+    for (int w = 0; w < n; ++w) {
+      const int take = base + (w < extra ? 1 : 0);
+      Stripe& s = p.stripes_[static_cast<std::size_t>(w)];
+      s.tile_begin = row * shape.cols;
+      s.tile_end = (row + take) * shape.cols;
+      row += take;
+    }
+  } else {
+    // More workers than rows: contiguous tile ranges balanced by count.
+    const int base = tiles / n;
+    const int extra = tiles % n;
+    int tile = 0;
+    for (int w = 0; w < n; ++w) {
+      const int take = base + (w < extra ? 1 : 0);
+      Stripe& s = p.stripes_[static_cast<std::size_t>(w)];
+      s.tile_begin = tile;
+      s.tile_end = tile + take;
+      tile += take;
+    }
+  }
+
+  // Channels: plain even split, independent of tile ownership.
+  const std::size_t cbase = num_channels / static_cast<std::size_t>(n);
+  const std::size_t cextra = num_channels % static_cast<std::size_t>(n);
+  std::size_t chan = 0;
+  for (int w = 0; w < n; ++w) {
+    const std::size_t take = cbase + (static_cast<std::size_t>(w) < cextra ? 1 : 0);
+    Stripe& s = p.stripes_[static_cast<std::size_t>(w)];
+    s.chan_begin = chan;
+    s.chan_end = chan + take;
+    chan += take;
+  }
+  return p;
+}
+
+Partition Partition::build(const sim::Chip& chip, int workers) {
+  return build(chip.shape(), chip.all_channels().size(), workers);
+}
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("RAWSIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  return 1;
+}
+
+}  // namespace raw::exec

@@ -1,0 +1,59 @@
+// Spatial partitioning of a chip for the parallel execution engine.
+//
+// The grid is cut into contiguous tile stripes, one per worker. Stripe
+// boundaries fall on row boundaries whenever the worker count allows it
+// (workers <= rows), because a row-major stripe then owns whole rows and the
+// only cross-stripe static links are the north/south channels on the stripe
+// frontier. With more workers than rows the stripes stay contiguous in tile
+// index but may split a row. Channels are striped independently (a plain
+// even split of the chip's channel list): any channel is begun/committed by
+// exactly one worker, and the two-phase channel semantics make the owner's
+// identity irrelevant to the result.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/coords.h"
+
+namespace raw::sim {
+class Chip;
+}
+
+namespace raw::exec {
+
+/// One worker's share of the chip: a contiguous tile range [tile_begin,
+/// tile_end) and a contiguous slice [chan_begin, chan_end) of
+/// Chip::all_channels().
+struct Stripe {
+  int tile_begin = 0;
+  int tile_end = 0;
+  std::size_t chan_begin = 0;
+  std::size_t chan_end = 0;
+};
+
+class Partition {
+ public:
+  /// Partitions `shape` and `num_channels` across up to `workers` workers.
+  /// The effective worker count is clamped to [1, num_tiles]; every tile and
+  /// every channel lands in exactly one stripe.
+  static Partition build(sim::GridShape shape, std::size_t num_channels,
+                         int workers);
+  /// Convenience overload reading shape and channel count from the chip.
+  static Partition build(const sim::Chip& chip, int workers);
+
+  [[nodiscard]] int workers() const { return static_cast<int>(stripes_.size()); }
+  [[nodiscard]] const Stripe& stripe(int w) const {
+    return stripes_[static_cast<std::size_t>(w)];
+  }
+
+ private:
+  std::vector<Stripe> stripes_;
+};
+
+/// Resolves a configured thread count: values >= 1 are used as-is; 0 (the
+/// default everywhere) consults the RAWSIM_THREADS environment variable and
+/// falls back to 1 — today's serial engine — when it is unset or malformed.
+int resolve_threads(int requested);
+
+}  // namespace raw::exec

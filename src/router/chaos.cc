@@ -106,6 +106,7 @@ sim::FaultPlan make_fault_plan(const ChaosSpec& spec, RawRouter& router,
 
 ChaosResult run_chaos(const ChaosSpec& spec) {
   RouterConfig cfg;
+  cfg.threads = spec.threads;
   net::TrafficConfig traffic;
   traffic.num_ports = 4;
   traffic.pattern = net::DestPattern::kUniform;
@@ -237,7 +238,8 @@ bool parse_mix(const std::string& s, ChaosMix* out) {
   return true;
 }
 
-ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles) {
+ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles,
+                              int threads) {
   ChaosSweepSummary summary;
   for (const ChaosMix& mix : standard_mixes()) {
     for (int s = 1; s <= num_seeds; ++s) {
@@ -245,6 +247,7 @@ ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles) {
       spec.seed = static_cast<std::uint64_t>(s);
       spec.mix = mix;
       spec.run_cycles = run_cycles;
+      spec.threads = threads;
       ChaosResult r = run_chaos(spec);
       ++summary.total;
       if (r.pass) ++summary.passed;

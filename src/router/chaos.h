@@ -54,6 +54,8 @@ struct ChaosSpec {
   int faults_per_kind = 6;
   common::ByteCount bytes = 256;
   double load = 0.9;
+  /// Execution-engine worker threads (RouterConfig::threads semantics).
+  int threads = 0;
 };
 
 struct ChaosResult {
@@ -103,6 +105,8 @@ struct ChaosSweepSummary {
 };
 
 /// Sweeps seeds x standard_mixes(): seeds 1..num_seeds against every mix.
-ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles);
+/// `threads` follows RouterConfig::threads (0 = RAWSIM_THREADS, then serial).
+ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles,
+                              int threads = 0);
 
 }  // namespace raw::router

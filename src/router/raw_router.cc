@@ -25,6 +25,11 @@ void RouterConfig::validate() const {
         "RouterConfig.watchdog.check_interval must be positive when the "
         "watchdog is enabled");
   }
+  if (threads < 0) {
+    throw std::invalid_argument(
+        "RouterConfig.threads must be >= 0 (0 resolves RAWSIM_THREADS); got " +
+        std::to_string(threads));
+  }
 }
 
 const char* drain_outcome_name(DrainOutcome o) {
@@ -51,7 +56,9 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
   chip_cfg.shape = sim::GridShape{4, 4};
   chip_cfg.with_dynamic_network = true;  // lookup RPC path
   chip_cfg.link_fifo_depth = config_.link_fifo_depth;
+  chip_cfg.threads = config_.threads;
   chip_ = std::make_unique<sim::Chip>(chip_cfg);
+  runner_ = std::make_unique<exec::ParallelRunner>(*chip_, config_.threads);
 
   core_.chip = chip_.get();
   core_.layout = &layout_;
@@ -95,6 +102,7 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
 void RawRouter::set_tracer(common::PacketTracer* tracer) {
   ledger_.tracer = tracer;
   core_.tracer = tracer;
+  runner_->set_tracer(tracer);
   if (tracer == nullptr) return;
   static const char* kRoleNames[] = {"In", "Lookup", "Xbar", "Out"};
   for (int p = 0; p < kNumPorts; ++p) {
@@ -256,12 +264,12 @@ void RawRouter::check_conservation() const {
 RunStatus RawRouter::run(common::Cycle cycles) {
   const WatchdogConfig& wd = config_.watchdog;
   if (!wd.enabled) {
-    chip_->run(cycles);
+    fabric_run(cycles);
     return RunStatus::kOk;
   }
   const common::Cycle deadline = chip_->cycle() + cycles;
   while (chip_->cycle() < deadline) {
-    chip_->run(std::min(wd.check_interval, deadline - chip_->cycle()));
+    fabric_run(std::min(wd.check_interval, deadline - chip_->cycle()));
     if (check_watchdog()) return RunStatus::kStalled;
   }
   return RunStatus::kOk;
@@ -278,7 +286,7 @@ bool RawRouter::drain(common::Cycle max_cycles) {
 
   const WatchdogConfig& wd = config_.watchdog;
   if (!wd.enabled) {
-    const bool ok = chip_->run_until(all_drained, max_cycles);
+    const bool ok = fabric_run_until(all_drained, max_cycles);
     drain_outcome_ = ok ? DrainOutcome::kDrained : DrainOutcome::kTimeout;
     check_conservation();
     return ok;
@@ -294,7 +302,7 @@ bool RawRouter::drain(common::Cycle max_cycles) {
   common::Cycle last_shrink = chip_->cycle();
   while (true) {
     const common::Cycle remaining = deadline - chip_->cycle();
-    if (chip_->run_until(all_drained, std::min(wd.check_interval, remaining))) {
+    if (fabric_run_until(all_drained, std::min(wd.check_interval, remaining))) {
       drain_outcome_ = DrainOutcome::kDrained;
       check_conservation();
       return true;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "exec/parallel_runner.h"
 #include "net/route_table.h"
 #include "net/traffic.h"
 #include "router/line_cards.h"
@@ -34,6 +35,10 @@ struct RouterConfig {
   /// checks run every `check_interval` cycles and read only counters, so
   /// cycle-exact behaviour is unchanged.
   WatchdogConfig watchdog;
+  /// Execution-engine worker threads for the fabric simulation. 0 (default)
+  /// resolves via RAWSIM_THREADS and falls back to the serial engine; any
+  /// resolved count produces bit-identical results (see exec::ParallelRunner).
+  int threads = 0;
 
   /// Rejects configurations that would misbehave deep inside the fabric
   /// (edge FIFOs too small to hold an IP header, a zero-capacity line-card
@@ -98,6 +103,8 @@ class RawRouter {
   [[nodiscard]] std::uint64_t lost_packets() const { return ledger_.erased_lost; }
 
   [[nodiscard]] sim::Chip& chip() { return *chip_; }
+  /// Resolved execution-engine worker count (1 = serial).
+  [[nodiscard]] int threads() const { return runner_->workers(); }
   [[nodiscard]] const RouterCore& core() const { return core_; }
   [[nodiscard]] const Layout& layout() const { return layout_; }
   [[nodiscard]] const ScheduleCompiler& compiler() const { return compiler_; }
@@ -136,6 +143,14 @@ class RawRouter {
  private:
   /// True when any port still has work: queued input or in-flight packets.
   [[nodiscard]] bool work_pending() const;
+  /// All fabric cycles go through these two so the watchdog/drain loops are
+  /// engine-agnostic: the runner delegates to the chip's serial loop when
+  /// the resolved worker count is 1.
+  void fabric_run(common::Cycle cycles) { runner_->run(cycles); }
+  bool fabric_run_until(const std::function<bool()>& pred,
+                        common::Cycle max_cycles) {
+    return runner_->run_until(pred, max_cycles);
+  }
   /// Runs the watchdog checks; returns true on a hard (no-progress) trip.
   bool check_watchdog();
   /// Asserts the packet-conservation identity (see PacketLedger).
@@ -147,6 +162,7 @@ class RawRouter {
   Layout layout_;
   ScheduleCompiler compiler_;
   std::unique_ptr<sim::Chip> chip_;
+  std::unique_ptr<exec::ParallelRunner> runner_;
   RouterCore core_;
   net::TrafficGen traffic_;
   PacketLedger ledger_;

@@ -132,11 +132,7 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
           if (core.ledger != nullptr) {
             // Best effort: the uid field may itself be corrupt, in which
             // case the entry is written off as lost at drain instead.
-            const auto it = core.ledger->in_flight.find(uid_of(hdr));
-            if (it != core.ledger->in_flight.end()) {
-              core.ledger->in_flight.erase(it);
-              ++core.ledger->erased_ingress;
-            }
+            (void)core.ledger->erase_in_flight_ingress(uid_of(hdr));
           }
         } else {
           ++ctr.resync_slides;
@@ -194,11 +190,7 @@ TileTask ingress_body(RouterCore& core, int port, IngressSchedule s) {
         // discard the payload still on the line, and release the ledger
         // entry (the packet will never reach an output card).
         if (core.ledger != nullptr) {
-          const auto it = core.ledger->in_flight.find(uid_of(hdr));
-          if (it != core.ledger->in_flight.end()) {
-            core.ledger->in_flight.erase(it);
-            ++core.ledger->erased_ingress;
-          }
+          (void)core.ledger->erase_in_flight_ingress(uid_of(hdr));
         }
         if (payload_words > 0) {
           RAW_CMD(csto, s.ingest_header, payload_words);

@@ -132,29 +132,42 @@ Channel* Chip::find_channel(const std::string& name) const {
 void Chip::step() {
   for (Channel* ch : all_channels_) ch->begin_cycle();
 
-  if (faults_ != nullptr) faults_->step(*this);
+  FaultPlan* const faults = faults_;
+  if (faults != nullptr) faults->step(*this);
 
   for (Device* d : devices_) d->step(*this);
 
-  const bool tracing = trace_.active(cycle_);
-  for (int t = 0; t < num_tiles(); ++t) {
-    if (faults_ != nullptr && faults_->tile_frozen(t)) {
-      // A frozen tile executes nothing this cycle; its FIFOs keep their
-      // contents and neighbours simply see no words move.
-      if (tracing) trace_.record(cycle_, t, AgentState::kIdle, AgentState::kIdle);
-      continue;
+  if (faults == nullptr && !trace_.active(cycle_)) {
+    // Hot path: no fault plan attached and no utilization window open, so
+    // the per-tile frozen test and trace bookkeeping vanish entirely.
+    for (auto& t : tiles_) {
+      (void)t->step_switch();
+      (void)t->step_proc();
     }
-    const AgentState sw = tile(t).step_switch();
-    const AgentState proc = tile(t).step_proc();
-    if (tracing) trace_.record(cycle_, t, proc, sw);
+  } else {
+    const bool tracing = trace_.active(cycle_);
+    const int n = num_tiles();
+    for (int t = 0; t < n; ++t) {
+      if (faults != nullptr && faults->tile_frozen(t)) {
+        // A frozen tile executes nothing this cycle; its FIFOs keep their
+        // contents and neighbours simply see no words move.
+        if (tracing) trace_.record(cycle_, t, AgentState::kIdle, AgentState::kIdle);
+        continue;
+      }
+      const AgentState sw = tile(t).step_switch();
+      const AgentState proc = tile(t).step_proc();
+      if (tracing) trace_.record(cycle_, t, proc, sw);
+    }
   }
 
+  // dyn_ is null when ChipConfig::with_dynamic_network is false: the whole
+  // dynamic-network step (and its channels' begin/end, which never enter
+  // all_channels_) costs nothing in that configuration.
   if (dyn_ != nullptr) dyn_->step();
 
   bool progress = false;
   for (Channel* ch : all_channels_) progress |= ch->end_cycle();
-  if (progress) last_progress_cycle_ = cycle_;
-  ++cycle_;
+  finish_cycle(progress);
 }
 
 void Chip::run(common::Cycle cycles) {

@@ -25,6 +25,11 @@ struct ChipConfig {
   bool with_dynamic_network = true;
   /// FIFO depth of every static-network link.
   std::size_t link_fifo_depth = Channel::kDefaultCapacity;
+  /// Execution-engine worker threads. The chip itself always steps serially;
+  /// this field is consumed by callers (RawRouter, benches) that wrap the
+  /// chip in an exec::ParallelRunner when the resolved value exceeds 1.
+  /// 0 = resolve from RAWSIM_THREADS (default 1); see exec::resolve_threads.
+  int threads = 0;
 };
 
 /// One chip-edge static-network port: the pair of channels a line card (or
@@ -56,6 +61,7 @@ class Chip {
   /// Devices are stepped (in registration order) at the start of every
   /// cycle; the chip does not own them.
   void add_device(Device* device);
+  [[nodiscard]] const std::vector<Device*>& devices() const { return devices_; }
 
   [[nodiscard]] common::Cycle cycle() const { return cycle_; }
   [[nodiscard]] Trace& trace() { return trace_; }
@@ -97,6 +103,15 @@ class Chip {
   }
 
   void step();
+
+  /// Execution-engine hook: closes the current cycle after every channel has
+  /// committed. `progress` is the OR of all channels' end_cycle() results.
+  /// Chip::step() calls this itself; an external engine (exec::ParallelRunner)
+  /// that replicates the phase structure calls it exactly once per cycle.
+  void finish_cycle(bool progress) {
+    if (progress) last_progress_cycle_ = cycle_;
+    ++cycle_;
+  }
 
   /// Aggregate static-network words moved (both networks), for bandwidth
   /// accounting.

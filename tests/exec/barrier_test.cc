@@ -1,0 +1,75 @@
+#include "exec/barrier.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace raw::exec {
+namespace {
+
+TEST(ExecBarrier, SinglePartyNeverBlocks) {
+  Barrier b(1);
+  bool sense = false;
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait(sense);
+  EXPECT_EQ(b.parties(), 1);
+}
+
+// The property that makes the barrier usable as a phase separator: no
+// thread observes round k+1 state until every thread has finished round k.
+// Each thread bumps a shared counter, crosses the barrier, and checks that
+// the counter shows all parties' round-k increments.
+TEST(ExecBarrier, SeparatesRoundsAcrossThreads) {
+  constexpr int kParties = 4;
+  constexpr int kRounds = 500;
+  Barrier b(kParties);
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<int> violations{0};
+
+  auto body = [&] {
+    bool sense = false;
+    for (int r = 1; r <= kRounds; ++r) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      b.arrive_and_wait(sense);
+      const std::uint64_t seen = counter.load(std::memory_order_relaxed);
+      if (seen < static_cast<std::uint64_t>(r) * kParties) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Second barrier so no thread races ahead into the next increment
+      // while a peer is still reading the counter.
+      b.arrive_and_wait(sense);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 1; i < kParties; ++i) threads.emplace_back(body);
+  body();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kRounds) * kParties);
+}
+
+// Reuse safety: the same Barrier object is crossed back-to-back thousands
+// of times (the engine crosses one ~5 times per simulated cycle).
+TEST(ExecBarrier, SurvivesRapidReuseWithTwoParties) {
+  Barrier b(2);
+  constexpr int kRounds = 20000;
+  std::atomic<std::uint64_t> sum{0};
+  auto body = [&] {
+    bool sense = false;
+    for (int r = 0; r < kRounds; ++r) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+      b.arrive_and_wait(sense);
+    }
+  };
+  std::thread t(body);
+  body();
+  t.join();
+  EXPECT_EQ(sum.load(), 2u * kRounds);
+}
+
+}  // namespace
+}  // namespace raw::exec

@@ -1,0 +1,213 @@
+// Serial-vs-parallel differential tests through the full router stack.
+//
+// The engine's contract is bit-identical simulation at any worker count, so
+// these tests run identical router configurations under 1/2/4/8 workers and
+// compare every externally observable total: packet accounting, ledger
+// disposition, static-network word counts, the final cycle, and (separately)
+// the packet tracer's event stream including ring-buffer eviction. The fault
+// differential goes through the chaos harness so flips, stalls, freezes, and
+// overruns — plus the watchdog's run_until drain paths — are all covered.
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/trace_event.h"
+#include "net/route_table.h"
+#include "net/traffic.h"
+#include "router/chaos.h"
+#include "router/raw_router.h"
+
+namespace raw::router {
+namespace {
+
+struct RouterTotals {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_card = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t erased_delivered = 0;
+  std::uint64_t erased_invalid = 0;
+  std::uint64_t erased_ingress = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t static_words = 0;
+  std::uint64_t cycle = 0;
+
+  bool operator==(const RouterTotals&) const = default;
+};
+
+std::string describe(const RouterTotals& t) {
+  return "offered=" + std::to_string(t.offered) +
+         " delivered=" + std::to_string(t.delivered) +
+         " dropped=" + std::to_string(t.dropped_card) +
+         " errors=" + std::to_string(t.errors) +
+         " lost=" + std::to_string(t.lost) +
+         " e_dlv=" + std::to_string(t.erased_delivered) +
+         " e_inv=" + std::to_string(t.erased_invalid) +
+         " e_ing=" + std::to_string(t.erased_ingress) +
+         " in_flight=" + std::to_string(t.in_flight) +
+         " words=" + std::to_string(t.static_words) +
+         " cycle=" + std::to_string(t.cycle);
+}
+
+net::TrafficConfig make_traffic(net::DestPattern pattern) {
+  net::TrafficConfig t;
+  t.num_ports = 4;
+  t.pattern = pattern;
+  t.size = net::SizeDist::kBimodal;
+  t.load = 0.9;
+  return t;
+}
+
+RouterTotals run_router(net::DestPattern pattern, std::uint64_t seed,
+                        int threads, common::Cycle cycles) {
+  RouterConfig cfg;
+  cfg.threads = threads;
+  RawRouter router(cfg, net::RouteTable::simple4(), make_traffic(pattern),
+                   seed);
+  EXPECT_EQ(router.threads(), threads);
+  (void)router.run(cycles);
+  RouterTotals t;
+  t.offered = router.offered_packets();
+  t.delivered = router.delivered_packets();
+  t.dropped_card = router.dropped_at_card();
+  t.errors = router.errors();
+  t.lost = router.lost_packets();
+  t.erased_delivered = router.ledger().erased_delivered;
+  t.erased_invalid = router.ledger().erased_invalid;
+  t.erased_ingress = router.ledger().erased_ingress;
+  t.in_flight = router.ledger().in_flight.size();
+  t.static_words = router.chip().static_words_transferred();
+  t.cycle = router.chip().cycle();
+  return t;
+}
+
+class ExecRouterDifferential
+    : public ::testing::TestWithParam<std::tuple<net::DestPattern,
+                                                 std::uint64_t>> {};
+
+TEST_P(ExecRouterDifferential, TotalsIdenticalAcrossThreadCounts) {
+  const auto [pattern, seed] = GetParam();
+  constexpr common::Cycle kCycles = 2500;
+  const RouterTotals serial = run_router(pattern, seed, 1, kCycles);
+  EXPECT_GT(serial.delivered, 0u);
+  for (const int t : {2, 4, 8}) {
+    const RouterTotals par = run_router(pattern, seed, t, kCycles);
+    EXPECT_EQ(par, serial) << "threads=" << t << "\n  serial: "
+                           << describe(serial) << "\nparallel: "
+                           << describe(par);
+  }
+}
+
+// Instantiation name keeps the Exec prefix so `ctest -R '^Exec'` (the TSan
+// CI job's selection) picks these up.
+INSTANTIATE_TEST_SUITE_P(
+    ExecPatternsAndSeeds, ExecRouterDifferential,
+    ::testing::Combine(::testing::Values(net::DestPattern::kUniform,
+                                         net::DestPattern::kPermutation,
+                                         net::DestPattern::kHotspot),
+                       ::testing::Values(std::uint64_t{11},
+                                         std::uint64_t{29})));
+
+struct ChaosTotals {
+  bool pass = false;
+  int outcome = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_card = 0;
+  std::uint64_t ingress_drops = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t faults_injected = 0;
+
+  bool operator==(const ChaosTotals&) const = default;
+};
+
+ChaosTotals run_chaos_at(const char* mix_str, std::uint64_t seed, int threads,
+                         common::Cycle cycles) {
+  ChaosSpec spec;
+  ChaosMix mix;
+  EXPECT_TRUE(parse_mix(mix_str, &mix));
+  spec.seed = seed;
+  spec.mix = mix;
+  spec.run_cycles = cycles;
+  spec.threads = threads;
+  const ChaosResult r = run_chaos(spec);
+  ChaosTotals t;
+  t.pass = r.pass;
+  t.outcome = static_cast<int>(r.outcome);
+  t.offered = r.offered;
+  t.delivered = r.delivered;
+  t.dropped_card = r.dropped_card;
+  t.ingress_drops = r.ingress_drops;
+  t.errors = r.errors;
+  t.lost = r.lost;
+  t.malformed = r.malformed;
+  t.resyncs = r.resyncs;
+  t.watchdog_trips = r.watchdog_trips;
+  t.faults_injected = r.faults_injected;
+  return t;
+}
+
+// Faults exercise the engine's serial fault phase, the mutex-protected
+// ingress ledger drops, frozen-tile skipping, and the watchdog's
+// run_until-driven drain — all under the full transient mix.
+TEST(ExecChaosDifferential, FullTransientMixIdenticalAcrossThreads) {
+  constexpr const char* kMix = "flip+stall+freeze+overrun";
+  constexpr common::Cycle kCycles = 6000;
+  const ChaosTotals serial = run_chaos_at(kMix, 3, 1, kCycles);
+  EXPECT_GT(serial.faults_injected, 0u);
+  for (const int t : {2, 4}) {
+    EXPECT_EQ(run_chaos_at(kMix, 3, t, kCycles), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecChaosDifferential, FlipStallMixIdenticalAcrossThreads) {
+  constexpr common::Cycle kCycles = 6000;
+  const ChaosTotals serial = run_chaos_at("flip+stall", 5, 1, kCycles);
+  for (const int t : {2, 8}) {
+    EXPECT_EQ(run_chaos_at("flip+stall", 5, t, kCycles), serial)
+        << "threads=" << t;
+  }
+}
+
+std::vector<common::PacketTracer::Record> run_traced(int threads,
+                                                     std::size_t budget) {
+  RouterConfig cfg;
+  cfg.threads = threads;
+  RawRouter router(cfg, net::RouteTable::simple4(),
+                   make_traffic(net::DestPattern::kUniform), 17);
+  common::PacketTracer tracer;
+  router.set_tracer(&tracer);
+  tracer.enable(budget);
+  (void)router.run(1500);
+  return tracer.events();
+}
+
+// The tracer's ring buffer must hold the exact same event sequence —
+// including which events eviction discarded — at any worker count. The
+// small budget forces heavy eviction so shard-merge ordering is load-bearing.
+TEST(ExecTracerDifferential, EventStreamIdenticalAcrossThreads) {
+  const auto serial = run_traced(1, 512);
+  ASSERT_FALSE(serial.empty());
+  for (const int t : {2, 4}) {
+    const auto par = run_traced(t, 512);
+    ASSERT_EQ(par.size(), serial.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(par[i].uid, serial[i].uid) << "threads=" << t << " i=" << i;
+      ASSERT_EQ(par[i].cycle, serial[i].cycle) << "i=" << i;
+      ASSERT_EQ(par[i].event, serial[i].event) << "i=" << i;
+      ASSERT_EQ(par[i].track, serial[i].track) << "i=" << i;
+      ASSERT_EQ(par[i].arg, serial[i].arg) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raw::router

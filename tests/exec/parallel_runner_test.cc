@@ -1,0 +1,125 @@
+#include "exec/parallel_runner.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/stream_mesh.h"
+
+namespace raw::exec {
+namespace {
+
+std::uint64_t run_mesh(const StreamMeshConfig& cfg, int threads,
+                       common::Cycle cycles) {
+  StreamMesh mesh(cfg);
+  ParallelRunner runner(mesh.chip(), threads);
+  runner.run(cycles);
+  return mesh.digest();
+}
+
+TEST(ExecParallelRunner, SerialDelegationUsesOneWorker) {
+  StreamMesh mesh(StreamMeshConfig{});
+  ParallelRunner runner(mesh.chip(), 1);
+  EXPECT_EQ(runner.workers(), 1);
+  runner.run(100);
+  EXPECT_EQ(mesh.chip().cycle(), 100u);
+}
+
+TEST(ExecParallelRunner, WorkerCountClampedToTiles) {
+  StreamMeshConfig cfg;
+  cfg.shape = sim::GridShape{2, 2};
+  StreamMesh mesh(cfg);
+  ParallelRunner runner(mesh.chip(), 64);
+  EXPECT_EQ(runner.workers(), 4);
+  runner.run(50);
+  EXPECT_EQ(mesh.chip().cycle(), 50u);
+}
+
+TEST(ExecParallelRunner, MeshDigestIdenticalAcrossThreadCounts) {
+  StreamMeshConfig cfg;
+  const std::uint64_t serial = run_mesh(cfg, 1, 800);
+  for (const int t : {2, 4, 8}) {
+    EXPECT_EQ(run_mesh(cfg, t, 800), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecParallelRunner, MeshWithComputeIdenticalAcrossThreadCounts) {
+  StreamMeshConfig cfg;
+  cfg.proc_work = 3;
+  const std::uint64_t serial = run_mesh(cfg, 1, 800);
+  for (const int t : {2, 4, 8}) {
+    EXPECT_EQ(run_mesh(cfg, t, 800), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecParallelRunner, MeshWithDynamicNetworkIdentical) {
+  StreamMeshConfig cfg;
+  cfg.with_dynamic_network = true;
+  const std::uint64_t serial = run_mesh(cfg, 1, 600);
+  for (const int t : {2, 4}) {
+    EXPECT_EQ(run_mesh(cfg, t, 600), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecParallelRunner, NonSquareMeshIdentical) {
+  StreamMeshConfig cfg;
+  cfg.shape = sim::GridShape{3, 5};
+  const std::uint64_t serial = run_mesh(cfg, 1, 600);
+  for (const int t : {2, 4, 8}) {
+    EXPECT_EQ(run_mesh(cfg, t, 600), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecParallelRunner, RepeatedRunsOnOneRunnerStayDeterministic) {
+  // The same runner instance is reused across run() calls (the router's
+  // run/drain loops do exactly this); state must carry over identically.
+  StreamMeshConfig cfg;
+  StreamMesh serial_mesh(cfg);
+  ParallelRunner serial(serial_mesh.chip(), 1);
+  StreamMesh par_mesh(cfg);
+  ParallelRunner par(par_mesh.chip(), 4);
+  for (int burst = 0; burst < 5; ++burst) {
+    serial.run(137);
+    par.run(137);
+    ASSERT_EQ(par_mesh.digest(), serial_mesh.digest()) << "burst " << burst;
+  }
+}
+
+TEST(ExecParallelRunner, StepMatchesRun) {
+  StreamMeshConfig cfg;
+  StreamMesh a(cfg);
+  ParallelRunner ra(a.chip(), 4);
+  StreamMesh b(cfg);
+  ParallelRunner rb(b.chip(), 4);
+  ra.run(200);
+  for (int i = 0; i < 200; ++i) rb.step();
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(ExecParallelRunner, RunUntilFiresAtSameCycleAsSerial) {
+  const auto run_until_words = [](int threads, std::uint64_t target) {
+    StreamMesh mesh(StreamMeshConfig{});
+    ParallelRunner runner(mesh.chip(), threads);
+    const bool fired = runner.run_until(
+        [&] { return mesh.words_delivered() >= target; }, 5000);
+    return std::pair<bool, std::uint64_t>{fired,
+                                          mesh.digest() ^ mesh.chip().cycle()};
+  };
+  const auto serial = run_until_words(1, 500);
+  EXPECT_TRUE(serial.first);
+  for (const int t : {2, 4}) {
+    EXPECT_EQ(run_until_words(t, 500), serial) << "threads=" << t;
+  }
+}
+
+TEST(ExecParallelRunner, RunUntilHonoursCycleBudget) {
+  StreamMesh mesh(StreamMeshConfig{});
+  ParallelRunner runner(mesh.chip(), 2);
+  const bool fired = runner.run_until([] { return false; }, 300);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(mesh.chip().cycle(), 300u);
+}
+
+}  // namespace
+}  // namespace raw::exec

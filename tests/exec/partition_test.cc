@@ -1,0 +1,101 @@
+#include "exec/partition.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/coords.h"
+
+namespace raw::exec {
+namespace {
+
+// Every tile and every channel must land in exactly one stripe, with
+// stripes contiguous and ascending.
+void check_covers(const Partition& p, int num_tiles, std::size_t channels) {
+  ASSERT_GE(p.workers(), 1);
+  EXPECT_EQ(p.stripe(0).tile_begin, 0);
+  EXPECT_EQ(p.stripe(0).chan_begin, 0u);
+  for (int w = 0; w < p.workers(); ++w) {
+    const Stripe& s = p.stripe(w);
+    EXPECT_LE(s.tile_begin, s.tile_end);
+    EXPECT_LE(s.chan_begin, s.chan_end);
+    if (w > 0) {
+      EXPECT_EQ(s.tile_begin, p.stripe(w - 1).tile_end);
+      EXPECT_EQ(s.chan_begin, p.stripe(w - 1).chan_end);
+    }
+  }
+  EXPECT_EQ(p.stripe(p.workers() - 1).tile_end, num_tiles);
+  EXPECT_EQ(p.stripe(p.workers() - 1).chan_end, channels);
+}
+
+TEST(ExecPartition, SingleWorkerOwnsEverything) {
+  const Partition p = Partition::build(sim::GridShape{4, 4}, 48, 1);
+  EXPECT_EQ(p.workers(), 1);
+  check_covers(p, 16, 48);
+}
+
+TEST(ExecPartition, RowAlignedWhenWorkersDivideRows) {
+  const Partition p = Partition::build(sim::GridShape{4, 4}, 48, 2);
+  ASSERT_EQ(p.workers(), 2);
+  check_covers(p, 16, 48);
+  // Two workers on four rows: each stripe boundary falls on a row boundary.
+  EXPECT_EQ(p.stripe(0).tile_end % 4, 0);
+}
+
+TEST(ExecPartition, RowAlignedWhenWorkersEqualRows) {
+  const Partition p = Partition::build(sim::GridShape{4, 4}, 40, 4);
+  ASSERT_EQ(p.workers(), 4);
+  check_covers(p, 16, 40);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(p.stripe(w).tile_end - p.stripe(w).tile_begin, 4) << w;
+  }
+}
+
+TEST(ExecPartition, MoreWorkersThanRowsStaysContiguous) {
+  const Partition p = Partition::build(sim::GridShape{4, 4}, 48, 8);
+  ASSERT_EQ(p.workers(), 8);
+  check_covers(p, 16, 48);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_GE(p.stripe(w).tile_end - p.stripe(w).tile_begin, 1) << w;
+  }
+}
+
+TEST(ExecPartition, WorkersClampedToTileCount) {
+  const Partition p = Partition::build(sim::GridShape{2, 2}, 8, 64);
+  EXPECT_EQ(p.workers(), 4);
+  check_covers(p, 4, 8);
+}
+
+TEST(ExecPartition, UnevenChannelCountFullyCovered) {
+  const Partition p = Partition::build(sim::GridShape{3, 3}, 7, 3);
+  ASSERT_EQ(p.workers(), 3);
+  check_covers(p, 9, 7);
+}
+
+TEST(ExecPartition, ResolveThreadsExplicitWinsOverEnv) {
+  ::setenv("RAWSIM_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  ::unsetenv("RAWSIM_THREADS");
+}
+
+TEST(ExecPartition, ResolveThreadsReadsEnvWhenZero) {
+  ::setenv("RAWSIM_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5);
+  ::unsetenv("RAWSIM_THREADS");
+}
+
+TEST(ExecPartition, ResolveThreadsDefaultsToSerial) {
+  ::unsetenv("RAWSIM_THREADS");
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::setenv("RAWSIM_THREADS", "not-a-number", 1);
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::setenv("RAWSIM_THREADS", "0", 1);
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::setenv("RAWSIM_THREADS", "-2", 1);
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::unsetenv("RAWSIM_THREADS");
+}
+
+}  // namespace
+}  // namespace raw::exec

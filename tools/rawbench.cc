@@ -1,0 +1,282 @@
+// Unified benchmark runner for the execution engine.
+//
+// Runs a named suite of simulator workloads at each requested engine thread
+// count and emits a machine-readable JSON report (schema "rawbench/v1") for
+// perf-regression tracking: simulated cycles/second, wall time, speedup
+// against the serial engine, and a determinism digest that must agree
+// across thread counts (the run fails otherwise — the benchmark doubles as
+// an end-to-end check of the engine's bit-identical guarantee).
+//
+//   ./rawbench [--suite smoke|scaling|fig7|chaos] [--threads 1,2,4]
+//              [--cycles N] [--out FILE]
+//
+// Suites:
+//   smoke    router + small StreamMesh, seconds-fast (CI per-commit gate)
+//   scaling  StreamMesh meshes 8x8 and 12x12 (the §8.5 mesh-level bench)
+//   fig7     the Figure 7-1 router workload at 64 B and 1,024 B
+//   chaos    two seeded fault-mix soak runs through the full router
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel_runner.h"
+#include "exec/stream_mesh.h"
+#include "router/chaos.h"
+#include "router/raw_router.h"
+
+namespace {
+
+using raw::common::Cycle;
+
+struct RunOutput {
+  Cycle cycles = 0;        // simulated cycles
+  std::uint64_t digest = 0;  // must agree across thread counts
+};
+
+struct Case {
+  std::string name;
+  std::function<RunOutput(int threads)> run;
+};
+
+struct Row {
+  std::string name;
+  int threads = 1;
+  Cycle cycles = 0;
+  double wall_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  double speedup = 1.0;
+  std::uint64_t digest = 0;
+  bool deterministic = true;
+};
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xFF)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+
+Case router_case(std::string name, raw::net::DestPattern pattern,
+                 raw::common::ByteCount bytes, Cycle cycles) {
+  return Case{
+      std::move(name), [=](int threads) {
+        raw::router::RouterConfig cfg;
+        cfg.threads = threads;
+        raw::net::TrafficConfig t;
+        t.num_ports = 4;
+        t.pattern = pattern;
+        t.size = raw::net::SizeDist::kFixed;
+        t.fixed_bytes = bytes;
+        t.load = 1.0;
+        raw::router::RawRouter router(cfg, raw::net::RouteTable::simple4(), t,
+                                      2003);
+        (void)router.run(cycles);
+        std::uint64_t d = kFnvBasis;
+        d = fnv(d, router.offered_packets());
+        d = fnv(d, router.delivered_packets());
+        d = fnv(d, router.dropped_at_card());
+        d = fnv(d, router.errors());
+        d = fnv(d, router.ledger().erased_total());
+        d = fnv(d, router.chip().static_words_transferred());
+        return RunOutput{router.chip().cycle(), d};
+      }};
+}
+
+Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
+  return Case{
+      std::move(name), [=](int threads) {
+        raw::exec::StreamMeshConfig cfg;
+        cfg.shape = raw::sim::GridShape{dim, dim};
+        cfg.proc_work = proc_work;
+        raw::exec::StreamMesh mesh(cfg);
+        raw::exec::ParallelRunner runner(mesh.chip(), threads);
+        runner.run(cycles);
+        return RunOutput{mesh.chip().cycle(), mesh.digest()};
+      }};
+}
+
+Case chaos_case(std::string name, const char* mix_str, std::uint64_t seed,
+                Cycle cycles) {
+  return Case{
+      std::move(name), [=](int threads) {
+        raw::router::ChaosSpec spec;
+        raw::router::ChaosMix mix;
+        if (!raw::router::parse_mix(mix_str, &mix)) std::abort();
+        spec.seed = seed;
+        spec.mix = mix;
+        spec.run_cycles = cycles;
+        spec.drain_cycles = 50 * cycles;
+        spec.threads = threads;
+        const raw::router::ChaosResult r = raw::router::run_chaos(spec);
+        std::uint64_t d = kFnvBasis;
+        d = fnv(d, r.pass ? 1 : 0);
+        d = fnv(d, r.offered);
+        d = fnv(d, r.delivered);
+        d = fnv(d, r.errors);
+        d = fnv(d, r.lost);
+        d = fnv(d, r.malformed);
+        d = fnv(d, r.faults_injected);
+        return RunOutput{cycles, d};
+      }};
+}
+
+std::vector<Case> make_suite(const std::string& suite, Cycle cycles_override) {
+  const auto c = [&](Cycle dflt) {
+    return cycles_override > 0 ? cycles_override : dflt;
+  };
+  if (suite == "smoke") {
+    return {router_case("router_uniform_256B", raw::net::DestPattern::kUniform,
+                        256, c(8000)),
+            mesh_case("stream_mesh_4x4", 4, c(6000), 4)};
+  }
+  if (suite == "scaling") {
+    return {mesh_case("stream_mesh_8x8", 8, c(20000), 4),
+            mesh_case("stream_mesh_12x12", 12, c(20000), 4)};
+  }
+  if (suite == "fig7") {
+    return {router_case("fig7_peak_64B", raw::net::DestPattern::kPermutation,
+                        64, c(200000)),
+            router_case("fig7_peak_1024B", raw::net::DestPattern::kPermutation,
+                        1024, c(200000)),
+            router_case("fig7_avg_1024B", raw::net::DestPattern::kUniform,
+                        1024, c(200000))};
+  }
+  if (suite == "chaos") {
+    return {chaos_case("chaos_flip_stall_s1", "flip+stall", 1, c(16000)),
+            chaos_case("chaos_all_transient_s2", "flip+stall+freeze+overrun", 2,
+                       c(16000))};
+  }
+  std::fprintf(stderr, "unknown suite '%s' (smoke|scaling|fig7|chaos)\n",
+               suite.c_str());
+  std::exit(2);
+}
+
+std::vector<int> parse_threads(const char* s) {
+  std::vector<int> out;
+  while (*s != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || v < 1) {
+      std::fprintf(stderr, "bad --threads list\n");
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(v));
+    s = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--threads list is empty\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite = "smoke";
+  std::vector<int> threads = {1, 2, 4};
+  Cycle cycles_override = 0;
+  const char* out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--suite") && i + 1 < argc) {
+      suite = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = parse_threads(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc) {
+      cycles_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: rawbench [--suite smoke|scaling|fig7|chaos] "
+                   "[--threads 1,2,4] [--cycles N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("rawbench: suite '%s', threads {", suite.c_str());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::printf("%s%d", i > 0 ? "," : "", threads[i]);
+  }
+  std::printf("}, host concurrency %u\n\n", hw);
+
+  const std::vector<Case> cases = make_suite(suite, cycles_override);
+  std::vector<Row> rows;
+  bool all_deterministic = true;
+
+  for (const Case& cs : cases) {
+    double serial_wall = 0.0;
+    std::uint64_t ref_digest = 0;
+    bool have_ref = false;
+    for (const int t : threads) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunOutput out = cs.run(t);
+      const auto t1 = std::chrono::steady_clock::now();
+
+      Row row;
+      row.name = cs.name;
+      row.threads = t;
+      row.cycles = out.cycles;
+      row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      row.cycles_per_sec =
+          static_cast<double>(out.cycles) / row.wall_seconds;
+      row.digest = out.digest;
+      if (!have_ref) {
+        ref_digest = out.digest;
+        have_ref = true;
+      }
+      row.deterministic = out.digest == ref_digest;
+      all_deterministic &= row.deterministic;
+      if (t == 1) serial_wall = row.wall_seconds;
+      row.speedup = serial_wall > 0.0 ? serial_wall / row.wall_seconds : 1.0;
+      std::printf("  %-24s t=%d  %9" PRIu64 " cycles  %8.0f cyc/s  "
+                  "speedup %.2fx  digest %016" PRIx64 "%s\n",
+                  cs.name.c_str(), t, static_cast<std::uint64_t>(row.cycles),
+                  row.cycles_per_sec, row.speedup, row.digest,
+                  row.deterministic ? "" : "  <-- MISMATCH");
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"rawbench/v1\",\n  \"suite\": \"%s\",\n",
+               suite.c_str());
+  std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n", hw);
+  std::fprintf(f, "  \"threads\": [");
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::fprintf(f, "%s%d", i > 0 ? ", " : "", threads[i]);
+  }
+  std::fprintf(f, "],\n  \"deterministic\": %s,\n  \"results\": [\n",
+               all_deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %d, \"cycles\": %" PRIu64
+                 ", \"wall_seconds\": %.6f, \"cycles_per_sec\": %.1f, "
+                 "\"speedup_vs_serial\": %.3f, \"digest\": \"%016" PRIx64
+                 "\", \"deterministic\": %s}%s\n",
+                 r.name.c_str(), r.threads,
+                 static_cast<std::uint64_t>(r.cycles), r.wall_seconds,
+                 r.cycles_per_sec, r.speedup, r.digest,
+                 r.deterministic ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s%s\n", out_path,
+              all_deterministic ? "" : " (DETERMINISM FAILURE)");
+  return all_deterministic ? 0 : 1;
+}

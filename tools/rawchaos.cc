@@ -28,6 +28,7 @@ struct Args {
   const char* mix = nullptr; // run a single mix, e.g. "flip+stall"
   bool permanent = false;
   bool verbose = false;
+  int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
 };
 
 Args parse(int argc, char** argv) {
@@ -43,12 +44,15 @@ Args parse(int argc, char** argv) {
       a.mix = argv[++i];
     } else if (!std::strcmp(argv[i], "--permanent")) {
       a.permanent = true;
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      a.threads = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "-v") || !std::strcmp(argv[i], "--verbose")) {
       a.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: rawchaos [--seeds N] [--cycles N] [--seed S] "
-                   "[--mix flip+stall+freeze+overrun] [--permanent] [-v]\n");
+                   "[--mix flip+stall+freeze+overrun] [--permanent] "
+                   "[--threads T] [-v]\n");
       std::exit(2);
     }
   }
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
       spec.seed = seed;
       spec.mix = mix;
       spec.run_cycles = args.cycles;
+      spec.threads = args.threads;
       const ChaosResult r = raw::router::run_chaos(spec);
       ++total;
       if (r.pass) ++passed;

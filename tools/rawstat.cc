@@ -44,6 +44,7 @@ struct Args {
   std::size_t trace_budget = 1 << 16;
   const char* chaos = nullptr;  // fault mix, e.g. "flip+stall"
   std::uint64_t chaos_seed = 1;
+  int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
 };
 
 void usage() {
@@ -65,6 +66,8 @@ void usage() {
       "                    '+'-separated; shows the faults/... panel)\n"
       "  --chaos-seed S    fault-schedule RNG seed (default 1)\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
+      "  --threads T       execution-engine worker threads (default: \n"
+      "                    RAWSIM_THREADS, else serial; results identical)\n"
       "  --no-refresh      append dashboard frames instead of redrawing\n");
 }
 
@@ -115,6 +118,8 @@ Args parse(int argc, char** argv) {
       a.chaos_seed = std::strtoull(next("--chaos-seed"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--channel-stats")) {
       a.channel_stats = true;
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      a.threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--no-refresh")) {
       a.no_refresh = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -223,6 +228,7 @@ int main(int argc, char** argv) {
   raw::router::RouterConfig cfg;
   cfg.runtime.quantum_max_words = args.quantum;
   cfg.channel_stats = args.channel_stats;
+  cfg.threads = args.threads;
 
   raw::net::TrafficConfig traffic;
   traffic.num_ports = raw::router::kNumPorts;
