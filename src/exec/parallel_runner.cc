@@ -13,6 +13,41 @@ ParallelRunner::ParallelRunner(sim::Chip& chip, int threads)
       sense_(static_cast<std::size_t>(partition_.workers())),
       progress_(static_cast<std::size_t>(partition_.workers())) {
   const int n = partition_.workers();
+
+  // One dirty/wake lane per worker. Extra lanes are harmless to the chip's
+  // own serial loop (it drains them all); lane w is only ever filled by the
+  // thread running stripe w.
+  chip_.engine_.lanes.resize(static_cast<std::size_t>(n));
+
+  if (n > 1) {
+    // Static links whose endpoint switches land on different workers: their
+    // lazy epoch refresh would race between the two owners, so phase B
+    // pre-stamps them, and blocked writers must not park on them (the
+    // reader-side wake happens inside phase C). Edge and dynamic-network
+    // channels need neither: their off-stripe endpoint (a device, or the
+    // dynamic network) runs in a serial phase, barrier-separated from C.
+    const auto worker_of = [&](int t) {
+      for (int w = 0; w < n; ++w) {
+        const Stripe& s = partition_.stripe(w);
+        if (t >= s.tile_begin && t < s.tile_end) return w;
+      }
+      RAW_UNREACHABLE("tile outside every stripe");
+    };
+    const sim::GridShape shape = chip_.shape();
+    for (int t = 0; t < shape.num_tiles(); ++t) {
+      for (const sim::Dir d : sim::kMeshDirs) {
+        const sim::TileCoord nb = sim::GridShape::neighbor(shape.coord(t), d);
+        if (!shape.contains(nb)) continue;
+        if (worker_of(shape.index(nb)) == worker_of(t)) continue;
+        for (int net = 0; net < sim::kNumStaticNets; ++net) {
+          sim::Channel* ch = chip_.out_link(net, t, d);
+          ch->set_shared(true);
+          boundary_channels_.push_back(ch);
+        }
+      }
+    }
+  }
+
   threads_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   for (int w = 1; w < n; ++w) {
     threads_.emplace_back([this, w] { worker_main(w); });
@@ -26,6 +61,9 @@ ParallelRunner::~ParallelRunner() {
   }
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Un-flag the boundary channels so a later serial user of the same chip
+  // regains full parking freedom on them.
+  for (sim::Channel* ch : boundary_channels_) ch->set_shared(false);
 }
 
 void ParallelRunner::set_tracer(common::PacketTracer* tracer) {
@@ -52,6 +90,11 @@ bool ParallelRunner::run_until(const std::function<bool()>& pred,
 
 void ParallelRunner::dispatch_and_join(Mode mode, common::Cycle limit,
                                        const std::function<bool()>* pred) {
+  // Run-boundary revalidation, exactly as in Chip::run/run_until: external
+  // mutations since the last run (programs loaded, test channel writes) are
+  // picked up by returning everyone to the runnable set.
+  chip_.wake_all_parked();
+
   staging_ = tracer_ != nullptr && tracer_->enabled();
   if (staging_) tracer_->set_staging(true);
   {
@@ -70,10 +113,15 @@ void ParallelRunner::dispatch_and_join(Mode mode, common::Cycle limit,
 
   if (staging_) tracer_->set_staging(false);
   staging_ = false;
+
+  // Settle parked agents' catch-up counters so observers between runs see
+  // exactly what a dense engine would have counted.
+  chip_.settle_parked();
 }
 
 void ParallelRunner::worker_main(int wid) {
   common::PacketTracer::bind_thread_shard(wid);
+  sim::t_engine_lane = wid;
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -87,10 +135,12 @@ void ParallelRunner::worker_main(int wid) {
 }
 
 bool ParallelRunner::execute(int wid) {
-  if (wid == 0) common::PacketTracer::bind_thread_shard(0);
+  if (wid == 0) {
+    common::PacketTracer::bind_thread_shard(0);
+    sim::t_engine_lane = 0;
+  }
 
   const Stripe& stripe = partition_.stripe(wid);
-  const std::vector<sim::Channel*>& chans = chip_.all_channels();
   sim::DynamicNetwork* const dyn = chip_.dynamic_network();
   bool& sense = sense_[static_cast<std::size_t>(wid)].value;
   const Mode mode = mode_;
@@ -108,67 +158,52 @@ bool ParallelRunner::execute(int wid) {
       }
     }
 
-    // A: start-of-cycle channel latch, striped.
-    for (std::size_t c = stripe.chan_begin; c < stripe.chan_end; ++c) {
-      chans[c]->begin_cycle();
-    }
-    barrier_.arrive_and_wait(sense);
-
-    // B: fault injection and device stepping are inherently global (RNG
-    // draws, cross-port queues), so they stay serial on worker 0 — exactly
-    // where they sit in Chip::step().
+    // B: serial on worker 0 — exactly the pre-stepping work of
+    // Chip::step_cycle. Dense-mode transitions empty the parked set first;
+    // fault injection and device stepping are inherently global (RNG draws,
+    // cross-port queues); and the cross-stripe channels are epoch-stamped
+    // here so phase C's concurrent touches of them are pure reads.
     if (wid == 0) {
+      if (chip_.dense_cycle()) chip_.wake_all_parked();
       if (sim::FaultPlan* faults = chip_.fault_plan()) faults->step(chip_);
       for (sim::Device* d : chip_.devices()) d->step(chip_);
+      for (sim::Channel* ch : boundary_channels_) ch->refresh();
     }
     barrier_.arrive_and_wait(sense);
 
-    // C: tile stepping, striped. Reads of fault/trace state written in B
-    // are ordered by the barrier above.
-    {
-      sim::FaultPlan* const faults = chip_.fault_plan();
-      const common::Cycle now = chip_.cycle();
-      sim::Trace& trace = chip_.trace();
-      const bool tracing = trace.active(now);
-      for (int t = stripe.tile_begin; t < stripe.tile_end; ++t) {
-        if (faults != nullptr && faults->tile_frozen(t)) {
-          if (tracing) {
-            trace.record(now, t, sim::AgentState::kIdle, sim::AgentState::kIdle);
-          }
-          continue;
-        }
-        const sim::AgentState sw = chip_.tile(t).step_switch();
-        const sim::AgentState proc = chip_.tile(t).step_proc();
-        if (tracing) trace.record(now, t, proc, sw);
-      }
-    }
+    // C: tile stepping over the runnable set, striped. Reads of fault/trace
+    // state written in B are ordered by the barrier above.
+    chip_.step_agents(stripe.tile_begin, stripe.tile_end, chip_.dense_cycle());
     barrier_.arrive_and_wait(sense);
 
     // D: dynamic-network routing touches queues across the whole mesh, so
-    // it runs serial between tile stepping and commit, as in Chip::step().
+    // it runs serial between tile stepping and commit, as in
+    // Chip::step_cycle (and self-skips while nothing is in flight).
     if (dyn != nullptr) {
       if (wid == 0) dyn->step();
       barrier_.arrive_and_wait(sense);
     }
 
-    // E: commit, striped; per-worker progress OR.
-    {
-      bool progress = false;
-      for (std::size_t c = stripe.chan_begin; c < stripe.chan_end; ++c) {
-        progress |= chans[c]->end_cycle();
-      }
-      progress_[static_cast<std::size_t>(wid)].value = progress;
+    // E: drain our own dirty lane (a channel is staged by exactly one
+    // worker per cycle, so the lanes partition the dirty set); per-worker
+    // progress OR. The stats pass needs every commit to have landed, so it
+    // runs behind one more barrier — only when stats are on at all.
+    progress_[static_cast<std::size_t>(wid)].value =
+        chip_.commit_lane(static_cast<std::size_t>(wid));
+    if (chip_.engine_.stats_channels > 0) {
+      barrier_.arrive_and_wait(sense);
+      chip_.sample_stats_range(stripe.chan_begin, stripe.chan_end);
     }
     barrier_.arrive_and_wait(sense);
 
-    // F: close the cycle on worker 0. No trailing barrier: helper workers
-    // race ahead into the next cycle's phase A, which touches only channel
-    // state that F never reads or writes; every later phase that does see
-    // F's effects (cycle counter, tracer ring) sits behind at least one
-    // more barrier crossing.
+    // F: close the cycle on worker 0: reduce progress, return woken agents
+    // to the runnable set, advance the cycle counter. No trailing barrier:
+    // helper workers race ahead only as far as the next cycle's phase B
+    // barrier, and every phase that reads F's effects sits behind it.
     if (wid == 0) {
       bool any = false;
       for (const PaddedBool& p : progress_) any |= p.value;
+      chip_.apply_wakes();
       chip_.finish_cycle(any);
       if (staging_) tracer_->merge_staged();
     }

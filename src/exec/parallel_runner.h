@@ -7,24 +7,32 @@
 // so agents may step in any order — including concurrently — as long as the
 // phase boundaries (begin, step, commit) are kept globally ordered. The
 // engine therefore runs each simulated cycle as a short SPMD pipeline of
-// barrier-separated phases:
+// barrier-separated phases (the sparse engine's epoch stamps replaced the
+// old eager begin-cycle sweep, so there is no phase A anymore):
 //
 //   [pred]  worker 0 evaluates the run_until predicate      (run_until only)
-//   A       begin_cycle, each worker over its channel stripe      (parallel)
-//   B       fault plan + devices, worker 0                          (serial)
-//   C       tile stepping, each worker over its tile stripe      (parallel)
+//   B       dense-mode check, fault plan, devices, and the pre-stamp of
+//           cross-stripe channels, worker 0                          (serial)
+//   C       tile stepping over the runnable set, each worker over its
+//           tile stripe (Chip::step_agents)                        (parallel)
 //   D       dynamic-network routing, worker 0          (serial, if present)
-//   E       end_cycle commit, each worker over its channel stripe (parallel)
-//   F       progress reduction + cycle close, worker 0             (serial)
+//   E       dirty-lane commit, each worker over its own lane; then the
+//           stats pass over its channel stripe when enabled        (parallel)
+//   F       progress reduction, wake application, cycle close, w0    (serial)
 //
-// Why this is deterministic (see DESIGN.md "Execution engine" for the full
-// argument): during C a channel's reader-side state is touched only by the
-// thread owning the reader tile, its writer-side staging only by the thread
-// owning the writer tile, and everything else about it is frozen until E.
-// The remaining cross-thread mutations are (a) ingress ledger drops, which
-// commute and go through a mutex, and (b) packet-tracer records, which are
-// staged per worker and replayed in worker order — exactly the serial
-// recording order — before the ring buffer sees them.
+// Why this is deterministic (see DESIGN.md "Sparse cycle engine" for the
+// full argument): during C a channel's reader-side state is touched only by
+// the thread owning the reader tile, its writer-side staging only by the
+// thread owning the writer tile, and everything else about it is frozen
+// until E. Channels whose endpoints straddle a stripe boundary are epoch-
+// stamped in B so the lazy refresh never races, and blocked writers never
+// park on them (the wake would race with the park). Each worker drains its
+// own dirty lane in E — a channel is staged by exactly one worker, so lanes
+// partition the dirty set. The remaining cross-thread mutations are (a)
+// ingress ledger drops, which commute and go through a mutex, and (b)
+// packet-tracer records, which are staged per worker and replayed in worker
+// order — exactly the serial recording order — before the ring buffer sees
+// them.
 //
 // The calling thread acts as worker 0; N-1 helper threads are spawned at
 // construction and parked on a condition variable between runs. With a
@@ -46,6 +54,7 @@
 #include "exec/partition.h"
 
 namespace raw::sim {
+class Channel;
 class Chip;
 }
 
@@ -96,6 +105,9 @@ class ParallelRunner {
 
   sim::Chip& chip_;
   Partition partition_;
+  // Channels whose reader and writer tiles land on different workers;
+  // pre-stamped each cycle in phase B (and flagged shared on the channel).
+  std::vector<sim::Channel*> boundary_channels_;
   Barrier barrier_;
   std::vector<std::thread> threads_;
   std::vector<PaddedBool> sense_;     // per-worker barrier sense, all runs

@@ -11,6 +11,17 @@
 //     hardware FIFO's registered credit path).
 // With the default capacity of 4 (Raw's network FIFO depth) a channel
 // sustains one word per cycle.
+//
+// A channel runs in one of two driving modes:
+//   * attached (Chip-owned): the channel holds a pointer to the chip's
+//     EngineState and stamps itself with the engine cycle on first touch of
+//     each cycle, so `begin_cycle` never runs and untouched channels cost
+//     zero. Writes self-register on the executing worker's dirty lane; the
+//     engine commits only those channels at cycle end (see commit()).
+//   * detached (standalone, e.g. unit tests): the classic eager protocol —
+//     the driver calls begin_cycle()/end_cycle() around each cycle.
+// Both modes are bit-identical; the epoch stamp reproduces exactly what the
+// eager begin-sweep used to compute, just on demand.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +31,7 @@
 
 #include "common/ring_buffer.h"
 #include "common/types.h"
+#include "sim/engine_state.h"
 
 namespace raw::sim {
 
@@ -32,40 +44,89 @@ class Channel {
   explicit Channel(std::string name = {}, std::size_t capacity = kDefaultCapacity)
       : name_(std::move(name)), buf_(capacity), size_at_start_(0) {}
 
-  /// Phase boundaries, driven by the chip's cycle engine.
-  void begin_cycle() {
-    size_at_start_ = buf_.size();
-    read_this_cycle_ = false;
-    if (stall_remaining_ > 0) --stall_remaining_;
+  /// Binds the channel to a chip's engine state (the sparse driving mode).
+  /// Must happen before the first cycle; a bound channel no longer needs
+  /// begin_cycle()/end_cycle().
+  void attach(EngineState* engine) { engine_ = engine; }
+  [[nodiscard]] bool attached() const { return engine_ != nullptr; }
+
+  /// Forces the epoch refresh now. The parallel engine pre-stamps channels
+  /// whose reader and writer live on different workers (while they are
+  /// barrier-separated from everyone else), so that every later touch() this
+  /// cycle is a pure read and the concurrent reader/writer never race on the
+  /// mutable epoch fields.
+  void refresh() const { touch(); }
+
+  /// Marks the channel as having its reader and writer on different parallel
+  /// workers. The sparse stepper then never parks a blocked writer on it
+  /// (the wake — the reader's read() — would race with the park inside the
+  /// stepping phase); the writer simply stays runnable and polls. Purely a
+  /// performance hint: parking decisions never change simulation results.
+  void set_shared(bool on) { shared_ = on; }
+  [[nodiscard]] bool shared() const { return shared_; }
+
+  /// True when this cycle's read slot has been used. A blocked writer does
+  /// not park when the FIFO was drained this cycle: the slot frees at the
+  /// next cycle start, so it can (and must, for dense equivalence) retry.
+  [[nodiscard]] bool read_this_cycle() const {
+    touch();
+    return read_this_cycle_;
   }
 
-  /// Commits this cycle's staged word; returns true when a word actually
-  /// crossed the link (the chip's forward-progress signal).
+  /// Phase boundaries for the detached (standalone) driving mode.
+  void begin_cycle() {
+    ++local_now_;
+    size_at_start_ = buf_.size();
+    read_this_cycle_ = false;
+  }
+
+  /// Detached-mode commit: stages the word and samples stats, exactly one
+  /// call per cycle. Returns true when a word actually crossed the link.
   bool end_cycle() {
-    bool moved = false;
-    if (staged_.has_value()) {
-      buf_.push(*staged_);
-      staged_.reset();
-      ++words_transferred_;
-      moved = true;
-    }
-    if (stats_enabled_) {
-      ++stats_cycles_;
-      occupancy_sum_ += buf_.size();
-      if (size_at_start_ >= buf_.capacity()) ++full_cycles_;
-    }
+    const bool moved = commit();
+    sample_stats();
     return moved;
+  }
+
+  /// Commits this cycle's staged word; returns true when a word crossed the
+  /// link (the chip's forward-progress signal). Called by end_cycle() in
+  /// detached mode and by the engine's dirty-lane drain in attached mode.
+  bool commit() {
+    touch();
+    if (!staged_.has_value()) return false;
+    buf_.push(*staged_);
+    staged_.reset();
+    ++words_transferred_;
+    return true;
+  }
+
+  /// Stats sample for the current cycle; the engine calls this after all
+  /// commits, and only when any channel on the chip has stats enabled.
+  void sample_stats() {
+    if (!stats_enabled_) return;
+    touch();
+    ++stats_cycles_;
+    occupancy_sum_ += buf_.size();
+    if (size_at_start_ >= buf_.capacity()) ++full_cycles_;
   }
 
   /// True when a word committed in an earlier cycle is available and this
   /// cycle's read slot is unused.
   [[nodiscard]] bool can_read() const {
-    return !buf_.empty() && !read_this_cycle_ && stall_remaining_ == 0;
+    touch();
+    return !buf_.empty() && !read_this_cycle_ && now() >= stall_until_;
   }
 
   [[nodiscard]] Word read() {
     RAW_ASSERT_MSG(can_read(), "read from unready channel");
     read_this_cycle_ = true;
+    // This cycle's read frees a slot at the *next* cycle start; a writer
+    // parked on the full FIFO becomes runnable then.
+    if (wait_writer_ >= 0 && engine_ != nullptr) {
+      engine_->lanes[static_cast<std::size_t>(t_engine_lane)].wakes.push_back(
+          wait_writer_);
+      wait_writer_ = -1;
+    }
     return buf_.pop();
   }
 
@@ -75,8 +136,9 @@ class Channel {
   /// True when this cycle's write slot is free and there is credit based on
   /// start-of-cycle occupancy.
   [[nodiscard]] bool can_write() const {
+    touch();
     return !staged_.has_value() && size_at_start_ < buf_.capacity() &&
-           stall_remaining_ == 0;
+           now() >= stall_until_;
   }
 
   /// Fault injection (sim::FaultPlan): takes the link down for `cycles`
@@ -84,9 +146,9 @@ class Channel {
   /// backpressure and readers see an empty FIFO, exactly as if the wire went
   /// quiet. Extends (never shortens) an active stall.
   void fault_stall(std::uint64_t cycles) {
-    stall_remaining_ = std::max(stall_remaining_, cycles);
+    stall_until_ = std::max(stall_until_, now() + cycles);
   }
-  [[nodiscard]] bool fault_stalled() const { return stall_remaining_ > 0; }
+  [[nodiscard]] bool fault_stalled() const { return now() < stall_until_; }
 
   /// Fault injection: flips bit `bit % 32` of the word nearest the reader
   /// (the FIFO front, else the word staged this cycle). Returns false when
@@ -107,6 +169,28 @@ class Channel {
   void write(Word w) {
     RAW_ASSERT_MSG(can_write(), "write to unready channel");
     staged_ = w;
+    if (engine_ != nullptr) {
+      engine_->lanes[static_cast<std::size_t>(t_engine_lane)].dirty.push_back(
+          this);
+    }
+  }
+
+  /// Wake-list slots: the (unique) reader or writer agent parked on this
+  /// channel, -1 when none. Managed by the chip's sparse stepper; the commit
+  /// path consumes wait_reader, read() consumes wait_writer.
+  void set_wait_reader(std::int32_t agent) { wait_reader_ = agent; }
+  void set_wait_writer(std::int32_t agent) { wait_writer_ = agent; }
+  [[nodiscard]] std::int32_t wait_reader() const { return wait_reader_; }
+  [[nodiscard]] std::int32_t wait_writer() const { return wait_writer_; }
+  [[nodiscard]] std::int32_t take_wait_reader() {
+    const std::int32_t a = wait_reader_;
+    wait_reader_ = -1;
+    return a;
+  }
+  /// Drops any reference to `agent` from both wait slots (unpark path).
+  void clear_wait(std::int32_t agent) {
+    if (wait_reader_ == agent) wait_reader_ = -1;
+    if (wait_writer_ == agent) wait_writer_ = -1;
   }
 
   [[nodiscard]] std::size_t occupancy() const { return buf_.size(); }
@@ -116,10 +200,14 @@ class Channel {
   /// Total words that have crossed this link since construction.
   [[nodiscard]] std::uint64_t words_transferred() const { return words_transferred_; }
 
-  /// Optional occupancy/backpressure accounting, sampled once per cycle at
-  /// end_cycle(). Off by default so the per-cycle cost when disabled is one
-  /// predicted branch.
-  void set_stats_enabled(bool on) { stats_enabled_ = on; }
+  /// Optional occupancy/backpressure accounting, sampled once per cycle
+  /// after commit. Off by default; when every channel's flag is off the
+  /// engine skips the stats pass entirely.
+  void set_stats_enabled(bool on) {
+    if (on == stats_enabled_) return;
+    stats_enabled_ = on;
+    if (engine_ != nullptr) engine_->stats_channels += on ? 1 : -1;
+  }
   [[nodiscard]] bool stats_enabled() const { return stats_enabled_; }
   /// Cycles sampled since stats were enabled.
   [[nodiscard]] std::uint64_t stats_cycles() const { return stats_cycles_; }
@@ -131,12 +219,42 @@ class Channel {
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
+  /// Current cycle: the engine's in attached mode, the local begin_cycle
+  /// counter in detached mode.
+  [[nodiscard]] common::Cycle now() const {
+    return engine_ != nullptr ? engine_->now : local_now_;
+  }
+
+  /// Attached-mode lazy epoch refresh: on the first touch of a cycle,
+  /// recompute what begin_cycle() used to latch eagerly. Mutable fields make
+  /// this callable from const observers (can_read/can_write), which is where
+  /// first touches happen.
+  void touch() const {
+    if (engine_ == nullptr) return;
+    const common::Cycle n = engine_->now;
+    if (last_cycle_ != n) {
+      last_cycle_ = n;
+      size_at_start_ = buf_.size();
+      read_this_cycle_ = false;
+    }
+  }
+
   std::string name_;
   common::RingBuffer<Word> buf_;
-  std::size_t size_at_start_;
-  bool read_this_cycle_ = false;
+  mutable std::size_t size_at_start_;
+  mutable bool read_this_cycle_ = false;
   bool stats_enabled_ = false;
-  std::uint64_t stall_remaining_ = 0;  // injected link outage, in cycles
+  bool shared_ = false;  // reader and writer on different parallel workers
+  EngineState* engine_ = nullptr;
+  // Epoch stamp; kNoCycle forces a refresh on the very first touch.
+  mutable common::Cycle last_cycle_ = ~common::Cycle{0};
+  // Detached-mode cycle counter, pre-incremented by begin_cycle (the first
+  // begun cycle is numbered 1; a fault_stall before any begin_cycle covers
+  // cycle 0, reproducing the eager decrement-per-begin semantics exactly).
+  common::Cycle local_now_ = 0;
+  common::Cycle stall_until_ = 0;  // injected link outage, exclusive end cycle
+  std::int32_t wait_reader_ = -1;  // parked reader agent, engine-managed
+  std::int32_t wait_writer_ = -1;  // parked writer agent, engine-managed
   std::optional<Word> staged_;
   std::uint64_t words_transferred_ = 0;
   std::uint64_t stats_cycles_ = 0;

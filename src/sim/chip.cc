@@ -5,6 +5,8 @@
 
 namespace raw::sim {
 
+thread_local int t_engine_lane = 0;
+
 Chip::Chip(ChipConfig config) : config_(config) {
   const GridShape shape = config_.shape;
   const auto n = static_cast<std::size_t>(shape.num_tiles());
@@ -78,6 +80,17 @@ Chip::Chip(ChipConfig config) : config_(config) {
   if (dyn_ != nullptr) {
     for (Channel* ch : dyn_->all_channels()) all_channels_.push_back(ch);
   }
+
+  // Bind every channel to the sparse engine and index names for O(1)
+  // find_channel (called per fault target and from tools).
+  channel_index_.reserve(all_channels_.size());
+  for (Channel* ch : all_channels_) {
+    ch->attach(&engine_);
+    if (!ch->name().empty()) channel_index_.emplace(ch->name(), ch);
+  }
+
+  run_flags_.assign(n, 3);  // every switch and processor starts runnable
+  parks_.resize(2 * n);
 }
 
 Channel* Chip::out_link(int net, int tile_idx, Dir dir) const {
@@ -118,60 +131,248 @@ void Chip::add_device(Device* device) {
 }
 
 void Chip::set_fault_plan(FaultPlan* plan) {
+  // Entering (or leaving) fault mode switches the stepping density; start
+  // from a fully runnable set either way.
+  wake_all_parked();
   faults_ = plan;
   if (faults_ != nullptr) faults_->bind(*this);
 }
 
-Channel* Chip::find_channel(const std::string& name) const {
-  for (Channel* ch : all_channels_) {
-    if (ch->name() == name) return ch;
-  }
-  return nullptr;
+void Chip::set_force_dense(bool on) {
+  if (on == force_dense_) return;
+  wake_all_parked();
+  force_dense_ = on;
 }
 
-void Chip::step() {
-  for (Channel* ch : all_channels_) ch->begin_cycle();
+Channel* Chip::find_channel(const std::string& name) const {
+  const auto it = channel_index_.find(name);
+  return it != channel_index_.end() ? it->second : nullptr;
+}
+
+void Chip::step_agents(int begin, int end, bool dense) {
+  FaultPlan* const faults = faults_;
+  const common::Cycle now = engine_.now;
+  if (dense) {
+    if (faults == nullptr && !trace_.active(now)) {
+      // Dense hot path (forced-dense reference engine): no per-tile frozen
+      // test, no trace bookkeeping.
+      for (int t = begin; t < end; ++t) {
+        Tile& tl = *tiles_[static_cast<std::size_t>(t)];
+        (void)tl.step_switch();
+        (void)tl.step_proc();
+      }
+      return;
+    }
+    const bool tracing = trace_.active(now);
+    for (int t = begin; t < end; ++t) {
+      if (faults != nullptr && faults->tile_frozen(t)) {
+        // A frozen tile executes nothing this cycle; its FIFOs keep their
+        // contents and neighbours simply see no words move.
+        if (tracing) trace_.record(now, t, AgentState::kIdle, AgentState::kIdle);
+        continue;
+      }
+      Tile& tl = *tiles_[static_cast<std::size_t>(t)];
+      const AgentState sw = tl.step_switch();
+      const AgentState proc = tl.step_proc();
+      if (tracing) trace_.record(now, t, proc, sw);
+    }
+    return;
+  }
+
+  // Sparse path: step only runnable agents; park the ones that cannot make
+  // progress until a channel event wakes them. Agents blocked on a
+  // fault-stalled link stay runnable (the stall expires by time, not by a
+  // channel event), but fault plans force dense stepping anyway — this
+  // guard covers stalls outliving a detached plan.
+  for (int t = begin; t < end; ++t) {
+    const std::uint8_t f = run_flags_[static_cast<std::size_t>(t)];
+    if (f == 0) continue;
+    Tile& tl = *tiles_[static_cast<std::size_t>(t)];
+    if ((f & 1u) != 0) {
+      const AgentState s = tl.step_switch();
+      if (s != AgentState::kBusy) {
+        if (s == AgentState::kIdle) {
+          park_agent(2 * t, s, nullptr);
+        } else {
+          Channel* ch =
+              const_cast<Channel*>(tl.switch_proc().last_block_channel());
+          if (may_park_on(ch, s)) park_agent(2 * t, s, ch);
+        }
+      }
+    }
+    if ((f & 2u) != 0) {
+      const AgentState s = tl.step_proc();
+      if (s == AgentState::kBlockedRecv || s == AgentState::kBlockedSend) {
+        Channel* ch = tl.proc_blocked_channel();
+        if (may_park_on(ch, s)) park_agent(2 * t + 1, s, ch);
+      } else if (s == AgentState::kIdle) {
+        park_agent(2 * t + 1, s, nullptr);
+      }
+      // kBusy keeps running; kBlockedMem must keep stepping to burn down
+      // its modelled memory-stall cycles.
+    }
+  }
+}
+
+bool Chip::may_park_on(const Channel* ch, AgentState cause) {
+  if (ch == nullptr) return false;
+  // A stalled link recovers by time, not by a channel event; the blocked
+  // agent polls until the stall expires. (Plans force dense stepping — this
+  // covers stalls injected directly, outliving a detached plan.)
+  if (ch->fault_stalled()) return false;
+  if (cause == AgentState::kBlockedSend) {
+    // The wake for a parked writer is the reader's read(), which happens
+    // *inside* the stepping phase. If the FIFO was already drained this
+    // cycle the wake has come and gone — the writer must stay runnable and
+    // retry next cycle (when the freed slot becomes visible), exactly as a
+    // dense engine would. On shared channels (reader owned by a different
+    // parallel worker) the read races with the park, so never park there.
+    if (ch->shared() || ch->read_this_cycle()) return false;
+  }
+  return true;
+}
+
+bool Chip::commit_lane(std::size_t lane) {
+  EngineState::Lane& ln = engine_.lanes[lane];
+  bool progress = false;
+  for (Channel* ch : ln.dirty) {
+    if (ch->commit()) {
+      progress = true;
+      // The committed word is readable next cycle; a parked reader wakes.
+      const std::int32_t r = ch->take_wait_reader();
+      if (r >= 0) ln.wakes.push_back(r);
+    }
+  }
+  ln.dirty.clear();
+  return progress;
+}
+
+void Chip::sample_stats_range(std::size_t begin, std::size_t end) {
+  for (std::size_t c = begin; c < end; ++c) all_channels_[c]->sample_stats();
+}
+
+void Chip::apply_wakes() {
+  for (EngineState::Lane& ln : engine_.lanes) {
+    for (const std::int32_t aid : ln.wakes) wake_agent(aid, engine_.now);
+    ln.wakes.clear();
+  }
+}
+
+void Chip::park_agent(std::int32_t aid, AgentState cause, Channel* chan) {
+  Park& p = parks_[static_cast<std::size_t>(aid)];
+  p.counted_through = engine_.now;  // this cycle was stepped and counted
+  p.cause = cause;
+  p.chan = chan;
+  if (chan != nullptr) {
+    if (cause == AgentState::kBlockedRecv) {
+      RAW_ASSERT_MSG(chan->wait_reader() < 0, "channel has two parked readers");
+      chan->set_wait_reader(aid);
+    } else {
+      RAW_ASSERT_MSG(chan->wait_writer() < 0, "channel has two parked writers");
+      chan->set_wait_writer(aid);
+    }
+  }
+  run_flags_[static_cast<std::size_t>(aid >> 1)] &=
+      static_cast<std::uint8_t>(~(1u << (aid & 1)));
+  parked_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Chip::credit_agent(std::int32_t aid, Park& park, common::Cycle upto) {
+  if (upto <= park.counted_through) return;
+  const std::uint64_t n = upto - park.counted_through;
+  park.counted_through = upto;
+  Tile& tl = *tiles_[static_cast<std::size_t>(aid >> 1)];
+  if ((aid & 1) != 0) {
+    // Processor: blocked states accrue proc_blocked; idle accrues nothing.
+    if (park.cause != AgentState::kIdle) tl.credit_proc_blocked(n);
+  } else {
+    tl.switch_proc().credit_parked(park.cause, n);
+  }
+}
+
+void Chip::wake_agent(std::int32_t aid, common::Cycle counted_through) {
+  Park& p = parks_[static_cast<std::size_t>(aid)];
+  credit_agent(aid, p, counted_through);
+  p.chan = nullptr;
+  run_flags_[static_cast<std::size_t>(aid >> 1)] |=
+      static_cast<std::uint8_t>(1u << (aid & 1));
+  parked_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Chip::settle_parked() {
+  if (parked_count_.load(std::memory_order_relaxed) == 0 || engine_.now == 0) {
+    return;
+  }
+  const common::Cycle upto = engine_.now - 1;
+  const int n = num_tiles();
+  for (int t = 0; t < n; ++t) {
+    const std::uint8_t f = run_flags_[static_cast<std::size_t>(t)];
+    if (f == 3) continue;
+    if ((f & 1u) == 0) credit_agent(2 * t, parks_[static_cast<std::size_t>(2 * t)], upto);
+    if ((f & 2u) == 0) {
+      credit_agent(2 * t + 1, parks_[static_cast<std::size_t>(2 * t + 1)], upto);
+    }
+  }
+}
+
+void Chip::wake_all_parked() {
+  if (parked_count_.load(std::memory_order_relaxed) == 0) return;
+  const common::Cycle upto = engine_.now == 0 ? 0 : engine_.now - 1;
+  const int n = num_tiles();
+  for (int t = 0; t < n; ++t) {
+    std::uint8_t& f = run_flags_[static_cast<std::size_t>(t)];
+    if (f == 3) continue;
+    for (int a = 0; a < 2; ++a) {
+      if ((f & (1u << a)) != 0) continue;
+      const std::int32_t aid = 2 * t + a;
+      Park& p = parks_[static_cast<std::size_t>(aid)];
+      credit_agent(aid, p, upto);
+      if (p.chan != nullptr) {
+        p.chan->clear_wait(aid);
+        p.chan = nullptr;
+      }
+    }
+    f = 3;
+  }
+  parked_count_.store(0, std::memory_order_relaxed);
+}
+
+void Chip::step_cycle() {
+  const bool dense = dense_cycle();
+  if (dense && parked_count_.load(std::memory_order_relaxed) > 0) {
+    wake_all_parked();
+  }
 
   FaultPlan* const faults = faults_;
   if (faults != nullptr) faults->step(*this);
 
   for (Device* d : devices_) d->step(*this);
 
-  if (faults == nullptr && !trace_.active(cycle_)) {
-    // Hot path: no fault plan attached and no utilization window open, so
-    // the per-tile frozen test and trace bookkeeping vanish entirely.
-    for (auto& t : tiles_) {
-      (void)t->step_switch();
-      (void)t->step_proc();
-    }
-  } else {
-    const bool tracing = trace_.active(cycle_);
-    const int n = num_tiles();
-    for (int t = 0; t < n; ++t) {
-      if (faults != nullptr && faults->tile_frozen(t)) {
-        // A frozen tile executes nothing this cycle; its FIFOs keep their
-        // contents and neighbours simply see no words move.
-        if (tracing) trace_.record(cycle_, t, AgentState::kIdle, AgentState::kIdle);
-        continue;
-      }
-      const AgentState sw = tile(t).step_switch();
-      const AgentState proc = tile(t).step_proc();
-      if (tracing) trace_.record(cycle_, t, proc, sw);
-    }
-  }
+  step_agents(0, num_tiles(), dense);
 
-  // dyn_ is null when ChipConfig::with_dynamic_network is false: the whole
-  // dynamic-network step (and its channels' begin/end, which never enter
-  // all_channels_) costs nothing in that configuration.
+  // dyn_ is null when ChipConfig::with_dynamic_network is false; when
+  // present it early-outs internally while no message words are in flight.
   if (dyn_ != nullptr) dyn_->step();
 
   bool progress = false;
-  for (Channel* ch : all_channels_) progress |= ch->end_cycle();
+  for (std::size_t l = 0; l < engine_.lanes.size(); ++l) {
+    progress |= commit_lane(l);
+  }
+  if (engine_.stats_channels > 0) sample_stats_range(0, all_channels_.size());
+  apply_wakes();
   finish_cycle(progress);
 }
 
+void Chip::step() {
+  wake_all_parked();  // pick up external mutations since the last cycle
+  step_cycle();
+  settle_parked();
+}
+
 void Chip::run(common::Cycle cycles) {
-  for (common::Cycle i = 0; i < cycles; ++i) step();
+  wake_all_parked();
+  for (common::Cycle i = 0; i < cycles; ++i) step_cycle();
+  settle_parked();
 }
 
 void Chip::enable_channel_stats(bool on) {
@@ -180,13 +381,21 @@ void Chip::enable_channel_stats(bool on) {
 
 void Chip::export_metrics(common::MetricRegistry& registry,
                           const std::string& prefix) const {
-  registry.counter(prefix + "/cycles").set(cycle_);
+  sync_block_accounting();  // parked agents' counters catch up first
+
+  registry.counter(prefix + "/cycles").set(engine_.now);
   registry.counter(prefix + "/static_words_transferred")
       .set(static_words_transferred());
 
+  // Hoist the per-tile base string: one prefix build per chip, one
+  // resize+append per tile instead of a fresh concatenation chain per metric.
+  std::string base = prefix + "/tile";
+  const std::size_t tile_prefix_len = base.size();
+  base.reserve(tile_prefix_len + 48);
   for (int t = 0; t < num_tiles(); ++t) {
     const Tile& tl = tile(t);
-    const std::string base = prefix + "/tile" + std::to_string(t);
+    base.resize(tile_prefix_len);
+    base += std::to_string(t);
     registry.counter(base + "/proc/busy_cycles").set(tl.proc_cycles_busy());
     registry.counter(base + "/proc/blocked_cycles").set(tl.proc_cycles_blocked());
     const SwitchProcessor& sw = tl.switch_proc();
@@ -198,16 +407,19 @@ void Chip::export_metrics(common::MetricRegistry& registry,
     registry.counter(base + "/switch/idle_cycles").set(sw.cycles_idle());
   }
 
+  std::string chan_base = prefix + "/channel/";
+  const std::size_t chan_prefix_len = chan_base.size();
   for (const Channel* ch : all_channels_) {
-    if (ch->words_transferred() == 0 && ch->stats_cycles() == 0) continue;
     if (ch->name().empty()) continue;
-    const std::string base = prefix + "/channel/" + ch->name();
-    registry.counter(base + "/words").set(ch->words_transferred());
+    if (ch->words_transferred() == 0 && ch->stats_cycles() == 0) continue;
+    chan_base.resize(chan_prefix_len);
+    chan_base += ch->name();
+    registry.counter(chan_base + "/words").set(ch->words_transferred());
     if (ch->stats_cycles() > 0) {
-      registry.gauge(base + "/mean_occupancy")
+      registry.gauge(chan_base + "/mean_occupancy")
           .set(static_cast<double>(ch->occupancy_sum()) /
                static_cast<double>(ch->stats_cycles()));
-      registry.counter(base + "/backpressure_cycles").set(ch->full_cycles());
+      registry.counter(chan_base + "/backpressure_cycles").set(ch->full_cycles());
     }
   }
 }

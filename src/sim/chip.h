@@ -1,9 +1,22 @@
 // The Raw chip: an R x C grid of tiles, two static networks, one dynamic
 // network, chip-edge I/O ports, and the deterministic cycle engine.
+//
+// The cycle engine is *sparse* (see DESIGN.md "Sparse cycle engine"): its
+// per-cycle cost tracks activity, not capacity. Channels are epoch-stamped
+// and refresh lazily on first touch, staged writes self-register on a dirty
+// lane so commit walks only channels that moved, agents blocked on a channel
+// park on that channel's wake slot and are skipped until a commit or read
+// wakes them, and idle agents (halted switch, finished program) leave the
+// runnable set entirely. Results are bit-identical to the dense engine —
+// including every per-cycle counter, which parked agents receive as a
+// catch-up credit when they wake or when accounting is settled.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -11,8 +24,13 @@
 #include "sim/channel.h"
 #include "sim/device.h"
 #include "sim/dynamic_network.h"
+#include "sim/engine_state.h"
 #include "sim/tile.h"
 #include "sim/trace.h"
+
+namespace raw::exec {
+class ParallelRunner;
+}
 
 namespace raw::sim {
 
@@ -63,19 +81,29 @@ class Chip {
   void add_device(Device* device);
   [[nodiscard]] const std::vector<Device*>& devices() const { return devices_; }
 
-  [[nodiscard]] common::Cycle cycle() const { return cycle_; }
+  [[nodiscard]] common::Cycle cycle() const { return engine_.now; }
   [[nodiscard]] Trace& trace() { return trace_; }
 
   /// Attaches (or detaches, with nullptr) a fault-injection plan. The plan
   /// is bound immediately (channel names resolved) and then stepped every
-  /// cycle after channels begin the cycle and before devices run. The chip
-  /// does not own it. With no plan attached the per-cycle cost is one
-  /// predicted null test and behaviour is bit-identical.
+  /// cycle before devices run. The chip does not own it. A chip with a plan
+  /// attached steps densely (every agent, every cycle) so freeze windows and
+  /// stalled-link wakeups stay cycle-exact; behaviour is bit-identical to a
+  /// planless chip once the plan is empty.
   void set_fault_plan(FaultPlan* plan);
   [[nodiscard]] FaultPlan* fault_plan() const { return faults_; }
 
+  /// Forces dense stepping (no parking, every agent stepped every cycle)
+  /// regardless of activity. The differential test suite uses this as the
+  /// reference engine; results must be bit-identical either way.
+  void set_force_dense(bool on);
+  [[nodiscard]] bool force_dense() const { return force_dense_; }
+
   /// Cycle at which a word last crossed any channel on the chip (0 until the
   /// first transfer). The progress watchdog compares this against cycle().
+  /// Sparse stepping keeps this exact: progress is derived from the same
+  /// per-channel commits, only restricted to channels that actually staged a
+  /// word (all others cannot move one by construction).
   [[nodiscard]] common::Cycle last_progress_cycle() const {
     return last_progress_cycle_;
   }
@@ -85,33 +113,53 @@ class Chip {
   [[nodiscard]] const std::vector<Channel*>& all_channels() const {
     return all_channels_;
   }
-  /// Channel with the given name, or nullptr.
+  /// Channel with the given name, or nullptr. O(1): the name index is built
+  /// once in the constructor.
   [[nodiscard]] Channel* find_channel(const std::string& name) const;
 
   /// Runs `cycles` cycles of the whole chip.
   void run(common::Cycle cycles);
 
   /// Runs until `pred()` is true or `max_cycles` elapse; returns true if the
-  /// predicate fired.
+  /// predicate fired. The predicate is evaluated between cycles; it may read
+  /// any chip or device state, but per-agent busy/blocked/idle counters are
+  /// only settled (parked agents credited) at entry and exit of this call —
+  /// use sync_block_accounting() inside the predicate if it needs them.
   template <typename Pred>
   bool run_until(Pred&& pred, common::Cycle max_cycles) {
+    wake_all_parked();
     for (common::Cycle i = 0; i < max_cycles; ++i) {
-      if (pred()) return true;
-      step();
+      if (pred()) {
+        settle_parked();
+        return true;
+      }
+      step_cycle();
     }
+    settle_parked();
     return pred();
   }
 
+  /// Runs a single cycle. Unlike run(), every agent's accounting is settled
+  /// on return, and external mutations made since the last cycle (programs
+  /// loaded, words written into channels by tests) are picked up.
   void step();
 
   /// Execution-engine hook: closes the current cycle after every channel has
-  /// committed. `progress` is the OR of all channels' end_cycle() results.
-  /// Chip::step() calls this itself; an external engine (exec::ParallelRunner)
-  /// that replicates the phase structure calls it exactly once per cycle.
+  /// committed. `progress` is the OR of all channels' commit results. The
+  /// chip's own cycle loop calls this; an external engine
+  /// (exec::ParallelRunner) that replicates the phase structure calls it
+  /// exactly once per cycle.
   void finish_cycle(bool progress) {
-    if (progress) last_progress_cycle_ = cycle_;
-    ++cycle_;
+    if (progress) last_progress_cycle_ = engine_.now;
+    ++engine_.now;
   }
+
+  /// Settles the catch-up accounting of parked agents: busy/blocked/idle
+  /// cycle counters become exactly what a dense engine would report through
+  /// the last completed cycle. Called automatically by run()/run_until()/
+  /// step() exits and export_metrics(); cheap (no-op when nothing is
+  /// parked, O(parked) otherwise).
+  void sync_block_accounting() const { const_cast<Chip*>(this)->settle_parked(); }
 
   /// Aggregate static-network words moved (both networks), for bandwidth
   /// accounting.
@@ -141,8 +189,53 @@ class Chip {
   }
 
  private:
+  friend class exec::ParallelRunner;
+
+  /// Agents are addressed as 2*tile (switch) and 2*tile+1 (processor).
+  struct Park {
+    common::Cycle counted_through = 0;  // last cycle counted in `cause`
+    AgentState cause = AgentState::kIdle;
+    Channel* chan = nullptr;  // wake channel (null for idle parks)
+  };
+
   [[nodiscard]] Channel* out_link(int net, int tile, Dir dir) const;
   [[nodiscard]] Channel* in_link(int net, int tile, Dir dir) const;
+
+  /// True when this cycle must step densely: a fault plan is attached (tile
+  /// freezes and link stalls need per-cycle evaluation), the utilization
+  /// trace window is open (it records every tile every cycle), or dense mode
+  /// is forced.
+  [[nodiscard]] bool dense_cycle() const {
+    return force_dense_ || faults_ != nullptr || trace_.active(engine_.now);
+  }
+
+  /// One serial cycle of the sparse engine (no entry revalidation, no exit
+  /// settling — run()/run_until()/step() wrap it with those).
+  void step_cycle();
+  /// Phase C for tiles [begin, end): dense or flag-gated sparse stepping
+  /// with parking. Shared by the serial loop and ParallelRunner stripes.
+  void step_agents(int begin, int end, bool dense);
+  /// Commits lane `lane`'s dirty channels; queues reader wakes onto the same
+  /// lane. Returns true when any word moved.
+  bool commit_lane(std::size_t lane);
+  /// Stats pass over all_channels_[begin, end); engine-gated on
+  /// engine_.stats_channels.
+  void sample_stats_range(std::size_t begin, std::size_t end);
+  /// Applies every lane's queued wakes (end of cycle, before finish_cycle).
+  void apply_wakes();
+
+  /// Whether a blocked agent may park on `chan` and rely on a wake event.
+  [[nodiscard]] static bool may_park_on(const Channel* chan, AgentState cause);
+
+  void park_agent(std::int32_t aid, AgentState cause, Channel* chan);
+  void wake_agent(std::int32_t aid, common::Cycle counted_through);
+  void credit_agent(std::int32_t aid, Park& park, common::Cycle upto);
+  /// Credits all parked agents through the last completed cycle without
+  /// waking them.
+  void settle_parked();
+  /// Settles and returns every parked agent to the runnable set (run-entry
+  /// revalidation and dense-mode transitions).
+  void wake_all_parked();
 
   ChipConfig config_;
   std::vector<std::unique_ptr<Tile>> tiles_;
@@ -158,10 +251,20 @@ class Chip {
   std::unique_ptr<DynamicNetwork> dyn_;
   std::vector<Device*> devices_;
   std::vector<Channel*> all_channels_;
+  std::unordered_map<std::string, Channel*> channel_index_;
   FaultPlan* faults_ = nullptr;
   Trace trace_;
-  common::Cycle cycle_ = 0;
   common::Cycle last_progress_cycle_ = 0;
+
+  EngineState engine_;
+  // run_flags_[tile]: bit 0 = switch runnable, bit 1 = processor runnable.
+  std::vector<std::uint8_t> run_flags_;
+  std::vector<Park> parks_;  // indexed by agent id, valid while parked
+  // Atomic because parallel workers park agents concurrently during the
+  // stepping phase; relaxed ordering suffices (it is only ever compared
+  // against zero from phase-separated code).
+  std::atomic<int> parked_count_{0};
+  bool force_dense_ = false;
 };
 
 }  // namespace raw::sim

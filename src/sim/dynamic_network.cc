@@ -47,6 +47,7 @@ void DynamicNetwork::inject(int tile, int dest_tile,
   auto& q = inject_[static_cast<std::size_t>(tile)];
   q.push(make_dyn_header(tile, dest_tile, static_cast<std::uint32_t>(payload.size())));
   for (const common::Word w : payload) q.push(w);
+  net_words_ += payload.size() + 1;
 }
 
 bool DynamicNetwork::has_eject(int tile) const {
@@ -95,6 +96,10 @@ Channel* DynamicNetwork::out_link(int tile, std::size_t output) const {
 }
 
 void DynamicNetwork::step() {
+  // Quiescence early-out: with nothing in flight no input port has a head
+  // flit, so every arbitration below would fail without side effects (the
+  // round-robin pointers only advance when an input is chosen).
+  if (net_words_ == 0) return;
   for (int t = 0; t < shape_.num_tiles(); ++t) {
     Router& r = routers_[static_cast<std::size_t>(t)];
     for (std::size_t o = 0; o < kNumOutputs; ++o) {
@@ -154,6 +159,7 @@ void DynamicNetwork::step() {
       }
       if (o == kEjectPort) {
         eject_[static_cast<std::size_t>(t)].push(word);
+        --net_words_;
       } else {
         out_link(t, o)->write(word);
       }

@@ -69,6 +69,12 @@ class DynamicNetwork {
   [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
 
+  /// Words injected but not yet ejected — the network's in-flight load.
+  /// step() is a provable no-op while this is zero (no head flit exists to
+  /// arbitrate, so even the round-robin pointers hold still), which lets the
+  /// chip skip the whole router sweep on quiet cycles.
+  [[nodiscard]] std::uint64_t words_in_flight() const { return net_words_; }
+
   /// Internal link channels, exposed so the chip can include them in its
   /// two-phase cycle driving.
   [[nodiscard]] std::vector<Channel*> all_channels();
@@ -102,6 +108,7 @@ class DynamicNetwork {
   std::vector<common::RingBuffer<common::Word>> eject_;
   std::uint64_t flits_routed_ = 0;
   std::uint64_t messages_delivered_ = 0;
+  std::uint64_t net_words_ = 0;
 };
 
 }  // namespace raw::sim

@@ -72,6 +72,18 @@ class SwitchProcessor {
     return last_block_channel_;
   }
 
+  /// Sparse-engine catch-up: credits `n` cycles spent parked in `cause`
+  /// (blocked-recv, blocked-send, or idle) without being stepped, so the
+  /// per-cause counters match an engine that steps every cycle.
+  void credit_parked(AgentState cause, std::uint64_t n) {
+    switch (cause) {
+      case AgentState::kBlockedRecv: blocked_recv_ += n; break;
+      case AgentState::kBlockedSend: blocked_send_ += n; break;
+      case AgentState::kIdle: idle_ += n; break;
+      default: break;
+    }
+  }
+
   /// Cycle accounting since the last reset(), split by block cause.
   [[nodiscard]] std::uint64_t cycles_busy() const { return busy_; }
   [[nodiscard]] std::uint64_t cycles_blocked() const {

@@ -58,6 +58,15 @@ class Tile {
 
   AgentState step_switch() { return switch_.step(); }
 
+  /// Channel the tile program is blocked on, if it is blocked on one.
+  [[nodiscard]] Channel* proc_blocked_channel() const {
+    return task_.blocked_channel();
+  }
+
+  /// Sparse-engine catch-up: credits `n` cycles the processor spent parked
+  /// in a blocked state without being stepped (see Chip's wake lists).
+  void credit_proc_blocked(std::uint64_t n) { proc_blocked_ += n; }
+
   [[nodiscard]] std::uint64_t proc_cycles_busy() const { return proc_busy_; }
   [[nodiscard]] std::uint64_t proc_cycles_blocked() const { return proc_blocked_; }
 

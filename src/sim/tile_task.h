@@ -79,6 +79,14 @@ class TileTask {
     return !handle_ || handle_.done() || handle_.promise().wait == Wait::kDone;
   }
 
+  /// Channel the program is currently blocked on (Wait::kRead/kWrite), else
+  /// null. Consumed by the sparse engine's wake lists and the watchdog.
+  [[nodiscard]] Channel* blocked_channel() const {
+    if (!handle_) return nullptr;
+    const promise_type& p = handle_.promise();
+    return (p.wait == Wait::kRead || p.wait == Wait::kWrite) ? p.chan : nullptr;
+  }
+
   /// Advances the program by one cycle; returns what the processor did.
   AgentState step() {
     if (done()) return AgentState::kIdle;

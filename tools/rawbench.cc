@@ -8,13 +8,29 @@
 // an end-to-end check of the engine's bit-identical guarantee).
 //
 //   ./rawbench [--suite smoke|scaling|fig7|chaos] [--threads 1,2,4]
-//              [--cycles N] [--out FILE]
+//              [--cycles N] [--out FILE] [--min-speedup X]
+//              [--baseline FILE] [--tolerance F]
 //
 // Suites:
-//   smoke    router + small StreamMesh, seconds-fast (CI per-commit gate)
+//   smoke    router (full + sparse load) + small StreamMesh + idle mesh,
+//            seconds-fast (CI per-commit gate)
 //   scaling  StreamMesh meshes 8x8 and 12x12 (the §8.5 mesh-level bench)
 //   fig7     the Figure 7-1 router workload at 64 B and 1,024 B
 //   chaos    two seeded fault-mix soak runs through the full router
+//
+// threads=1 is always run first (and added if absent from --threads): it is
+// the explicit serial baseline every speedup is computed against, and the
+// row every regression comparison keys on.
+//
+// --min-speedup X   exit nonzero if any multi-thread row's speedup over the
+//                   serial baseline falls below X (default 0: informational
+//                   only — on a 1-core host parallel rows legitimately lose).
+// --baseline FILE   compare each (name, threads) row's cycles/second against
+//                   a previous rawbench JSON report; exit nonzero if any row
+//                   is slower than (1 - tolerance) x baseline.
+// --tolerance F     fractional slowdown allowed by --baseline (default 0.40,
+//                   loose enough for shared CI runners).
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -29,6 +45,7 @@
 #include "exec/stream_mesh.h"
 #include "router/chaos.h"
 #include "router/raw_router.h"
+#include "sim/chip.h"
 
 namespace {
 
@@ -65,7 +82,8 @@ std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
 constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
 
 Case router_case(std::string name, raw::net::DestPattern pattern,
-                 raw::common::ByteCount bytes, Cycle cycles) {
+                 raw::common::ByteCount bytes, Cycle cycles,
+                 double load = 1.0) {
   return Case{
       std::move(name), [=](int threads) {
         raw::router::RouterConfig cfg;
@@ -75,7 +93,7 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
         t.pattern = pattern;
         t.size = raw::net::SizeDist::kFixed;
         t.fixed_bytes = bytes;
-        t.load = 1.0;
+        t.load = load;
         raw::router::RawRouter router(cfg, raw::net::RouteTable::simple4(), t,
                                       2003);
         (void)router.run(cycles);
@@ -100,6 +118,31 @@ Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
         raw::exec::ParallelRunner runner(mesh.chip(), threads);
         runner.run(cycles);
         return RunOutput{mesh.chip().cycle(), mesh.digest()};
+      }};
+}
+
+// A bare mesh with nothing programmed: the sparse engine's best case (every
+// agent parks immediately) and the workload the old eager engine paid full
+// price on. The digest folds in the summed switch idle counters, which the
+// park/credit path must keep exactly equal to cycles x tiles.
+Case idle_mesh_case(std::string name, int dim, Cycle cycles) {
+  return Case{
+      std::move(name), [=](int threads) {
+        raw::sim::ChipConfig cfg;
+        cfg.shape = raw::sim::GridShape{dim, dim};
+        cfg.with_dynamic_network = false;
+        raw::sim::Chip chip(cfg);
+        raw::exec::ParallelRunner runner(chip, threads);
+        runner.run(cycles);
+        std::uint64_t idle = 0;
+        for (int t = 0; t < chip.num_tiles(); ++t) {
+          idle += chip.tile(t).switch_proc().cycles_idle();
+        }
+        std::uint64_t d = kFnvBasis;
+        d = fnv(d, chip.cycle());
+        d = fnv(d, idle);
+        d = fnv(d, chip.static_words_transferred());
+        return RunOutput{chip.cycle(), d};
       }};
 }
 
@@ -135,7 +178,10 @@ std::vector<Case> make_suite(const std::string& suite, Cycle cycles_override) {
   if (suite == "smoke") {
     return {router_case("router_uniform_256B", raw::net::DestPattern::kUniform,
                         256, c(8000)),
-            mesh_case("stream_mesh_4x4", 4, c(6000), 4)};
+            router_case("sparse_router_256B", raw::net::DestPattern::kUniform,
+                        256, c(8000), 0.05),
+            mesh_case("stream_mesh_4x4", 4, c(6000), 4),
+            idle_mesh_case("idle_mesh_8x8", 8, c(100000))};
   }
   if (suite == "scaling") {
     return {mesh_case("stream_mesh_8x8", 8, c(20000), 4),
@@ -157,6 +203,46 @@ std::vector<Case> make_suite(const std::string& suite, Cycle cycles_override) {
   std::fprintf(stderr, "unknown suite '%s' (smoke|scaling|fig7|chaos)\n",
                suite.c_str());
   std::exit(2);
+}
+
+// Baseline rows from a previous rawbench JSON report (our own writer's
+// schema, one result object per line — a full JSON parser is not needed).
+struct BaselineRow {
+  std::string name;
+  int threads = 1;
+  double cycles_per_sec = 0.0;
+};
+
+std::vector<BaselineRow> load_baseline(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path);
+    std::exit(2);
+  }
+  std::vector<BaselineRow> rows;
+  char line[1024];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const char* np = std::strstr(line, "\"name\": \"");
+    const char* tp = std::strstr(line, "\"threads\": ");
+    const char* cp = std::strstr(line, "\"cycles_per_sec\": ");
+    if (np == nullptr || tp == nullptr || cp == nullptr) continue;
+    np += std::strlen("\"name\": \"");
+    const char* ne = std::strchr(np, '"');
+    if (ne == nullptr) continue;
+    BaselineRow r;
+    r.name.assign(np, ne);
+    r.threads = static_cast<int>(
+        std::strtol(tp + std::strlen("\"threads\": "), nullptr, 10));
+    r.cycles_per_sec =
+        std::strtod(cp + std::strlen("\"cycles_per_sec\": "), nullptr);
+    rows.push_back(std::move(r));
+  }
+  std::fclose(f);
+  if (rows.empty()) {
+    std::fprintf(stderr, "baseline %s holds no result rows\n", path);
+    std::exit(2);
+  }
+  return rows;
 }
 
 std::vector<int> parse_threads(const char* s) {
@@ -185,6 +271,9 @@ int main(int argc, char** argv) {
   std::vector<int> threads = {1, 2, 4};
   Cycle cycles_override = 0;
   const char* out_path = "BENCH_engine.json";
+  const char* baseline_path = nullptr;
+  double min_speedup = 0.0;
+  double tolerance = 0.40;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--suite") && i + 1 < argc) {
       suite = argv[++i];
@@ -194,12 +283,28 @@ int main(int argc, char** argv) {
       cycles_override = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc) {
+      min_speedup = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: rawbench [--suite smoke|scaling|fig7|chaos] "
-                   "[--threads 1,2,4] [--cycles N] [--out FILE]\n");
+                   "[--threads 1,2,4] [--cycles N] [--out FILE] "
+                   "[--min-speedup X] [--baseline FILE] [--tolerance F]\n");
       return 2;
     }
+  }
+
+  // The serial engine is the reference for both the determinism digest and
+  // every speedup/regression figure, so t=1 always runs, and runs first.
+  if (std::find(threads.begin(), threads.end(), 1) == threads.end()) {
+    threads.insert(threads.begin(), 1);
+  } else {
+    std::stable_partition(threads.begin(), threads.end(),
+                          [](int t) { return t == 1; });
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
@@ -278,5 +383,42 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("\nwrote %s%s\n", out_path,
               all_deterministic ? "" : " (DETERMINISM FAILURE)");
-  return all_deterministic ? 0 : 1;
+
+  bool speedup_ok = true;
+  if (min_speedup > 0.0) {
+    for (const Row& r : rows) {
+      if (r.threads > 1 && r.speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "min-speedup violation: %s t=%d speedup %.2fx < %.2fx\n",
+                     r.name.c_str(), r.threads, r.speedup, min_speedup);
+        speedup_ok = false;
+      }
+    }
+  }
+
+  bool baseline_ok = true;
+  if (baseline_path != nullptr) {
+    const std::vector<BaselineRow> base = load_baseline(baseline_path);
+    for (const Row& r : rows) {
+      for (const BaselineRow& b : base) {
+        if (b.name != r.name || b.threads != r.threads) continue;
+        const double floor = b.cycles_per_sec * (1.0 - tolerance);
+        if (r.cycles_per_sec < floor) {
+          std::fprintf(stderr,
+                       "perf regression: %s t=%d %.0f cyc/s < %.0f "
+                       "(baseline %.0f, tolerance %.0f%%)\n",
+                       r.name.c_str(), r.threads, r.cycles_per_sec, floor,
+                       b.cycles_per_sec, tolerance * 100.0);
+          baseline_ok = false;
+        }
+        break;
+      }
+    }
+    if (baseline_ok) {
+      std::printf("baseline check passed (%s, tolerance %.0f%%)\n",
+                  baseline_path, tolerance * 100.0);
+    }
+  }
+
+  return (all_deterministic && speedup_ok && baseline_ok) ? 0 : 1;
 }
