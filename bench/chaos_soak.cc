@@ -4,14 +4,23 @@
 // combinations; the tier2 ctest runs a bounded version.
 //
 //   ./chaos_soak [--seeds N] [--cycles N] [--threads T]
+//                [--links] [--recovery] [--repro-dir DIR]
+//
+// --links/--recovery run the whole sweep with the self-healing layers on
+// (reliable links + fault-adaptive reconfiguration). With --repro-dir, the
+// first failing combination is delta-debugged down to a minimal fault
+// schedule and written there as a replayable JSON repro (rawchaos --replay).
 //
 // Exit status 0 only when every combination passes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "router/chaos.h"
+#include "router/repro.h"
 
 namespace {
 
@@ -19,6 +28,9 @@ struct Args {
   int seeds = 16;
   raw::common::Cycle cycles = 40000;
   int threads = 0;
+  bool links = false;
+  bool recovery = false;
+  const char* repro_dir = nullptr;
 };
 
 Args parse(int argc, char** argv) {
@@ -30,58 +42,136 @@ Args parse(int argc, char** argv) {
       a.cycles = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       a.threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--links")) {
+      a.links = true;
+    } else if (!std::strcmp(argv[i], "--recovery")) {
+      a.recovery = true;
+    } else if (!std::strcmp(argv[i], "--repro-dir") && i + 1 < argc) {
+      a.repro_dir = argv[++i];
     }
   }
   return a;
+}
+
+/// Rebuilds the spec a sweep combination ran under (chaos_sweep semantics).
+raw::router::ChaosSpec spec_for(const Args& args,
+                                const raw::router::ChaosResult& r) {
+  raw::router::ChaosSpec spec;
+  spec.seed = r.seed;
+  (void)raw::router::parse_mix(r.mix, &spec.mix);
+  spec.run_cycles = args.cycles;
+  spec.threads = args.threads;
+  spec.reliable_links = args.links;
+  spec.recovery = args.recovery;
+  return spec;
+}
+
+/// Minimizes the first failing combination's fault schedule and writes it as
+/// a replayable repro JSON under `dir`. Returns false on I/O failure.
+bool write_minimized_repro(const Args& args, const raw::router::ChaosResult& r,
+                           const char* dir) {
+  const raw::router::ChaosSpec spec = spec_for(args, r);
+
+  // The sweep derived its schedule from the seed; rebuild the same events
+  // explicitly so the minimizer (and the written repro) can replay them.
+  raw::net::TrafficConfig traffic;
+  traffic.num_ports = 4;
+  traffic.pattern = raw::net::DestPattern::kUniform;
+  traffic.size = raw::net::SizeDist::kFixed;
+  traffic.fixed_bytes = spec.bytes;
+  traffic.load = spec.load;
+  raw::router::RawRouter scratch(raw::router::RouterConfig{},
+                                 raw::net::RouteTable::simple4(), traffic,
+                                 spec.seed);
+  const std::vector<raw::sim::FaultEvent> events =
+      raw::router::make_fault_plan(spec, scratch).events();
+
+  const raw::router::ChaosSignature target = raw::router::signature_of(r);
+  raw::router::MinimizeStats stats;
+  const std::vector<raw::sim::FaultEvent> minimal =
+      raw::router::minimize_events(spec, events, target, &stats);
+  const raw::router::ChaosResult rerun =
+      raw::router::run_chaos_events(spec, minimal);
+
+  raw::router::ChaosRepro repro;
+  repro.spec = spec;
+  repro.events = minimal;
+  repro.signature = raw::router::signature_of(rerun);
+  repro.digest = rerun.digest;
+
+  const std::string path = std::string(dir) + "/" + r.mix + "_seed" +
+                           std::to_string(r.seed) + ".min.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = raw::router::to_json(repro);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("minimized %zu -> %zu events (%d runs); wrote %s\n",
+              stats.original_events, stats.minimized_events, stats.runs,
+              path.c_str());
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run\n\n",
+  std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run%s%s\n\n",
               args.seeds, raw::router::standard_mixes().size(),
-              static_cast<unsigned long long>(args.cycles));
+              static_cast<unsigned long long>(args.cycles),
+              args.links ? ", reliable links" : "",
+              args.recovery ? ", fault-adaptive recovery" : "");
 
-  const raw::router::ChaosSweepSummary summary =
-      raw::router::chaos_sweep(args.seeds, args.cycles, args.threads);
+  const raw::router::ChaosSweepSummary summary = raw::router::chaos_sweep(
+      args.seeds, args.cycles, args.threads, args.links, args.recovery);
 
   // Per-mix rollup.
   struct MixAgg {
-    int runs = 0, passed = 0;
+    int runs = 0, passed = 0, degraded = 0;
     std::uint64_t delivered = 0, errors = 0, lost = 0, malformed = 0,
-                  resyncs = 0, trips = 0;
+                  resyncs = 0, trips = 0, retransmits = 0;
   };
   std::map<std::string, MixAgg> by_mix;
   for (const raw::router::ChaosResult& r : summary.results) {
     MixAgg& agg = by_mix[r.mix];
     ++agg.runs;
     if (r.pass) ++agg.passed;
+    if (r.degraded) ++agg.degraded;
     agg.delivered += r.delivered;
     agg.errors += r.errors;
     agg.lost += r.lost;
     agg.malformed += r.malformed;
     agg.resyncs += r.resyncs;
     agg.trips += r.watchdog_trips;
+    agg.retransmits += r.link_retransmits;
   }
-  std::printf("%-28s %9s %10s %6s %5s %5s %6s %6s\n", "mix", "pass",
-              "delivered", "errors", "lost", "malf", "resync", "trips");
+  std::printf("%-28s %9s %10s %6s %5s %5s %6s %6s %6s %7s\n", "mix", "pass",
+              "delivered", "errors", "lost", "malf", "resync", "trips", "degr",
+              "retrans");
   for (const auto& [mix, agg] : by_mix) {
-    std::printf("%-28s %4d/%-4d %10llu %6llu %5llu %5llu %6llu %6llu\n",
+    std::printf("%-28s %4d/%-4d %10llu %6llu %5llu %5llu %6llu %6llu %6d %7llu\n",
                 mix.c_str(), agg.passed, agg.runs,
                 static_cast<unsigned long long>(agg.delivered),
                 static_cast<unsigned long long>(agg.errors),
                 static_cast<unsigned long long>(agg.lost),
                 static_cast<unsigned long long>(agg.malformed),
                 static_cast<unsigned long long>(agg.resyncs),
-                static_cast<unsigned long long>(agg.trips));
+                static_cast<unsigned long long>(agg.trips), agg.degraded,
+                static_cast<unsigned long long>(agg.retransmits));
   }
 
+  bool repro_written = false;
   for (const raw::router::ChaosResult& r : summary.results) {
     if (!r.pass) {
       std::printf("\nFAIL %s seed %llu: %s\n", r.mix.c_str(),
                   static_cast<unsigned long long>(r.seed), r.failure.c_str());
       if (!r.stall_summary.empty()) std::printf("%s\n", r.stall_summary.c_str());
+      if (args.repro_dir != nullptr && !repro_written) {
+        repro_written = write_minimized_repro(args, r, args.repro_dir);
+      }
     }
   }
 

@@ -104,9 +104,19 @@ sim::FaultPlan make_fault_plan(const ChaosSpec& spec, RawRouter& router,
   return plan;
 }
 
-ChaosResult run_chaos(const ChaosSpec& spec) {
+namespace {
+
+// Shared by run_chaos (seed-derived schedule) and run_chaos_events (explicit
+// schedule). Validation expectations are derived from the event list itself,
+// never from spec.mix — a minimized subset of a flip+permafreeze schedule
+// may contain no flips at all, and must then be held to the stricter
+// no-damage rules.
+ChaosResult run_impl(const ChaosSpec& spec,
+                     const std::vector<sim::FaultEvent>* events) {
   RouterConfig cfg;
   cfg.threads = spec.threads;
+  cfg.link.enabled = spec.reliable_links;
+  cfg.recovery.enabled = spec.recovery;
   net::TrafficConfig traffic;
   traffic.num_ports = 4;
   traffic.pattern = net::DestPattern::kUniform;
@@ -114,13 +124,32 @@ ChaosResult run_chaos(const ChaosSpec& spec) {
   traffic.fixed_bytes = spec.bytes;
   traffic.load = spec.load;
   RawRouter router(cfg, net::RouteTable::simple4(), traffic, spec.seed);
+  if (spec.force_dense) router.chip().set_force_dense(true);
 
-  int permanent_tile = -1;
-  sim::FaultPlan plan = make_fault_plan(spec, router, &permanent_tile);
+  sim::FaultPlan plan;
+  if (events != nullptr) {
+    for (const sim::FaultEvent& e : *events) plan.add(e);
+  } else {
+    plan = make_fault_plan(spec, router);
+  }
   router.set_fault_plan(&plan);
 
+  // Facts the expectations key on, derived from the actual schedule.
+  bool corrupting = false;
+  std::vector<int> permanent_tiles;
+  for (const sim::FaultEvent& e : plan.events()) {
+    if (e.kind == sim::FaultKind::kBitFlip) corrupting = true;
+    if (e.kind == sim::FaultKind::kTileFreeze && e.permanent) {
+      permanent_tiles.push_back(e.tile);
+    }
+  }
+  const bool has_permanent = !permanent_tiles.empty();
+  // With reliable links every flip is repaired in place, so damage (errors,
+  // malformed drops, resyncs, quiesce losses) is only legitimate without it.
+  const bool damage_expected = corrupting && !spec.reliable_links;
+
   const RunStatus rs = router.run(spec.run_cycles);
-  if (rs == RunStatus::kOk) (void)router.drain(spec.drain_cycles);
+  if (rs != RunStatus::kStalled) (void)router.drain(spec.drain_cycles);
 
   ChaosResult r;
   r.seed = spec.seed;
@@ -135,6 +164,10 @@ ChaosResult run_chaos(const ChaosSpec& spec) {
   r.lost = router.lost_packets();
   r.watchdog_trips = router.watchdog_trips();
   r.faults_injected = plan.fired();
+  r.degraded = router.degraded();
+  r.schedule_generation = router.schedule_generation();
+  r.link_retransmits = router.chip().link_retransmits();
+  r.link_delivered_corrupt = router.chip().link_delivered_corrupt();
   for (int p = 0; p < kNumPorts; ++p) {
     const auto pi = static_cast<std::size_t>(p);
     r.malformed += router.core().counters[pi].malformed_drops;
@@ -142,7 +175,14 @@ ChaosResult run_chaos(const ChaosSpec& spec) {
   }
   if (router.stall_report().has_value()) {
     r.stall_summary = router.stall_report()->to_string();
+    for (const StallReport::TileState& t : router.stall_report()->tiles) {
+      if (t.cause == StallReport::BlockCause::kFrozen) {
+        r.stall_tile = t.tile;
+        break;
+      }
+    }
   }
+  r.digest = router.state_digest();
 
   const auto fail = [&r](std::string why) {
     if (r.failure.empty()) r.failure = std::move(why);
@@ -157,26 +197,38 @@ ChaosResult run_chaos(const ChaosSpec& spec) {
   }
 
   const bool stalled = r.stalled_in_run || r.outcome == DrainOutcome::kStalled;
-  if (spec.mix.permanent_freeze) {
-    // A permanently frozen tile must wedge the fabric and be caught, and
-    // the report must pin the blame on the right tile.
+  if (has_permanent && spec.recovery) {
+    // Recovery must absorb the freeze: the run ends degraded, never stalled,
+    // and the degraded fabric still drains (losses only where flips without
+    // link protection can eat packets).
+    if (stalled) {
+      fail("permanent freeze stalled despite recovery: " + r.stall_summary);
+    } else if (!r.degraded) {
+      fail("permanent freeze never triggered a reconfiguration (outcome " +
+           std::string(drain_outcome_name(r.outcome)) + ")");
+    } else if (r.outcome != DrainOutcome::kDrainedDegraded &&
+               !(r.outcome == DrainOutcome::kLossQuiesced && damage_expected)) {
+      fail("recovered fabric ended " +
+           std::string(drain_outcome_name(r.outcome)) +
+           " instead of drained_degraded");
+    }
+    if (r.watchdog_trips != 0) {
+      fail("watchdog trips counted despite successful recovery");
+    }
+  } else if (has_permanent) {
+    // Without recovery, a permanently frozen tile must wedge the fabric and
+    // be caught, and the report must pin the blame on a frozen tile.
     if (!stalled) {
-      fail("permanent freeze of tile " + std::to_string(permanent_tile) +
-           " was not detected (outcome " +
+      fail("permanent freeze was not detected (outcome " +
            std::string(drain_outcome_name(r.outcome)) + ")");
     } else if (!router.stall_report().has_value()) {
       fail("stalled without a StallReport");
     } else {
-      const StallReport& report = *router.stall_report();
       const bool named = std::any_of(
-          report.tiles.begin(), report.tiles.end(),
-          [&](const StallReport::TileState& t) {
-            return t.tile == permanent_tile &&
-                   t.cause == StallReport::BlockCause::kFrozen;
-          });
+          permanent_tiles.begin(), permanent_tiles.end(),
+          [&r](int t) { return t == r.stall_tile; });
       if (!named) {
-        fail("StallReport does not name tile " +
-             std::to_string(permanent_tile) + " as frozen");
+        fail("StallReport does not name a permanently frozen tile");
       }
     }
   } else if (stalled) {
@@ -184,20 +236,34 @@ ChaosResult run_chaos(const ChaosSpec& spec) {
          r.stall_summary);
   } else if (r.outcome == DrainOutcome::kTimeout) {
     fail("drain timed out: silent non-progress");
-  } else if (r.outcome == DrainOutcome::kLossQuiesced && !spec.mix.corrupting()) {
+  } else if (r.outcome == DrainOutcome::kLossQuiesced && !damage_expected) {
     fail("packets lost (" + std::to_string(r.lost) +
-         ") under a non-corrupting mix");
+         ") with no corruption expected");
   }
 
-  if (!spec.mix.corrupting()) {
-    if (r.errors != 0) fail("validation errors under a non-corrupting mix");
-    if (r.malformed != 0) fail("malformed drops under a non-corrupting mix");
-    if (r.resyncs != 0) fail("output resyncs under a non-corrupting mix");
+  if (!damage_expected) {
+    const char* qualifier =
+        spec.reliable_links ? " despite reliable links" : " under a non-corrupting mix";
+    if (r.errors != 0) fail(std::string("validation errors") + qualifier);
+    if (r.malformed != 0) fail(std::string("malformed drops") + qualifier);
+    if (r.resyncs != 0) fail(std::string("output resyncs") + qualifier);
+    if (r.lost != 0 && !r.degraded) {
+      fail(std::string("packets lost") + qualifier);
+    }
   }
   if (r.delivered == 0) fail("nothing delivered");
 
   r.pass = r.failure.empty();
   return r;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosSpec& spec) { return run_impl(spec, nullptr); }
+
+ChaosResult run_chaos_events(const ChaosSpec& spec,
+                             const std::vector<sim::FaultEvent>& events) {
+  return run_impl(spec, &events);
 }
 
 std::vector<ChaosMix> standard_mixes() {
@@ -239,7 +305,7 @@ bool parse_mix(const std::string& s, ChaosMix* out) {
 }
 
 ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles,
-                              int threads) {
+                              int threads, bool reliable_links, bool recovery) {
   ChaosSweepSummary summary;
   for (const ChaosMix& mix : standard_mixes()) {
     for (int s = 1; s <= num_seeds; ++s) {
@@ -248,6 +314,8 @@ ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles,
       spec.mix = mix;
       spec.run_cycles = run_cycles;
       spec.threads = threads;
+      spec.reliable_links = reliable_links;
+      spec.recovery = recovery;
       ChaosResult r = run_chaos(spec);
       ++summary.total;
       if (r.pass) ++summary.passed;

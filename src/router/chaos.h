@@ -56,6 +56,14 @@ struct ChaosSpec {
   double load = 0.9;
   /// Execution-engine worker threads (RouterConfig::threads semantics).
   int threads = 0;
+  /// Reliable-link layer (RouterConfig::link): bit flips become retransmits,
+  /// so the validation expects *zero* damage even under corrupting mixes.
+  bool reliable_links = false;
+  /// Fault-adaptive reconfiguration (RouterConfig::recovery): a permanent
+  /// tile freeze must end Degraded and keep delivering, not Stalled.
+  bool recovery = false;
+  /// Force the dense reference engine (differential testing).
+  bool force_dense = false;
 };
 
 struct ChaosResult {
@@ -76,6 +84,18 @@ struct ChaosResult {
   std::uint64_t watchdog_trips = 0;
   std::uint64_t faults_injected = 0;
   std::string stall_summary;  // StallReport::to_string() when one was raised
+  /// First tile a StallReport blames as frozen (-1 when none): the
+  /// replay/minimizer signature needs the *where*, not just the *that*.
+  int stall_tile = -1;
+  /// Fault-adaptive recovery observability.
+  bool degraded = false;
+  int schedule_generation = 0;
+  /// Reliable-link counters (zero when the layer is disabled).
+  std::uint64_t link_retransmits = 0;
+  std::uint64_t link_delivered_corrupt = 0;
+  /// RawRouter::state_digest() at exit: the record/replay and
+  /// engine-equivalence fingerprint.
+  std::uint64_t digest = 0;
 };
 
 /// Builds the seeded fault schedule for `spec` against `router`'s chip.
@@ -88,6 +108,15 @@ sim::FaultPlan make_fault_plan(const ChaosSpec& spec, RawRouter& router,
 
 /// Runs one (seed, mix) combination and checks every invariant.
 ChaosResult run_chaos(const ChaosSpec& spec);
+
+/// Runs `spec`'s router configuration under an *explicit* fault-event
+/// schedule instead of the seed-derived one — the replay and delta-debugging
+/// path (see router/repro.h). Validation derives its expectations from the
+/// events themselves (any kBitFlip => corrupting, any permanent kTileFreeze
+/// => permanent), so a minimized subset is judged by the same rules as the
+/// full schedule. spec.mix is used only for labelling.
+ChaosResult run_chaos_events(const ChaosSpec& spec,
+                             const std::vector<sim::FaultEvent>& events);
 
 /// The 13 standard mixes: each kind alone, bit-flip pairs, timing pairs,
 /// everything transient, and the two permanent-freeze variants.
@@ -106,7 +135,10 @@ struct ChaosSweepSummary {
 
 /// Sweeps seeds x standard_mixes(): seeds 1..num_seeds against every mix.
 /// `threads` follows RouterConfig::threads (0 = RAWSIM_THREADS, then serial).
+/// `reliable_links` / `recovery` enable the self-healing layers for every
+/// combination (ChaosSpec::reliable_links / ChaosSpec::recovery semantics).
 ChaosSweepSummary chaos_sweep(int num_seeds, common::Cycle run_cycles,
-                              int threads = 0);
+                              int threads = 0, bool reliable_links = false,
+                              bool recovery = false);
 
 }  // namespace raw::router

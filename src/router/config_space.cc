@@ -18,13 +18,22 @@ const char* client_name(Client c) {
 }
 
 std::string to_string(const TileConfig& tc) {
+  // Sequential appends (not `"(" + std::to_string(..)` chains): GCC 12's
+  // -Wrestrict false-positives on operator+(const char*, std::string&&)
+  // depending on surrounding inlining, and this builds -Werror.
   std::string s = "out<-";
   s += client_name(tc.out);
-  s += "(" + std::to_string(tc.out_dist) + ") cwnext<-";
+  s += '(';
+  s += std::to_string(tc.out_dist);
+  s += ") cwnext<-";
   s += client_name(tc.cwnext);
-  s += "(" + std::to_string(tc.cw_dist) + ") ccwnext<-";
+  s += '(';
+  s += std::to_string(tc.cw_dist);
+  s += ") ccwnext<-";
   s += client_name(tc.ccwnext);
-  s += "(" + std::to_string(tc.ccw_dist) + ")";
+  s += '(';
+  s += std::to_string(tc.ccw_dist);
+  s += ')';
   if (tc.ingress_blocked) s += " BLOCKED";
   return s;
 }

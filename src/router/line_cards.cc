@@ -92,6 +92,39 @@ void InputLineCard::step(sim::Chip& chip) {
   }
 }
 
+std::uint64_t InputLineCard::drop_partial_front() {
+  if (front_words_sent_ == 0 || queued_packets_.empty()) return 0;
+  const auto [uid, total_words] = queued_packets_.front();
+  RAW_ASSERT_MSG(total_words > front_words_sent_,
+                 "fully-sent packet still tracked as queue front");
+  const std::uint32_t remaining = total_words - front_words_sent_;
+  RAW_ASSERT_MSG(queue_.size() >= remaining, "queue shorter than front packet");
+  queue_.erase(queue_.begin(), queue_.begin() + remaining);
+  queued_packets_.pop_front();
+  front_words_sent_ = 0;
+  if (ledger_->in_flight.erase(uid) > 0) ++ledger_->erased_lost;
+  return 1;
+}
+
+std::uint64_t InputLineCard::flush_and_stop() {
+  std::uint64_t written_off = 0;
+  for (const auto& [uid, words] : queued_packets_) {
+    if (ledger_->in_flight.erase(uid) > 0) {
+      ++ledger_->erased_lost;
+      ++written_off;
+    }
+  }
+  queue_.clear();
+  queued_packets_.clear();
+  front_words_sent_ = 0;
+  stopped_ = true;
+  return written_off;
+}
+
+void InputLineCard::collect_queued_uids(std::vector<std::uint64_t>& out) const {
+  for (const auto& [uid, words] : queued_packets_) out.push_back(uid);
+}
+
 OutputLineCard::OutputLineCard(sim::Channel* from_chip, int port,
                                PacketLedger* ledger)
     : from_chip_(from_chip), port_(port), ledger_(ledger) {

@@ -102,6 +102,20 @@ class InputLineCard : public sim::Device {
   [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Recovery surgery (fault-adaptive reconfiguration, which resets the
+  /// fabric): drops the partially-streamed front packet — its already-sent
+  /// words died in the fabric reset and the remainder would arrive headless.
+  /// The ledger entry is written off as lost. Whole queued packets stay
+  /// deliverable. Returns the number of packets written off (0 or 1).
+  std::uint64_t drop_partial_front();
+  /// Recovery surgery (dead ingress tile): writes off every queued packet as
+  /// lost, clears the queue, and stops the arrival process. Returns the
+  /// number of packets written off.
+  std::uint64_t flush_and_stop();
+  /// Appends the uids of every fully-queued packet (call after
+  /// drop_partial_front) — the in-flight entries a fabric reset must keep.
+  void collect_queued_uids(std::vector<std::uint64_t>& out) const;
+
  private:
   void generate(sim::Chip& chip);
 
@@ -153,6 +167,15 @@ class OutputLineCard : public sim::Device {
   /// End-to-end latency distribution (cycles), for p50/p95/p99 reporting.
   [[nodiscard]] const common::Histogram& latency_histogram() const {
     return latency_hist_;
+  }
+
+  /// Recovery surgery: drops any partially-reassembled frame and realigns
+  /// on the next header word — the words already buffered were severed from
+  /// their tail by the fabric reset.
+  void reset_framing() {
+    current_.clear();
+    expected_words_ = 0;
+    in_resync_ = false;
   }
 
  private:

@@ -30,6 +30,24 @@ void RouterConfig::validate() const {
         "RouterConfig.threads must be >= 0 (0 resolves RAWSIM_THREADS); got " +
         std::to_string(threads));
   }
+  if (link.enabled && link.max_retries == 0) {
+    throw std::invalid_argument(
+        "RouterConfig.link.max_retries must be positive when reliable links "
+        "are enabled: a zero retransmit budget can never repair a word");
+  }
+  if (link.enabled && link.replay_depth < link.retransmit_rtt) {
+    throw std::invalid_argument(
+        "RouterConfig.link.replay_depth (" + std::to_string(link.replay_depth) +
+        ") must cover the retransmit round-trip (" +
+        std::to_string(link.retransmit_rtt) +
+        " cycles): words in flight during a NACK need replay frames");
+  }
+  if (link.enabled && link.replay_depth < link_fifo_depth) {
+    throw std::invalid_argument(
+        "RouterConfig.link.replay_depth (" + std::to_string(link.replay_depth) +
+        ") must be >= link_fifo_depth (" + std::to_string(link_fifo_depth) +
+        "): every buffered word needs its replay frame");
+  }
 }
 
 const char* drain_outcome_name(DrainOutcome o) {
@@ -38,6 +56,7 @@ const char* drain_outcome_name(DrainOutcome o) {
     case DrainOutcome::kLossQuiesced: return "loss_quiesced";
     case DrainOutcome::kStalled: return "stalled";
     case DrainOutcome::kTimeout: return "timeout";
+    case DrainOutcome::kDrainedDegraded: return "drained_degraded";
   }
   return "?";
 }
@@ -58,6 +77,11 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
   chip_cfg.link_fifo_depth = config_.link_fifo_depth;
   chip_cfg.threads = config_.threads;
   chip_ = std::make_unique<sim::Chip>(chip_cfg);
+  if (config_.link.enabled) {
+    chip_->enable_link_protection(sim::LinkProtectionParams{
+        config_.link.max_retries, config_.link.retransmit_rtt,
+        config_.link.replay_depth});
+  }
   runner_ = std::make_unique<exec::ParallelRunner>(*chip_, config_.threads);
 
   core_.chip = chip_.get();
@@ -152,6 +176,7 @@ void RawRouter::export_metrics(common::MetricRegistry& registry,
 
     registry.counter(port + "/ingress/malformed_drops").set(ctr.malformed_drops);
     registry.counter(port + "/ingress/resync_slides").set(ctr.resync_slides);
+    registry.counter(port + "/ingress/dead_port_drops").set(ctr.dead_port_drops);
 
     registry.counter(port + "/egress/delivered_packets").set(out.delivered_packets());
     registry.counter(port + "/egress/delivered_bytes").set(out.delivered_bytes());
@@ -185,6 +210,21 @@ void RawRouter::export_metrics(common::MetricRegistry& registry,
   registry.counter(prefix + "/errors").set(errors());
 
   registry.counter(prefix + "/watchdog/trips").set(watchdog_trips_);
+  registry.counter(prefix + "/recovery/recoveries").set(recoveries_);
+  registry.counter(prefix + "/recovery/schedule_generation")
+      .set(static_cast<std::uint64_t>(schedule_generation_));
+  registry.counter(prefix + "/recovery/degraded").set(degraded_ ? 1 : 0);
+  registry.counter(prefix + "/recovery/dead_tiles").set(dead_tiles_.size());
+  registry.counter(prefix + "/recovery/written_off")
+      .set(recovery_report_.has_value() ? recovery_report_->written_off : 0);
+  if (config_.link.enabled) {
+    registry.counter("faults/recovered/retransmits")
+        .set(chip_->link_retransmits());
+    registry.counter("faults/recovered/delivered_corrupt")
+        .set(chip_->link_delivered_corrupt());
+    registry.counter("faults/recovered/stall_cycles")
+        .set(chip_->link_stall_cycles());
+  }
   registry.counter(prefix + "/conservation/offered").set(offered_packets());
   registry.counter(prefix + "/conservation/dropped_at_card").set(dropped_at_card());
   registry.counter(prefix + "/conservation/delivered").set(ledger_.erased_delivered);
@@ -219,9 +259,14 @@ bool RawRouter::check_watchdog() {
 
   // Hard trip: nothing moved anywhere for the bound while work is queued.
   // The idle quantum ring circulates continuously on a healthy chip, so
-  // this fires only when the fabric is genuinely wedged.
+  // this fires only when the fabric is genuinely wedged. The second guard is
+  // the recovery grace period: a reconfiguration resets the fabric, so the
+  // pre-recovery progress staleness must not re-trip before the degraded
+  // fabric has had a full bound to move a word (vacuously true before the
+  // first recovery, when last_recovery_cycle_ is 0).
   if (now - chip_->last_progress_cycle() >= wd.no_progress_bound &&
-      work_pending()) {
+      now - last_recovery_cycle_ >= wd.no_progress_bound && work_pending()) {
+    if (try_recover()) return false;
     ++watchdog_trips_;
     stall_report_ = build_stall_report(*chip_, layout_,
                                        StallReport::Cause::kNoForwardProgress,
@@ -252,6 +297,33 @@ bool RawRouter::check_watchdog() {
   return false;
 }
 
+bool RawRouter::try_recover() {
+  if (!config_.recovery.enabled) return false;
+  const sim::FaultPlan* plan = chip_->fault_plan();
+  if (plan == nullptr) return false;
+  std::vector<int> dead = plan->permanently_frozen_tiles();
+  // Only a *permanent* freeze justifies abandoning the compiled schedule; a
+  // transient one resolves on its own and retrying the same dead set that
+  // already failed to make progress would loop forever.
+  if (dead.empty() || dead == dead_tiles_) return false;
+
+  ++recoveries_;
+  ++schedule_generation_;
+  recovery_report_ = reconfigure_degraded(core_, ledger_, inputs_, outputs_,
+                                          dead, schedule_generation_);
+  dead_tiles_ = std::move(dead);
+  degraded_ = true;
+  stall_report_.reset();
+  last_recovery_cycle_ = chip_->cycle();
+  // Reset the starvation baselines too: the degraded fabric counts grants
+  // differently (one per packet) and starts from a clean slate.
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    starve_grants_[p] = core_.counters[p].grants;
+    starve_since_[p] = chip_->cycle();
+  }
+  return true;
+}
+
 void RawRouter::check_conservation() const {
   const std::uint64_t offered = offered_packets();
   const std::uint64_t accounted =
@@ -272,7 +344,7 @@ RunStatus RawRouter::run(common::Cycle cycles) {
     fabric_run(std::min(wd.check_interval, deadline - chip_->cycle()));
     if (check_watchdog()) return RunStatus::kStalled;
   }
-  return RunStatus::kOk;
+  return degraded_ ? RunStatus::kDegraded : RunStatus::kOk;
 }
 
 bool RawRouter::drain(common::Cycle max_cycles) {
@@ -287,7 +359,9 @@ bool RawRouter::drain(common::Cycle max_cycles) {
   const WatchdogConfig& wd = config_.watchdog;
   if (!wd.enabled) {
     const bool ok = fabric_run_until(all_drained, max_cycles);
-    drain_outcome_ = ok ? DrainOutcome::kDrained : DrainOutcome::kTimeout;
+    drain_outcome_ = ok ? (degraded_ ? DrainOutcome::kDrainedDegraded
+                                     : DrainOutcome::kDrained)
+                        : DrainOutcome::kTimeout;
     check_conservation();
     return ok;
   }
@@ -303,7 +377,11 @@ bool RawRouter::drain(common::Cycle max_cycles) {
   while (true) {
     const common::Cycle remaining = deadline - chip_->cycle();
     if (fabric_run_until(all_drained, std::min(wd.check_interval, remaining))) {
-      drain_outcome_ = DrainOutcome::kDrained;
+      // degraded_ may have flipped mid-drain: a permanent freeze can land
+      // after the arrival processes stop, in which case check_watchdog below
+      // recovers and the drain completes on the degraded fabric.
+      drain_outcome_ = degraded_ ? DrainOutcome::kDrainedDegraded
+                                 : DrainOutcome::kDrained;
       check_conservation();
       return true;
     }
@@ -360,6 +438,45 @@ std::uint64_t RawRouter::errors() const {
   std::uint64_t n = 0;
   for (const auto& out : outputs_) n += out->errors();
   return n;
+}
+
+std::uint64_t RawRouter::state_digest() const {
+  std::uint64_t h = chip_->state_digest();
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;  // FNV-1a prime, matching Chip::state_digest
+  };
+  mix(ledger_.erased_delivered);
+  mix(ledger_.erased_invalid);
+  mix(ledger_.erased_ingress);
+  mix(ledger_.erased_lost);
+  mix(ledger_.in_flight.size());
+  mix(offered_packets());
+  mix(dropped_at_card());
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    const PortCounters& ctr = core_.counters[p];
+    mix(ctr.packets_in);
+    mix(ctr.fragments);
+    mix(ctr.grants);
+    mix(ctr.lookups);
+    mix(ctr.ttl_drops);
+    mix(ctr.no_route_drops);
+    mix(ctr.malformed_drops);
+    mix(ctr.resync_slides);
+    mix(ctr.cut_through);
+    mix(ctr.reassembled);
+    mix(ctr.dead_port_drops);
+    const OutputLineCard& out = *outputs_[p];
+    mix(out.delivered_packets());
+    mix(out.delivered_bytes());
+    mix(out.errors());
+    mix(out.resyncs());
+  }
+  mix(static_cast<std::uint64_t>(drain_outcome_));
+  mix(watchdog_trips_);
+  mix(recoveries_);
+  mix(static_cast<std::uint64_t>(schedule_generation_));
+  return h;
 }
 
 double RawRouter::gbps() const {

@@ -7,11 +7,13 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "exec/parallel_runner.h"
 #include "net/route_table.h"
 #include "net/traffic.h"
 #include "router/line_cards.h"
+#include "router/recovery.h"
 #include "router/schedule_compiler.h"
 #include "router/tile_programs.h"
 #include "router/watchdog.h"
@@ -19,6 +21,23 @@
 #include "sim/fault_plan.h"
 
 namespace raw::router {
+
+/// Reliable-link layer (RouterConfig::link): per-word CRC tag + bounded
+/// NACK/retransmit on every static-network wire (see sim::Channel and
+/// DESIGN.md "Recovery model"). Off by default and zero-cost when disabled;
+/// when enabled, an injected bit flip becomes a retransmit stall (counted
+/// under faults/recovered/*) instead of a corrupted delivery.
+struct LinkProtectionConfig {
+  bool enabled = false;
+  /// Retransmit attempts per word before delivering it corrupt anyway (so a
+  /// hard-stuck wire degrades instead of wedging the fabric).
+  std::uint32_t max_retries = 3;
+  /// Modelled NACK round-trip: cycles the receiver stalls per retransmit.
+  common::Cycle retransmit_rtt = 4;
+  /// Sender-side replay ring depth (words). Must cover the link FIFO depth
+  /// (every buffered word needs its frame) and the retransmit round-trip.
+  std::size_t replay_depth = 8;
+};
 
 struct RouterConfig {
   RuntimeConfig runtime;
@@ -39,26 +58,35 @@ struct RouterConfig {
   /// resolves via RAWSIM_THREADS and falls back to the serial engine; any
   /// resolved count produces bit-identical results (see exec::ParallelRunner).
   int threads = 0;
+  /// Reliable-link layer on the static-network wires (off by default).
+  LinkProtectionConfig link;
+  /// Fault-adaptive reconfiguration around permanently-frozen tiles (off by
+  /// default; see router/recovery.h).
+  RecoveryConfig recovery;
 
   /// Rejects configurations that would misbehave deep inside the fabric
   /// (edge FIFOs too small to hold an IP header, a zero-capacity line-card
-  /// queue). Throws std::invalid_argument with a message naming the field.
+  /// queue, a reliable-link layer that cannot cover its own FIFOs). Throws
+  /// std::invalid_argument with a message naming the field.
   void validate() const;
 };
 
 /// Outcome of a bounded run() under the watchdog.
 enum class RunStatus : std::uint8_t {
-  kOk = 0,       // ran the requested cycles
-  kStalled = 1,  // watchdog tripped: see stall_report()
+  kOk = 0,        // ran the requested cycles
+  kStalled = 1,   // watchdog tripped: see stall_report()
+  kDegraded = 2,  // ran the requested cycles, but a recovery reconfigured
+                  // the fabric around dead tiles: see recovery_report()
 };
 
 /// Outcome of drain(), recoverable via drain_outcome() after the call.
 enum class DrainOutcome : std::uint8_t {
-  kDrained = 0,       // every offered packet is accounted for at the cards
-  kLossQuiesced = 1,  // fabric went quiet with packets missing (written off
-                      // as lost — expected under corrupting fault plans)
-  kStalled = 2,       // watchdog tripped mid-drain: see stall_report()
-  kTimeout = 3,       // max_cycles elapsed with work still moving
+  kDrained = 0,          // every offered packet is accounted for at the cards
+  kLossQuiesced = 1,     // fabric went quiet with packets missing (written off
+                         // as lost — expected under corrupting fault plans)
+  kStalled = 2,          // watchdog tripped mid-drain: see stall_report()
+  kTimeout = 3,          // max_cycles elapsed with work still moving
+  kDrainedDegraded = 4,  // fully drained, but on a recovered (degraded) fabric
 };
 
 const char* drain_outcome_name(DrainOutcome o);
@@ -87,8 +115,29 @@ class RawRouter {
   [[nodiscard]] const std::optional<StallReport>& stall_report() const {
     return stall_report_;
   }
-  /// Hard watchdog trips (no-forward-progress) so far.
+  /// Hard watchdog trips (no-forward-progress) so far. A trip that recovery
+  /// absorbs (the fabric was reconfigured and kept running) is not counted.
   [[nodiscard]] std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+
+  /// True once a recovery reconfigured the fabric around dead tiles.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  /// Successful reconfigurations so far.
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Crossbar schedule generation: 0 for the compile-time schedule, +1 per
+  /// reconfiguration.
+  [[nodiscard]] int schedule_generation() const { return schedule_generation_; }
+  /// Tiles currently routed around (empty while healthy).
+  [[nodiscard]] const std::vector<int>& dead_tiles() const { return dead_tiles_; }
+  /// Report of the most recent reconfiguration, if any.
+  [[nodiscard]] const std::optional<RecoveryReport>& recovery_report() const {
+    return recovery_report_;
+  }
+
+  /// FNV-1a digest of the router's observable end state: the chip's
+  /// architectural digest folded with the ledger, per-port counters, and the
+  /// run/drain outcome. Equal digests across engines (dense/sparse, any
+  /// worker count) and across record/replay is the determinism check.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
   /// Attaches a fault-injection plan to the chip (see sim::FaultPlan) and
   /// points it at the router's tracer if one is set. Call before run().
@@ -153,6 +202,11 @@ class RawRouter {
   }
   /// Runs the watchdog checks; returns true on a hard (no-progress) trip.
   bool check_watchdog();
+  /// Attempts a fault-adaptive reconfiguration after a confirmed no-progress
+  /// stall. Returns true when the fabric was rebuilt (the trip is absorbed);
+  /// false when recovery is disabled, no tile is permanently frozen, or the
+  /// same dead set already failed to make progress.
+  bool try_recover();
   /// Asserts the packet-conservation identity (see PacketLedger).
   void check_conservation() const;
 
@@ -171,6 +225,15 @@ class RawRouter {
   std::optional<StallReport> stall_report_;
   std::uint64_t watchdog_trips_ = 0;
   DrainOutcome drain_outcome_ = DrainOutcome::kDrained;
+  // Fault-adaptive reconfiguration state (see router/recovery.h).
+  bool degraded_ = false;
+  std::uint64_t recoveries_ = 0;
+  int schedule_generation_ = 0;
+  std::vector<int> dead_tiles_;
+  std::optional<RecoveryReport> recovery_report_;
+  // Grace marker: a fresh recovery resets progress expectations, so the
+  // no-progress check must not re-trip on pre-recovery staleness.
+  common::Cycle last_recovery_cycle_ = 0;
   // Per-port starvation tracking: last observed grant count and the cycle it
   // last changed.
   std::array<std::uint64_t, kNumPorts> starve_grants_{};

@@ -1,0 +1,76 @@
+// Fault-adaptive crossbar reconfiguration (the self-healing fabric).
+//
+// When the progress watchdog confirms that one or more tiles are permanently
+// frozen, the recovery controller rebuilds the router around them instead of
+// giving up: every surviving port keeps forwarding in a *degraded* mode that
+// routes packets over the dynamic network (which is switched per-hop by the
+// hardware routers, not by the frozen tiles' switch programs, so a dead tile
+// merely becomes a passive waypoint). The static-network quantum ring is
+// abandoned — its compile-time schedule assumes all four crossbar tiles — so
+// degraded throughput is dynamic-network bound, but packet conservation and
+// end-to-end validation still hold exactly.
+//
+// Port survivorship is determined by which tile died:
+//   * lookup or crossbar tile dead  -> no port lost (degraded mode does local
+//     lookups on the ingress tile and bypasses the ring entirely);
+//   * ingress tile dead             -> that port stops receiving (its input
+//     card flushes and stops);
+//   * egress tile dead              -> that port stops transmitting (packets
+//     routed to it are dropped at ingress as dead_port_drops).
+//
+// See DESIGN.md "Recovery model" for the reconfiguration procedure and its
+// invariants.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "router/line_cards.h"
+#include "router/tile_programs.h"
+
+namespace raw::router {
+
+/// Recovery policy knobs (RouterConfig::recovery).
+struct RecoveryConfig {
+  /// Reconfigure around permanently-frozen tiles instead of reporting a
+  /// watchdog stall. Off by default: recovery rewrites tile programs and
+  /// resets in-flight fabric state, which a deterministic benchmark run must
+  /// never do behind the caller's back.
+  bool enabled = false;
+};
+
+/// What one reconfiguration did, for reporting and tests.
+struct RecoveryReport {
+  int generation = 0;               // schedule generation installed (1-based)
+  common::Cycle reconfigured_at = 0;
+  std::vector<int> dead_tiles;      // permanently frozen tiles routed around
+  std::vector<int> lost_rx_ports;   // ports whose ingress tile died
+  std::vector<int> lost_tx_ports;   // ports whose egress tile died
+  /// Packets written off as lost by the fabric reset (in-flight words died
+  /// with the static-network channels) and by dead-ingress queue flushes.
+  std::uint64_t written_off = 0;
+  /// Packets already delivered when the reconfiguration ran (so tests can
+  /// assert the degraded fabric delivered *more* afterwards).
+  std::uint64_t delivered_at_reconfigure = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Tears the router down to a degraded configuration that avoids `dead`
+/// (permanently frozen) tiles: unloads every tile, resets all channel and
+/// dynamic-network state, performs line-card surgery (partial packets and
+/// dead-port queues are written off as lost in `ledger`), and installs
+/// degraded ingress/egress programs on the surviving port tiles. The caller
+/// (RawRouter) owns the decision to invoke this and the Degraded status
+/// bookkeeping. `generation` is the new schedule generation (1 on the first
+/// recovery).
+RecoveryReport reconfigure_degraded(
+    RouterCore& core, PacketLedger& ledger,
+    std::array<std::unique_ptr<InputLineCard>, kNumPorts>& inputs,
+    std::array<std::unique_ptr<OutputLineCard>, kNumPorts>& outputs,
+    const std::vector<int>& dead, int generation);
+
+}  // namespace raw::router

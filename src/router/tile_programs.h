@@ -77,6 +77,7 @@ struct PortCounters {
   std::uint64_t cut_through = 0;       // whole packets streamed directly
   std::uint64_t out_descs = 0;         // descriptors sent toward the egress
   std::uint64_t out_words = 0;         // body words promised to the egress
+  std::uint64_t dead_port_drops = 0;   // degraded mode: destination tx died
 };
 
 struct PacketLedger;

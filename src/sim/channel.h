@@ -26,14 +26,28 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/ring_buffer.h"
 #include "common/types.h"
 #include "sim/engine_state.h"
 
 namespace raw::sim {
+
+/// Reliable-link parameters (see DESIGN.md "Recovery model"). When a channel
+/// has link protection enabled, every committed word carries a CRC-8 tag and
+/// a sequence number in a sender-side replay buffer; a corrupted word at the
+/// receiver triggers a NACK + retransmit (modelled as a clean rewrite plus a
+/// round-trip link stall) bounded by `max_retries`.
+struct LinkProtectionParams {
+  std::uint32_t max_retries = 3;
+  common::Cycle retransmit_rtt = 4;
+  /// Sender replay-buffer depth in words; must cover the channel FIFO.
+  std::size_t replay_depth = 8;
+};
 
 class Channel {
  public:
@@ -95,6 +109,10 @@ class Channel {
     touch();
     if (!staged_.has_value()) return false;
     buf_.push(*staged_);
+    if (guard_ != nullptr) {
+      guard_->replay.push(*guard_->staged);
+      guard_->staged.reset();
+    }
     staged_.reset();
     ++words_transferred_;
     return true;
@@ -111,15 +129,26 @@ class Channel {
   }
 
   /// True when a word committed in an earlier cycle is available and this
-  /// cycle's read slot is unused.
+  /// cycle's read slot is unused. On a link-protected channel this is also
+  /// the receive-side integrity check: a word whose CRC tag no longer
+  /// matches triggers the NACK/retransmit protocol (see front_intact()) and
+  /// reads false until the modelled round trip has elapsed.
   [[nodiscard]] bool can_read() const {
     touch();
-    return !buf_.empty() && !read_this_cycle_ && now() >= stall_until_;
+    if (buf_.empty() || read_this_cycle_ || now() < stall_until_) return false;
+    return guard_ == nullptr || front_intact();
   }
 
   [[nodiscard]] Word read() {
     RAW_ASSERT_MSG(can_read(), "read from unready channel");
     read_this_cycle_ = true;
+    if (guard_ != nullptr) {
+      const LinkFrame f = guard_->replay.pop();
+      // A word read past an exhausted retransmit budget is delivered
+      // corrupt; the damage surfaces at the consumer's validators.
+      if (link_crc8(buf_.front(), f.seq) != f.tag) ++guard_->delivered_corrupt;
+      guard_->front_retries = 0;
+    }
     // This cycle's read frees a slot at the *next* cycle start; a writer
     // parked on the full FIFO becomes runnable then.
     if (wait_writer_ >= 0 && engine_ != nullptr) {
@@ -146,7 +175,9 @@ class Channel {
   /// backpressure and readers see an empty FIFO, exactly as if the wire went
   /// quiet. Extends (never shortens) an active stall.
   void fault_stall(std::uint64_t cycles) {
+    touch();
     stall_until_ = std::max(stall_until_, now() + cycles);
+    fault_wake();
   }
   [[nodiscard]] bool fault_stalled() const { return now() < stall_until_; }
 
@@ -154,13 +185,16 @@ class Channel {
   /// (the FIFO front, else the word staged this cycle). Returns false when
   /// the channel holds no word to corrupt.
   bool fault_flip(std::uint32_t bit) {
+    touch();
     const Word mask = Word{1} << (bit % 32u);
     if (!buf_.empty()) {
       buf_.front() ^= mask;
+      fault_wake();
       return true;
     }
     if (staged_.has_value()) {
       *staged_ ^= mask;
+      fault_wake();
       return true;
     }
     return false;
@@ -169,10 +203,109 @@ class Channel {
   void write(Word w) {
     RAW_ASSERT_MSG(can_write(), "write to unready channel");
     staged_ = w;
+    if (guard_ != nullptr) {
+      guard_->staged =
+          LinkFrame{w, guard_->next_seq, link_crc8(w, guard_->next_seq)};
+      ++guard_->next_seq;
+    }
     if (engine_ != nullptr) {
       engine_->lanes[static_cast<std::size_t>(t_engine_lane)].dirty.push_back(
           this);
     }
+  }
+
+  /// Enables the reliable-link layer on this channel. Must be called while
+  /// the channel is idle (typically right after construction); the replay
+  /// buffer must be able to mirror the whole FIFO.
+  void enable_link_protection(const LinkProtectionParams& params) {
+    RAW_ASSERT_MSG(idle(), "link protection enabled on a busy channel");
+    RAW_ASSERT_MSG(params.replay_depth >= buf_.capacity(),
+                   "replay buffer must cover the link FIFO");
+    guard_ = std::make_unique<LinkGuard>(params);
+  }
+  [[nodiscard]] bool link_protected() const { return guard_ != nullptr; }
+  /// Words repaired from the sender's replay buffer after a CRC mismatch.
+  [[nodiscard]] std::uint64_t link_retransmits() const {
+    return guard_ != nullptr ? guard_->retransmits : 0;
+  }
+  /// Words read corrupt after the bounded retransmit budget was exhausted.
+  [[nodiscard]] std::uint64_t link_delivered_corrupt() const {
+    return guard_ != nullptr ? guard_->delivered_corrupt : 0;
+  }
+  /// Cycles this link was held for NACK round trips.
+  [[nodiscard]] std::uint64_t link_stall_cycles() const {
+    return guard_ != nullptr ? guard_->stall_cycles : 0;
+  }
+
+  /// Recovery reset (fault-adaptive reconfiguration): discards buffered and
+  /// staged words and clears any injected stall. Cumulative counters
+  /// (words_transferred, link stats) survive; wake slots are the chip's to
+  /// clear (Chip unparks every agent before reprogramming tiles).
+  void reset_contents() {
+    buf_.clear();
+    staged_.reset();
+    stall_until_ = 0;
+    read_this_cycle_ = false;
+    size_at_start_ = 0;
+    last_cycle_ = ~common::Cycle{0};
+    if (guard_ != nullptr) {
+      guard_->replay.clear();
+      guard_->staged.reset();
+      guard_->front_retries = 0;
+    }
+  }
+
+  /// Point-in-time functional state, for Chip snapshot/restore. Valid at a
+  /// cycle boundary.
+  struct State {
+    std::vector<Word> words;
+    std::optional<Word> staged;
+    common::Cycle stall_until = 0;
+    std::uint64_t words_transferred = 0;
+  };
+
+  [[nodiscard]] State save_state() const {
+    touch();
+    State s;
+    s.words.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i) s.words.push_back(buf_.peek(i));
+    s.staged = staged_;
+    s.stall_until = stall_until_;
+    s.words_transferred = words_transferred_;
+    return s;
+  }
+
+  void restore_state(const State& s) {
+    reset_contents();
+    for (const Word w : s.words) {
+      buf_.push(w);
+      // Rebuild the replay mirror treating restored words as clean:
+      // snapshots are taken at verified quiescent boundaries.
+      if (guard_ != nullptr) stage_guard_frame_committed(w);
+    }
+    staged_ = s.staged;
+    if (guard_ != nullptr && s.staged.has_value()) {
+      guard_->staged = LinkFrame{*s.staged, guard_->next_seq,
+                                 link_crc8(*s.staged, guard_->next_seq)};
+      ++guard_->next_seq;
+    }
+    stall_until_ = s.stall_until;
+    words_transferred_ = s.words_transferred;
+  }
+
+  /// Folds the functional state into an FNV-1a accumulator (engine-equality
+  /// digests; see Chip::state_digest).
+  void fold_digest(std::uint64_t& h) const {
+    touch();
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i) mix(buf_.peek(i));
+    mix(staged_.has_value() ? 1u + std::uint64_t{*staged_} : 0u);
+    mix(stall_until_);
+    mix(words_transferred_);
   }
 
   /// Wake-list slots: the (unique) reader or writer agent parked on this
@@ -219,6 +352,88 @@ class Channel {
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
+  /// One protected word as the sender keeps it: the clean value, its link
+  /// sequence number, and the CRC-8 tag both ends compute over (word, seq).
+  struct LinkFrame {
+    Word word = 0;
+    std::uint16_t seq = 0;
+    std::uint8_t tag = 0;
+  };
+
+  /// Reliable-link state. `replay` mirrors buf_ word-for-word (pushed on
+  /// commit, popped on read), so the receiver can always compare the FIFO
+  /// front against the sender's clean copy.
+  struct LinkGuard {
+    explicit LinkGuard(const LinkProtectionParams& p)
+        : params(p), replay(p.replay_depth) {}
+    LinkProtectionParams params;
+    common::RingBuffer<LinkFrame> replay;
+    std::optional<LinkFrame> staged;
+    std::uint16_t next_seq = 0;
+    std::uint32_t front_retries = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t delivered_corrupt = 0;
+    std::uint64_t stall_cycles = 0;
+  };
+
+  /// CRC-8 (polynomial 0x07) over the word and its sequence number.
+  [[nodiscard]] static std::uint8_t link_crc8(Word w, std::uint16_t seq) {
+    const std::uint64_t data = (std::uint64_t{seq} << 32) | w;
+    std::uint8_t crc = 0;
+    for (int i = 0; i < 48; i += 8) {
+      crc ^= static_cast<std::uint8_t>(data >> i);
+      for (int b = 0; b < 8; ++b) {
+        crc = static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(crc << 1) ^
+            ((crc & 0x80u) != 0 ? 0x07u : 0x00u));
+      }
+    }
+    return crc;
+  }
+
+  /// Receive-side check of the FIFO front against the sender's replay copy.
+  /// On a tag mismatch the word is rewritten from the replay buffer and the
+  /// link held for one NACK round trip (returns false — not readable yet);
+  /// past the bounded retry budget the corrupt word is released as-is.
+  /// Const because it runs inside can_read(); the repair mutates only
+  /// `mutable` receive-path state, which is exactly the lazily-refreshed
+  /// state touch() already maintains from const observers.
+  [[nodiscard]] bool front_intact() const {
+    LinkGuard& g = *guard_;
+    const LinkFrame& f = g.replay.front();
+    if (link_crc8(buf_.front(), f.seq) == f.tag) return true;
+    if (g.front_retries >= g.params.max_retries) return true;  // give up
+    ++g.front_retries;
+    ++g.retransmits;
+    g.stall_cycles += g.params.retransmit_rtt;
+    buf_.front() = f.word;
+    stall_until_ = std::max(stall_until_, now() + g.params.retransmit_rtt);
+    return false;
+  }
+
+  /// Rebuilds one committed word's replay frame (snapshot restore).
+  void stage_guard_frame_committed(Word w) {
+    guard_->replay.push(LinkFrame{w, guard_->next_seq,
+                                  link_crc8(w, guard_->next_seq)});
+    ++guard_->next_seq;
+  }
+
+  /// Satellite fix (sparse engine x faults): a fault that mutates this
+  /// channel returns any agent parked on it to the runnable set, so the
+  /// mutation is re-observed this cycle exactly as under dense stepping.
+  void fault_wake() {
+    if (engine_ == nullptr) return;
+    auto& wakes = engine_->lanes[static_cast<std::size_t>(t_engine_lane)].wakes;
+    if (wait_reader_ >= 0) {
+      wakes.push_back(wait_reader_);
+      wait_reader_ = -1;
+    }
+    if (wait_writer_ >= 0) {
+      wakes.push_back(wait_writer_);
+      wait_writer_ = -1;
+    }
+  }
+
   /// Current cycle: the engine's in attached mode, the local begin_cycle
   /// counter in detached mode.
   [[nodiscard]] common::Cycle now() const {
@@ -240,7 +455,9 @@ class Channel {
   }
 
   std::string name_;
-  common::RingBuffer<Word> buf_;
+  // Mutable: front_intact() repairs the FIFO front (and arms the NACK
+  // stall) from inside const can_read(), the receive path's only probe.
+  mutable common::RingBuffer<Word> buf_;
   mutable std::size_t size_at_start_;
   mutable bool read_this_cycle_ = false;
   bool stats_enabled_ = false;
@@ -252,9 +469,12 @@ class Channel {
   // begun cycle is numbered 1; a fault_stall before any begin_cycle covers
   // cycle 0, reproducing the eager decrement-per-begin semantics exactly).
   common::Cycle local_now_ = 0;
-  common::Cycle stall_until_ = 0;  // injected link outage, exclusive end cycle
+  // Injected or NACK-round-trip link outage, exclusive end cycle. Mutable
+  // for the same reason as buf_ (armed by front_intact()).
+  mutable common::Cycle stall_until_ = 0;
   std::int32_t wait_reader_ = -1;  // parked reader agent, engine-managed
   std::int32_t wait_writer_ = -1;  // parked writer agent, engine-managed
+  std::unique_ptr<LinkGuard> guard_;  // null = link protection off (default)
   std::optional<Word> staged_;
   std::uint64_t words_transferred_ = 0;
   std::uint64_t stats_cycles_ = 0;

@@ -182,8 +182,9 @@ void Chip::step_agents(int begin, int end, bool dense) {
   // Sparse path: step only runnable agents; park the ones that cannot make
   // progress until a channel event wakes them. Agents blocked on a
   // fault-stalled link stay runnable (the stall expires by time, not by a
-  // channel event), but fault plans force dense stepping anyway — this
-  // guard covers stalls outliving a detached plan.
+  // channel event), and a fault that mutates a channel with parked agents
+  // wakes them (Channel::fault_wake), so flips and stalls are exact here;
+  // only tile-freeze windows force dense stepping (see dense_cycle()).
   for (int t = begin; t < end; ++t) {
     const std::uint8_t f = run_flags_[static_cast<std::size_t>(t)];
     if (f == 0) continue;
@@ -217,8 +218,7 @@ void Chip::step_agents(int begin, int end, bool dense) {
 bool Chip::may_park_on(const Channel* ch, AgentState cause) {
   if (ch == nullptr) return false;
   // A stalled link recovers by time, not by a channel event; the blocked
-  // agent polls until the stall expires. (Plans force dense stepping — this
-  // covers stalls injected directly, outliving a detached plan.)
+  // agent polls until the stall expires.
   if (ch->fault_stalled()) return false;
   if (cause == AgentState::kBlockedSend) {
     // The wake for a parked writer is the reader's read(), which happens
@@ -422,6 +422,95 @@ void Chip::export_metrics(common::MetricRegistry& registry,
       registry.counter(chan_base + "/backpressure_cycles").set(ch->full_cycles());
     }
   }
+}
+
+void Chip::enable_link_protection(const LinkProtectionParams& params) {
+  for (Channel* ch : all_channels_) {
+    // Every static-network wire is named "net<N>...."; tile FIFOs are
+    // "t<T>.cst?" and dynamic-network channels carry their own prefix.
+    if (ch->name().rfind("net", 0) == 0) ch->enable_link_protection(params);
+  }
+}
+
+std::uint64_t Chip::link_retransmits() const {
+  std::uint64_t total = 0;
+  for (const Channel* ch : all_channels_) total += ch->link_retransmits();
+  return total;
+}
+
+std::uint64_t Chip::link_delivered_corrupt() const {
+  std::uint64_t total = 0;
+  for (const Channel* ch : all_channels_) total += ch->link_delivered_corrupt();
+  return total;
+}
+
+std::uint64_t Chip::link_stall_cycles() const {
+  std::uint64_t total = 0;
+  for (const Channel* ch : all_channels_) total += ch->link_stall_cycles();
+  return total;
+}
+
+Chip::Snapshot Chip::snapshot() const {
+  RAW_ASSERT_MSG(dyn_ == nullptr || dyn_->words_in_flight() == 0,
+                 "chip snapshot requires a quiet dynamic network");
+  Snapshot s;
+  s.cycle = engine_.now;
+  s.last_progress = last_progress_cycle_;
+  s.channels.reserve(all_channels_.size());
+  for (const Channel* ch : all_channels_) s.channels.push_back(ch->save_state());
+  s.switches.reserve(tiles_.size());
+  for (const auto& t : tiles_) {
+    const SwitchProcessor& sw = t->switch_proc();
+    Snapshot::SwitchState st;
+    st.pc = sw.pc();
+    st.halted = sw.halted();
+    for (int r = 0; r < kNumSwitchRegs; ++r) {
+      st.regs[static_cast<std::size_t>(r)] = sw.reg(static_cast<std::uint8_t>(r));
+    }
+    s.switches.push_back(st);
+  }
+  return s;
+}
+
+void Chip::restore(const Snapshot& s) {
+  RAW_ASSERT_MSG(s.channels.size() == all_channels_.size() &&
+                     s.switches.size() == tiles_.size(),
+                 "snapshot shape does not match this chip");
+  // Everything becomes runnable and revalidates against the restored state;
+  // parking decisions never change results, so both engines replay alike.
+  wake_all_parked();
+  engine_.now = s.cycle;
+  last_progress_cycle_ = s.last_progress;
+  for (std::size_t i = 0; i < all_channels_.size(); ++i) {
+    all_channels_[i]->restore_state(s.channels[i]);
+  }
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const Snapshot::SwitchState& st = s.switches[i];
+    tiles_[i]->switch_proc().restore_state(st.pc, st.halted, st.regs);
+  }
+}
+
+std::uint64_t Chip::state_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(engine_.now);
+  for (const Channel* ch : all_channels_) ch->fold_digest(h);
+  for (const auto& t : tiles_) {
+    const SwitchProcessor& sw = t->switch_proc();
+    mix(sw.pc());
+    mix(sw.halted() ? 1u : 0u);
+    for (int r = 0; r < kNumSwitchRegs; ++r) {
+      mix(sw.reg(static_cast<std::uint8_t>(r)));
+    }
+  }
+  if (dyn_ != nullptr) {
+    mix(dyn_->words_in_flight());
+    mix(dyn_->messages_delivered());
+  }
+  return h;
 }
 
 std::uint64_t Chip::static_words_transferred() const {

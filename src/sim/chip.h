@@ -25,6 +25,7 @@
 #include "sim/device.h"
 #include "sim/dynamic_network.h"
 #include "sim/engine_state.h"
+#include "sim/fault_plan.h"
 #include "sim/tile.h"
 #include "sim/trace.h"
 
@@ -33,8 +34,6 @@ class ParallelRunner;
 }
 
 namespace raw::sim {
-
-class FaultPlan;
 
 struct ChipConfig {
   GridShape shape{4, 4};
@@ -87,8 +86,10 @@ class Chip {
   /// Attaches (or detaches, with nullptr) a fault-injection plan. The plan
   /// is bound immediately (channel names resolved) and then stepped every
   /// cycle before devices run. The chip does not own it. A chip with a plan
-  /// attached steps densely (every agent, every cycle) so freeze windows and
-  /// stalled-link wakeups stay cycle-exact; behaviour is bit-identical to a
+  /// attached steps sparsely except around tile-freeze windows (the only
+  /// fault the sparse path cannot honour — a frozen tile must be *skipped*,
+  /// which the park lists know nothing about; flips and stalls instead wake
+  /// the mutated channel's parked agents). Behaviour is bit-identical to a
   /// planless chip once the plan is empty.
   void set_fault_plan(FaultPlan* plan);
   [[nodiscard]] FaultPlan* fault_plan() const { return faults_; }
@@ -188,6 +189,53 @@ class Chip {
     return *out_link(net, tile, dir);
   }
 
+  /// Enables the reliable-link layer (per-word CRC tag + NACK/retransmit;
+  /// see DESIGN.md "Recovery model") on every static-network wire — the
+  /// inter-tile links and the chip-edge ports, i.e. every channel a
+  /// FaultPlan bit-flip can target. Tile<->switch FIFOs and the dynamic
+  /// network stay bare. Call before the first cycle; off by default and
+  /// zero-cost when never enabled.
+  void enable_link_protection(const LinkProtectionParams& params);
+  /// Sums of the per-channel reliable-link counters.
+  [[nodiscard]] std::uint64_t link_retransmits() const;
+  [[nodiscard]] std::uint64_t link_delivered_corrupt() const;
+  [[nodiscard]] std::uint64_t link_stall_cycles() const;
+
+  /// Point-in-time architectural state: cycle, every channel's contents,
+  /// every switch's PC/halt/registers. Tile processor coroutines are NOT
+  /// captured — restore() rewinds the data plane, and replay equality is
+  /// checked by re-executing deterministically and comparing state_digest()
+  /// (see DESIGN.md "Recovery model" for the invariants).
+  struct Snapshot {
+    struct SwitchState {
+      std::size_t pc = 0;
+      bool halted = false;
+      std::array<common::Word, kNumSwitchRegs> regs{};
+    };
+    common::Cycle cycle = 0;
+    common::Cycle last_progress = 0;
+    std::vector<Channel::State> channels;  // parallel to all_channels()
+    std::vector<SwitchState> switches;
+  };
+
+  /// Captures a snapshot. Must be taken at a cycle boundary with the
+  /// dynamic network quiet (no in-flight worms) — asserted.
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Rewinds the chip to `s`. Any parked agent is returned to the runnable
+  /// set first, so the restored state is revalidated from scratch; valid
+  /// under both engines and any worker count.
+  void restore(const Snapshot& s);
+
+  /// FNV-1a digest of the architectural state (cycle, channels, switch
+  /// PCs/registers, dynamic-network counters). Equal digests after equal
+  /// runs is the engine-equivalence and replay-equality check.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+  /// Recovery hook (fault-adaptive reconfiguration): returns every parked
+  /// agent to the runnable set and clears channel wake slots so tiles can
+  /// be reprogrammed mid-run.
+  void prepare_reconfigure() { wake_all_parked(); }
+
  private:
   friend class exec::ParallelRunner;
 
@@ -201,12 +249,15 @@ class Chip {
   [[nodiscard]] Channel* out_link(int net, int tile, Dir dir) const;
   [[nodiscard]] Channel* in_link(int net, int tile, Dir dir) const;
 
-  /// True when this cycle must step densely: a fault plan is attached (tile
-  /// freezes and link stalls need per-cycle evaluation), the utilization
-  /// trace window is open (it records every tile every cycle), or dense mode
-  /// is forced.
+  /// True when this cycle must step densely: an attached fault plan is in
+  /// (or entering) a tile-freeze window, the utilization trace window is
+  /// open (it records every tile every cycle), or dense mode is forced.
+  /// Evaluated at the top of the cycle, before the plan fires — hence
+  /// FaultPlan::requires_dense's lookahead.
   [[nodiscard]] bool dense_cycle() const {
-    return force_dense_ || faults_ != nullptr || trace_.active(engine_.now);
+    return force_dense_ ||
+           (faults_ != nullptr && faults_->requires_dense(engine_.now)) ||
+           trace_.active(engine_.now);
   }
 
   /// One serial cycle of the sparse engine (no entry revalidation, no exit

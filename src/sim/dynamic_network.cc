@@ -192,6 +192,23 @@ void DynamicNetwork::step_standalone() {
   for (Channel* ch : all_channels()) ch->end_cycle();
 }
 
+std::uint64_t DynamicNetwork::reset() {
+  std::uint64_t dropped = net_words_;
+  for (auto& q : inject_) q.clear();
+  for (auto& q : eject_) {
+    dropped += q.size();  // ejected but not yet consumed by the tile
+    q.clear();
+  }
+  for (Router& r : routers_) r = Router{};
+  for (auto& per_tile : links_) {
+    for (auto& ch : per_tile) {
+      if (ch != nullptr) ch->reset_contents();
+    }
+  }
+  net_words_ = 0;
+  return dropped;
+}
+
 std::vector<Channel*> DynamicNetwork::all_channels() {
   std::vector<Channel*> out;
   for (auto& per_tile : links_) {

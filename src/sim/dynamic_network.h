@@ -79,6 +79,12 @@ class DynamicNetwork {
   /// two-phase cycle driving.
   [[nodiscard]] std::vector<Channel*> all_channels();
 
+  /// Recovery reset (fault-adaptive reconfiguration): discards every queued
+  /// and in-flight word — inject/eject queues, link channels, worm locks,
+  /// arbitration pointers. Returns the number of words dropped. Cumulative
+  /// counters survive.
+  std::uint64_t reset();
+
  private:
   // Per-router input ports: the four mesh directions plus local injection.
   static constexpr std::size_t kNumInputs = 5;   // N,S,E,W,Inject

@@ -50,7 +50,12 @@ void FaultPlan::bind(Chip& chip) {
         break;
     }
   }
+  freeze_at_.clear();
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kTileFreeze) freeze_at_.push_back(e.at);
+  }
   next_ = 0;
+  next_freeze_ = 0;
   bound_ = true;
 }
 
@@ -61,6 +66,9 @@ void FaultPlan::step(Chip& chip) {
   while (next_ < events_.size() && events_[next_].at <= now) {
     fire(chip, events_[next_]);
     ++next_;
+  }
+  while (next_freeze_ < freeze_at_.size() && freeze_at_[next_freeze_] <= now) {
+    ++next_freeze_;
   }
   std::erase_if(freezes_, [now](const FreezeWindow& w) {
     return !w.permanent && now >= w.until;
@@ -105,6 +113,16 @@ bool FaultPlan::tile_frozen(int tile) const {
     if (w.tile == tile && (w.permanent || now_ < w.until)) return true;
   }
   return false;
+}
+
+std::vector<int> FaultPlan::permanently_frozen_tiles() const {
+  std::vector<int> tiles;
+  for (const FreezeWindow& w : freezes_) {
+    if (w.permanent) tiles.push_back(w.tile);
+  }
+  std::sort(tiles.begin(), tiles.end());
+  tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+  return tiles;
 }
 
 std::uint32_t FaultPlan::overrun_factor(int port, common::Cycle now) const {

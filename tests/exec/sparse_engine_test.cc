@@ -23,6 +23,7 @@
 #include "net/traffic.h"
 #include "router/raw_router.h"
 #include "sim/chip.h"
+#include "sim/fault_plan.h"
 #include "sim/tile_task.h"
 
 namespace raw::exec {
@@ -235,6 +236,65 @@ TEST(ExecSparsePark, FullFifoParksWriterWithExactAccounting) {
   EXPECT_EQ(dense.second, 4u);
   EXPECT_GE(dense.first, 290u);
   EXPECT_EQ(blocked_after(false), dense);
+}
+
+// Satellite check for the fault/park interaction: faults that land on
+// channels in *idle* regions of the mesh — where the sparse engine has
+// parked both endpoints — must produce results identical to dense stepping.
+// A flip or stall mutates the channel while nobody is runnable; fault_wake()
+// returns the parked agents so they re-observe the mutation this cycle.
+TEST(ExecSparseDifferential, FaultsInIdleRegionsMatchDense) {
+  // Low load keeps most of the mesh parked most of the time, so the
+  // scheduled cycles overwhelmingly hit quiet channels.
+  sim::Chip probe;
+  std::vector<sim::FaultEvent> events;
+  for (int i = 0; i < 8; ++i) {
+    sim::FaultEvent flip;
+    flip.kind = sim::FaultKind::kBitFlip;
+    flip.at = 600 + static_cast<common::Cycle>(i) * 113;
+    flip.channel = probe.io_port(0, 4, sim::Dir::kWest).to_chip->name();
+    flip.bit = static_cast<std::uint32_t>(3 + i);
+    events.push_back(flip);
+
+    sim::FaultEvent stall;
+    stall.kind = sim::FaultKind::kLinkStall;
+    stall.at = 650 + static_cast<common::Cycle>(i) * 113;
+    // Alternate between a busy row-1 link and a network-1 link that is
+    // idle far more often.
+    stall.channel = i % 2 == 0 ? probe.static_link(0, 5, sim::Dir::kEast).name()
+                               : probe.static_link(1, 10, sim::Dir::kNorth).name();
+    stall.duration = 40;
+    events.push_back(stall);
+  }
+
+  const auto run_one = [&events](bool force_dense, int threads) {
+    router::RouterConfig cfg;
+    cfg.threads = threads;
+    net::TrafficConfig t = fig7_traffic();
+    t.load = 0.1;
+    router::RawRouter router(cfg, net::RouteTable::simple4(), t, 12);
+    sim::FaultPlan plan;
+    for (const sim::FaultEvent& e : events) plan.add(e);
+    router.set_fault_plan(&plan);
+    router.chip().set_force_dense(force_dense);
+    router.chip().enable_channel_stats(true);
+    (void)router.run(2500);
+    RouterRun r;
+    r.offered = router.offered_packets();
+    r.delivered = router.delivered_packets();
+    r.errors = router.errors();
+    r.static_words = router.chip().static_words_transferred();
+    r.cycle = router.chip().cycle();
+    common::MetricRegistry reg;
+    router.chip().export_metrics(reg, "chip");
+    r.metrics_json = reg.to_json();
+    return r;
+  };
+
+  const RouterRun dense = run_one(true, 1);
+  EXPECT_GT(dense.delivered, 0u);
+  EXPECT_EQ(run_one(false, 1), dense);
+  EXPECT_EQ(run_one(false, 2), dense);
 }
 
 }  // namespace

@@ -41,6 +41,40 @@ TEST(RouterConfigTest, RejectsZeroLineCardQueue) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(RouterConfigTest, RejectsZeroLinkRetries) {
+  RouterConfig cfg;
+  cfg.link.enabled = true;
+  cfg.link.max_retries = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.link.enabled = false;  // unused when the layer is off
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RouterConfigTest, RejectsReplayBufferShorterThanRoundTrip) {
+  // A repair must still hold the word being retransmitted when the NACK
+  // lands, so the replay ring cannot be shallower than the modelled RTT.
+  RouterConfig cfg;
+  cfg.link.enabled = true;
+  cfg.link.retransmit_rtt = 16;
+  cfg.link.replay_depth = 8;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.link.replay_depth = 16;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RouterConfigTest, RejectsReplayBufferShorterThanLinkFifo) {
+  RouterConfig cfg;
+  cfg.link.enabled = true;
+  cfg.link.replay_depth = cfg.link_fifo_depth - 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(RouterConfigTest, RejectsNegativeThreads) {
+  RouterConfig cfg;
+  cfg.threads = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 TEST(RouterConfigTest, RejectsZeroWatchdogInterval) {
   RouterConfig cfg;
   cfg.watchdog.check_interval = 0;

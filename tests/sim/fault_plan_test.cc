@@ -257,6 +257,48 @@ TEST(FaultPlanTest, OverrunFactorWindows) {
   EXPECT_EQ(plan.overrun_bursts(), 1u);
 }
 
+TEST(FaultPlanTest, RequiresDenseOnlyAroundFreezeWindows) {
+  // Flips and stalls are sparse-safe (the mutated channel wakes its parked
+  // agents); only tile freezes force dense stepping, and only while a window
+  // is pending-at or active.
+  FaultPlan plan;
+  Chip probe;
+  const std::string edge = probe.io_port(0, 4, Dir::kWest).to_chip->name();
+  plan.add(flip(10, edge));
+  plan.add(freeze(100, 5, 20));
+  Chip chip;
+  chip.set_fault_plan(&plan);
+
+  EXPECT_FALSE(plan.requires_dense(0));
+  EXPECT_FALSE(plan.requires_dense(99));
+  // Lookahead: the engine picks its stepping mode at the top of the cycle,
+  // before the plan fires, so the fire cycle itself must already read dense.
+  EXPECT_TRUE(plan.requires_dense(100));
+
+  chip.run(150);  // the window fires at 100 and thaws at 120
+  EXPECT_EQ(plan.tile_freezes(), 1u);
+  EXPECT_FALSE(plan.requires_dense(chip.cycle()));
+  EXPECT_TRUE(plan.permanently_frozen_tiles().empty());
+}
+
+TEST(FaultPlanTest, PermanentFreezeForcesDenseForever) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kTileFreeze;
+  e.at = 50;
+  e.permanent = true;
+  e.tile = 5;
+  plan.add(e);
+  Chip chip;
+  chip.set_fault_plan(&plan);
+
+  EXPECT_FALSE(plan.requires_dense(49));
+  chip.run(100);
+  EXPECT_TRUE(plan.tile_frozen(5));
+  EXPECT_TRUE(plan.requires_dense(chip.cycle()));
+  EXPECT_EQ(plan.permanently_frozen_tiles(), std::vector<int>{5});
+}
+
 TEST(FaultPlanDeathTest, UnknownChannelNameAborts) {
   FaultPlan plan;
   plan.add(flip(1, "no.such.channel"));

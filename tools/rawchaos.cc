@@ -6,19 +6,34 @@
 //   ./rawchaos --seeds 16 --cycles 40000
 //   ./rawchaos --mix flip+stall --seed 7 -v   # one combination, verbose
 //   ./rawchaos --permanent --seed 3           # permanent-freeze detection
+//   ./rawchaos --links --recovery             # self-healing fabric enabled
 //
-// Exit status is 0 only when every combination passes.
+// Deterministic replay workflow (router/repro.h):
+//
+//   ./rawchaos --mix flip+permafreeze --seed 7 --record bug.json
+//   ./rawchaos --replay bug.json              # re-runs, checks sig + digest
+//   ./rawchaos --minimize bug.json --out min.json   # ddmin the schedule
+//
+// In sweep mode --record captures the first *failing* combination; with a
+// single --mix/--seed combination it always records.
+//
+// Exit status is 0 only when every combination passes (or the replay /
+// minimize reproduced the recorded signature).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "router/chaos.h"
+#include "router/repro.h"
 
 namespace {
 
 using raw::router::ChaosMix;
+using raw::router::ChaosRepro;
 using raw::router::ChaosResult;
+using raw::router::ChaosSignature;
 using raw::router::ChaosSpec;
 
 struct Args {
@@ -29,7 +44,25 @@ struct Args {
   bool permanent = false;
   bool verbose = false;
   int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
+  bool links = false;        // reliable links: CRC + NACK/retransmit
+  bool recovery = false;     // fault-adaptive crossbar reconfiguration
+  bool force_dense = false;  // dense reference engine (differential runs)
+  const char* record = nullptr;    // write a replayable repro JSON here
+  const char* replay = nullptr;    // re-run a recorded repro
+  const char* minimize = nullptr;  // ddmin a recorded repro
+  const char* out = nullptr;       // minimized-repro output path
 };
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rawchaos [--seeds N] [--cycles N] [--seed S]\n"
+               "                [--mix flip+stall+freeze+overrun] [--permanent]\n"
+               "                [--links] [--recovery] [--force-dense]\n"
+               "                [--threads T] [-v]\n"
+               "                [--record FILE]\n"
+               "       rawchaos --replay FILE\n"
+               "       rawchaos --minimize FILE [--out FILE]\n");
+}
 
 Args parse(int argc, char** argv) {
   Args a;
@@ -44,15 +77,26 @@ Args parse(int argc, char** argv) {
       a.mix = argv[++i];
     } else if (!std::strcmp(argv[i], "--permanent")) {
       a.permanent = true;
+    } else if (!std::strcmp(argv[i], "--links")) {
+      a.links = true;
+    } else if (!std::strcmp(argv[i], "--recovery")) {
+      a.recovery = true;
+    } else if (!std::strcmp(argv[i], "--force-dense")) {
+      a.force_dense = true;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       a.threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--record") && i + 1 < argc) {
+      a.record = argv[++i];
+    } else if (!std::strcmp(argv[i], "--replay") && i + 1 < argc) {
+      a.replay = argv[++i];
+    } else if (!std::strcmp(argv[i], "--minimize") && i + 1 < argc) {
+      a.minimize = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      a.out = argv[++i];
     } else if (!std::strcmp(argv[i], "-v") || !std::strcmp(argv[i], "--verbose")) {
       a.verbose = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: rawchaos [--seeds N] [--cycles N] [--seed S] "
-                   "[--mix flip+stall+freeze+overrun] [--permanent] "
-                   "[--threads T] [-v]\n");
+      usage();
       std::exit(2);
     }
   }
@@ -68,6 +112,57 @@ ChaosMix mix_from_string(const std::string& s) {
   return m;
 }
 
+bool read_file(const char* path, std::string* out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const char* path, const std::string& text) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+ChaosRepro load_repro_or_die(const char* path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    std::exit(2);
+  }
+  ChaosRepro repro;
+  std::string error;
+  if (!raw::router::from_json(text, &repro, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    std::exit(2);
+  }
+  return repro;
+}
+
+/// The fault schedule run_chaos would derive from this spec's seed, made
+/// explicit so it can be recorded. A scratch router supplies the chip-edge
+/// channel names the plan generator targets.
+std::vector<raw::sim::FaultEvent> events_for(const ChaosSpec& spec) {
+  raw::net::TrafficConfig traffic;
+  traffic.num_ports = 4;
+  traffic.pattern = raw::net::DestPattern::kUniform;
+  traffic.size = raw::net::SizeDist::kFixed;
+  traffic.fixed_bytes = spec.bytes;
+  traffic.load = spec.load;
+  raw::router::RawRouter scratch(raw::router::RouterConfig{},
+                                 raw::net::RouteTable::simple4(), traffic,
+                                 spec.seed);
+  return raw::router::make_fault_plan(spec, scratch).events();
+}
+
 void print_result(const ChaosResult& r, bool verbose) {
   std::printf("%-28s seed %-4llu %-5s %-14s dlv %-7llu err %-4llu lost %-4llu "
               "mal %-3llu rsync %-3llu faults %llu\n",
@@ -81,15 +176,78 @@ void print_result(const ChaosResult& r, bool verbose) {
               static_cast<unsigned long long>(r.resyncs),
               static_cast<unsigned long long>(r.faults_injected));
   if (!r.pass) std::printf("  -> %s\n", r.failure.c_str());
+  if (r.degraded || r.link_retransmits > 0 || r.link_delivered_corrupt > 0) {
+    std::printf("  recovery: %s (schedule gen %d), link retransmits %llu, "
+                "delivered corrupt %llu\n",
+                r.degraded ? "DEGRADED" : "full fabric", r.schedule_generation,
+                static_cast<unsigned long long>(r.link_retransmits),
+                static_cast<unsigned long long>(r.link_delivered_corrupt));
+  }
   if (verbose && !r.stall_summary.empty()) {
     std::printf("  %s\n", r.stall_summary.c_str());
   }
+}
+
+int do_replay(const Args& args) {
+  const ChaosRepro repro = load_repro_or_die(args.replay);
+  std::printf("replaying %zu events: recorded %s, digest %016llx\n",
+              repro.events.size(), repro.signature.to_string().c_str(),
+              static_cast<unsigned long long>(repro.digest));
+  const ChaosResult r =
+      raw::router::run_chaos_events(repro.spec, repro.events);
+  print_result(r, args.verbose);
+  const ChaosSignature sig = raw::router::signature_of(r);
+  const bool sig_match = sig == repro.signature;
+  const bool digest_match = r.digest == repro.digest;
+  std::printf("signature: %s (%s)\n", sig.to_string().c_str(),
+              sig_match ? "match" : "MISMATCH");
+  std::printf("digest:    %016llx (%s)\n",
+              static_cast<unsigned long long>(r.digest),
+              digest_match ? "match" : "MISMATCH");
+  return sig_match && digest_match ? 0 : 1;
+}
+
+int do_minimize(const Args& args) {
+  const ChaosRepro repro = load_repro_or_die(args.minimize);
+  std::printf("minimizing %zu events against: %s\n", repro.events.size(),
+              repro.signature.to_string().c_str());
+  raw::router::MinimizeStats stats;
+  const std::vector<raw::sim::FaultEvent> minimal = raw::router::minimize_events(
+      repro.spec, repro.events, repro.signature, &stats);
+
+  // Re-run the minimal schedule so the written repro carries its own digest
+  // (damage counts — and so the digest — may differ from the full schedule
+  // even though the signature is identical).
+  const ChaosResult r = raw::router::run_chaos_events(repro.spec, minimal);
+  ChaosRepro out;
+  out.spec = repro.spec;
+  out.events = minimal;
+  out.signature = raw::router::signature_of(r);
+  out.digest = r.digest;
+
+  const std::string out_path = args.out != nullptr
+                                   ? std::string(args.out)
+                                   : std::string(args.minimize) + ".min.json";
+  if (!write_file(out_path.c_str(), raw::router::to_json(out))) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("%zu -> %zu events in %d runs; wrote %s\n", stats.original_events,
+              stats.minimized_events, stats.runs, out_path.c_str());
+  if (out.signature != repro.signature) {
+    std::printf("WARNING: minimal schedule no longer reproduces the recorded "
+                "signature (got %s)\n", out.signature.to_string().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.replay != nullptr) return do_replay(args);
+  if (args.minimize != nullptr) return do_minimize(args);
 
   std::vector<ChaosMix> mixes;
   if (args.mix != nullptr) {
@@ -107,9 +265,11 @@ int main(int argc, char** argv) {
       seeds.push_back(static_cast<std::uint64_t>(s));
     }
   }
+  const bool single = mixes.size() == 1 && seeds.size() == 1;
 
   int total = 0;
   int passed = 0;
+  bool recorded = false;
   for (const ChaosMix& mix : mixes) {
     for (const std::uint64_t seed : seeds) {
       ChaosSpec spec;
@@ -117,10 +277,38 @@ int main(int argc, char** argv) {
       spec.mix = mix;
       spec.run_cycles = args.cycles;
       spec.threads = args.threads;
-      const ChaosResult r = raw::router::run_chaos(spec);
+      spec.reliable_links = args.links;
+      spec.recovery = args.recovery;
+      spec.force_dense = args.force_dense;
+
+      ChaosResult r;
+      std::vector<raw::sim::FaultEvent> events;
+      if (args.record != nullptr) {
+        // Record mode runs the explicit-schedule path so the events written
+        // to disk are exactly the events that produced the result.
+        events = events_for(spec);
+        r = raw::router::run_chaos_events(spec, events);
+      } else {
+        r = raw::router::run_chaos(spec);
+      }
       ++total;
       if (r.pass) ++passed;
       print_result(r, args.verbose);
+
+      if (args.record != nullptr && !recorded && (single || !r.pass)) {
+        ChaosRepro repro;
+        repro.spec = spec;
+        repro.events = events;
+        repro.signature = raw::router::signature_of(r);
+        repro.digest = r.digest;
+        if (!write_file(args.record, raw::router::to_json(repro))) {
+          std::fprintf(stderr, "cannot write %s\n", args.record);
+          return 2;
+        }
+        std::printf("  recorded %zu-event repro (%s) to %s\n", events.size(),
+                    repro.signature.to_string().c_str(), args.record);
+        recorded = true;
+      }
     }
   }
   std::printf("\n%d/%d combinations passed\n", passed, total);

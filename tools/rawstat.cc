@@ -45,6 +45,8 @@ struct Args {
   const char* chaos = nullptr;  // fault mix, e.g. "flip+stall"
   std::uint64_t chaos_seed = 1;
   int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
+  bool links = false;     // reliable-link layer (CRC + NACK/retransmit)
+  bool recovery = false;  // fault-adaptive crossbar reconfiguration
 };
 
 void usage() {
@@ -65,6 +67,11 @@ void usage() {
       "                    (flip | stall | freeze | overrun | permafreeze,\n"
       "                    '+'-separated; shows the faults/... panel)\n"
       "  --chaos-seed S    fault-schedule RNG seed (default 1)\n"
+      "  --links           reliable links: per-word CRC + NACK/retransmit\n"
+      "                    (bit flips become retransmits; recovery panel)\n"
+      "  --recovery        fault-adaptive reconfiguration: a permanently\n"
+      "                    frozen tile is routed around (Degraded) instead\n"
+      "                    of stalling the fabric\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
       "  --threads T       execution-engine worker threads (default: \n"
       "                    RAWSIM_THREADS, else serial; results identical)\n"
@@ -116,6 +123,10 @@ Args parse(int argc, char** argv) {
       a.chaos = next("--chaos");
     } else if (!std::strcmp(argv[i], "--chaos-seed")) {
       a.chaos_seed = std::strtoull(next("--chaos-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--links")) {
+      a.links = true;
+    } else if (!std::strcmp(argv[i], "--recovery")) {
+      a.recovery = true;
     } else if (!std::strcmp(argv[i], "--channel-stats")) {
       a.channel_stats = true;
     } else if (!std::strcmp(argv[i], "--threads")) {
@@ -218,6 +229,45 @@ void print_fault_panel(const MetricRegistry& reg) {
           c("router/port2/egress/resyncs") + c("router/port3/egress/resyncs"),
       c("router/conservation/invalid"), c("router/conservation/lost"),
       c("router/watchdog/trips"));
+  // With reliable links on, split the damage into what the link layer won
+  // back (retransmitted words) versus what the fabric still lost.
+  if (reg.counter_value("faults/recovered/retransmits") > 0 ||
+      reg.counter_value("faults/recovered/delivered_corrupt") > 0) {
+    std::printf("recovered-vs-lost: %llu words retransmitted clean, "
+                "%llu delivered corrupt, %llu packets lost\n",
+                c("faults/recovered/retransmits"),
+                c("faults/recovered/delivered_corrupt"),
+                c("router/conservation/lost"));
+  }
+}
+
+/// The recovery panel: reliable-link counters plus the fault-adaptive
+/// reconfiguration state (shown when --links/--recovery is active or the
+/// fabric has already degraded).
+void print_recovery_panel(const MetricRegistry& reg,
+                          const raw::router::RawRouter& router) {
+  const auto c = [&reg](const char* name) {
+    return static_cast<unsigned long long>(reg.counter_value(name));
+  };
+  std::printf(
+      "recovery: links %llu retransmits / %llu corrupt / %llu stall cycles; "
+      "reconfigurations %llu (schedule gen %llu, written off %llu)\n",
+      c("faults/recovered/retransmits"),
+      c("faults/recovered/delivered_corrupt"),
+      c("faults/recovered/stall_cycles"), c("router/recovery/recoveries"),
+      c("router/recovery/schedule_generation"),
+      c("router/recovery/written_off"));
+  if (router.degraded()) {
+    std::string tiles;
+    for (const int t : router.dead_tiles()) {
+      if (!tiles.empty()) tiles += ", ";
+      tiles += std::to_string(t);
+    }
+    std::printf("status: DEGRADED — routing around dead tile(s) [%s]\n",
+                tiles.c_str());
+  } else {
+    std::printf("status: full fabric (no dead tiles)\n");
+  }
 }
 
 }  // namespace
@@ -229,6 +279,8 @@ int main(int argc, char** argv) {
   cfg.runtime.quantum_max_words = args.quantum;
   cfg.channel_stats = args.channel_stats;
   cfg.threads = args.threads;
+  cfg.link.enabled = args.links;
+  cfg.recovery.enabled = args.recovery;
 
   raw::net::TrafficConfig traffic;
   traffic.num_ports = raw::router::kNumPorts;
@@ -277,6 +329,9 @@ int main(int argc, char** argv) {
     if (!quiet) {
       print_dashboard(args, registry, now, redraw);
       if (args.chaos != nullptr) print_fault_panel(registry);
+      if (args.links || args.recovery || router.degraded()) {
+        print_recovery_panel(registry, router);
+      }
     }
   }
   if (!quiet && router.stall_report().has_value()) {
