@@ -4,14 +4,19 @@
 // combinations; the tier2 ctest runs a bounded version.
 //
 //   ./chaos_soak [--seeds N] [--cycles N] [--threads T]
-//                [--links] [--recovery] [--repro-dir DIR]
+//                [--links] [--recovery] [--repro-dir DIR] [--flight-dir DIR]
 //
 // --links/--recovery run the whole sweep with the self-healing layers on
 // (reliable links + fault-adaptive reconfiguration). With --repro-dir, the
 // first failing combination is delta-debugged down to a minimal fault
 // schedule and written there as a replayable JSON repro (rawchaos --replay).
+// With --flight-dir, every combination runs with the engine flight recorder
+// armed (common/profiler.h) and any run that fails an invariant or exits
+// without a clean drain dumps its recent engine history there as
+// <mix>_seed<S>.flight.jsonl. DIR must exist.
 //
 // Exit status 0 only when every combination passes.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "router/chaos.h"
 #include "router/repro.h"
 
@@ -31,6 +37,7 @@ struct Args {
   bool links = false;
   bool recovery = false;
   const char* repro_dir = nullptr;
+  const char* flight_dir = nullptr;
 };
 
 Args parse(int argc, char** argv) {
@@ -48,6 +55,8 @@ Args parse(int argc, char** argv) {
       a.recovery = true;
     } else if (!std::strcmp(argv[i], "--repro-dir") && i + 1 < argc) {
       a.repro_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--flight-dir") && i + 1 < argc) {
+      a.flight_dir = argv[++i];
     }
   }
   return a;
@@ -115,6 +124,55 @@ bool write_minimized_repro(const Args& args, const raw::router::ChaosResult& r,
   return true;
 }
 
+/// The chaos_sweep loop with a per-combination flight recorder riding along
+/// (same mix-major/seed-minor order and spec as chaos_sweep, so summaries
+/// are comparable): any combination that fails an invariant or exits
+/// without a clean drain dumps its recent engine history into `dir`.
+raw::router::ChaosSweepSummary sweep_with_flight(const Args& args,
+                                                 const char* dir) {
+  raw::router::ChaosSweepSummary summary;
+  for (const raw::router::ChaosMix& mix : raw::router::standard_mixes()) {
+    for (int s = 1; s <= args.seeds; ++s) {
+      raw::router::ChaosSpec spec;
+      spec.seed = static_cast<std::uint64_t>(s);
+      spec.mix = mix;
+      spec.run_cycles = args.cycles;
+      spec.threads = args.threads;
+      spec.reliable_links = args.links;
+      spec.recovery = args.recovery;
+
+      raw::common::Profiler profiler;
+      profiler.enable_flight(
+          /*capacity=*/64,
+          /*interval=*/std::max<raw::common::Cycle>(1, args.cycles / 64));
+      spec.profiler = &profiler;
+
+      raw::router::ChaosResult r = raw::router::run_chaos(spec);
+      if (!r.pass || r.outcome != raw::router::DrainOutcome::kDrained) {
+        const std::string path = std::string(dir) + "/" + r.mix + "_seed" +
+                                 std::to_string(r.seed) + ".flight.jsonl";
+        FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        } else {
+          const std::string jsonl = profiler.flight_jsonl();
+          std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+          std::fclose(f);
+          std::printf("flight: %-28s seed %-4llu %llu snapshots (of %llu recorded) -> %s\n",
+                      r.mix.c_str(), static_cast<unsigned long long>(r.seed),
+                      static_cast<unsigned long long>(profiler.flight().size()),
+                      static_cast<unsigned long long>(profiler.flight_recorded()),
+                      path.c_str());
+        }
+      }
+      ++summary.total;
+      if (r.pass) ++summary.passed;
+      summary.results.push_back(std::move(r));
+    }
+  }
+  return summary;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,8 +183,11 @@ int main(int argc, char** argv) {
               args.links ? ", reliable links" : "",
               args.recovery ? ", fault-adaptive recovery" : "");
 
-  const raw::router::ChaosSweepSummary summary = raw::router::chaos_sweep(
-      args.seeds, args.cycles, args.threads, args.links, args.recovery);
+  const raw::router::ChaosSweepSummary summary =
+      args.flight_dir != nullptr
+          ? sweep_with_flight(args, args.flight_dir)
+          : raw::router::chaos_sweep(args.seeds, args.cycles, args.threads,
+                                     args.links, args.recovery);
 
   // Per-mix rollup.
   struct MixAgg {

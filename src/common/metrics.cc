@@ -137,8 +137,25 @@ std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
   return out;
 }
 
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+        c == '/') {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
 std::string MetricRegistry::to_json() const {
-  std::string out = "{\"metrics\":[";
+  std::string out = "{\"schema\":\"metrics/v2\",\"metrics\":[";
   bool first = true;
   for (const Sample& s : snapshot()) {
     if (!first) out += ',';

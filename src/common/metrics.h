@@ -109,7 +109,9 @@ class MetricRegistry {
   /// All metrics, sorted by name (deterministic export order).
   [[nodiscard]] std::vector<Sample> snapshot() const;
 
-  /// {"metrics":[{"name":...,"kind":"counter","value":...}, ...]}
+  /// {"schema":"metrics/v2","metrics":[{"name":...,"kind":"counter",
+  /// "value":...}, ...]} — v2 added the schema tag itself alongside the
+  /// introduction of the `profile` metric section.
   [[nodiscard]] std::string to_json() const;
 
   /// Header row then one row per metric:
@@ -123,5 +125,12 @@ class MetricRegistry {
 };
 
 const char* metric_kind_name(MetricRegistry::Kind kind);
+
+/// Rewrites `name` to satisfy the registry naming lint (^[a-z0-9_/]+$):
+/// uppercase letters are lowercased and every other disallowed character
+/// maps to '_'. Exporters that embed externally supplied identifiers (e.g.
+/// channel names like "net1.t00.N.out") must pass the embedded segment
+/// through this before registering.
+[[nodiscard]] std::string sanitize_metric_name(const std::string& name);
 
 }  // namespace raw::common

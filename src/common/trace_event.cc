@@ -57,8 +57,13 @@ std::vector<PacketTracer::Record> PacketTracer::events() const {
 }
 
 std::string PacketTracer::chrome_json(double clock_hz) const {
+  return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[" +
+         chrome_events_json(clock_hz) + "]}";
+}
+
+std::string PacketTracer::chrome_events_json(double clock_hz) const {
   const double us_per_cycle = 1e6 / clock_hz;
-  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  std::string out;
   char buf[256];
 
   // Metadata: name the process and every track that has events or a label.
@@ -87,7 +92,6 @@ std::string PacketTracer::chrome_json(double clock_hz) const {
                   static_cast<unsigned long>(r.arg));
     out += buf;
   }
-  out += "]}";
   return out;
 }
 

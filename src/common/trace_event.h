@@ -112,6 +112,12 @@ class PacketTracer {
   /// Timestamps are microseconds: cycle / clock_hz * 1e6.
   [[nodiscard]] std::string chrome_json(double clock_hz = kRawClockHz) const;
 
+  /// The comma-separated contents of the "traceEvents" array (metadata
+  /// records then instant events) without the surrounding wrapper, so other
+  /// exporters can merge additional tracks into one trace (see
+  /// common::merged_chrome_json).
+  [[nodiscard]] std::string chrome_events_json(double clock_hz = kRawClockHz) const;
+
  private:
   void push(const Record& r);
 

@@ -1,6 +1,7 @@
 #include "exec/parallel_runner.h"
 
 #include "common/assert.h"
+#include "common/profiler.h"
 #include "sim/chip.h"
 #include "sim/fault_plan.h"
 
@@ -71,6 +72,12 @@ void ParallelRunner::set_tracer(common::PacketTracer* tracer) {
   if (tracer_ != nullptr) tracer_->configure_shards(workers());
 }
 
+void ParallelRunner::set_profiler(common::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) profiler_->ensure_workers(workers());
+  chip_.set_profiler(profiler);
+}
+
 void ParallelRunner::run(common::Cycle cycles) {
   if (workers() == 1) {  // serial fast path: the engine adds nothing
     chip_.run(cycles);
@@ -139,6 +146,8 @@ bool ParallelRunner::execute(int wid) {
     common::PacketTracer::bind_thread_shard(0);
     sim::t_engine_lane = 0;
   }
+  common::Profiler* const prof = profiler_;
+  common::Profiler::bind_worker(wid);
 
   const Stripe& stripe = partition_.stripe(wid);
   sim::DynamicNetwork* const dyn = chip_.dynamic_network();
@@ -147,11 +156,27 @@ bool ParallelRunner::execute(int wid) {
   const common::Cycle limit = limit_;
   bool fired = false;
 
+  // Barrier arrivals, timed into this worker's barrier-wait accumulator and
+  // histogram when a profiler is attached (the dominant cost of a poorly
+  // balanced cycle is exactly this wait).
+  const auto barrier_wait = [&] {
+    if (prof == nullptr) {
+      barrier_.arrive_and_wait(sense);
+      return;
+    }
+    const std::uint64_t t0 = common::Profiler::now_ns();
+    barrier_.arrive_and_wait(sense);
+    prof->record_barrier_wait(wid, common::Profiler::now_ns() - t0);
+  };
+
   for (common::Cycle i = 0; i < limit; ++i) {
     if (mode == Mode::kRunUntil) {
       // [pred] Worker 0 decides; the barrier publishes the decision.
-      if (wid == 0 && (*pred_)()) stop_.store(true, std::memory_order_relaxed);
-      barrier_.arrive_and_wait(sense);
+      if (wid == 0) {
+        common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+        if ((*pred_)()) stop_.store(true, std::memory_order_relaxed);
+      }
+      barrier_wait();
       if (stop_.load(std::memory_order_relaxed)) {
         fired = true;
         break;
@@ -164,50 +189,84 @@ bool ParallelRunner::execute(int wid) {
     // cross-port queues); and the cross-stripe channels are epoch-stamped
     // here so phase C's concurrent touches of them are pure reads.
     if (wid == 0) {
-      if (chip_.dense_cycle()) chip_.wake_all_parked();
+      common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+      const bool dense = chip_.dense_cycle();
+      if (prof != nullptr) {
+        if (dense) {
+          prof->count_dense_sweep();
+        } else {
+          prof->count_sparse_cycle();
+        }
+      }
+      if (dense) {
+        common::ProfScope pw(prof, common::ProfPhase::kParkWake);
+        chip_.wake_all_parked();
+      }
       if (sim::FaultPlan* faults = chip_.fault_plan()) faults->step(chip_);
       for (sim::Device* d : chip_.devices()) d->step(chip_);
       for (sim::Channel* ch : boundary_channels_) ch->refresh();
     }
-    barrier_.arrive_and_wait(sense);
+    barrier_wait();
 
     // C: tile stepping over the runnable set, striped. Reads of fault/trace
     // state written in B are ordered by the barrier above.
-    chip_.step_agents(stripe.tile_begin, stripe.tile_end, chip_.dense_cycle());
-    barrier_.arrive_and_wait(sense);
+    {
+      common::ProfScope ps(prof, common::ProfPhase::kCompute);
+      chip_.step_agents(stripe.tile_begin, stripe.tile_end, chip_.dense_cycle());
+    }
+    barrier_wait();
 
     // D: dynamic-network routing touches queues across the whole mesh, so
     // it runs serial between tile stepping and commit, as in
     // Chip::step_cycle (and self-skips while nothing is in flight).
     if (dyn != nullptr) {
-      if (wid == 0) dyn->step();
-      barrier_.arrive_and_wait(sense);
+      if (wid == 0) {
+        common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+        dyn->step();
+      }
+      barrier_wait();
     }
 
     // E: drain our own dirty lane (a channel is staged by exactly one
     // worker per cycle, so the lanes partition the dirty set); per-worker
     // progress OR. The stats pass needs every commit to have landed, so it
     // runs behind one more barrier — only when stats are on at all.
-    progress_[static_cast<std::size_t>(wid)].value =
-        chip_.commit_lane(static_cast<std::size_t>(wid));
+    {
+      common::ProfScope ps(prof, common::ProfPhase::kChannelCommit);
+      progress_[static_cast<std::size_t>(wid)].value =
+          chip_.commit_lane(static_cast<std::size_t>(wid));
+    }
     if (chip_.engine_.stats_channels > 0) {
-      barrier_.arrive_and_wait(sense);
+      barrier_wait();
+      common::ProfScope ps(prof, common::ProfPhase::kStats);
       chip_.sample_stats_range(stripe.chan_begin, stripe.chan_end);
     }
-    barrier_.arrive_and_wait(sense);
+    barrier_wait();
 
     // F: close the cycle on worker 0: reduce progress, return woken agents
     // to the runnable set, advance the cycle counter. No trailing barrier:
     // helper workers race ahead only as far as the next cycle's phase B
-    // barrier, and every phase that reads F's effects sits behind it.
+    // barrier, and every phase that reads F's effects sits behind it. (The
+    // flight recorder inside finish_cycle reads the helpers' relaxed
+    // accumulators concurrently by design.)
     if (wid == 0) {
+      common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
       bool any = false;
       for (const PaddedBool& p : progress_) any |= p.value;
-      chip_.apply_wakes();
+      {
+        common::ProfScope pw(prof, common::ProfPhase::kParkWake);
+        chip_.apply_wakes();
+      }
       chip_.finish_cycle(any);
       if (staging_) tracer_->merge_staged();
     }
   }
+
+  // Termination barrier: worker 0 returns to the caller (which may detach or
+  // destroy the profiler) only after every helper has fully left its last
+  // *timed* barrier wait above. Deliberately untimed — nothing after it
+  // touches the profiler, so there is no tail to race with.
+  barrier_.arrive_and_wait(sense);
 
   if (mode == Mode::kRunUntil && wid == 0 && !fired) {
     fired = (*pred_)();  // matches Chip::run_until's final check

@@ -58,6 +58,10 @@ class Channel;
 class Chip;
 }
 
+namespace raw::common {
+class Profiler;
+}
+
 namespace raw::exec {
 
 class ParallelRunner {
@@ -88,6 +92,14 @@ class ParallelRunner {
   /// shards; staging itself is switched on only while a run is in flight
   /// and the tracer is enabled.
   void set_tracer(common::PacketTracer* tracer);
+
+  /// Attaches (or detaches, with nullptr) an engine profiler: sizes its
+  /// per-worker accumulator slots and forwards it to the chip so both the
+  /// serial fast path and the chip-level hooks (park/wake/commit counters,
+  /// flight-recorder tick) record into the same instance. Not owned; must
+  /// outlive the runner's runs. Zero-cost when never attached.
+  void set_profiler(common::Profiler* profiler);
+  [[nodiscard]] common::Profiler* profiler() const { return profiler_; }
 
  private:
   enum class Mode { kRun, kRunUntil };
@@ -123,6 +135,7 @@ class ParallelRunner {
   bool result_ = false;
 
   common::PacketTracer* tracer_ = nullptr;
+  common::Profiler* profiler_ = nullptr;
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/profiler.h"
 #include "common/rng.h"
 
 namespace raw::router {
@@ -125,6 +126,7 @@ ChaosResult run_impl(const ChaosSpec& spec,
   traffic.load = spec.load;
   RawRouter router(cfg, net::RouteTable::simple4(), traffic, spec.seed);
   if (spec.force_dense) router.chip().set_force_dense(true);
+  if (spec.profiler != nullptr) router.set_profiler(spec.profiler);
 
   sim::FaultPlan plan;
   if (events != nullptr) {
@@ -148,8 +150,10 @@ ChaosResult run_impl(const ChaosSpec& spec,
   // malformed drops, resyncs, quiesce losses) is only legitimate without it.
   const bool damage_expected = corrupting && !spec.reliable_links;
 
+  if (spec.profiler != nullptr) spec.profiler->start();
   const RunStatus rs = router.run(spec.run_cycles);
   if (rs != RunStatus::kStalled) (void)router.drain(spec.drain_cycles);
+  if (spec.profiler != nullptr) spec.profiler->stop();
 
   ChaosResult r;
   r.seed = spec.seed;

@@ -64,6 +64,12 @@ struct ChaosSpec {
   bool recovery = false;
   /// Force the dense reference engine (differential testing).
   bool force_dense = false;
+  /// Engine profiler to attach for the run (not owned; null = no profiling).
+  /// The harness starts/stops its wall clock around run+drain, so flight
+  /// snapshots and stall marks land inside the profiled window (see
+  /// RawRouter::set_profiler). Profiling never changes results: digests are
+  /// identical with or without it.
+  common::Profiler* profiler = nullptr;
 };
 
 struct ChaosResult {

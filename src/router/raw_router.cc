@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/assert.h"
+#include "common/profiler.h"
 
 namespace raw::router {
 
@@ -253,6 +254,13 @@ bool RawRouter::work_pending() const {
   return !ledger_.in_flight.empty();
 }
 
+void RawRouter::flight_mark() {
+  common::Profiler* const prof = runner_->profiler();
+  if (prof != nullptr && prof->flight_enabled()) {
+    prof->flight_snap(chip_->cycle(), /*on_stall=*/true);
+  }
+}
+
 bool RawRouter::check_watchdog() {
   const WatchdogConfig& wd = config_.watchdog;
   const common::Cycle now = chip_->cycle();
@@ -271,6 +279,7 @@ bool RawRouter::check_watchdog() {
     stall_report_ = build_stall_report(*chip_, layout_,
                                        StallReport::Cause::kNoForwardProgress,
                                        ledger_.in_flight.size());
+    flight_mark();
     return true;
   }
 
@@ -293,6 +302,7 @@ bool RawRouter::check_watchdog() {
                                        StallReport::Cause::kPortStarvation,
                                        ledger_.in_flight.size());
     stall_report_->starved_ports = std::move(starved);
+    flight_mark();
   }
   return false;
 }
@@ -362,6 +372,7 @@ bool RawRouter::drain(common::Cycle max_cycles) {
     drain_outcome_ = ok ? (degraded_ ? DrainOutcome::kDrainedDegraded
                                      : DrainOutcome::kDrained)
                         : DrainOutcome::kTimeout;
+    if (!ok) flight_mark();
     check_conservation();
     return ok;
   }
@@ -399,11 +410,13 @@ bool RawRouter::drain(common::Cycle max_cycles) {
       ledger_.erased_lost += ledger_.in_flight.size();
       ledger_.in_flight.clear();
       drain_outcome_ = DrainOutcome::kLossQuiesced;
+      flight_mark();
       check_conservation();
       return false;
     }
     if (chip_->cycle() >= deadline) {
       drain_outcome_ = DrainOutcome::kTimeout;
+      flight_mark();
       check_conservation();
       return false;
     }

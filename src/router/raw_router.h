@@ -179,6 +179,18 @@ class RawRouter {
   /// per line card). Call `tracer->enable(budget)` to start recording.
   void set_tracer(common::PacketTracer* tracer);
 
+  /// Attaches (or detaches, with nullptr) an engine profiler (see
+  /// common/profiler.h) to the execution engine and chip. When the
+  /// profiler's flight recorder is armed, a watchdog StallReport and every
+  /// non-drained drain exit force a marked snapshot, so a wedged or lossy
+  /// run carries its own recent performance history. Not owned.
+  void set_profiler(common::Profiler* profiler) {
+    runner_->set_profiler(profiler);
+  }
+  [[nodiscard]] common::Profiler* profiler() const {
+    return runner_->profiler();
+  }
+
   /// Publishes the router's observability into `registry` under `prefix`:
   ///   <prefix>/port<P>/ingress/{offered,dropped,delivered}_packets, ...
   ///   <prefix>/port<P>/crossbar/{quanta,grants,denials,empty_headers}
@@ -209,6 +221,9 @@ class RawRouter {
   bool try_recover();
   /// Asserts the packet-conservation identity (see PacketLedger).
   void check_conservation() const;
+  /// Forces a stall-marked flight-recorder snapshot (no-op unless a profiler
+  /// with an armed flight recorder is attached).
+  void flight_mark();
 
   RouterConfig config_;
   net::RouteTable table_;

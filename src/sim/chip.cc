@@ -1,6 +1,7 @@
 #include "sim/chip.h"
 
 #include "common/assert.h"
+#include "common/profiler.h"
 #include "sim/fault_plan.h"
 
 namespace raw::sim {
@@ -234,6 +235,7 @@ bool Chip::may_park_on(const Channel* ch, AgentState cause) {
 
 bool Chip::commit_lane(std::size_t lane) {
   EngineState::Lane& ln = engine_.lanes[lane];
+  if (profiler_ != nullptr) profiler_->count_commit(ln.dirty.size());
   bool progress = false;
   for (Channel* ch : ln.dirty) {
     if (ch->commit()) {
@@ -275,6 +277,7 @@ void Chip::park_agent(std::int32_t aid, AgentState cause, Channel* chan) {
   run_flags_[static_cast<std::size_t>(aid >> 1)] &=
       static_cast<std::uint8_t>(~(1u << (aid & 1)));
   parked_count_.fetch_add(1, std::memory_order_relaxed);
+  if (profiler_ != nullptr) profiler_->count_park();
 }
 
 void Chip::credit_agent(std::int32_t aid, Park& park, common::Cycle upto) {
@@ -297,6 +300,7 @@ void Chip::wake_agent(std::int32_t aid, common::Cycle counted_through) {
   run_flags_[static_cast<std::size_t>(aid >> 1)] |=
       static_cast<std::uint8_t>(1u << (aid & 1));
   parked_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (profiler_ != nullptr) profiler_->count_wake();
 }
 
 void Chip::settle_parked() {
@@ -338,29 +342,63 @@ void Chip::wake_all_parked() {
 }
 
 void Chip::step_cycle() {
+  common::Profiler* const prof = profiler_;
   const bool dense = dense_cycle();
+  if (prof != nullptr) {
+    if (dense) {
+      prof->count_dense_sweep();
+    } else {
+      prof->count_sparse_cycle();
+    }
+  }
   if (dense && parked_count_.load(std::memory_order_relaxed) > 0) {
+    common::ProfScope ps(prof, common::ProfPhase::kParkWake);
     wake_all_parked();
   }
 
-  FaultPlan* const faults = faults_;
-  if (faults != nullptr) faults->step(*this);
+  {
+    common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+    FaultPlan* const faults = faults_;
+    if (faults != nullptr) faults->step(*this);
+    for (Device* d : devices_) d->step(*this);
+  }
 
-  for (Device* d : devices_) d->step(*this);
-
-  step_agents(0, num_tiles(), dense);
+  {
+    common::ProfScope ps(prof, common::ProfPhase::kCompute);
+    step_agents(0, num_tiles(), dense);
+  }
 
   // dyn_ is null when ChipConfig::with_dynamic_network is false; when
   // present it early-outs internally while no message words are in flight.
-  if (dyn_ != nullptr) dyn_->step();
+  if (dyn_ != nullptr) {
+    common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+    dyn_->step();
+  }
 
   bool progress = false;
-  for (std::size_t l = 0; l < engine_.lanes.size(); ++l) {
-    progress |= commit_lane(l);
+  {
+    common::ProfScope ps(prof, common::ProfPhase::kChannelCommit);
+    for (std::size_t l = 0; l < engine_.lanes.size(); ++l) {
+      progress |= commit_lane(l);
+    }
   }
-  if (engine_.stats_channels > 0) sample_stats_range(0, all_channels_.size());
-  apply_wakes();
+  if (engine_.stats_channels > 0) {
+    common::ProfScope ps(prof, common::ProfPhase::kStats);
+    sample_stats_range(0, all_channels_.size());
+  }
+  {
+    common::ProfScope ps(prof, common::ProfPhase::kParkWake);
+    apply_wakes();
+  }
   finish_cycle(progress);
+}
+
+void Chip::profile_tick() {
+  // Runs inside finish_cycle, which the engine contract restricts to one
+  // serial call per cycle (worker 0 under ParallelRunner), so reading the
+  // other workers' relaxed accumulators here is the documented consumer the
+  // profiler's thread model allows.
+  if (profiler_->flight_due(engine_.now)) profiler_->flight_snap(engine_.now);
 }
 
 void Chip::step() {
@@ -413,7 +451,9 @@ void Chip::export_metrics(common::MetricRegistry& registry,
     if (ch->name().empty()) continue;
     if (ch->words_transferred() == 0 && ch->stats_cycles() == 0) continue;
     chan_base.resize(chan_prefix_len);
-    chan_base += ch->name();
+    // Channel names carry dots and case ("net1.t00.N.out"); exported names
+    // must satisfy the registry lint.
+    chan_base += common::sanitize_metric_name(ch->name());
     registry.counter(chan_base + "/words").set(ch->words_transferred());
     if (ch->stats_cycles() > 0) {
       registry.gauge(chan_base + "/mean_occupancy")

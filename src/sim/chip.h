@@ -33,6 +33,10 @@ namespace raw::exec {
 class ParallelRunner;
 }
 
+namespace raw::common {
+class Profiler;
+}
+
 namespace raw::sim {
 
 struct ChipConfig {
@@ -152,8 +156,16 @@ class Chip {
   /// exactly once per cycle.
   void finish_cycle(bool progress) {
     if (progress) last_progress_cycle_ = engine_.now;
+    if (profiler_ != nullptr) profile_tick();
     ++engine_.now;
   }
+
+  /// Attaches (or detaches, with nullptr) an engine profiler (see
+  /// common/profiler.h). Hot paths gate on the pointer, so a chip with no
+  /// profiler attached is bit- and byte-identical to an uninstrumented
+  /// build. The profiler is not owned and must outlive the run.
+  void set_profiler(common::Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] common::Profiler* profiler() const { return profiler_; }
 
   /// Settles the catch-up accounting of parked agents: busy/blocked/idle
   /// cycle counters become exactly what a dense engine would report through
@@ -278,6 +290,10 @@ class Chip {
   /// Whether a blocked agent may park on `chan` and rely on a wake event.
   [[nodiscard]] static bool may_park_on(const Channel* chan, AgentState cause);
 
+  /// finish_cycle's profiling tail (flight-recorder due check), out of line
+  /// so the inline fast path stays a single null test.
+  void profile_tick();
+
   void park_agent(std::int32_t aid, AgentState cause, Channel* chan);
   void wake_agent(std::int32_t aid, common::Cycle counted_through);
   void credit_agent(std::int32_t aid, Park& park, common::Cycle upto);
@@ -304,6 +320,7 @@ class Chip {
   std::vector<Channel*> all_channels_;
   std::unordered_map<std::string, Channel*> channel_index_;
   FaultPlan* faults_ = nullptr;
+  common::Profiler* profiler_ = nullptr;
   Trace trace_;
   common::Cycle last_progress_cycle_ = 0;
 

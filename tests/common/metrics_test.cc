@@ -145,7 +145,9 @@ TEST(MetricsTest, JsonRoundTripsSnapshot) {
   for (int i = 0; i < 10; ++i) h.add(4.0 * i);
 
   const std::string json = reg.to_json();
-  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  // Schema "metrics/v2": the envelope carries a version tag so downstream
+  // consumers (CI artifact tooling, rawbench baselines) can detect drift.
+  EXPECT_EQ(json.rfind("{\"schema\":\"metrics/v2\",\"metrics\":[", 0), 0u);
   EXPECT_EQ(json.substr(json.size() - 2), "]}");
 
   EXPECT_EQ(json_field(json, "router/port0/ingress/drops", "kind"),
@@ -164,6 +166,16 @@ TEST(MetricsTest, JsonRoundTripsSnapshot) {
   EXPECT_DOUBLE_EQ(
       std::stod(json_field(json, "router/port0/latency", "max")),
       hist_sample.max);
+}
+
+TEST(MetricsTest, SanitizeMetricName) {
+  // Channel names carry dots and uppercase ("net1.t00.N.out"); exporters
+  // must fold them into the ^[a-z0-9_/]+$ namespace the lint enforces.
+  EXPECT_EQ(sanitize_metric_name("net1.t00.N.out"), "net1_t00_n_out");
+  EXPECT_EQ(sanitize_metric_name("already/fine_123"), "already/fine_123");
+  EXPECT_EQ(sanitize_metric_name("UPPER"), "upper");
+  EXPECT_EQ(sanitize_metric_name("a b\tc"), "a_b_c");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
 }
 
 TEST(MetricsTest, JsonIsStructurallyBalanced) {

@@ -1,0 +1,207 @@
+// Engine profiler unit tests: deterministic (fake-clock) phase accounting,
+// exclusive-time nesting, the flight-recorder ring, and the exporters. The
+// engine-level behaviour (digest invariance, snapshot-on-stall) lives in
+// tests/exec/profiler_engine_test.cc.
+#include "common/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace raw::common {
+namespace {
+
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_clock() { return g_fake_now; }
+
+/// Installs the fake clock for a test body and always restores the real one.
+class FakeClock {
+ public:
+  FakeClock() {
+    g_fake_now = 0;
+    Profiler::set_clock_for_test(&fake_clock);
+  }
+  ~FakeClock() { Profiler::set_clock_for_test(nullptr); }
+  void advance(std::uint64_t ns) { g_fake_now += ns; }
+};
+
+TEST(ProfilerTest, ScopesAccumulateExclusiveTime) {
+  FakeClock clock;
+  Profiler prof(1);
+  Profiler::bind_worker(0);
+  {
+    ProfScope outer(&prof, ProfPhase::kCompute);
+    clock.advance(100);
+    {
+      ProfScope inner(&prof, ProfPhase::kSerialSection);
+      clock.advance(30);
+    }
+    clock.advance(20);
+  }
+  // The nested scope pauses its parent: compute gets its *self* time only.
+  EXPECT_EQ(prof.phase_total(ProfPhase::kCompute).ns, 120u);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kCompute).calls, 1u);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kSerialSection).ns, 30u);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kSerialSection).calls, 1u);
+  EXPECT_EQ(prof.phase_ns_sum(), 150u);
+}
+
+TEST(ProfilerTest, NullProfilerScopeIsInert) {
+  FakeClock clock;
+  ProfScope scope(nullptr, ProfPhase::kCompute);
+  clock.advance(100);
+  // Nothing to assert beyond "does not crash / does not touch the clock
+  // path": the scope holds no profiler.
+}
+
+TEST(ProfilerTest, BarrierWaitFeedsPhaseAndHistogram) {
+  Profiler prof(2);
+  prof.record_barrier_wait(0, 1000);
+  prof.record_barrier_wait(0, 3000);
+  prof.record_barrier_wait(1, 500);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kBarrierWait).ns, 4500u);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kBarrierWait).calls, 3u);
+  EXPECT_EQ(prof.worker(0).barrier_wait_ns.count(), 2u);
+  EXPECT_EQ(prof.worker(1).barrier_wait_ns.count(), 1u);
+}
+
+TEST(ProfilerTest, CoverageAndBarrierShareAgainstWallClock) {
+  FakeClock clock;
+  Profiler prof(1);
+  Profiler::bind_worker(0);
+  prof.start();
+  {
+    ProfScope scope(&prof, ProfPhase::kCompute);
+    clock.advance(600);
+  }
+  prof.record_barrier_wait(0, 300);
+  clock.advance(400);
+  prof.stop();
+  EXPECT_EQ(prof.wall_ns(), 1000u);
+  EXPECT_DOUBLE_EQ(prof.coverage(), 0.9);
+  EXPECT_DOUBLE_EQ(prof.barrier_wait_share(), 0.3);
+}
+
+TEST(ProfilerTest, EnsureWorkersPreservesCollectedData) {
+  Profiler prof(1);
+  prof.record_barrier_wait(0, 1234);
+  const Profiler::Worker* w0 = &prof.worker(0);
+  prof.ensure_workers(4);
+  EXPECT_EQ(prof.workers(), 4);
+  // Slots never move (workers hold references mid-run) and keep their data.
+  EXPECT_EQ(&prof.worker(0), w0);
+  EXPECT_EQ(prof.phase_total(ProfPhase::kBarrierWait).ns, 1234u);
+}
+
+TEST(ProfilerTest, FlightRingWrapsKeepingMostRecent) {
+  Profiler prof(1);
+  prof.enable_flight(/*capacity=*/4, /*interval=*/100);
+  EXPECT_TRUE(prof.flight_enabled());
+  EXPECT_FALSE(prof.flight_due(99));
+  for (Cycle c = 100; c <= 1000; c += 100) {
+    ASSERT_TRUE(prof.flight_due(c)) << c;
+    prof.flight_snap(c);
+  }
+  EXPECT_EQ(prof.flight_recorded(), 10u);
+  const auto snaps = prof.flight();
+  ASSERT_EQ(snaps.size(), 4u);
+  // Oldest first, and only the most recent window survives the wrap.
+  EXPECT_EQ(snaps[0].cycle, 700u);
+  EXPECT_EQ(snaps[1].cycle, 800u);
+  EXPECT_EQ(snaps[2].cycle, 900u);
+  EXPECT_EQ(snaps[3].cycle, 1000u);
+}
+
+TEST(ProfilerTest, StallSnapshotDoesNotAdvanceSchedule) {
+  Profiler prof(1);
+  prof.enable_flight(/*capacity=*/4, /*interval=*/100);
+  prof.flight_snap(50, /*on_stall=*/true);
+  // The forced snapshot recorded, but the periodic one at 100 is still due.
+  EXPECT_EQ(prof.flight_recorded(), 1u);
+  EXPECT_TRUE(prof.flight_due(100));
+  const auto snaps = prof.flight();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_TRUE(snaps[0].on_stall);
+}
+
+TEST(ProfilerTest, FlightJsonlOneSchemaTaggedObjectPerLine) {
+  Profiler prof(1);
+  prof.enable_flight(/*capacity=*/8, /*interval=*/10);
+  prof.record_barrier_wait(0, 42);
+  prof.flight_snap(10);
+  prof.flight_snap(20, /*on_stall=*/true);
+  const std::string jsonl = prof.flight_jsonl();
+  std::stringstream ss(jsonl);
+  std::string line;
+  int lines = 0;
+  while (std::getline(ss, line)) {
+    EXPECT_EQ(line.rfind("{\"schema\":\"flight/v1\",", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(jsonl.find("\"on_stall\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"barrier_wait\":{\"ns\":42,\"calls\":1}"),
+            std::string::npos);
+}
+
+TEST(ProfilerTest, ExportMetricsPublishesLintCleanNames) {
+  Profiler prof(2);
+  prof.record_barrier_wait(0, 100);
+  prof.count_dense_sweep();
+  MetricRegistry reg;
+  prof.export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("profile/workers"), 2u);
+  EXPECT_EQ(reg.counter_value("profile/worker0/phase/barrier_wait/ns"), 100u);
+  EXPECT_EQ(reg.counter_value("profile/worker0/phase/barrier_wait/calls"), 1u);
+  EXPECT_EQ(reg.counter_value("profile/engine/dense_sweeps"), 1u);
+  for (const auto& s : reg.snapshot()) {
+    for (const char c : s.name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '/')
+          << "bad metric name: " << s.name;
+    }
+  }
+}
+
+TEST(ProfilerTest, SpeedscopeJsonSharesFramesAcrossProfiles) {
+  Profiler prof(2);
+  prof.record_barrier_wait(0, 100);
+  prof.record_barrier_wait(1, 200);
+  const std::string json =
+      speedscope_json({{"bench/t2", &prof}});
+  EXPECT_NE(json.find("speedscope.app/file-format-schema.json"),
+            std::string::npos);
+  // Six shared frames, one per phase.
+  for (int p = 0; p < kNumProfPhases; ++p) {
+    const std::string frame = std::string("{\"name\":\"") +
+                              prof_phase_name(static_cast<ProfPhase>(p)) +
+                              "\"}";
+    EXPECT_NE(json.find(frame), std::string::npos) << frame;
+  }
+  // One sampled profile per worker.
+  EXPECT_NE(json.find("\"name\":\"bench/t2/worker0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bench/t2/worker1\""), std::string::npos);
+}
+
+TEST(ProfilerTest, MergedChromeJsonCarriesEngineTrack) {
+  Profiler prof(1);
+  prof.enable_flight(/*capacity=*/4, /*interval=*/100);
+  prof.record_barrier_wait(0, 1000);
+  prof.flight_snap(100);
+  prof.flight_snap(150, /*on_stall=*/true);
+  const std::string json = merged_chrome_json(nullptr, &prof);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"name\":\"engine profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);   // counter samples
+  EXPECT_NE(json.find("stall_snapshot"), std::string::npos);  // instant marker
+}
+
+}  // namespace
+}  // namespace raw::common

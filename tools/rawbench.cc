@@ -10,6 +10,16 @@
 //   ./rawbench [--suite smoke|scaling|fig7|chaos] [--threads 1,2,4]
 //              [--cycles N] [--out FILE] [--min-speedup X]
 //              [--baseline FILE] [--tolerance F]
+//              [--profile] [--speedscope FILE]
+//
+// --profile embeds an engine-profile object into every result row (see
+// common/profiler.h): per-phase wall-time attribution (compute, channel
+// commit, park/wake, barrier wait, serial sections, stats), sparse-engine
+// efficiency counters, the fraction of measured wall time the phases account
+// for, and — explicitly, for every multi-threaded row — the barrier-wait
+// share. This is how a 0.06x speedup row explains itself. --speedscope
+// additionally writes all profiled rows as one speedscope-compatible JSON
+// file (one sampled profile per row per worker; https://www.speedscope.app).
 //
 // Suites:
 //   smoke    router (full + sparse load) + small StreamMesh + idle mesh,
@@ -37,10 +47,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/profiler.h"
 #include "exec/parallel_runner.h"
 #include "exec/stream_mesh.h"
 #include "router/chaos.h"
@@ -50,6 +62,7 @@
 namespace {
 
 using raw::common::Cycle;
+using raw::common::Profiler;
 
 struct RunOutput {
   Cycle cycles = 0;        // simulated cycles
@@ -58,7 +71,10 @@ struct RunOutput {
 
 struct Case {
   std::string name;
-  std::function<RunOutput(int threads)> run;
+  /// `prof` is null unless --profile; cases attach it to their engine and
+  /// bracket the run with prof->start()/stop() (construction excluded), so
+  /// coverage is judged against the simulated region only.
+  std::function<RunOutput(int threads, Profiler* prof)> run;
 };
 
 struct Row {
@@ -70,6 +86,8 @@ struct Row {
   double speedup = 1.0;
   std::uint64_t digest = 0;
   bool deterministic = true;
+  bool oversubscribed = false;
+  std::unique_ptr<Profiler> prof;  // set only under --profile
 };
 
 std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
@@ -85,7 +103,7 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
                  raw::common::ByteCount bytes, Cycle cycles,
                  double load = 1.0) {
   return Case{
-      std::move(name), [=](int threads) {
+      std::move(name), [=](int threads, Profiler* prof) {
         raw::router::RouterConfig cfg;
         cfg.threads = threads;
         raw::net::TrafficConfig t;
@@ -96,7 +114,12 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
         t.load = load;
         raw::router::RawRouter router(cfg, raw::net::RouteTable::simple4(), t,
                                       2003);
+        if (prof != nullptr) {
+          router.set_profiler(prof);
+          prof->start();
+        }
         (void)router.run(cycles);
+        if (prof != nullptr) prof->stop();
         std::uint64_t d = kFnvBasis;
         d = fnv(d, router.offered_packets());
         d = fnv(d, router.delivered_packets());
@@ -110,13 +133,18 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
 
 Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
   return Case{
-      std::move(name), [=](int threads) {
+      std::move(name), [=](int threads, Profiler* prof) {
         raw::exec::StreamMeshConfig cfg;
         cfg.shape = raw::sim::GridShape{dim, dim};
         cfg.proc_work = proc_work;
         raw::exec::StreamMesh mesh(cfg);
         raw::exec::ParallelRunner runner(mesh.chip(), threads);
+        if (prof != nullptr) {
+          runner.set_profiler(prof);
+          prof->start();
+        }
         runner.run(cycles);
+        if (prof != nullptr) prof->stop();
         return RunOutput{mesh.chip().cycle(), mesh.digest()};
       }};
 }
@@ -127,13 +155,18 @@ Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
 // park/credit path must keep exactly equal to cycles x tiles.
 Case idle_mesh_case(std::string name, int dim, Cycle cycles) {
   return Case{
-      std::move(name), [=](int threads) {
+      std::move(name), [=](int threads, Profiler* prof) {
         raw::sim::ChipConfig cfg;
         cfg.shape = raw::sim::GridShape{dim, dim};
         cfg.with_dynamic_network = false;
         raw::sim::Chip chip(cfg);
         raw::exec::ParallelRunner runner(chip, threads);
+        if (prof != nullptr) {
+          runner.set_profiler(prof);
+          prof->start();
+        }
         runner.run(cycles);
+        if (prof != nullptr) prof->stop();
         std::uint64_t idle = 0;
         for (int t = 0; t < chip.num_tiles(); ++t) {
           idle += chip.tile(t).switch_proc().cycles_idle();
@@ -149,7 +182,7 @@ Case idle_mesh_case(std::string name, int dim, Cycle cycles) {
 Case chaos_case(std::string name, const char* mix_str, std::uint64_t seed,
                 Cycle cycles) {
   return Case{
-      std::move(name), [=](int threads) {
+      std::move(name), [=](int threads, Profiler* prof) {
         raw::router::ChaosSpec spec;
         raw::router::ChaosMix mix;
         if (!raw::router::parse_mix(mix_str, &mix)) std::abort();
@@ -158,6 +191,7 @@ Case chaos_case(std::string name, const char* mix_str, std::uint64_t seed,
         spec.run_cycles = cycles;
         spec.drain_cycles = 50 * cycles;
         spec.threads = threads;
+        spec.profiler = prof;  // the harness brackets run+drain itself
         const raw::router::ChaosResult r = raw::router::run_chaos(spec);
         std::uint64_t d = kFnvBasis;
         d = fnv(d, r.pass ? 1 : 0);
@@ -245,6 +279,52 @@ std::vector<BaselineRow> load_baseline(const char* path) {
   return rows;
 }
 
+// 1-minute load average at startup, or -1 when the platform cannot say. A
+// loaded (or 1-core) host silently poisons every speedup number, so the
+// report records the evidence.
+double host_load_avg() {
+#if defined(__linux__) || defined(__APPLE__)
+  double loads[1] = {-1.0};
+  if (getloadavg(loads, 1) == 1) return loads[0];
+#endif
+  return -1.0;
+}
+
+// The per-row "profile" JSON object: aggregated per-phase attribution,
+// sparse-engine counters, coverage (phase sum over workers x wall), and the
+// explicit barrier-wait share every multi-threaded row must report.
+std::string profile_json(const Profiler& prof) {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof buf, "\"workers\": %d, \"wall_ns\": %" PRIu64 ", ",
+                prof.workers(), prof.wall_ns());
+  out += buf;
+  out += "\"phases\": {";
+  for (int p = 0; p < raw::common::kNumProfPhases; ++p) {
+    const auto phase = static_cast<raw::common::ProfPhase>(p);
+    const Profiler::PhaseTotal t = prof.phase_total(phase);
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"ns\": %" PRIu64 ", \"calls\": %" PRIu64 "}",
+                  p == 0 ? "" : ", ", raw::common::prof_phase_name(phase),
+                  t.ns, t.calls);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "}, \"coverage\": %.4f, \"barrier_wait_share\": %.4f, ",
+                prof.coverage(), prof.barrier_wait_share());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"parks\": %" PRIu64 ", \"wakes\": %" PRIu64
+                ", \"commit_batches\": %" PRIu64 ", \"dirty_channels\": %" PRIu64
+                ", \"dense_sweeps\": %" PRIu64 ", \"sparse_cycles\": %" PRIu64
+                "}",
+                prof.parks(), prof.wakes(), prof.commit_batches(),
+                prof.dirty_channels(), prof.dense_sweeps(),
+                prof.sparse_cycles());
+  out += buf;
+  return out;
+}
+
 std::vector<int> parse_threads(const char* s) {
   std::vector<int> out;
   while (*s != '\0') {
@@ -272,6 +352,8 @@ int main(int argc, char** argv) {
   Cycle cycles_override = 0;
   const char* out_path = "BENCH_engine.json";
   const char* baseline_path = nullptr;
+  const char* speedscope_path = nullptr;
+  bool profile = false;
   double min_speedup = 0.0;
   double tolerance = 0.40;
   for (int i = 1; i < argc; ++i) {
@@ -289,11 +371,17 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--tolerance") && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile = true;
+    } else if (!std::strcmp(argv[i], "--speedscope") && i + 1 < argc) {
+      speedscope_path = argv[++i];
+      profile = true;  // a speedscope file implies profiled rows
     } else {
       std::fprintf(stderr,
                    "usage: rawbench [--suite smoke|scaling|fig7|chaos] "
                    "[--threads 1,2,4] [--cycles N] [--out FILE] "
-                   "[--min-speedup X] [--baseline FILE] [--tolerance F]\n");
+                   "[--min-speedup X] [--baseline FILE] [--tolerance F] "
+                   "[--profile] [--speedscope FILE]\n");
       return 2;
     }
   }
@@ -308,11 +396,24 @@ int main(int argc, char** argv) {
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
+  const double load_avg = host_load_avg();
   std::printf("rawbench: suite '%s', threads {", suite.c_str());
   for (std::size_t i = 0; i < threads.size(); ++i) {
     std::printf("%s%d", i > 0 ? "," : "", threads[i]);
   }
-  std::printf("}, host concurrency %u\n\n", hw);
+  std::printf("}, host concurrency %u, load avg %.2f%s\n\n", hw, load_avg,
+              profile ? ", profiling on" : "");
+
+  const unsigned max_threads =
+      static_cast<unsigned>(*std::max_element(threads.begin(), threads.end()));
+  if (hw > 0 && max_threads > hw) {
+    std::fprintf(stderr,
+                 "rawbench: WARNING: thread counts up to %u exceed this "
+                 "host's %u hardware threads — every oversubscribed row's "
+                 "speedup measures scheduler contention, not the engine; "
+                 "those rows are flagged \"oversubscribed\" in the report\n",
+                 max_threads, hw);
+  }
 
   const std::vector<Case> cases = make_suite(suite, cycles_override);
   std::vector<Row> rows;
@@ -323,13 +424,16 @@ int main(int argc, char** argv) {
     std::uint64_t ref_digest = 0;
     bool have_ref = false;
     for (const int t : threads) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const RunOutput out = cs.run(t);
-      const auto t1 = std::chrono::steady_clock::now();
-
       Row row;
       row.name = cs.name;
       row.threads = t;
+      row.oversubscribed = hw > 0 && static_cast<unsigned>(t) > hw;
+      if (profile) row.prof = std::make_unique<Profiler>(t);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunOutput out = cs.run(t, row.prof.get());
+      const auto t1 = std::chrono::steady_clock::now();
+
       row.cycles = out.cycles;
       row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
       row.cycles_per_sec =
@@ -344,10 +448,25 @@ int main(int argc, char** argv) {
       if (t == 1) serial_wall = row.wall_seconds;
       row.speedup = serial_wall > 0.0 ? serial_wall / row.wall_seconds : 1.0;
       std::printf("  %-24s t=%d  %9" PRIu64 " cycles  %8.0f cyc/s  "
-                  "speedup %.2fx  digest %016" PRIx64 "%s\n",
+                  "speedup %.2fx  digest %016" PRIx64 "%s%s\n",
                   cs.name.c_str(), t, static_cast<std::uint64_t>(row.cycles),
                   row.cycles_per_sec, row.speedup, row.digest,
+                  row.oversubscribed ? "  [oversubscribed]" : "",
                   row.deterministic ? "" : "  <-- MISMATCH");
+      if (row.prof != nullptr) {
+        std::printf("    %-22s coverage %3.0f%%  barrier wait %3.0f%%  "
+                    "parks %" PRIu64 "  wakes %" PRIu64 "  dense sweeps %" PRIu64
+                    "\n",
+                    "profile:", row.prof->coverage() * 100.0,
+                    row.prof->barrier_wait_share() * 100.0, row.prof->parks(),
+                    row.prof->wakes(), row.prof->dense_sweeps());
+      }
+      if (row.oversubscribed) {
+        std::fprintf(stderr,
+                     "rawbench: WARNING: %s t=%d oversubscribed (host has %u "
+                     "hardware threads) — speedup not meaningful\n",
+                     cs.name.c_str(), t, hw);
+      }
       rows.push_back(std::move(row));
     }
   }
@@ -357,9 +476,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"rawbench/v1\",\n  \"suite\": \"%s\",\n",
+  std::fprintf(f, "{\n  \"schema\": \"rawbench/v2\",\n  \"suite\": \"%s\",\n",
                suite.c_str());
-  std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n", hw);
+  std::fprintf(f,
+               "  \"host\": {\"hardware_concurrency\": %u, "
+               "\"load_avg_1m\": %.2f},\n",
+               hw, load_avg);
   std::fprintf(f, "  \"threads\": [");
   for (std::size_t i = 0; i < threads.size(); ++i) {
     std::fprintf(f, "%s%d", i > 0 ? ", " : "", threads[i]);
@@ -372,17 +494,39 @@ int main(int argc, char** argv) {
                  "    {\"name\": \"%s\", \"threads\": %d, \"cycles\": %" PRIu64
                  ", \"wall_seconds\": %.6f, \"cycles_per_sec\": %.1f, "
                  "\"speedup_vs_serial\": %.3f, \"digest\": \"%016" PRIx64
-                 "\", \"deterministic\": %s}%s\n",
+                 "\", \"deterministic\": %s, \"oversubscribed\": %s",
                  r.name.c_str(), r.threads,
                  static_cast<std::uint64_t>(r.cycles), r.wall_seconds,
                  r.cycles_per_sec, r.speedup, r.digest,
                  r.deterministic ? "true" : "false",
-                 i + 1 < rows.size() ? "," : "");
+                 r.oversubscribed ? "true" : "false");
+    if (r.prof != nullptr) {
+      std::fprintf(f, ", \"profile\": %s", profile_json(*r.prof).c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s%s\n", out_path,
               all_deterministic ? "" : " (DETERMINISM FAILURE)");
+
+  if (speedscope_path != nullptr) {
+    std::vector<raw::common::ProfiledRun> pruns;
+    for (const Row& r : rows) {
+      if (r.prof == nullptr) continue;
+      pruns.push_back({r.name + "/t" + std::to_string(r.threads),
+                       r.prof.get()});
+    }
+    std::FILE* sf = std::fopen(speedscope_path, "w");
+    if (sf == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", speedscope_path);
+      return 1;
+    }
+    const std::string ss = raw::common::speedscope_json(pruns);
+    std::fwrite(ss.data(), 1, ss.size(), sf);
+    std::fclose(sf);
+    std::printf("wrote %s (%zu profiles)\n", speedscope_path, pruns.size());
+  }
 
   bool speedup_ok = true;
   if (min_speedup > 0.0) {

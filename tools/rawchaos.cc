@@ -17,14 +17,22 @@
 // In sweep mode --record captures the first *failing* combination; with a
 // single --mix/--seed combination it always records.
 //
+// With --flight-dir DIR every combination runs with the engine flight
+// recorder armed (common/profiler.h): any run that fails an invariant or
+// exits without a clean drain writes its recent performance history to
+// DIR/<mix>_seed<S>.flight.jsonl, so a wedged or lossy run carries its own
+// "what was the engine doing" evidence. DIR must exist.
+//
 // Exit status is 0 only when every combination passes (or the replay /
 // minimize reproduced the recorded signature).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "router/chaos.h"
 #include "router/repro.h"
 
@@ -51,6 +59,7 @@ struct Args {
   const char* replay = nullptr;    // re-run a recorded repro
   const char* minimize = nullptr;  // ddmin a recorded repro
   const char* out = nullptr;       // minimized-repro output path
+  const char* flight_dir = nullptr;  // flight-recorder dumps for bad exits
 };
 
 void usage() {
@@ -59,7 +68,7 @@ void usage() {
                "                [--mix flip+stall+freeze+overrun] [--permanent]\n"
                "                [--links] [--recovery] [--force-dense]\n"
                "                [--threads T] [-v]\n"
-               "                [--record FILE]\n"
+               "                [--record FILE] [--flight-dir DIR]\n"
                "       rawchaos --replay FILE\n"
                "       rawchaos --minimize FILE [--out FILE]\n");
 }
@@ -93,6 +102,8 @@ Args parse(int argc, char** argv) {
       a.minimize = argv[++i];
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       a.out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--flight-dir") && i + 1 < argc) {
+      a.flight_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "-v") || !std::strcmp(argv[i], "--verbose")) {
       a.verbose = true;
     } else {
@@ -161,6 +172,28 @@ std::vector<raw::sim::FaultEvent> events_for(const ChaosSpec& spec) {
                                  raw::net::RouteTable::simple4(), traffic,
                                  spec.seed);
   return raw::router::make_fault_plan(spec, scratch).events();
+}
+
+/// True when a combination's exit deserves its flight history on disk: an
+/// invariant failure, or any ending other than a clean full drain (losses,
+/// stalls, timeouts, and degraded fabrics all count).
+bool flight_worthy(const ChaosResult& r) {
+  return !r.pass || r.outcome != raw::router::DrainOutcome::kDrained;
+}
+
+bool dump_flight(const char* dir, const ChaosResult& r,
+                 const raw::common::Profiler& prof) {
+  const std::string path = std::string(dir) + "/" + r.mix + "_seed" +
+                           std::to_string(r.seed) + ".flight.jsonl";
+  if (!write_file(path.c_str(), prof.flight_jsonl())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("  flight: %llu snapshots (of %llu recorded) -> %s\n",
+              static_cast<unsigned long long>(prof.flight().size()),
+              static_cast<unsigned long long>(prof.flight_recorded()),
+              path.c_str());
+  return true;
 }
 
 void print_result(const ChaosResult& r, bool verbose) {
@@ -281,6 +314,17 @@ int main(int argc, char** argv) {
       spec.recovery = args.recovery;
       spec.force_dense = args.force_dense;
 
+      // Per-combination flight recorder: ~64 snapshots across the run (the
+      // drain keeps snapping and the ring keeps the most recent history,
+      // which is the part a post-mortem wants).
+      raw::common::Profiler profiler;
+      if (args.flight_dir != nullptr) {
+        profiler.enable_flight(
+            /*capacity=*/64,
+            /*interval=*/std::max<raw::common::Cycle>(1, args.cycles / 64));
+        spec.profiler = &profiler;
+      }
+
       ChaosResult r;
       std::vector<raw::sim::FaultEvent> events;
       if (args.record != nullptr) {
@@ -294,6 +338,9 @@ int main(int argc, char** argv) {
       ++total;
       if (r.pass) ++passed;
       print_result(r, args.verbose);
+      if (args.flight_dir != nullptr && flight_worthy(r)) {
+        if (!dump_flight(args.flight_dir, r, profiler)) return 2;
+      }
 
       if (args.record != nullptr && !recorded && (single || !r.pass)) {
         ChaosRepro repro;

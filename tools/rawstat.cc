@@ -10,6 +10,13 @@
 //   rawstat --json > metrics.json   # machine-readable registry dump
 //   rawstat --trace trace.json      # packet-lifecycle Chrome trace
 //   rawstat --chaos flip+stall      # seeded fault injection + faults panel
+//   rawstat --profile               # live engine panel: where wall time goes
+//
+// With --profile an engine profiler rides along (common/profiler.h): the
+// dashboard grows a per-phase wall-clock attribution panel, --json includes
+// the profile/... metric section, and --trace merges the engine-profile
+// counter tracks (from the flight recorder, one snapshot per interval) into
+// the packet-lifecycle Chrome trace.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +25,7 @@
 #include <unistd.h>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/trace_event.h"
 #include "router/chaos.h"
 #include "router/raw_router.h"
@@ -47,6 +55,7 @@ struct Args {
   int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
   bool links = false;     // reliable-link layer (CRC + NACK/retransmit)
   bool recovery = false;  // fault-adaptive crossbar reconfiguration
+  bool profile = false;   // engine profiler + live attribution panel
 };
 
 void usage() {
@@ -72,6 +81,9 @@ void usage() {
       "  --recovery        fault-adaptive reconfiguration: a permanently\n"
       "                    frozen tile is routed around (Degraded) instead\n"
       "                    of stalling the fabric\n"
+      "  --profile         attach the engine profiler: live per-phase\n"
+      "                    wall-clock attribution panel, profile/... metrics\n"
+      "                    in --json, engine tracks merged into --trace\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
       "  --threads T       execution-engine worker threads (default: \n"
       "                    RAWSIM_THREADS, else serial; results identical)\n"
@@ -127,6 +139,8 @@ Args parse(int argc, char** argv) {
       a.links = true;
     } else if (!std::strcmp(argv[i], "--recovery")) {
       a.recovery = true;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      a.profile = true;
     } else if (!std::strcmp(argv[i], "--channel-stats")) {
       a.channel_stats = true;
     } else if (!std::strcmp(argv[i], "--threads")) {
@@ -270,6 +284,45 @@ void print_recovery_panel(const MetricRegistry& reg,
   }
 }
 
+/// The engine-profile panel (--profile): per-phase wall-clock attribution
+/// aggregated across workers, plus the sparse-efficiency counters. Reads the
+/// Profiler directly — relaxed per-worker accumulators are safe to aggregate
+/// between run chunks.
+void print_profile_panel(const raw::common::Profiler& prof) {
+  using raw::common::ProfPhase;
+  const std::uint64_t wall = prof.wall_ns();
+  const double denom =
+      wall > 0 ? static_cast<double>(wall) * prof.workers() : 1.0;
+  std::printf(
+      "\nengine: %d worker%s, %.1f ms profiled wall, coverage %.1f%%, "
+      "barrier wait %.1f%%\n",
+      prof.workers(), prof.workers() == 1 ? "" : "s",
+      static_cast<double>(wall) / 1e6, 100.0 * prof.coverage(),
+      100.0 * prof.barrier_wait_share());
+  std::printf("  phases:");
+  for (int p = 0; p < raw::common::kNumProfPhases; ++p) {
+    const auto t = prof.phase_total(static_cast<ProfPhase>(p));
+    std::printf(" %s %.1f%%",
+                raw::common::prof_phase_name(static_cast<ProfPhase>(p)),
+                100.0 * static_cast<double>(t.ns) / denom);
+  }
+  std::printf("\n");
+  const std::uint64_t batches = prof.commit_batches();
+  std::printf(
+      "  sparse: %llu parks, %llu wakes, %llu commit batches "
+      "(avg %.1f dirty), %llu dense sweeps / %llu sparse cycles, "
+      "%llu flight snapshots\n",
+      static_cast<unsigned long long>(prof.parks()),
+      static_cast<unsigned long long>(prof.wakes()),
+      static_cast<unsigned long long>(batches),
+      batches > 0 ? static_cast<double>(prof.dirty_channels()) /
+                        static_cast<double>(batches)
+                  : 0.0,
+      static_cast<unsigned long long>(prof.dense_sweeps()),
+      static_cast<unsigned long long>(prof.sparse_cycles()),
+      static_cast<unsigned long long>(prof.flight_recorded()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +351,14 @@ int main(int argc, char** argv) {
     tracer.enable(args.trace_budget);
   }
 
+  // One flight snapshot per dashboard interval, so the merged Chrome trace's
+  // engine counter track lines up with the refresh cadence.
+  raw::common::Profiler profiler(std::max(1, router.threads()));
+  if (args.profile) {
+    profiler.enable_flight(/*capacity=*/512, /*interval=*/args.interval);
+    router.set_profiler(&profiler);
+  }
+
   raw::sim::FaultPlan fault_plan;
   if (args.chaos != nullptr) {
     raw::router::ChaosMix mix;
@@ -322,16 +383,20 @@ int main(int argc, char** argv) {
   while (now < args.cycles && !stalled) {
     const Cycle chunk = std::min(args.interval, args.cycles - now);
     router.chip().trace().configure(now, now + chunk, 16);
+    if (args.profile) profiler.start();
     stalled = router.run(chunk) == raw::router::RunStatus::kStalled;
+    if (args.profile) profiler.stop();
     now = router.chip().cycle();
     router.export_metrics(registry);
     export_tile_utilization(router.chip().trace(), registry);
+    if (args.profile) profiler.export_metrics(registry);
     if (!quiet) {
       print_dashboard(args, registry, now, redraw);
       if (args.chaos != nullptr) print_fault_panel(registry);
       if (args.links || args.recovery || router.degraded()) {
         print_recovery_panel(registry, router);
       }
+      if (args.profile) print_profile_panel(profiler);
     }
   }
   if (!quiet && router.stall_report().has_value()) {
@@ -347,16 +412,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", args.trace_path);
       return 1;
     }
-    const std::string json = tracer.chrome_json();
+    const std::string json =
+        args.profile
+            ? raw::common::merged_chrome_json(&tracer, &profiler)
+            : tracer.chrome_json();
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     if (!quiet) {
       std::printf("\nwrote %zu trace events (%llu recorded, %llu overwritten) "
-                  "to %s\n",
+                  "to %s%s\n",
                   tracer.size(),
                   static_cast<unsigned long long>(tracer.recorded()),
                   static_cast<unsigned long long>(tracer.overwritten()),
-                  args.trace_path);
+                  args.trace_path,
+                  args.profile ? " (engine-profile tracks merged)" : "");
     }
   }
 
