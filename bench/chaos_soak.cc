@@ -4,10 +4,15 @@
 // combinations; the tier2 ctest runs a bounded version.
 //
 //   ./chaos_soak [--seeds N] [--cycles N] [--threads T]
-//                [--links] [--recovery] [--repro-dir DIR] [--flight-dir DIR]
+//                [--links] [--recovery] [--invariants]
+//                [--repro-dir DIR] [--flight-dir DIR]
 //
 // --links/--recovery run the whole sweep with the self-healing layers on
-// (reliable links + fault-adaptive reconfiguration). With --repro-dir, the
+// (reliable links + fault-adaptive reconfiguration). With --invariants,
+// every combination arms the endurance invariant monitor
+// (sim/invariants.h) at a cadence of cycles/8, so the ledger/credit-book
+// identities are swept *during* each run, not just at drain exit; the
+// rollup gains sweep and checkpoint columns. With --repro-dir, the
 // first failing combination is delta-debugged down to a minimal fault
 // schedule and written there as a replayable JSON repro (rawchaos --replay).
 // With --flight-dir, every combination runs with the engine flight recorder
@@ -36,6 +41,7 @@ struct Args {
   int threads = 0;
   bool links = false;
   bool recovery = false;
+  bool invariants = false;
   const char* repro_dir = nullptr;
   const char* flight_dir = nullptr;
 };
@@ -53,6 +59,8 @@ Args parse(int argc, char** argv) {
       a.links = true;
     } else if (!std::strcmp(argv[i], "--recovery")) {
       a.recovery = true;
+    } else if (!std::strcmp(argv[i], "--invariants")) {
+      a.invariants = true;
     } else if (!std::strcmp(argv[i], "--repro-dir") && i + 1 < argc) {
       a.repro_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--flight-dir") && i + 1 < argc) {
@@ -124,12 +132,13 @@ bool write_minimized_repro(const Args& args, const raw::router::ChaosResult& r,
   return true;
 }
 
-/// The chaos_sweep loop with a per-combination flight recorder riding along
-/// (same mix-major/seed-minor order and spec as chaos_sweep, so summaries
-/// are comparable): any combination that fails an invariant or exits
-/// without a clean drain dumps its recent engine history into `dir`.
-raw::router::ChaosSweepSummary sweep_with_flight(const Args& args,
-                                                 const char* dir) {
+/// The chaos_sweep loop with a per-combination flight recorder and/or the
+/// endurance invariant monitor riding along (same mix-major/seed-minor
+/// order and spec as chaos_sweep, so summaries are comparable): any
+/// combination that fails an invariant or exits without a clean drain
+/// dumps its recent engine history into `dir` (when given).
+raw::router::ChaosSweepSummary sweep_local(const Args& args,
+                                           const char* dir) {
   raw::router::ChaosSweepSummary summary;
   for (const raw::router::ChaosMix& mix : raw::router::standard_mixes()) {
     for (int s = 1; s <= args.seeds; ++s) {
@@ -140,15 +149,28 @@ raw::router::ChaosSweepSummary sweep_with_flight(const Args& args,
       spec.threads = args.threads;
       spec.reliable_links = args.links;
       spec.recovery = args.recovery;
+      if (args.invariants) {
+        spec.endurance.enabled = true;
+        // Cadence floor: validate() rejects a cadence below the watchdog
+        // check interval.
+        spec.endurance.invariant_cadence =
+            std::max<raw::common::Cycle>(2048, args.cycles / 8);
+        spec.endurance.checkpoint_interval =
+            std::max<raw::common::Cycle>(1, args.cycles / 2);
+        spec.endurance.checkpoint_ring = 2;
+      }
 
       raw::common::Profiler profiler;
-      profiler.enable_flight(
-          /*capacity=*/64,
-          /*interval=*/std::max<raw::common::Cycle>(1, args.cycles / 64));
-      spec.profiler = &profiler;
+      if (dir != nullptr) {
+        profiler.enable_flight(
+            /*capacity=*/64,
+            /*interval=*/std::max<raw::common::Cycle>(1, args.cycles / 64));
+        spec.profiler = &profiler;
+      }
 
       raw::router::ChaosResult r = raw::router::run_chaos(spec);
-      if (!r.pass || r.outcome != raw::router::DrainOutcome::kDrained) {
+      if (dir != nullptr &&
+          (!r.pass || r.outcome != raw::router::DrainOutcome::kDrained)) {
         const std::string path = std::string(dir) + "/" + r.mix + "_seed" +
                                  std::to_string(r.seed) + ".flight.jsonl";
         FILE* f = std::fopen(path.c_str(), "w");
@@ -177,15 +199,16 @@ raw::router::ChaosSweepSummary sweep_with_flight(const Args& args,
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run%s%s\n\n",
+  std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run%s%s%s\n\n",
               args.seeds, raw::router::standard_mixes().size(),
               static_cast<unsigned long long>(args.cycles),
               args.links ? ", reliable links" : "",
-              args.recovery ? ", fault-adaptive recovery" : "");
+              args.recovery ? ", fault-adaptive recovery" : "",
+              args.invariants ? ", invariant monitor" : "");
 
   const raw::router::ChaosSweepSummary summary =
-      args.flight_dir != nullptr
-          ? sweep_with_flight(args, args.flight_dir)
+      args.flight_dir != nullptr || args.invariants
+          ? sweep_local(args, args.flight_dir)
           : raw::router::chaos_sweep(args.seeds, args.cycles, args.threads,
                                      args.links, args.recovery);
 
@@ -193,7 +216,8 @@ int main(int argc, char** argv) {
   struct MixAgg {
     int runs = 0, passed = 0, degraded = 0;
     std::uint64_t delivered = 0, errors = 0, lost = 0, malformed = 0,
-                  resyncs = 0, trips = 0, retransmits = 0;
+                  resyncs = 0, trips = 0, retransmits = 0, sweeps = 0,
+                  ckpts = 0;
   };
   std::map<std::string, MixAgg> by_mix;
   for (const raw::router::ChaosResult& r : summary.results) {
@@ -208,12 +232,16 @@ int main(int argc, char** argv) {
     agg.resyncs += r.resyncs;
     agg.trips += r.watchdog_trips;
     agg.retransmits += r.link_retransmits;
+    agg.sweeps += r.invariant_sweeps;
+    agg.ckpts += r.checkpoints_captured;
   }
-  std::printf("%-28s %9s %10s %6s %5s %5s %6s %6s %6s %7s\n", "mix", "pass",
+  std::printf("%-28s %9s %10s %6s %5s %5s %6s %6s %6s %7s", "mix", "pass",
               "delivered", "errors", "lost", "malf", "resync", "trips", "degr",
               "retrans");
+  if (args.invariants) std::printf(" %6s %5s", "sweeps", "ckpts");
+  std::printf("\n");
   for (const auto& [mix, agg] : by_mix) {
-    std::printf("%-28s %4d/%-4d %10llu %6llu %5llu %5llu %6llu %6llu %6d %7llu\n",
+    std::printf("%-28s %4d/%-4d %10llu %6llu %5llu %5llu %6llu %6llu %6d %7llu",
                 mix.c_str(), agg.passed, agg.runs,
                 static_cast<unsigned long long>(agg.delivered),
                 static_cast<unsigned long long>(agg.errors),
@@ -222,6 +250,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(agg.resyncs),
                 static_cast<unsigned long long>(agg.trips), agg.degraded,
                 static_cast<unsigned long long>(agg.retransmits));
+    if (args.invariants) {
+      std::printf(" %6llu %5llu", static_cast<unsigned long long>(agg.sweeps),
+                  static_cast<unsigned long long>(agg.ckpts));
+    }
+    std::printf("\n");
   }
 
   bool repro_written = false;

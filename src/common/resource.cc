@@ -1,0 +1,82 @@
+#include "common/resource.h"
+
+#include <cstdio>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define RAW_HAVE_UNISTD 1
+#endif
+
+namespace raw::common {
+
+std::uint64_t rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+#ifdef RAW_HAVE_UNISTD
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+  return resident_pages * 4096ULL;
+#endif
+#else
+  return 0;
+#endif
+}
+
+void MemTrend::sample(std::uint64_t bytes) {
+  if (count_ == 0) first_sample_ = bytes;
+  last_sample_ = bytes;
+  if (bytes > peak_) peak_ = bytes;
+  if (count_ < window_) first_window_sum_ += static_cast<double>(bytes);
+
+  if (recent_.size() < window_) {
+    recent_.push_back(bytes);
+    recent_sum_ += static_cast<double>(bytes);
+  } else {
+    recent_sum_ -= static_cast<double>(recent_[recent_pos_]);
+    recent_[recent_pos_] = bytes;
+    recent_sum_ += static_cast<double>(bytes);
+    recent_pos_ = (recent_pos_ + 1) % window_;
+  }
+  ++count_;
+}
+
+double MemTrend::first_window_mean() const {
+  if (count_ < window_) return 0;
+  return first_window_sum_ / static_cast<double>(window_);
+}
+
+double MemTrend::recent_window_mean() const {
+  if (recent_.empty()) return 0;
+  return recent_sum_ / static_cast<double>(recent_.size());
+}
+
+bool MemTrend::flat(std::uint64_t abs_slack_bytes, double rel_slack) const {
+  if (warming_up()) return true;
+  if (peak_ == 0) return true;  // platform returned no readings
+  const double base = first_window_mean();
+  const double bound = base + static_cast<double>(abs_slack_bytes) +
+                       rel_slack * base;
+  return recent_window_mean() <= bound;
+}
+
+std::string MemTrend::summary() const {
+  const auto mib = [](double b) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fMiB", b / (1024.0 * 1024.0));
+    return std::string(buf);
+  };
+  const double growth = recent_window_mean() - first_window_mean();
+  return "rss first_window=" + mib(first_window_mean()) +
+         " recent_window=" + mib(recent_window_mean()) +
+         " peak=" + mib(static_cast<double>(peak_)) +
+         " growth=" + mib(growth) + " samples=" + std::to_string(count_);
+}
+
+}  // namespace raw::common

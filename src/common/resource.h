@@ -1,0 +1,68 @@
+// Process resource sampling for the endurance soak: resident-set size from
+// the OS plus a windowed memory-flatness sentinel. A router modelled after
+// months of uptime must hold steady-state memory — any monotone growth in a
+// multi-billion-cycle run is a leak in the simulator or an unbounded queue
+// in the model, and both should fail the soak rather than the machine.
+//
+// Readings come from the operating system, so they are inherently
+// non-deterministic: the sentinel is report-only evidence and must never
+// feed a digest-anchored replay bundle (see sim::InvariantMonitor's
+// `deterministic` flag).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raw::common {
+
+/// Current resident-set size in bytes (Linux: /proc/self/statm). Returns 0
+/// when the platform offers no cheap reading, which vacuously passes every
+/// flatness check — the soak still validates the deterministic invariants.
+[[nodiscard]] std::uint64_t rss_bytes();
+
+/// Windowed flatness sentinel. Feed it samples at a fixed cadence; it keeps
+/// the mean of the first full window, a rolling window of the most recent
+/// samples, and the peak. The trend is "flat" while the recent-window mean
+/// stays within `abs_slack + rel_slack * first_mean` of the first window —
+/// a bounded-trend assertion that tolerates warmup allocation (arena growth,
+/// lazy tables) but catches monotone creep.
+class MemTrend {
+ public:
+  explicit MemTrend(std::size_t window = 64) : window_(window == 0 ? 1 : window) {}
+
+  void sample(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t samples() const { return count_; }
+  [[nodiscard]] std::uint64_t first() const { return first_sample_; }
+  [[nodiscard]] std::uint64_t last() const { return last_sample_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+  /// Mean of the first full window (0 until one window of samples exists).
+  [[nodiscard]] double first_window_mean() const;
+  /// Mean of the most recent window (0 until any sample exists).
+  [[nodiscard]] double recent_window_mean() const;
+
+  /// True until at least two full windows exist — too early to judge.
+  [[nodiscard]] bool warming_up() const { return count_ < 2 * window_; }
+
+  /// Bounded-trend verdict. Vacuously true while warming up or when every
+  /// sample was 0 (no OS support).
+  [[nodiscard]] bool flat(std::uint64_t abs_slack_bytes,
+                          double rel_slack) const;
+  /// One-line human summary ("rss first=… recent=… peak=… growth=…").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t window_;
+  std::uint64_t count_ = 0;
+  std::uint64_t first_sample_ = 0;
+  std::uint64_t last_sample_ = 0;
+  std::uint64_t peak_ = 0;
+  double first_window_sum_ = 0;
+  std::vector<std::uint64_t> recent_;  // ring of the last `window_` samples
+  std::size_t recent_pos_ = 0;
+  double recent_sum_ = 0;
+};
+
+}  // namespace raw::common

@@ -1,5 +1,6 @@
 #include "net/traffic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
@@ -28,11 +29,34 @@ TrafficGen::TrafficGen(TrafficConfig config, std::uint64_t seed)
       seen[static_cast<std::size_t>(d)] = true;
     }
   }
+  if (config_.pareto_flows) {
+    RAW_ASSERT_MSG(config_.pareto_alpha > 0.0, "pareto_alpha must be > 0");
+    RAW_ASSERT_MSG(config_.flow_min_packets >= 1 &&
+                       config_.flow_min_packets <= config_.flow_max_packets,
+                   "flow packet bounds must satisfy 1 <= min <= max");
+  }
   for (int p = 0; p < config_.num_ports; ++p) {
     per_port_rng_.emplace_back(seed * std::uint64_t{0x9e3779b97f4a7c15} +
                                static_cast<std::uint64_t>(p) + 1);
     burst_left_.push_back(0);
+    flow_left_.push_back(0);
+    flow_dst_.push_back(0);
   }
+}
+
+std::uint64_t TrafficGen::draw_flow_packets(common::Rng& rng) const {
+  const double lo = static_cast<double>(config_.flow_min_packets);
+  const double hi = static_cast<double>(config_.flow_max_packets);
+  if (config_.flow_min_packets == config_.flow_max_packets) {
+    return config_.flow_min_packets;
+  }
+  // Bounded-Pareto inverse CDF: x = L / (1 - U (1 - (L/H)^a))^(1/a).
+  const double a = config_.pareto_alpha;
+  const double ratio = std::pow(lo / hi, a);
+  const double u = rng.uniform();
+  const double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / a);
+  const double clamped = std::min(std::max(x, lo), hi);
+  return static_cast<std::uint64_t>(clamped);
 }
 
 int TrafficGen::draw_dest(int src_port, common::Rng& rng) {
@@ -77,7 +101,18 @@ PacketDesc TrafficGen::next(int src_port) {
   RAW_ASSERT(src_port >= 0 && src_port < config_.num_ports);
   common::Rng& rng = per_port_rng_[static_cast<std::size_t>(src_port)];
   PacketDesc desc;
-  desc.dst_port = draw_dest(src_port, rng);
+  if (config_.pareto_flows) {
+    auto& left = flow_left_[static_cast<std::size_t>(src_port)];
+    auto& dst = flow_dst_[static_cast<std::size_t>(src_port)];
+    if (left == 0) {
+      left = draw_flow_packets(rng);
+      dst = draw_dest(src_port, rng);
+    }
+    --left;
+    desc.dst_port = dst;
+  } else {
+    desc.dst_port = draw_dest(src_port, rng);
+  }
   desc.bytes = draw_size(rng);
 
   if (config_.load < 1.0) {

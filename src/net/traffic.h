@@ -51,6 +51,19 @@ struct TrafficConfig {
   /// Mean packets per burst; > 1 gives on/off (bursty) arrivals whose idle
   /// periods are lumped between bursts at the same long-run load.
   double mean_burst_packets = 1.0;
+
+  /// Heavy-tailed flow mode (first slice of the trace tier): packets arrive
+  /// in flows whose length in packets is bounded-Pareto distributed
+  /// (inverse-CDF on the port's seeded RNG, so fully deterministic) and
+  /// whose destination is drawn once per flow — elephants pin a destination
+  /// for thousands of packets while mice come and go. Composes with the
+  /// size distribution and load/burst gap model unchanged.
+  bool pareto_flows = false;
+  /// Tail index; 1 < alpha < 2 gives the classic heavy tail (smaller =
+  /// heavier). Must be > 0.
+  double pareto_alpha = 1.2;
+  std::uint64_t flow_min_packets = 1;
+  std::uint64_t flow_max_packets = 16384;
 };
 
 struct PacketDesc {
@@ -73,10 +86,17 @@ class TrafficGen {
  private:
   [[nodiscard]] int draw_dest(int src_port, common::Rng& rng);
   [[nodiscard]] common::ByteCount draw_size(common::Rng& rng);
+  /// Bounded-Pareto flow length in packets, in
+  /// [flow_min_packets, flow_max_packets].
+  [[nodiscard]] std::uint64_t draw_flow_packets(common::Rng& rng) const;
 
   TrafficConfig config_;
   std::vector<common::Rng> per_port_rng_;
   std::vector<std::uint64_t> burst_left_;  // packets remaining in current burst
+  // pareto_flows state: packets left in the port's current flow and the
+  // flow's pinned destination.
+  std::vector<std::uint64_t> flow_left_;
+  std::vector<int> flow_dst_;
 };
 
 }  // namespace raw::net

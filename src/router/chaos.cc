@@ -1,11 +1,53 @@
 #include "router/chaos.h"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 
 #include "common/profiler.h"
 #include "common/rng.h"
 
 namespace raw::router {
+
+RouterConfig router_config_for(const ChaosSpec& spec) {
+  RouterConfig cfg;
+  cfg.threads = spec.threads;
+  cfg.link.enabled = spec.reliable_links;
+  cfg.recovery.enabled = spec.recovery;
+  cfg.endurance = spec.endurance;
+  return cfg;
+}
+
+net::TrafficConfig traffic_for(const ChaosSpec& spec) {
+  net::TrafficConfig t;
+  t.num_ports = 4;
+  t.pattern = net::DestPattern::kUniform;
+  t.size = net::SizeDist::kFixed;
+  t.fixed_bytes = spec.bytes;
+  t.load = spec.load;
+  const std::string& p = spec.traffic_profile;
+  if (p.empty() || p == "uniform") {
+    // Legacy workload, bit-identical to the pre-profile harness.
+  } else if (p == "permutation") {
+    t.pattern = net::DestPattern::kPermutation;
+  } else if (p == "hotspot") {
+    t.pattern = net::DestPattern::kHotspot;
+    t.hotspot_fraction = 0.4;
+  } else if (p == "bursty") {
+    t.size = net::SizeDist::kBimodal;
+    t.mean_burst_packets = 8.0;
+  } else if (p == "imix") {
+    t.size = net::SizeDist::kImix;
+  } else if (p == "pareto") {
+    // Heavy-tailed flows: elephants pin a destination for thousands of
+    // bimodal-size packets (satellite of the soak tier).
+    t.size = net::SizeDist::kBimodal;
+    t.pareto_flows = true;
+  } else {
+    throw std::invalid_argument("unknown traffic profile: " + p);
+  }
+  return t;
+}
 
 std::string ChaosMix::name() const {
   std::string s;
@@ -114,19 +156,28 @@ namespace {
 // no-damage rules.
 ChaosResult run_impl(const ChaosSpec& spec,
                      const std::vector<sim::FaultEvent>* events) {
-  RouterConfig cfg;
-  cfg.threads = spec.threads;
-  cfg.link.enabled = spec.reliable_links;
-  cfg.recovery.enabled = spec.recovery;
-  net::TrafficConfig traffic;
-  traffic.num_ports = 4;
-  traffic.pattern = net::DestPattern::kUniform;
-  traffic.size = net::SizeDist::kFixed;
-  traffic.fixed_bytes = spec.bytes;
-  traffic.load = spec.load;
-  RawRouter router(cfg, net::RouteTable::simple4(), traffic, spec.seed);
+  RawRouter router(router_config_for(spec), net::RouteTable::simple4(),
+                   traffic_for(spec), spec.seed);
   if (spec.force_dense) router.chip().set_force_dense(true);
   if (spec.profiler != nullptr) router.set_profiler(spec.profiler);
+
+  // Endurance: arm the caller's monitor (the soak shares one memory
+  // sentinel across epochs) or a run-local one.
+  std::optional<sim::InvariantMonitor> local_monitor;
+  sim::InvariantMonitor* monitor = spec.monitor;
+  if (spec.endurance.enabled) {
+    if (monitor == nullptr) monitor = &local_monitor.emplace();
+    if (spec.inject_invariant_failure_at > 0) {
+      const common::Cycle at = spec.inject_invariant_failure_at;
+      sim::Chip* chip = &router.chip();
+      monitor->add_check("soak/injected_failure", [chip, at]() -> std::string {
+        if (chip->cycle() < at) return "";
+        return "injected invariant failure (soak self-test) armed at cycle " +
+               std::to_string(at);
+      });
+    }
+    router.arm_endurance(monitor);
+  }
 
   sim::FaultPlan plan;
   if (events != nullptr) {
@@ -152,14 +203,22 @@ ChaosResult run_impl(const ChaosSpec& spec,
 
   if (spec.profiler != nullptr) spec.profiler->start();
   const RunStatus rs = router.run(spec.run_cycles);
-  if (rs != RunStatus::kStalled) (void)router.drain(spec.drain_cycles);
+  // A stall or an invariant violation ends the run where it stands: the
+  // whole point of the violation path is to freeze the failing state for
+  // the bundle, not to keep draining through broken books.
+  if (rs != RunStatus::kStalled && rs != RunStatus::kInvariantViolation) {
+    (void)router.drain(spec.drain_cycles);
+  }
   if (spec.profiler != nullptr) spec.profiler->stop();
 
   ChaosResult r;
   r.seed = spec.seed;
   r.mix = spec.mix.name();
   r.stalled_in_run = rs == RunStatus::kStalled;
-  r.outcome = r.stalled_in_run ? DrainOutcome::kStalled : router.drain_outcome();
+  r.outcome = r.stalled_in_run           ? DrainOutcome::kStalled
+              : rs == RunStatus::kInvariantViolation
+                  ? DrainOutcome::kInvariantViolation
+                  : router.drain_outcome();
   r.offered = router.offered_packets();
   r.delivered = router.delivered_packets();
   r.dropped_card = router.dropped_at_card();
@@ -187,10 +246,45 @@ ChaosResult run_impl(const ChaosSpec& spec,
     }
   }
   r.digest = router.state_digest();
+  r.end_cycle = router.chip().cycle();
+  if (monitor != nullptr) {
+    r.invariant_sweeps = monitor->sweeps();
+    if (router.invariant_violation().has_value()) {
+      const sim::InvariantViolation& v = *router.invariant_violation();
+      r.invariant_failure = v.name + ": " + v.detail;
+      r.invariant_failure_cycle = v.cycle;
+      r.invariant_deterministic = v.deterministic;
+    }
+  }
+  if (const sim::CheckpointRing* ring = router.checkpoint_ring()) {
+    r.checkpoints_captured = ring->captured();
+    r.checkpoints_skipped = router.checkpoints_skipped();
+    for (const sim::Checkpoint* c : ring->entries()) {
+      r.anchors.push_back(
+          ReplayAnchor{c->cycle, c->chip_digest, c->owner_digest});
+    }
+  }
 
   const auto fail = [&r](std::string why) {
     if (r.failure.empty()) r.failure = std::move(why);
   };
+
+  // An invariant violation preempts every other expectation: the run ended
+  // mid-flight, so completion-shaped checks (drained, delivered, permanent
+  // freeze caught) are meaningless — and the conservation identity may be
+  // the very thing that broke.
+  if (!r.invariant_failure.empty()) {
+    fail("invariant violated @" + std::to_string(r.invariant_failure_cycle) +
+         ": " + r.invariant_failure);
+    if (!spec.checkpoint_spill_dir.empty() &&
+        router.checkpoint_ring() != nullptr) {
+      std::string spill_err;
+      (void)router.checkpoint_ring()->spill_all(spec.checkpoint_spill_dir,
+                                                "chaos_", &spill_err);
+    }
+    r.pass = false;
+    return r;
+  }
 
   // Conservation must hold at every exit, stalled runs included.
   const std::uint64_t accounted = r.dropped_card + router.ledger().erased_total() +
@@ -291,6 +385,12 @@ std::vector<ChaosMix> standard_mixes() {
 
 bool parse_mix(const std::string& s, ChaosMix* out) {
   ChaosMix m;
+  // ChaosMix::name() spells the empty mix "clean" (a soak epoch with no
+  // faults); accept it and the empty string as the no-fault mix.
+  if (s.empty() || s == "clean") {
+    *out = m;
+    return true;
+  }
   std::size_t pos = 0;
   while (pos < s.size()) {
     std::size_t end = s.find('+', pos);

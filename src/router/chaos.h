@@ -70,6 +70,33 @@ struct ChaosSpec {
   /// RawRouter::set_profiler). Profiling never changes results: digests are
   /// identical with or without it.
   common::Profiler* profiler = nullptr;
+  /// Named traffic profile ("uniform", "permutation", "hotspot", "bursty",
+  /// "imix", "pareto"); "" keeps the legacy fixed-size uniform workload
+  /// bit-for-bit (the default every existing caller relies on). See
+  /// traffic_for().
+  std::string traffic_profile;
+  /// Endurance layer (RouterConfig::endurance). When enabled the run arms an
+  /// InvariantMonitor — `monitor` if provided (not owned, not serialized;
+  /// lets the soak share a memory sentinel across epochs), else a run-local
+  /// one — and the result carries the checkpoint anchors.
+  EnduranceConfig endurance;
+  sim::InvariantMonitor* monitor = nullptr;
+  /// Soak self-test: when nonzero, registers an always-failing check armed
+  /// at this chip cycle, proving the violation -> bundle -> anchored-replay
+  /// path end to end. Serialized in repro bundles (the replay must fail at
+  /// the same cycle).
+  common::Cycle inject_invariant_failure_at = 0;
+  /// When non-empty and the run fails with endurance armed, the checkpoint
+  /// ring is spilled to this directory (not serialized).
+  std::string checkpoint_spill_dir;
+};
+
+/// A checkpoint the failure bundle can anchor a replay at: the capture
+/// cycle plus the chip and router digests the replay must reproduce there.
+struct ReplayAnchor {
+  common::Cycle cycle = 0;
+  std::uint64_t chip_digest = 0;
+  std::uint64_t router_digest = 0;
 };
 
 struct ChaosResult {
@@ -102,7 +129,28 @@ struct ChaosResult {
   /// RawRouter::state_digest() at exit: the record/replay and
   /// engine-equivalence fingerprint.
   std::uint64_t digest = 0;
+  /// Endurance observability (all zero/empty unless endurance was enabled).
+  std::string invariant_failure;  // "name: detail" of the violation, if any
+  common::Cycle invariant_failure_cycle = 0;
+  bool invariant_deterministic = true;
+  std::uint64_t invariant_sweeps = 0;
+  std::uint64_t checkpoints_captured = 0;
+  std::uint64_t checkpoints_skipped = 0;
+  /// Checkpoint ring contents at exit, oldest first.
+  std::vector<ReplayAnchor> anchors;
+  /// Chip cycle at exit (a checkpoint slide can carry it past run+drain).
+  common::Cycle end_cycle = 0;
 };
+
+/// The RouterConfig a chaos/soak run builds from `spec` — exported so
+/// anchored replay (router/soak.h) reconstructs the identical router.
+RouterConfig router_config_for(const ChaosSpec& spec);
+
+/// The TrafficConfig for spec's named profile (empty = legacy uniform
+/// fixed-size, bit-identical to the pre-profile harness). Throws
+/// std::invalid_argument on an unknown name. The "pareto" profile is the
+/// heavy-tailed bounded-Pareto flow mode (net::TrafficConfig::pareto_flows).
+net::TrafficConfig traffic_for(const ChaosSpec& spec);
 
 /// Builds the seeded fault schedule for `spec` against `router`'s chip.
 /// Bit flips target only the chip-edge (line-card) channels — on-chip

@@ -49,6 +49,38 @@ void RouterConfig::validate() const {
         ") must be >= link_fifo_depth (" + std::to_string(link_fifo_depth) +
         "): every buffered word needs its replay frame");
   }
+  if (endurance.enabled) {
+    if (endurance.invariant_cadence == 0) {
+      throw std::invalid_argument(
+          "RouterConfig.endurance.invariant_cadence must be positive: a "
+          "zero cadence would sweep the invariants every cycle boundary "
+          "forever");
+    }
+    if (endurance.checkpoint_interval == 0) {
+      throw std::invalid_argument(
+          "RouterConfig.endurance.checkpoint_interval must be positive: a "
+          "zero interval would capture a snapshot at every cycle");
+    }
+    if (endurance.checkpoint_ring == 0) {
+      throw std::invalid_argument(
+          "RouterConfig.endurance.checkpoint_ring must be positive: with no "
+          "retained checkpoints a failure bundle has no replay anchor");
+    }
+    if (!watchdog.enabled) {
+      throw std::invalid_argument(
+          "RouterConfig.endurance requires the watchdog: the invariant "
+          "sweeps assume the tighter liveness net underneath them");
+    }
+    if (endurance.invariant_cadence < watchdog.check_interval) {
+      throw std::invalid_argument(
+          "RouterConfig.endurance.invariant_cadence (" +
+          std::to_string(endurance.invariant_cadence) +
+          ") must be >= watchdog.check_interval (" +
+          std::to_string(watchdog.check_interval) +
+          "): the watchdog is the finer-grained net, sweeping invariants "
+          "more often than it just re-reads unchanged counters");
+    }
+  }
 }
 
 const char* drain_outcome_name(DrainOutcome o) {
@@ -58,6 +90,7 @@ const char* drain_outcome_name(DrainOutcome o) {
     case DrainOutcome::kStalled: return "stalled";
     case DrainOutcome::kTimeout: return "timeout";
     case DrainOutcome::kDrainedDegraded: return "drained_degraded";
+    case DrainOutcome::kInvariantViolation: return "invariant_violation";
   }
   return "?";
 }
@@ -325,6 +358,10 @@ bool RawRouter::try_recover() {
   degraded_ = true;
   stall_report_.reset();
   last_recovery_cycle_ = chip_->cycle();
+  // Reconfiguration reloads every switch program, and SwitchProcessor::load()
+  // zeroes the busy/blocked books — tell the monitor to re-baseline its
+  // cycle-accounting deltas instead of flagging the reset as a violation.
+  if (monitor_ != nullptr) monitor_->notify_counters_reset(*chip_);
   // Reset the starvation baselines too: the degraded fabric counts grants
   // differently (one per packet) and starts from a clean slate.
   for (std::size_t p = 0; p < kNumPorts; ++p) {
@@ -344,6 +381,7 @@ void RawRouter::check_conservation() const {
 }
 
 RunStatus RawRouter::run(common::Cycle cycles) {
+  if (monitor_ != nullptr) return run_endurance(cycles);
   const WatchdogConfig& wd = config_.watchdog;
   if (!wd.enabled) {
     fabric_run(cycles);
@@ -353,6 +391,165 @@ RunStatus RawRouter::run(common::Cycle cycles) {
   while (chip_->cycle() < deadline) {
     fabric_run(std::min(wd.check_interval, deadline - chip_->cycle()));
     if (check_watchdog()) return RunStatus::kStalled;
+  }
+  return degraded_ ? RunStatus::kDegraded : RunStatus::kOk;
+}
+
+void RawRouter::arm_endurance(sim::InvariantMonitor* monitor) {
+  RAW_ASSERT_MSG(config_.endurance.enabled,
+                 "arm_endurance needs config.endurance.enabled");
+  RAW_ASSERT_MSG(monitor != nullptr, "arm_endurance needs a monitor");
+  RAW_ASSERT_MSG(monitor_ == nullptr, "endurance already armed");
+  monitor_ = monitor;
+  ring_ = std::make_unique<sim::CheckpointRing>(config_.endurance.checkpoint_ring);
+  // Absolute next-due cycles. Everything the endurance loop schedules is an
+  // absolute cycle count, so run(x) followed by run(y) walks exactly the
+  // trajectory of run(x + y) — anchored replay runs to a checkpoint cycle,
+  // verifies the digest, and continues.
+  next_watchdog_ = chip_->cycle() + config_.watchdog.check_interval;
+  next_invariant_ = chip_->cycle() + config_.endurance.invariant_cadence;
+  next_checkpoint_ = chip_->cycle() + config_.endurance.checkpoint_interval;
+  register_standard_invariants(*monitor);
+}
+
+void RawRouter::register_standard_invariants(sim::InvariantMonitor& monitor) {
+  // Chip-level books: park/wake credit balance and per-tile cycle accounting.
+  monitor.watch_chip(*chip_);
+
+  // Packet conservation: the ledger identity that check_conservation()
+  // asserts at drain exits, re-verified mid-run at every sweep.
+  monitor.add_check("router/conservation", [this]() -> std::string {
+    const std::uint64_t offered = offered_packets();
+    const std::uint64_t accounted =
+        dropped_at_card() + ledger_.erased_total() + ledger_.in_flight.size();
+    if (offered == accounted) return "";
+    return "ledger identity broken: offered " + std::to_string(offered) +
+           " != dropped_at_card " + std::to_string(dropped_at_card()) +
+           " + erased " + std::to_string(ledger_.erased_total()) +
+           " + in_flight " + std::to_string(ledger_.in_flight.size());
+  });
+
+  // Reliable-link seq/CRC accounting: counters only move forward, a
+  // retransmit can only be caused by an injected bit flip (a spontaneous one
+  // means the CRC/seq books corrupted themselves), and with the retry budget
+  // validated >= 1 the one-shot flip model never exhausts it, so a corrupt
+  // delivery is a protocol failure.
+  monitor.add_check(
+      "router/link_accounting",
+      [this, prev_retr = std::uint64_t{0}, prev_corrupt = std::uint64_t{0},
+       prev_stall = std::uint64_t{0}]() mutable -> std::string {
+        if (!config_.link.enabled) return "";
+        const std::uint64_t retr = chip_->link_retransmits();
+        const std::uint64_t corrupt = chip_->link_delivered_corrupt();
+        const std::uint64_t stall = chip_->link_stall_cycles();
+        if (retr < prev_retr || corrupt < prev_corrupt || stall < prev_stall) {
+          return "link counters went backwards (retransmits " +
+                 std::to_string(prev_retr) + "->" + std::to_string(retr) +
+                 ", corrupt " + std::to_string(prev_corrupt) + "->" +
+                 std::to_string(corrupt) + ", stalls " +
+                 std::to_string(prev_stall) + "->" + std::to_string(stall) + ")";
+        }
+        prev_retr = retr;
+        prev_corrupt = corrupt;
+        prev_stall = stall;
+        std::uint64_t flips_due = 0;
+        if (const sim::FaultPlan* plan = chip_->fault_plan()) {
+          for (const sim::FaultEvent& e : plan->events()) {
+            if (e.kind == sim::FaultKind::kBitFlip && e.at <= chip_->cycle()) {
+              ++flips_due;
+            }
+          }
+        }
+        if (flips_due == 0 && retr != 0) {
+          return "retransmits (" + std::to_string(retr) +
+                 ") without any injected bit flip: CRC/seq books corrupt";
+        }
+        if (corrupt != 0) {
+          return "words delivered corrupt (" + std::to_string(corrupt) +
+                 ") despite link protection: retry budget exhausted under a "
+                 "one-shot flip model";
+        }
+        return "";
+      });
+
+  // Watchdog liveness: the run loop must actually be invoking the watchdog.
+  // A wedge can legitimately outlive the no-progress bound by one check
+  // interval (detection quantum) — beyond bound + 2 intervals the net
+  // itself has failed. Mirrors check_watchdog's recovery grace.
+  monitor.add_check("router/watchdog_liveness", [this]() -> std::string {
+    const WatchdogConfig& wd = config_.watchdog;
+    if (!wd.enabled) return "";
+    const common::Cycle now = chip_->cycle();
+    const common::Cycle slack = wd.no_progress_bound + 2 * wd.check_interval;
+    if (work_pending() && now - chip_->last_progress_cycle() > slack &&
+        now - last_recovery_cycle_ > slack) {
+      return "no forward progress for " +
+             std::to_string(now - chip_->last_progress_cycle()) +
+             " cycles with work pending: the watchdog net is not firing";
+    }
+    return "";
+  });
+}
+
+bool RawRouter::sweep_invariants() {
+  const std::optional<sim::InvariantViolation> v =
+      monitor_->sweep(chip_->cycle());
+  if (!v.has_value()) return false;
+  invariant_violation_ = v;
+  flight_mark();
+  return true;
+}
+
+void RawRouter::capture_checkpoint() {
+  // Chip::snapshot needs the dynamic network quiet (an RPC word split across
+  // a snapshot/restore boundary has no home). Slide the capture point
+  // forward a cycle at a time until it is, bounded by the grace window; the
+  // slide itself is deterministic, so a replay slides identically and the
+  // anchor cycle means the same state in both runs.
+  const sim::DynamicNetwork* dyn = chip_->dynamic_network();
+  common::Cycle slid = 0;
+  while (dyn != nullptr && dyn->words_in_flight() != 0 &&
+         slid < config_.endurance.checkpoint_grace) {
+    fabric_run(1);
+    ++slid;
+  }
+  if (dyn != nullptr && dyn->words_in_flight() != 0) {
+    ++checkpoints_skipped_;
+    return;
+  }
+  ring_->capture(*chip_, state_digest());
+}
+
+RunStatus RawRouter::run_endurance(common::Cycle cycles) {
+  const WatchdogConfig& wd = config_.watchdog;
+  const EnduranceConfig& en = config_.endurance;
+  const common::Cycle deadline = chip_->cycle() + cycles;
+  while (chip_->cycle() < deadline) {
+    const common::Cycle next = std::min(
+        {deadline, next_watchdog_, next_invariant_, next_checkpoint_});
+    if (next > chip_->cycle()) fabric_run(next - chip_->cycle());
+    // Process every due stream before re-checking the deadline, so a stream
+    // due exactly at the deadline still fires — run(anchor_cycle) must end
+    // with the anchor checkpoint captured. Catch-up loops keep the next-due
+    // cycles strictly in the future even after a checkpoint slide.
+    if (chip_->cycle() >= next_watchdog_) {
+      while (next_watchdog_ <= chip_->cycle()) {
+        next_watchdog_ += wd.check_interval;
+      }
+      if (check_watchdog()) return RunStatus::kStalled;
+    }
+    if (chip_->cycle() >= next_checkpoint_) {
+      capture_checkpoint();
+      while (next_checkpoint_ <= chip_->cycle()) {
+        next_checkpoint_ += en.checkpoint_interval;
+      }
+    }
+    if (chip_->cycle() >= next_invariant_) {
+      while (next_invariant_ <= chip_->cycle()) {
+        next_invariant_ += en.invariant_cadence;
+      }
+      if (sweep_invariants()) return RunStatus::kInvariantViolation;
+    }
   }
   return degraded_ ? RunStatus::kDegraded : RunStatus::kOk;
 }
@@ -387,7 +584,18 @@ bool RawRouter::drain(common::Cycle max_cycles) {
   common::Cycle last_shrink = chip_->cycle();
   while (true) {
     const common::Cycle remaining = deadline - chip_->cycle();
-    if (fabric_run_until(all_drained, std::min(wd.check_interval, remaining))) {
+    common::Cycle chunk = std::min(wd.check_interval, remaining);
+    if (monitor_ != nullptr && next_invariant_ > chip_->cycle()) {
+      chunk = std::min(chunk, next_invariant_ - chip_->cycle());
+    }
+    if (fabric_run_until(all_drained, chunk)) {
+      // One final sweep: a drain that empties the ledger through broken
+      // books must not read as clean. No conservation assert on the
+      // violation path — the books themselves may be the violation.
+      if (monitor_ != nullptr && sweep_invariants()) {
+        drain_outcome_ = DrainOutcome::kInvariantViolation;
+        return false;
+      }
       // degraded_ may have flipped mid-drain: a permanent freeze can land
       // after the arrival processes stop, in which case check_watchdog below
       // recovers and the drain completes on the degraded fabric.
@@ -400,6 +608,15 @@ bool RawRouter::drain(common::Cycle max_cycles) {
       drain_outcome_ = DrainOutcome::kStalled;
       check_conservation();
       return false;
+    }
+    if (monitor_ != nullptr && chip_->cycle() >= next_invariant_) {
+      while (next_invariant_ <= chip_->cycle()) {
+        next_invariant_ += config_.endurance.invariant_cadence;
+      }
+      if (sweep_invariants()) {
+        drain_outcome_ = DrainOutcome::kInvariantViolation;
+        return false;
+      }
     }
     if (ledger_.in_flight.size() != last_in_flight) {
       last_in_flight = ledger_.in_flight.size();

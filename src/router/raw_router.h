@@ -19,6 +19,7 @@
 #include "router/watchdog.h"
 #include "sim/chip.h"
 #include "sim/fault_plan.h"
+#include "sim/invariants.h"
 
 namespace raw::router {
 
@@ -37,6 +38,29 @@ struct LinkProtectionConfig {
   /// Sender-side replay ring depth (words). Must cover the link FIFO depth
   /// (every buffered word needs its frame) and the retransmit round-trip.
   std::size_t replay_depth = 8;
+};
+
+/// Endurance-run instrumentation (soak tier): periodic invariant sweeps and
+/// a ring of warm snapshots for anchored failure replay. Off by default and
+/// inert until RawRouter::arm_endurance() attaches a monitor — the legacy
+/// run()/drain() paths are untouched when disarmed, so default outputs stay
+/// byte-identical.
+struct EnduranceConfig {
+  bool enabled = false;
+  /// Cycles between invariant sweeps. Must be >= the watchdog check
+  /// interval (the watchdog is the cheaper, tighter liveness net; sweeping
+  /// more often than it just re-reads unchanged counters).
+  common::Cycle invariant_cadence = 16384;
+  /// Cycles between checkpoint captures into the ring.
+  common::Cycle checkpoint_interval = 1u << 19;
+  /// Checkpoints kept (last K); a failure bundle anchors at the nearest one.
+  std::size_t checkpoint_ring = 4;
+  /// A capture needs the dynamic network quiet (Chip::snapshot requirement),
+  /// so the capture point slides forward cycle-by-cycle up to this many
+  /// cycles; if the network never goes quiet the capture is skipped (and
+  /// counted), never forced. The slide is part of the deterministic
+  /// schedule: replays slide identically.
+  common::Cycle checkpoint_grace = 4096;
 };
 
 struct RouterConfig {
@@ -63,6 +87,8 @@ struct RouterConfig {
   /// Fault-adaptive reconfiguration around permanently-frozen tiles (off by
   /// default; see router/recovery.h).
   RecoveryConfig recovery;
+  /// Endurance-run instrumentation (off by default; see above).
+  EnduranceConfig endurance;
 
   /// Rejects configurations that would misbehave deep inside the fabric
   /// (edge FIFOs too small to hold an IP header, a zero-capacity line-card
@@ -77,6 +103,8 @@ enum class RunStatus : std::uint8_t {
   kStalled = 1,   // watchdog tripped: see stall_report()
   kDegraded = 2,  // ran the requested cycles, but a recovery reconfigured
                   // the fabric around dead tiles: see recovery_report()
+  kInvariantViolation = 3,  // an armed InvariantMonitor found a broken
+                            // invariant: see invariant_violation()
 };
 
 /// Outcome of drain(), recoverable via drain_outcome() after the call.
@@ -87,6 +115,8 @@ enum class DrainOutcome : std::uint8_t {
   kStalled = 2,          // watchdog tripped mid-drain: see stall_report()
   kTimeout = 3,          // max_cycles elapsed with work still moving
   kDrainedDegraded = 4,  // fully drained, but on a recovered (degraded) fabric
+  kInvariantViolation = 5,  // an armed InvariantMonitor found a broken
+                            // invariant mid-drain: see invariant_violation()
 };
 
 const char* drain_outcome_name(DrainOutcome o);
@@ -118,6 +148,32 @@ class RawRouter {
   /// Hard watchdog trips (no-forward-progress) so far. A trip that recovery
   /// absorbs (the fabric was reconfigured and kept running) is not counted.
   [[nodiscard]] std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+
+  /// Arms the endurance layer: registers the router's standard invariants
+  /// (packet conservation, link seq/CRC accounting, watchdog liveness, the
+  /// chip's park/wake credit books and cycle accounting) on `monitor`,
+  /// creates the checkpoint ring, and switches run()/drain() onto the
+  /// sweeping loop. Requires config.endurance.enabled (call
+  /// RouterConfig::validate() first). `monitor` is not owned and must
+  /// outlive the router; arm at most once, before the first run().
+  void arm_endurance(sim::InvariantMonitor* monitor);
+  [[nodiscard]] sim::InvariantMonitor* invariant_monitor() const {
+    return monitor_;
+  }
+  /// Checkpoint ring (nullptr until arm_endurance()).
+  [[nodiscard]] const sim::CheckpointRing* checkpoint_ring() const {
+    return ring_.get();
+  }
+  /// The violation that ended a run/drain with kInvariantViolation, if any.
+  [[nodiscard]] const std::optional<sim::InvariantViolation>&
+  invariant_violation() const {
+    return invariant_violation_;
+  }
+  /// Captures skipped because the dynamic network stayed busy past the
+  /// checkpoint grace window.
+  [[nodiscard]] std::uint64_t checkpoints_skipped() const {
+    return checkpoints_skipped_;
+  }
 
   /// True once a recovery reconfigured the fabric around dead tiles.
   [[nodiscard]] bool degraded() const { return degraded_; }
@@ -214,6 +270,20 @@ class RawRouter {
   }
   /// Runs the watchdog checks; returns true on a hard (no-progress) trip.
   bool check_watchdog();
+  /// The endurance run loop: chunks fabric_run() at the next due watchdog /
+  /// checkpoint / invariant event (all scheduled as absolute cycles, so
+  /// run(x); run(y) is bit-identical to run(x + y) — the property anchored
+  /// replay depends on).
+  RunStatus run_endurance(common::Cycle cycles);
+  /// Registers the router-level checks on the armed monitor.
+  void register_standard_invariants(sim::InvariantMonitor& monitor);
+  /// One monitor sweep at the current cycle; records and returns true on a
+  /// violation (also forcing a flight-recorder mark).
+  bool sweep_invariants();
+  /// Captures a checkpoint into the ring, sliding the capture point forward
+  /// (bounded by endurance.checkpoint_grace) until the dynamic network is
+  /// quiet; skips (and counts) if it never is.
+  void capture_checkpoint();
   /// Attempts a fault-adaptive reconfiguration after a confirmed no-progress
   /// stall. Returns true when the fabric was rebuilt (the trip is absorbed);
   /// false when recovery is disabled, no tile is permanently frozen, or the
@@ -253,6 +323,15 @@ class RawRouter {
   // last changed.
   std::array<std::uint64_t, kNumPorts> starve_grants_{};
   std::array<common::Cycle, kNumPorts> starve_since_{};
+  // Endurance layer (all inert until arm_endurance()).
+  sim::InvariantMonitor* monitor_ = nullptr;  // not owned
+  std::unique_ptr<sim::CheckpointRing> ring_;
+  std::optional<sim::InvariantViolation> invariant_violation_;
+  // Absolute next-due cycles for the endurance loop's three event streams.
+  common::Cycle next_watchdog_ = 0;
+  common::Cycle next_invariant_ = 0;
+  common::Cycle next_checkpoint_ = 0;
+  std::uint64_t checkpoints_skipped_ = 0;
 };
 
 }  // namespace raw::router

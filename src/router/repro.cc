@@ -109,6 +109,27 @@ struct Parser {
     return true;
   }
 
+  /// Exact unsigned-64 parse: a plain digit run goes through strtoull so
+  /// full-width values (splitmix64 soak seeds) keep their low bits — a
+  /// double's 53-bit mantissa silently rounds them, which breaks replay.
+  bool parse_u64(std::uint64_t* out) {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || (s[i] >= '0' && s[i] <= '9'))) {
+      ++i;
+    }
+    if (i == start) return fail("expected number");
+    const std::string tok = s.substr(start, i - start);
+    if (tok.find_first_not_of("0123456789") == std::string::npos) {
+      *out = std::strtoull(tok.c_str(), nullptr, 10);
+    } else {
+      *out = static_cast<std::uint64_t>(std::strtod(tok.c_str(), nullptr));
+    }
+    return true;
+  }
+
   bool parse_bool(bool* out) {
     skip_ws();
     if (s.compare(i, 4, "true") == 0) {
@@ -175,7 +196,7 @@ bool outcome_from_name(const std::string& name, DrainOutcome* out) {
   for (const DrainOutcome o :
        {DrainOutcome::kDrained, DrainOutcome::kLossQuiesced,
         DrainOutcome::kStalled, DrainOutcome::kTimeout,
-        DrainOutcome::kDrainedDegraded}) {
+        DrainOutcome::kDrainedDegraded, DrainOutcome::kInvariantViolation}) {
     if (name == drain_outcome_name(o)) {
       *out = o;
       return true;
@@ -228,7 +249,7 @@ ChaosSignature signature_of(const ChaosResult& r) {
 }
 
 std::string to_json(const ChaosRepro& repro) {
-  std::string s = "{\n  \"version\": 1,\n  \"spec\": {\"seed\": ";
+  std::string s = "{\n  \"version\": 2,\n  \"spec\": {\"seed\": ";
   s += std::to_string(repro.spec.seed);
   s += ", \"mix\": ";
   append_escaped(s, repro.spec.mix.name());
@@ -250,7 +271,21 @@ std::string to_json(const ChaosRepro& repro) {
   s += repro.spec.recovery ? "true" : "false";
   s += ", \"force_dense\": ";
   s += repro.spec.force_dense ? "true" : "false";
-  s += "},\n  \"signature\": {\"pass\": ";
+  s += ", \"traffic_profile\": ";
+  append_escaped(s, repro.spec.traffic_profile);
+  s += ", \"inject_invariant_failure_at\": ";
+  s += std::to_string(repro.spec.inject_invariant_failure_at);
+  s += ", \"endurance\": {\"enabled\": ";
+  s += repro.spec.endurance.enabled ? "true" : "false";
+  s += ", \"invariant_cadence\": ";
+  s += std::to_string(repro.spec.endurance.invariant_cadence);
+  s += ", \"checkpoint_interval\": ";
+  s += std::to_string(repro.spec.endurance.checkpoint_interval);
+  s += ", \"checkpoint_ring\": ";
+  s += std::to_string(repro.spec.endurance.checkpoint_ring);
+  s += ", \"checkpoint_grace\": ";
+  s += std::to_string(repro.spec.endurance.checkpoint_grace);
+  s += "}},\n  \"signature\": {\"pass\": ";
   s += repro.signature.pass ? "true" : "false";
   s += ", \"category\": ";
   append_escaped(s, repro.signature.category);
@@ -264,7 +299,27 @@ std::string to_json(const ChaosRepro& repro) {
   s += std::to_string(repro.signature.stall_tile);
   s += "},\n  \"digest\": ";
   append_hex64(s, repro.digest);
-  s += ",\n  \"events\": [";
+  s += ",\n  \"failure\": {\"detail\": ";
+  append_escaped(s, repro.failure);
+  s += ", \"cycle\": ";
+  s += std::to_string(repro.failure_cycle);
+  s += "},\n  \"soak\": {\"epoch\": ";
+  s += std::to_string(repro.soak_epoch);
+  s += ", \"start_cycle\": ";
+  s += std::to_string(repro.soak_start_cycle);
+  s += "},\n  \"anchors\": [";
+  for (std::size_t n = 0; n < repro.anchors.size(); ++n) {
+    const ReplayAnchor& a = repro.anchors[n];
+    s += n == 0 ? "\n" : ",\n";
+    s += "    {\"cycle\": ";
+    s += std::to_string(a.cycle);
+    s += ", \"chip_digest\": ";
+    append_hex64(s, a.chip_digest);
+    s += ", \"router_digest\": ";
+    append_hex64(s, a.router_digest);
+    s += "}";
+  }
+  s += "\n  ],\n  \"events\": [";
   for (std::size_t n = 0; n < repro.events.size(); ++n) {
     const sim::FaultEvent& e = repro.events[n];
     s += n == 0 ? "\n" : ",\n";
@@ -309,17 +364,31 @@ bool from_json(const std::string& text, ChaosRepro* out, std::string* error) {
           mix_ok = parse_mix(str, &repro.spec.mix);
           return true;
         }
+        if (k == "seed") return p.parse_u64(&repro.spec.seed);
         if (k == "reliable_links") return p.parse_bool(&repro.spec.reliable_links);
         if (k == "recovery") return p.parse_bool(&repro.spec.recovery);
         if (k == "force_dense") return p.parse_bool(&repro.spec.force_dense);
+        if (k == "traffic_profile") return p.parse_string(&repro.spec.traffic_profile);
+        if (k == "endurance") {
+          return p.parse_object([&](const std::string& ek) {
+            if (ek == "enabled") return p.parse_bool(&repro.spec.endurance.enabled);
+            double en = 0;
+            if (!p.parse_number(&en)) return false;
+            if (ek == "invariant_cadence") repro.spec.endurance.invariant_cadence = static_cast<common::Cycle>(en);
+            else if (ek == "checkpoint_interval") repro.spec.endurance.checkpoint_interval = static_cast<common::Cycle>(en);
+            else if (ek == "checkpoint_ring") repro.spec.endurance.checkpoint_ring = static_cast<std::size_t>(en);
+            else if (ek == "checkpoint_grace") repro.spec.endurance.checkpoint_grace = static_cast<common::Cycle>(en);
+            return true;
+          });
+        }
         if (!p.parse_number(&num)) return false;
-        if (k == "seed") repro.spec.seed = static_cast<std::uint64_t>(num);
-        else if (k == "run_cycles") repro.spec.run_cycles = static_cast<common::Cycle>(num);
+        if (k == "run_cycles") repro.spec.run_cycles = static_cast<common::Cycle>(num);
         else if (k == "drain_cycles") repro.spec.drain_cycles = static_cast<common::Cycle>(num);
         else if (k == "faults_per_kind") repro.spec.faults_per_kind = static_cast<int>(num);
         else if (k == "bytes") repro.spec.bytes = static_cast<common::ByteCount>(num);
         else if (k == "load") repro.spec.load = num;
         else if (k == "threads") repro.spec.threads = static_cast<int>(num);
+        else if (k == "inject_invariant_failure_at") repro.spec.inject_invariant_failure_at = static_cast<common::Cycle>(num);
         return true;  // unknown numeric field: already consumed
       });
     }
@@ -349,6 +418,50 @@ bool from_json(const std::string& text, ChaosRepro* out, std::string* error) {
       if (!p.parse_string(&str)) return false;
       repro.digest = std::strtoull(str.c_str(), nullptr, 16);
       return true;
+    }
+    if (key == "failure") {
+      return p.parse_object([&](const std::string& k) {
+        if (k == "detail") return p.parse_string(&repro.failure);
+        if (k == "cycle") {
+          double num = 0;
+          if (!p.parse_number(&num)) return false;
+          repro.failure_cycle = static_cast<common::Cycle>(num);
+          return true;
+        }
+        return p.skip_value();
+      });
+    }
+    if (key == "soak") {
+      return p.parse_object([&](const std::string& k) {
+        double num = 0;
+        if (!p.parse_number(&num)) return false;
+        if (k == "epoch") repro.soak_epoch = static_cast<std::int64_t>(num);
+        else if (k == "start_cycle") repro.soak_start_cycle = static_cast<common::Cycle>(num);
+        return true;
+      });
+    }
+    if (key == "anchors") {
+      if (!p.consume('[')) return false;
+      while (!p.peek(']')) {
+        ReplayAnchor a;
+        const bool field_ok = p.parse_object([&](const std::string& k) {
+          if (k == "cycle") {
+            double num = 0;
+            if (!p.parse_number(&num)) return false;
+            a.cycle = static_cast<common::Cycle>(num);
+            return true;
+          }
+          std::string str;
+          if (!p.parse_string(&str)) return false;
+          const std::uint64_t v = std::strtoull(str.c_str(), nullptr, 16);
+          if (k == "chip_digest") a.chip_digest = v;
+          else if (k == "router_digest") a.router_digest = v;
+          return true;
+        });
+        if (!field_ok) return false;
+        repro.anchors.push_back(a);
+      }
+      return p.consume(']');
     }
     if (key == "events") {
       if (!p.consume('[')) return false;

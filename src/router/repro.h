@@ -44,17 +44,31 @@ struct ChaosSignature {
 [[nodiscard]] ChaosSignature signature_of(const ChaosResult& r);
 
 /// A replayable chaos repro: the spec, the explicit fault schedule, and the
-/// signature + state digest the run produced.
+/// signature + state digest the run produced. Schema v2 adds the endurance
+/// bundle fields (checkpoint anchors, the invariant failure, soak context);
+/// they stay empty/zero for v1 documents and for runs without endurance.
 struct ChaosRepro {
   ChaosSpec spec;
   std::vector<sim::FaultEvent> events;
   ChaosSignature signature;
   std::uint64_t digest = 0;
+  /// Checkpoint anchors (oldest first): replay must reproduce each
+  /// (cycle -> chip/router digest) pair on its way to the failure.
+  std::vector<ReplayAnchor> anchors;
+  /// The invariant failure this bundle pins ("" when the run failed some
+  /// other way or passed), and the chip cycle it fired at.
+  std::string failure;
+  common::Cycle failure_cycle = 0;
+  /// Soak context: which epoch of which soak produced this bundle (-1 when
+  /// the bundle did not come from a soak) and the soak-absolute cycle the
+  /// epoch started at.
+  std::int64_t soak_epoch = -1;
+  common::Cycle soak_start_cycle = 0;
 };
 
-/// Serializes a repro as a self-contained JSON document (schema version 1;
-/// the digest is written as a hex string because 64-bit values exceed
-/// JSON's interoperable integer range).
+/// Serializes a repro as a self-contained JSON document (schema version 2;
+/// digests are written as hex strings because 64-bit values exceed JSON's
+/// interoperable integer range). from_json reads v1 and v2.
 [[nodiscard]] std::string to_json(const ChaosRepro& repro);
 
 /// Parses a document produced by to_json. On failure returns false and, if

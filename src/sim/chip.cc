@@ -341,6 +341,72 @@ void Chip::wake_all_parked() {
   parked_count_.store(0, std::memory_order_relaxed);
 }
 
+std::string Chip::check_engine_invariants() const {
+  const_cast<Chip*>(this)->settle_parked();
+  const int n = num_tiles();
+  int cleared = 0;
+  for (int t = 0; t < n; ++t) {
+    const std::uint8_t f = run_flags_[static_cast<std::size_t>(t)];
+    for (int a = 0; a < 2; ++a) {
+      if ((f & (1u << a)) != 0) continue;
+      ++cleared;
+      const std::int32_t aid = 2 * t + a;
+      const Park& p = parks_[static_cast<std::size_t>(aid)];
+      // settle_parked credits every parked agent through engine_.now - 1, so
+      // anything older means a catch-up credit was lost.
+      if (engine_.now > 0 && p.counted_through + 1 < engine_.now) {
+        return "agent " + std::to_string(aid) +
+               ": park credit stale (counted through " +
+               std::to_string(p.counted_through) + ", cycle " +
+               std::to_string(engine_.now) + ")";
+      }
+      if (p.chan != nullptr) {
+        const std::int32_t slot = p.cause == AgentState::kBlockedRecv
+                                      ? p.chan->wait_reader()
+                                      : p.chan->wait_writer();
+        if (slot != aid) {
+          return "agent " + std::to_string(aid) + " parked on channel " +
+                 p.chan->name() + " but its wake slot holds " +
+                 std::to_string(slot) + " (a wake event would never arrive)";
+        }
+      } else if (p.cause != AgentState::kIdle) {
+        return "agent " + std::to_string(aid) +
+               " parked blocked with no wake channel";
+      }
+    }
+  }
+  const int counted = parked_count_.load(std::memory_order_relaxed);
+  if (cleared != counted) {
+    return "parked_count " + std::to_string(counted) + " != " +
+           std::to_string(cleared) + " agents with cleared run flags";
+  }
+  // Reverse direction: a wake slot must point at an agent that is actually
+  // parked on this channel with a matching cause, or the wake it eventually
+  // fires would corrupt another agent's accounting.
+  for (const Channel* ch : all_channels_) {
+    for (const bool reader : {true, false}) {
+      const std::int32_t aid = reader ? ch->wait_reader() : ch->wait_writer();
+      if (aid < 0) continue;
+      if (aid >= 2 * n) {
+        return "channel " + ch->name() + " wake slot holds bogus agent " +
+               std::to_string(aid);
+      }
+      const std::uint8_t f = run_flags_[static_cast<std::size_t>(aid >> 1)];
+      if ((f & (1u << (aid & 1))) != 0) {
+        return "channel " + ch->name() + " wake slot holds agent " +
+               std::to_string(aid) + " which is not parked";
+      }
+      const Park& p = parks_[static_cast<std::size_t>(aid)];
+      if (p.chan != ch ||
+          (reader != (p.cause == AgentState::kBlockedRecv))) {
+        return "channel " + ch->name() + " wake slot holds agent " +
+               std::to_string(aid) + " whose park record disagrees";
+      }
+    }
+  }
+  return "";
+}
+
 void Chip::step_cycle() {
   common::Profiler* const prof = profiler_;
   const bool dense = dense_cycle();

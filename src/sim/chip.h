@@ -248,6 +248,17 @@ class Chip {
   /// be reprogrammed mid-run.
   void prepare_reconfigure() { wake_all_parked(); }
 
+  /// Endurance self-check of the sparse engine's park/wake credit books
+  /// (see sim::InvariantMonitor). Read-only up to settling the catch-up
+  /// accounting, which is bit-neutral. Verifies that the parked count
+  /// matches the cleared run flags, every parked agent's credit is settled
+  /// through the last completed cycle with its wake slot registered on the
+  /// blocking channel, and every channel wake slot points back at a parked
+  /// agent with a matching cause. Returns "" when the books balance, else a
+  /// one-line description of the first imbalance. Call only between cycles
+  /// (no run in flight).
+  [[nodiscard]] std::string check_engine_invariants() const;
+
  private:
   friend class exec::ParallelRunner;
 

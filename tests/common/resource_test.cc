@@ -1,0 +1,70 @@
+// Process-memory introspection tests (common/resource.h): the RSS probe
+// reads something plausible and MemTrend's windowed flatness verdict
+// tolerates noise but catches monotonic growth.
+#include "common/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace raw::common {
+namespace {
+
+TEST(ResourceTest, RssProbeReturnsNonZeroOnLinux) {
+#ifdef __linux__
+  EXPECT_GT(rss_bytes(), 0u);
+#else
+  SUCCEED();  // 0 fallback is the contract elsewhere
+#endif
+}
+
+TEST(MemTrendTest, WarmingUpUntilTwoWindows) {
+  MemTrend trend(4);
+  for (int i = 0; i < 7; ++i) {
+    trend.sample(1000);
+    EXPECT_TRUE(trend.warming_up());
+    // Flatness is vacuous while warming up: never reported as a leak.
+    EXPECT_TRUE(trend.flat(0, 0.0));
+  }
+  trend.sample(1000);
+  EXPECT_FALSE(trend.warming_up());
+}
+
+TEST(MemTrendTest, FlatSeriesIsFlat) {
+  MemTrend trend(4);
+  for (int i = 0; i < 16; ++i) trend.sample(1 << 20);
+  EXPECT_FALSE(trend.warming_up());
+  EXPECT_TRUE(trend.flat(0, 0.0));
+  EXPECT_EQ(trend.first(), 1u << 20);
+  EXPECT_EQ(trend.last(), 1u << 20);
+  EXPECT_EQ(trend.peak(), 1u << 20);
+  EXPECT_EQ(trend.samples(), 16u);
+}
+
+TEST(MemTrendTest, NoiseWithinSlackIsFlat) {
+  MemTrend trend(4);
+  for (int i = 0; i < 16; ++i) {
+    trend.sample((1 << 20) + static_cast<std::uint64_t>((i % 3) * 512));
+  }
+  EXPECT_TRUE(trend.flat(4096, 0.0));
+  EXPECT_TRUE(trend.flat(0, 0.01));
+}
+
+TEST(MemTrendTest, MonotonicGrowthIsNotFlat) {
+  MemTrend trend(4);
+  for (int i = 0; i < 16; ++i) {
+    trend.sample((1u << 20) + static_cast<std::uint64_t>(i) * (1u << 18));
+  }
+  EXPECT_FALSE(trend.flat(1 << 16, 0.01));
+  EXPECT_GT(trend.recent_window_mean(), trend.first_window_mean());
+}
+
+TEST(MemTrendTest, SummaryMentionsPeak) {
+  MemTrend trend(2);
+  trend.sample(100);
+  trend.sample(300);
+  trend.sample(200);
+  EXPECT_EQ(trend.peak(), 300u);
+  EXPECT_NE(trend.summary().find("peak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raw::common

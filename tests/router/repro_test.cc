@@ -110,6 +110,79 @@ TEST(ReproJsonTest, RoundTrip) {
   }
 }
 
+// The v2 schema additions (endurance spec, full-width seeds, replay
+// anchors, failure/soak metadata) must survive a round trip, and a v1-era
+// document with none of them must still parse.
+TEST(ReproJsonTest, RoundTripV2EnduranceFields) {
+  ChaosRepro original = sample_repro();
+  // Full 64-bit seed: splitmix64-derived soak seeds exceed a double's
+  // 53-bit mantissa, so the parser must keep the low bits exact.
+  original.spec.seed = 0xBCA9D3FE01234567ull;
+  original.spec.traffic_profile = "pareto";
+  original.spec.inject_invariant_failure_at = 123456;
+  original.spec.endurance.enabled = true;
+  original.spec.endurance.invariant_cadence = 4096;
+  original.spec.endurance.checkpoint_interval = 65536;
+  original.spec.endurance.checkpoint_ring = 3;
+  original.spec.endurance.checkpoint_grace = 512;
+  original.failure = "router/conservation: off by 1";
+  original.failure_cycle = 98304;
+  original.soak_epoch = 7;
+  original.soak_start_cycle = 28'000'000;
+  original.anchors = {{32768, 0xAAAAAAAAAAAAAAAAull, 0x1111111111111111ull},
+                      {65536, 0xBBBBBBBBBBBBBBBBull, 0x2222222222222222ull}};
+
+  ChaosRepro parsed;
+  std::string error;
+  ASSERT_TRUE(from_json(to_json(original), &parsed, &error)) << error;
+
+  EXPECT_EQ(parsed.spec.seed, original.spec.seed);
+  EXPECT_EQ(parsed.spec.traffic_profile, "pareto");
+  EXPECT_EQ(parsed.spec.inject_invariant_failure_at, 123456u);
+  EXPECT_TRUE(parsed.spec.endurance.enabled);
+  EXPECT_EQ(parsed.spec.endurance.invariant_cadence, 4096u);
+  EXPECT_EQ(parsed.spec.endurance.checkpoint_interval, 65536u);
+  EXPECT_EQ(parsed.spec.endurance.checkpoint_ring, 3u);
+  EXPECT_EQ(parsed.spec.endurance.checkpoint_grace, 512u);
+  EXPECT_EQ(parsed.failure, original.failure);
+  EXPECT_EQ(parsed.failure_cycle, original.failure_cycle);
+  EXPECT_EQ(parsed.soak_epoch, 7);
+  EXPECT_EQ(parsed.soak_start_cycle, 28'000'000u);
+  ASSERT_EQ(parsed.anchors.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.anchors[i].cycle, original.anchors[i].cycle) << i;
+    EXPECT_EQ(parsed.anchors[i].chip_digest, original.anchors[i].chip_digest)
+        << i;
+    EXPECT_EQ(parsed.anchors[i].router_digest,
+              original.anchors[i].router_digest)
+        << i;
+  }
+}
+
+TEST(ReproJsonTest, V1DocumentWithoutV2FieldsStillParses) {
+  const char* v1 =
+      "{\n"
+      "  \"spec\": {\"seed\": 42, \"mix\": \"flip\", \"run_cycles\": 1000,"
+      " \"drain_cycles\": 2000, \"faults_per_kind\": 1, \"bytes\": 256,"
+      " \"load\": 0.9, \"threads\": 0, \"reliable_links\": false,"
+      " \"recovery\": false, \"force_dense\": false},\n"
+      "  \"signature\": {\"pass\": true, \"category\": \"\","
+      " \"outcome\": \"drained\", \"stalled_in_run\": false,"
+      " \"degraded\": false, \"stall_tile\": -1},\n"
+      "  \"digest\": \"0xabc\",\n"
+      "  \"events\": []\n"
+      "}\n";
+  ChaosRepro parsed;
+  std::string error;
+  ASSERT_TRUE(from_json(v1, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.spec.seed, 42u);
+  EXPECT_FALSE(parsed.spec.endurance.enabled);
+  EXPECT_TRUE(parsed.spec.traffic_profile.empty());
+  EXPECT_TRUE(parsed.anchors.empty());
+  EXPECT_TRUE(parsed.failure.empty());
+  EXPECT_EQ(parsed.soak_epoch, -1);
+}
+
 TEST(ReproJsonTest, RejectsMalformedInput) {
   ChaosRepro out;
   std::string error;

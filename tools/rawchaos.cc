@@ -13,6 +13,10 @@
 //   ./rawchaos --mix flip+permafreeze --seed 7 --record bug.json
 //   ./rawchaos --replay bug.json              # re-runs, checks sig + digest
 //   ./rawchaos --minimize bug.json --out min.json   # ddmin the schedule
+//   ./rawchaos --from-checkpoint soak.json    # anchored replay of a soak
+//                                             # failure bundle: replay from
+//                                             # the nearest checkpoint AND
+//                                             # from zero, digests must agree
 //
 // In sweep mode --record captures the first *failing* combination; with a
 // single --mix/--seed combination it always records.
@@ -35,6 +39,7 @@
 #include "common/profiler.h"
 #include "router/chaos.h"
 #include "router/repro.h"
+#include "router/soak.h"
 
 namespace {
 
@@ -58,6 +63,7 @@ struct Args {
   const char* record = nullptr;    // write a replayable repro JSON here
   const char* replay = nullptr;    // re-run a recorded repro
   const char* minimize = nullptr;  // ddmin a recorded repro
+  const char* from_checkpoint = nullptr;  // anchored replay of a bundle
   const char* out = nullptr;       // minimized-repro output path
   const char* flight_dir = nullptr;  // flight-recorder dumps for bad exits
 };
@@ -70,7 +76,8 @@ void usage() {
                "                [--threads T] [-v]\n"
                "                [--record FILE] [--flight-dir DIR]\n"
                "       rawchaos --replay FILE\n"
-               "       rawchaos --minimize FILE [--out FILE]\n");
+               "       rawchaos --minimize FILE [--out FILE]\n"
+               "       rawchaos --from-checkpoint FILE\n");
 }
 
 Args parse(int argc, char** argv) {
@@ -100,6 +107,8 @@ Args parse(int argc, char** argv) {
       a.replay = argv[++i];
     } else if (!std::strcmp(argv[i], "--minimize") && i + 1 < argc) {
       a.minimize = argv[++i];
+    } else if (!std::strcmp(argv[i], "--from-checkpoint") && i + 1 < argc) {
+      a.from_checkpoint = argv[++i];
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       a.out = argv[++i];
     } else if (!std::strcmp(argv[i], "--flight-dir") && i + 1 < argc) {
@@ -162,15 +171,9 @@ ChaosRepro load_repro_or_die(const char* path) {
 /// explicit so it can be recorded. A scratch router supplies the chip-edge
 /// channel names the plan generator targets.
 std::vector<raw::sim::FaultEvent> events_for(const ChaosSpec& spec) {
-  raw::net::TrafficConfig traffic;
-  traffic.num_ports = 4;
-  traffic.pattern = raw::net::DestPattern::kUniform;
-  traffic.size = raw::net::SizeDist::kFixed;
-  traffic.fixed_bytes = spec.bytes;
-  traffic.load = spec.load;
-  raw::router::RawRouter scratch(raw::router::RouterConfig{},
-                                 raw::net::RouteTable::simple4(), traffic,
-                                 spec.seed);
+  raw::router::RawRouter scratch(raw::router::router_config_for(spec),
+                                 raw::net::RouteTable::simple4(),
+                                 raw::router::traffic_for(spec), spec.seed);
   return raw::router::make_fault_plan(spec, scratch).events();
 }
 
@@ -275,12 +278,37 @@ int do_minimize(const Args& args) {
   return 0;
 }
 
+int do_from_checkpoint(const Args& args) {
+  const ChaosRepro repro = load_repro_or_die(args.from_checkpoint);
+  std::printf("bundle: %zu events, %zu anchors, failure @%llu: %s\n",
+              repro.events.size(), repro.anchors.size(),
+              static_cast<unsigned long long>(repro.failure_cycle),
+              repro.failure.empty() ? "(none)" : repro.failure.c_str());
+  const raw::router::AnchoredReplayResult v =
+      raw::router::verify_bundle_replay(repro);
+  std::printf("anchor cycle:     %llu\n",
+              static_cast<unsigned long long>(v.anchor_cycle));
+  std::printf("anchored digest:  %016llx\n",
+              static_cast<unsigned long long>(v.anchored_digest));
+  std::printf("from-zero digest: %016llx\n",
+              static_cast<unsigned long long>(v.from_zero_digest));
+  std::printf("recorded digest:  %016llx\n",
+              static_cast<unsigned long long>(repro.digest));
+  if (v.ok) {
+    std::printf("anchored replay: MATCH (identical digest trajectory)\n");
+    return 0;
+  }
+  std::printf("anchored replay: MISMATCH — %s\n", v.detail.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.replay != nullptr) return do_replay(args);
   if (args.minimize != nullptr) return do_minimize(args);
+  if (args.from_checkpoint != nullptr) return do_from_checkpoint(args);
 
   std::vector<ChaosMix> mixes;
   if (args.mix != nullptr) {
@@ -348,6 +376,9 @@ int main(int argc, char** argv) {
         repro.events = events;
         repro.signature = raw::router::signature_of(r);
         repro.digest = r.digest;
+        repro.anchors = r.anchors;
+        repro.failure = r.invariant_failure;
+        repro.failure_cycle = r.invariant_failure_cycle;
         if (!write_file(args.record, raw::router::to_json(repro))) {
           std::fprintf(stderr, "cannot write %s\n", args.record);
           return 2;
