@@ -1,0 +1,108 @@
+#include "cluster/cards.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace raw::cluster {
+
+ClusterInputCard::ClusterInputCard(sim::Channel* to_chip, int host_id,
+                                   net::TrafficGen* traffic,
+                                   router::PacketLedger* ledger,
+                                   std::size_t queue_capacity_words)
+    : to_chip_(to_chip),
+      host_id_(host_id),
+      traffic_(traffic),
+      ledger_(ledger),
+      queue_capacity_words_(queue_capacity_words) {
+  RAW_ASSERT(to_chip_ != nullptr && traffic_ != nullptr && ledger_ != nullptr);
+}
+
+void ClusterInputCard::generate(sim::Chip& chip) {
+  while (!stopped_ && chip.cycle() >= next_arrival_) {
+    const net::PacketDesc desc = traffic_->next(host_id_);
+    const common::ByteCount bytes = std::max<common::ByteCount>(desc.bytes, 20);
+    const auto words = common::words_for_bytes(bytes);
+    next_arrival_ = chip.cycle() + desc.gap_cycles + words;
+    ++offered_packets_;
+    offered_bytes_ += bytes;
+    if (queue_.size() + words > queue_capacity_words_) {
+      ++dropped_packets_;  // external drop, as on the single-chip card
+      continue;
+    }
+    const std::uint64_t uid = make_host_uid(host_id_, next_seq_++);
+    const net::Packet p =
+        router::make_test_packet(uid, host_id_, desc.dst_port, bytes);
+    ledger_->insert_in_flight_locked(
+        uid, router::PacketLedger::Entry{chip.cycle(), host_id_, desc.dst_port,
+                                         bytes});
+    for (const common::Word w : net::packet_to_words(p)) queue_.push_back(w);
+  }
+}
+
+void ClusterInputCard::step(sim::Chip& chip) {
+  generate(chip);
+  if (!queue_.empty() && to_chip_->can_write()) {
+    to_chip_->write(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+ClusterOutputCard::ClusterOutputCard(sim::Channel* from_chip, int host_id,
+                                     router::PacketLedger* ledger,
+                                     const std::vector<std::vector<int>>* hops)
+    : from_chip_(from_chip),
+      host_id_(host_id),
+      ledger_(ledger),
+      hops_(hops) {
+  RAW_ASSERT(from_chip_ != nullptr && ledger_ != nullptr && hops_ != nullptr);
+}
+
+void ClusterOutputCard::step(sim::Chip& chip) {
+  if (!from_chip_->can_read()) return;
+  if (assembler_.push(from_chip_->read())) finish_packet(chip);
+}
+
+void ClusterOutputCard::finish_packet(sim::Chip& chip) {
+  net::Packet p = net::packet_from_words(assembler_.take());
+
+  bool ok = net::checksum_ok(p.header);
+  const std::uint64_t uid = router::uid_of(p.header);
+  router::PacketLedger::Entry entry;
+  if (!ledger_->take_in_flight_locked(uid, &entry)) {
+    // Corrupted uid field or the surviving fragment of a written-off frame;
+    // frame damage, not a second packet loss.
+    ++unmatched_frames_;
+    return;
+  }
+
+  // End-to-end validation across the whole fabric: delivered to the right
+  // host, payload untouched, and the TTL decremented exactly once per chip
+  // on the (ECMP-deterministic) path. The hop count indexes by the ledger
+  // entry's source (always in range; a corrupted src byte fails the header
+  // comparison below instead).
+  if (entry.dst_port != host_id_ || entry.bytes != p.size_bytes()) ok = false;
+  const net::Packet expected = router::make_test_packet(
+      uid, entry.src_port, entry.dst_port, entry.bytes);
+  const int hops = (*hops_)[static_cast<std::size_t>(entry.src_port)]
+                           [static_cast<std::size_t>(host_id_)];
+  if (p.header.ttl + hops != expected.header.ttl) ok = false;
+  if (p.payload != expected.payload) ok = false;
+  if (p.header.src != expected.header.src || p.header.dst != expected.header.dst) {
+    ok = false;
+  }
+
+  if (!ok) {
+    ++dropped_invalid_;
+    ledger_->credit_invalid_locked();
+    return;
+  }
+  ledger_->credit_delivered_locked();
+  ++delivered_packets_;
+  delivered_bytes_ += p.size_bytes();
+  const double latency = static_cast<double>(chip.cycle() - entry.created);
+  latency_.add(latency);
+  latency_hist_.add(latency);
+}
+
+}  // namespace raw::cluster

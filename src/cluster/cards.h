@@ -1,0 +1,112 @@
+// Host-side line cards of a cluster fabric.
+//
+// These mirror the single-chip InputLineCard/OutputLineCard but speak the
+// cluster's global address space: every host line in the cluster has a
+// global host id, packets carry dst = 10.<dst_host>.x.x and
+// src = 10.(128+src_host).x.x, uids are partitioned per host card
+// (host_id << 22 | seq) so generation needs no shared counter, and all
+// ledger mutations go through the shared PacketLedger's locked accessors —
+// host cards on different chips may step on different threads. The output
+// card validates multi-hop delivery: every chip on the path decrements TTL
+// exactly once, so the expected decrement count comes from the topology's
+// hop matrix.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/traffic.h"
+#include "router/line_cards.h"
+#include "sim/chip.h"
+#include "sim/device.h"
+
+namespace raw::cluster {
+
+/// Per-host-card uid space: 22 bits of sequence under 10 bits of host id,
+/// so concurrent generation across chips is race-free and deterministic.
+inline constexpr std::uint64_t make_host_uid(int host_id, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(host_id) << 22) | seq;
+}
+
+class ClusterInputCard : public sim::Device {
+ public:
+  /// `traffic` is the owning chip's generator (per-chip seed); `host_id` is
+  /// both this card's global identity and its port index into `traffic`.
+  ClusterInputCard(sim::Channel* to_chip, int host_id,
+                   net::TrafficGen* traffic, router::PacketLedger* ledger,
+                   std::size_t queue_capacity_words);
+
+  void step(sim::Chip& chip) override;
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t offered_packets() const { return offered_packets_; }
+  [[nodiscard]] common::ByteCount offered_bytes() const { return offered_bytes_; }
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] int host_id() const { return host_id_; }
+
+ private:
+  void generate(sim::Chip& chip);
+
+  sim::Channel* to_chip_;
+  int host_id_;
+  net::TrafficGen* traffic_;
+  router::PacketLedger* ledger_;
+  std::size_t queue_capacity_words_;
+  std::deque<common::Word> queue_;
+  common::Cycle next_arrival_ = 0;
+  std::uint64_t next_seq_ = 1;
+  bool stopped_ = false;
+  std::uint64_t offered_packets_ = 0;
+  common::ByteCount offered_bytes_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+class ClusterOutputCard : public sim::Device {
+ public:
+  /// `hops` is the topology's host-to-host hop matrix (not owned); the TTL
+  /// check expects exactly hops[src][dst] decrements.
+  ClusterOutputCard(sim::Channel* from_chip, int host_id,
+                    router::PacketLedger* ledger,
+                    const std::vector<std::vector<int>>* hops);
+
+  void step(sim::Chip& chip) override;
+
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+  [[nodiscard]] common::ByteCount delivered_bytes() const { return delivered_bytes_; }
+  [[nodiscard]] std::uint64_t errors() const {
+    return dropped_invalid_ + unmatched_frames_;
+  }
+  [[nodiscard]] std::uint64_t dropped_invalid() const { return dropped_invalid_; }
+  [[nodiscard]] std::uint64_t unmatched_frames() const { return unmatched_frames_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return assembler_.resyncs(); }
+  [[nodiscard]] const common::RunningStat& latency() const { return latency_; }
+  /// End-to-end (multi-hop) latency distribution in cycles; binned like the
+  /// single-chip card's so cluster-wide merges line up.
+  [[nodiscard]] const common::Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
+  [[nodiscard]] int host_id() const { return host_id_; }
+
+ private:
+  void finish_packet(sim::Chip& chip);
+
+  sim::Channel* from_chip_;
+  int host_id_;
+  router::PacketLedger* ledger_;
+  const std::vector<std::vector<int>>* hops_;
+  router::FrameAssembler assembler_;
+  std::uint64_t delivered_packets_ = 0;
+  common::ByteCount delivered_bytes_ = 0;
+  std::uint64_t dropped_invalid_ = 0;
+  std::uint64_t unmatched_frames_ = 0;
+  common::RunningStat latency_;
+  common::Histogram latency_hist_{16.0, 2048};
+};
+
+}  // namespace raw::cluster

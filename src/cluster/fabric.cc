@@ -1,0 +1,404 @@
+#include "cluster/fabric.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "net/ipv4.h"
+
+namespace raw::cluster {
+
+ClusterFabric::ClusterFabric(ClusterConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  config_.validate();
+  topo_ = Topology::build(config_);
+
+  // The host traffic template becomes concrete here: one port per global
+  // host, grouped by chip so remote_fraction is the cross-chip share.
+  config_.traffic.num_ports = num_hosts();
+  config_.traffic.group_of.clear();
+  for (const HostPlan& h : topo_.hosts) {
+    config_.traffic.group_of.push_back(h.chip);
+  }
+
+  // Links first: the trunk cards built per chip point into them.
+  links_.reserve(topo_.links.size());
+  for (std::size_t l = 0; l < topo_.links.size(); ++l) {
+    InterChipLink::Params p;
+    p.latency = config_.link_latency;
+    p.throttle_numer = config_.throttle_numer;
+    p.throttle_denom = config_.throttle_denom;
+    p.capacity_words = config_.link_capacity_words;
+    p.jitter = config_.link_jitter;
+    p.seed = link_seed(seed_, static_cast<int>(l));
+    links_.push_back(std::make_unique<InterChipLink>(p));
+  }
+
+  inputs_.resize(topo_.hosts.size());
+  outputs_.resize(topo_.hosts.size());
+  for (int c = 0; c < num_chips(); ++c) {
+    build_chip(c);
+    build_cards(c);
+  }
+
+  std::vector<sim::Chip*> chips;
+  chips.reserve(nodes_.size());
+  for (const auto& n : nodes_) chips.push_back(n->chip.get());
+  runner_ = std::make_unique<exec::ClusterRunner>(std::move(chips),
+                                                  config_.threads);
+
+  epoch_ = config_.epoch_cycles != 0 ? config_.epoch_cycles
+                                     : config_.link_latency;
+}
+
+void ClusterFabric::build_chip(int c) {
+  auto node = std::make_unique<ChipNode>();
+
+  // Hierarchical forwarding: every global host prefix maps to a local
+  // output port (own host line, or the topology's ECMP shortest-path
+  // trunk).
+  for (std::size_t h = 0; h < topo_.hosts.size(); ++h) {
+    node->table.add_route(
+        net::make_addr(10, static_cast<std::uint8_t>(h), 0, 0), 16,
+        topo_.next_hop[static_cast<std::size_t>(c)][h]);
+  }
+  node->forwarding = net::SmallTable::build(node->table.trie());
+
+  sim::ChipConfig chip_cfg;
+  chip_cfg.shape = sim::GridShape{4, 4};
+  chip_cfg.with_dynamic_network = true;  // lookup RPC path
+  chip_cfg.link_fifo_depth = config_.link_fifo_depth;
+  chip_cfg.threads = 1;  // parallelism is across chips, not within them
+  node->chip = std::make_unique<sim::Chip>(chip_cfg);
+
+  node->core.chip = node->chip.get();
+  node->core.layout = &layout_;
+  node->core.table = &node->table;
+  node->core.forwarding = &node->forwarding;
+  node->core.config = config_.runtime;
+  node->core.ledger = &ledger_;
+
+  // The full single-chip router mapping on every node, regardless of port
+  // roles: an idle ingress just circulates EMPTY headers.
+  for (int p = 0; p < router::kNumPorts; ++p) {
+    const router::PortTiles tiles = layout_.port(p);
+    const router::CrossbarSchedule cb = compiler_.compile_crossbar(p);
+    const router::IngressSchedule in = compiler_.compile_ingress(p);
+    const router::EgressSchedule eg = compiler_.compile_egress(p);
+    node->chip->tile(tiles.crossbar).switch_proc().load(cb.program);
+    node->chip->tile(tiles.ingress).switch_proc().load(in.program);
+    node->chip->tile(tiles.egress).switch_proc().load(eg.program);
+    node->chip->tile(tiles.ingress)
+        .set_program(router::make_ingress_program(node->core, p, in));
+    node->chip->tile(tiles.lookup)
+        .set_program(router::make_lookup_program(node->core, p));
+    node->chip->tile(tiles.crossbar)
+        .set_program(router::make_crossbar_program(node->core, p, cb));
+    node->chip->tile(tiles.egress)
+        .set_program(router::make_egress_program(node->core, p, eg));
+  }
+
+  node->traffic = std::make_unique<net::TrafficGen>(config_.traffic,
+                                                    chip_seed(seed_, c));
+  nodes_.push_back(std::move(node));
+}
+
+void ClusterFabric::build_cards(int c) {
+  ChipNode& node = *nodes_[static_cast<std::size_t>(c)];
+  for (int p = 0; p < router::kNumPorts; ++p) {
+    const PortRole role =
+        topo_.roles[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+    if (role == PortRole::kUnused) continue;
+    const router::PortTiles tiles = layout_.port(p);
+    const router::PortEdges edges = layout_.edges(p);
+    const sim::IoPort in_port =
+        node.chip->io_port(0, tiles.ingress, edges.ingress_edge);
+    const sim::IoPort out_port =
+        node.chip->io_port(0, tiles.egress, edges.egress_edge);
+
+    if (role == PortRole::kHost) {
+      const int h = topo_.host_at(c, p);
+      RAW_ASSERT(h >= 0);
+      auto in = std::make_unique<ClusterInputCard>(
+          in_port.to_chip, h, node.traffic.get(), &ledger_,
+          config_.line_card_queue_words);
+      auto out = std::make_unique<ClusterOutputCard>(out_port.from_chip, h,
+                                                     &ledger_, &topo_.hops);
+      node.chip->add_device(in.get());
+      node.chip->add_device(out.get());
+      inputs_[static_cast<std::size_t>(h)] = std::move(in);
+      outputs_[static_cast<std::size_t>(h)] = std::move(out);
+      continue;
+    }
+
+    // Trunk: this port's egress edge feeds the outgoing link; the link
+    // arriving here feeds its ingress edge.
+    const int out_link = topo_.link_from(c, p);
+    RAW_ASSERT_MSG(out_link >= 0, "trunk port without an outgoing link");
+    int in_link = -1;
+    for (std::size_t l = 0; l < topo_.links.size(); ++l) {
+      if (topo_.links[l].dst_chip == c && topo_.links[l].dst_port == p) {
+        in_link = static_cast<int>(l);
+        break;
+      }
+    }
+    RAW_ASSERT_MSG(in_link >= 0, "trunk port without an incoming link");
+    auto eg = std::make_unique<router::TrunkEgressCard>(
+        out_port.from_chip, p, links_[static_cast<std::size_t>(out_link)].get());
+    auto in = std::make_unique<router::TrunkIngressCard>(
+        in_port.to_chip, p, links_[static_cast<std::size_t>(in_link)].get());
+    node.chip->add_device(in.get());
+    node.chip->add_device(eg.get());
+    trunk_ingress_.push_back(std::move(in));
+    trunk_egress_.push_back(std::move(eg));
+  }
+}
+
+void ClusterFabric::commit_links() {
+  for (auto& l : links_) l->commit_epoch();
+}
+
+void ClusterFabric::run(common::Cycle cycles) {
+  common::Cycle remaining = cycles;
+  while (remaining > 0) {
+    const common::Cycle e = std::min(epoch_, remaining);
+    runner_->run_epoch(e);
+    commit_links();
+    remaining -= e;
+    cycles_run_ += e;
+  }
+}
+
+bool ClusterFabric::drain(common::Cycle max_cycles) {
+  for (auto& in : inputs_) in->stop();
+  const auto inputs_idle = [this] {
+    return std::all_of(inputs_.begin(), inputs_.end(),
+                       [](const auto& in) { return in->idle(); });
+  };
+  // If the in-flight set stops shrinking for this long with the inputs
+  // empty, whatever remains is wedged (or eaten by a fault) and is written
+  // off so the accounting still closes.
+  const common::Cycle stall_bound =
+      std::max<common::Cycle>(1 << 16, 8 * config_.link_latency);
+
+  // Between epochs every worker is parked, so the ledger can be read
+  // directly here.
+  std::size_t last_in_flight = ledger_.in_flight.size();
+  common::Cycle last_shrink = 0;
+  common::Cycle elapsed = 0;
+  while (elapsed < max_cycles) {
+    runner_->run_epoch(epoch_);
+    commit_links();
+    elapsed += epoch_;
+    cycles_run_ += epoch_;
+    const std::size_t in_flight = ledger_.in_flight.size();
+    if (in_flight == 0 && inputs_idle()) {
+      drained_ = true;
+      check_conservation();
+      return true;
+    }
+    if (in_flight != last_in_flight) {
+      last_in_flight = in_flight;
+      last_shrink = elapsed;
+    } else if (inputs_idle() && elapsed - last_shrink >= stall_bound) {
+      ledger_.erased_lost += ledger_.in_flight.size();
+      ledger_.in_flight.clear();
+      drained_ = false;
+      check_conservation();
+      return false;
+    }
+  }
+  drained_ = false;
+  check_conservation();
+  return false;
+}
+
+void ClusterFabric::check_conservation() const {
+  const std::uint64_t offered = offered_packets();
+  const std::uint64_t accounted =
+      dropped_at_card() + ledger_.erased_total() + ledger_.in_flight.size();
+  RAW_ASSERT_MSG(offered == accounted,
+                 "cluster packet conservation violated: offered != "
+                 "dropped_at_card + delivered + invalid + ingress_drops + "
+                 "lost + in_flight");
+}
+
+void ClusterFabric::set_force_dense(bool on) {
+  for (auto& n : nodes_) n->chip->set_force_dense(on);
+}
+
+std::uint64_t ClusterFabric::offered_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& in : inputs_) n += in->offered_packets();
+  return n;
+}
+
+std::uint64_t ClusterFabric::dropped_at_card() const {
+  std::uint64_t n = 0;
+  for (const auto& in : inputs_) n += in->dropped_packets();
+  return n;
+}
+
+std::uint64_t ClusterFabric::delivered_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& out : outputs_) n += out->delivered_packets();
+  return n;
+}
+
+common::ByteCount ClusterFabric::delivered_bytes() const {
+  common::ByteCount n = 0;
+  for (const auto& out : outputs_) n += out->delivered_bytes();
+  return n;
+}
+
+std::uint64_t ClusterFabric::errors() const {
+  std::uint64_t n = 0;
+  for (const auto& out : outputs_) n += out->errors();
+  return n;
+}
+
+double ClusterFabric::aggregate_gbps() const {
+  return common::gbps(delivered_bytes(), cycles_run_);
+}
+
+double ClusterFabric::aggregate_mpps() const {
+  return common::mpps(delivered_packets(), cycles_run_);
+}
+
+common::Histogram ClusterFabric::latency_histogram() const {
+  common::Histogram merged(16.0, 2048);
+  for (const auto& out : outputs_) merged.merge(out->latency_histogram());
+  return merged;
+}
+
+std::uint64_t ClusterFabric::cluster_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& n : nodes_) {
+    mix(n->chip->state_digest());
+    for (const router::PortCounters& ctr : n->core.counters) {
+      mix(ctr.packets_in);
+      mix(ctr.fragments);
+      mix(ctr.grants);
+      mix(ctr.lookups);
+      mix(ctr.ttl_drops);
+      mix(ctr.no_route_drops);
+      mix(ctr.malformed_drops);
+      mix(ctr.resync_slides);
+      mix(ctr.cut_through);
+      mix(ctr.reassembled);
+    }
+  }
+  for (const auto& in : inputs_) {
+    mix(in->offered_packets());
+    mix(in->offered_bytes());
+    mix(in->dropped_packets());
+  }
+  for (const auto& out : outputs_) {
+    mix(out->delivered_packets());
+    mix(out->delivered_bytes());
+    mix(out->errors());
+    mix(out->resyncs());
+  }
+  for (const auto& l : links_) {
+    mix(l->sent_total());
+    mix(l->delivered_total());
+    mix(l->in_flight_words());
+  }
+  for (const auto& t : trunk_egress_) {
+    mix(t->words_out());
+    mix(t->queued_words());
+  }
+  for (const auto& t : trunk_ingress_) mix(t->words_in());
+  mix(ledger_.erased_delivered);
+  mix(ledger_.erased_invalid);
+  mix(ledger_.erased_ingress);
+  mix(ledger_.erased_lost);
+  mix(ledger_.in_flight.size());
+  mix(cycles_run_);
+  mix(drained_ ? 1 : 0);
+  return h;
+}
+
+void ClusterFabric::export_metrics(common::MetricRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.gauge(prefix + "/gbps").set(aggregate_gbps());
+  registry.gauge(prefix + "/mpps").set(aggregate_mpps());
+  registry.counter(prefix + "/delivered_packets").set(delivered_packets());
+  registry.counter(prefix + "/delivered_bytes").set(delivered_bytes());
+  registry.counter(prefix + "/errors").set(errors());
+  registry.counter(prefix + "/chips")
+      .set(static_cast<std::uint64_t>(num_chips()));
+  registry.counter(prefix + "/hosts")
+      .set(static_cast<std::uint64_t>(num_hosts()));
+  registry.counter(prefix + "/links").set(links_.size());
+  registry.counter(prefix + "/workers")
+      .set(static_cast<std::uint64_t>(workers()));
+  registry.counter(prefix + "/epoch_cycles").set(epoch_);
+  registry.counter(prefix + "/cycles").set(cycles_run_);
+
+  const common::Histogram lat = latency_histogram();
+  registry.gauge(prefix + "/latency/p50").set(lat.quantile(0.50));
+  registry.gauge(prefix + "/latency/p95").set(lat.quantile(0.95));
+  registry.gauge(prefix + "/latency/p99").set(lat.quantile(0.99));
+  registry.counter(prefix + "/latency/samples").set(lat.count());
+
+  registry.counter(prefix + "/conservation/offered").set(offered_packets());
+  registry.counter(prefix + "/conservation/dropped_at_card")
+      .set(dropped_at_card());
+  registry.counter(prefix + "/conservation/delivered")
+      .set(ledger_.erased_delivered);
+  registry.counter(prefix + "/conservation/invalid")
+      .set(ledger_.erased_invalid);
+  registry.counter(prefix + "/conservation/ingress_drops")
+      .set(ledger_.erased_ingress);
+  registry.counter(prefix + "/conservation/lost").set(ledger_.erased_lost);
+  registry.counter(prefix + "/conservation/in_flight")
+      .set(ledger_.in_flight.size());
+
+  // Per-chip throughput and wall-clock lag behind the slowest chip (the
+  // thread-per-chip load balance view).
+  const std::vector<std::uint64_t>& wall = chip_wall_ns();
+  const std::uint64_t slowest =
+      wall.empty() ? 0 : *std::max_element(wall.begin(), wall.end());
+  for (int c = 0; c < num_chips(); ++c) {
+    const std::string chip = prefix + "/chip" + std::to_string(c);
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    common::ByteCount bytes = 0;
+    for (std::size_t h = 0; h < topo_.hosts.size(); ++h) {
+      if (topo_.hosts[h].chip != c) continue;
+      offered += inputs_[h]->offered_packets();
+      delivered += outputs_[h]->delivered_packets();
+      bytes += outputs_[h]->delivered_bytes();
+    }
+    registry.counter(chip + "/offered_packets").set(offered);
+    registry.counter(chip + "/delivered_packets").set(delivered);
+    registry.gauge(chip + "/gbps").set(common::gbps(bytes, cycles_run_));
+    const std::uint64_t ns = wall[static_cast<std::size_t>(c)];
+    registry.counter(chip + "/wall_ns").set(ns);
+    registry.counter(chip + "/epoch_lag_ns").set(slowest - ns);
+  }
+
+  std::uint64_t trunk_queued = 0;
+  std::uint64_t trunk_peak = 0;
+  for (const auto& t : trunk_egress_) {
+    trunk_queued += t->queued_words();
+    trunk_peak = std::max<std::uint64_t>(trunk_peak, t->peak_queued_words());
+  }
+  registry.counter(prefix + "/trunk_queued_words").set(trunk_queued);
+  registry.counter(prefix + "/trunk_peak_queued_words").set(trunk_peak);
+
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const std::string link = prefix + "/link" + std::to_string(l);
+    registry.counter(link + "/sent_words").set(links_[l]->sent_total());
+    registry.counter(link + "/delivered_words")
+        .set(links_[l]->delivered_total());
+    registry.counter(link + "/occupancy").set(links_[l]->occupancy());
+    registry.counter(link + "/in_flight").set(links_[l]->in_flight_words());
+  }
+}
+
+}  // namespace raw::cluster

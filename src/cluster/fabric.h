@@ -1,0 +1,160 @@
+// ClusterFabric: N rotating-crossbar router chips wired into a cluster.
+//
+// The fabric instantiates one 4x4 Raw chip per cluster node — each with the
+// full single-chip router mapping (ingress/lookup/crossbar/egress tiles and
+// compile-time switch schedules) — assigns every chip-edge port a role from
+// the declarative topology (host line, inter-chip trunk, unused), and wires
+// trunk ports through seeded InterChipLinks. Forwarding is hierarchical:
+// each chip's route table maps every global host prefix 10.<host>/16 to a
+// local output port (its own host line, or a shortest-path trunk chosen by
+// destination-hash ECMP), so the unmodified single-chip tile programs route
+// cluster traffic hop by hop, decrementing TTL once per chip.
+//
+// Execution advances all chips in lock-step epochs of at most link_latency
+// cycles (conservative lookahead): within an epoch chips share nothing but
+// barrier-committed link state and the mutex-guarded packet ledger, so the
+// epoch can run thread-per-chip (exec::ClusterRunner) with results
+// digest-identical to the serial schedule at any worker count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cards.h"
+#include "cluster/cluster_config.h"
+#include "cluster/inter_chip_link.h"
+#include "cluster/topology.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "exec/cluster_runner.h"
+#include "net/route_table.h"
+#include "net/small_table.h"
+#include "net/traffic.h"
+#include "router/layout.h"
+#include "router/line_cards.h"
+#include "router/schedule_compiler.h"
+#include "router/tile_programs.h"
+#include "sim/chip.h"
+
+namespace raw::cluster {
+
+class ClusterFabric {
+ public:
+  ClusterFabric(ClusterConfig config, std::uint64_t seed);
+
+  /// Runs the whole cluster for `cycles` cycles (rounded up to whole
+  /// epochs' worth of barrier commits internally, but every chip advances
+  /// exactly `cycles`).
+  void run(common::Cycle cycles);
+
+  /// Stops the arrival processes and runs until every offered packet is
+  /// accounted for (true), the in-flight set stops shrinking (packets are
+  /// written off as lost; false), or `max_cycles` elapse (false). Packet
+  /// conservation is asserted on every exit path.
+  [[nodiscard]] bool drain(common::Cycle max_cycles);
+  [[nodiscard]] bool drained() const { return drained_; }
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] int num_chips() const { return topo_.num_chips; }
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(topo_.hosts.size());
+  }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  /// Resolved thread-per-chip worker count (1 = serial).
+  [[nodiscard]] int workers() const { return runner_->workers(); }
+  /// Cycles every chip has run (identical across chips at barriers).
+  [[nodiscard]] common::Cycle cycle() const { return cycles_run_; }
+  [[nodiscard]] common::Cycle epoch_cycles() const { return epoch_; }
+
+  [[nodiscard]] sim::Chip& chip(int i) {
+    return *nodes_[static_cast<std::size_t>(i)]->chip;
+  }
+  [[nodiscard]] const InterChipLink& link(std::size_t i) const {
+    return *links_[i];
+  }
+  [[nodiscard]] const ClusterInputCard& input(int host) const {
+    return *inputs_[static_cast<std::size_t>(host)];
+  }
+  [[nodiscard]] const ClusterOutputCard& output(int host) const {
+    return *outputs_[static_cast<std::size_t>(host)];
+  }
+  [[nodiscard]] const router::PacketLedger& ledger() const { return ledger_; }
+
+  /// Forces dense stepping on every chip (dense-vs-sparse differential).
+  void set_force_dense(bool on);
+
+  // Aggregates across every host card.
+  [[nodiscard]] std::uint64_t offered_packets() const;
+  [[nodiscard]] std::uint64_t dropped_at_card() const;
+  [[nodiscard]] std::uint64_t delivered_packets() const;
+  [[nodiscard]] common::ByteCount delivered_bytes() const;
+  [[nodiscard]] std::uint64_t errors() const;
+  [[nodiscard]] std::uint64_t lost_packets() const {
+    return ledger_.erased_lost;
+  }
+  /// Aggregate delivered throughput over the cycles run so far.
+  [[nodiscard]] double aggregate_gbps() const;
+  [[nodiscard]] double aggregate_mpps() const;
+  /// Cluster-wide end-to-end latency distribution (all host cards merged).
+  [[nodiscard]] common::Histogram latency_histogram() const;
+
+  /// FNV-1a digest of the cluster's observable end state: every chip's
+  /// architectural digest folded with its router counters, the host cards,
+  /// the link conservation counters, and the shared ledger. Bit-identical
+  /// across serial/threaded schedules and dense/sparse engines.
+  [[nodiscard]] std::uint64_t cluster_digest() const;
+
+  /// Per-chip accumulated wall time (thread-per-chip load balance view).
+  [[nodiscard]] const std::vector<std::uint64_t>& chip_wall_ns() const {
+    return runner_->chip_wall_ns();
+  }
+
+  /// Publishes cluster observability under `prefix`:
+  ///   <prefix>/{gbps,mpps,delivered_packets,delivered_bytes,errors}
+  ///   <prefix>/latency/{p50,p95,p99}
+  ///   <prefix>/conservation/{offered,dropped_at_card,delivered,...}
+  ///   <prefix>/chip<C>/{gbps,offered_packets,delivered_packets,wall_ns,
+  ///                     epoch_lag_ns}
+  ///   <prefix>/link<L>/{sent_words,delivered_words,occupancy,in_flight}
+  void export_metrics(common::MetricRegistry& registry,
+                      const std::string& prefix = "cluster") const;
+
+ private:
+  /// One cluster node: chip + its routing state + its seeded traffic.
+  /// Heap-allocated so RouterCore (captured by reference in the tile
+  /// programs) and the tables keep stable addresses.
+  struct ChipNode {
+    std::unique_ptr<sim::Chip> chip;
+    net::RouteTable table;
+    net::SmallTable forwarding;
+    router::RouterCore core;
+    std::unique_ptr<net::TrafficGen> traffic;
+  };
+
+  void build_chip(int c);
+  void build_cards(int c);
+  /// Epoch barrier: commits every link (single-threaded).
+  void commit_links();
+  void check_conservation() const;
+
+  ClusterConfig config_;
+  std::uint64_t seed_;
+  Topology topo_;
+  router::Layout layout_;
+  router::ScheduleCompiler compiler_{layout_};
+  router::PacketLedger ledger_;
+  std::vector<std::unique_ptr<ChipNode>> nodes_;
+  std::vector<std::unique_ptr<InterChipLink>> links_;  // parallel to topo_.links
+  std::vector<std::unique_ptr<ClusterInputCard>> inputs_;    // by host id
+  std::vector<std::unique_ptr<ClusterOutputCard>> outputs_;  // by host id
+  std::vector<std::unique_ptr<router::TrunkEgressCard>> trunk_egress_;
+  std::vector<std::unique_ptr<router::TrunkIngressCard>> trunk_ingress_;
+  std::unique_ptr<exec::ClusterRunner> runner_;
+  common::Cycle epoch_ = 0;
+  common::Cycle cycles_run_ = 0;
+  bool drained_ = true;
+};
+
+}  // namespace raw::cluster

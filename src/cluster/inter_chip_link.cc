@@ -1,0 +1,70 @@
+#include "cluster/inter_chip_link.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace raw::cluster {
+
+InterChipLink::InterChipLink(const Params& params)
+    : params_(params), rng_(params.seed) {
+  RAW_ASSERT_MSG(params_.latency >= 1, "link latency must be >= 1");
+  RAW_ASSERT_MSG(params_.throttle_numer >= 1 && params_.throttle_denom >= 1,
+                 "throttle numer/denom must be >= 1");
+  RAW_ASSERT_MSG(params_.capacity_words >= 1, "link capacity must be >= 1");
+  tokens_ = params_.throttle_numer;  // the bucket starts full
+}
+
+void InterChipLink::refill(common::Cycle now) {
+  // Integer token bucket: numer credits per denom cycles, accumulated
+  // exactly (no drift), burst-capped at numer so a long-idle link cannot
+  // dump an unbounded burst.
+  const common::Cycle elapsed = now - last_refill_;
+  if (elapsed == 0) return;
+  last_refill_ = now;
+  accum_ += elapsed * params_.throttle_numer;
+  tokens_ += accum_ / params_.throttle_denom;
+  accum_ %= params_.throttle_denom;
+  tokens_ = std::min<std::uint64_t>(tokens_, params_.throttle_numer);
+}
+
+bool InterChipLink::can_send(common::Cycle now) {
+  refill(now);
+  return tokens_ >= 1 &&
+         occupancy_base_ + sent_this_epoch_ < params_.capacity_words;
+}
+
+void InterChipLink::send(common::Word w, common::Cycle now) {
+  RAW_ASSERT_MSG(tokens_ >= 1, "send without a token (call can_send first)");
+  --tokens_;
+  common::Cycle deliver = now + params_.latency;
+  if (params_.jitter > 0) deliver += rng_.below(params_.jitter + 1);
+  // Monotonic clamp: the link is a FIFO; jitter stretches gaps but never
+  // reorders words.
+  deliver = std::max(deliver, last_deliver_);
+  last_deliver_ = deliver;
+  staging_.push_back(Slot{deliver, w});
+  ++sent_this_epoch_;
+  ++sent_total_;
+}
+
+bool InterChipLink::has_word(common::Cycle now) {
+  return !queue_.empty() && queue_.front().deliver <= now;
+}
+
+common::Word InterChipLink::recv(common::Cycle now) {
+  RAW_ASSERT_MSG(has_word(now), "recv on an empty or not-yet-due link");
+  const common::Word w = queue_.front().word;
+  queue_.pop_front();
+  ++delivered_total_;
+  return w;
+}
+
+void InterChipLink::commit_epoch() {
+  for (const Slot& s : staging_) queue_.push_back(s);
+  staging_.clear();
+  sent_this_epoch_ = 0;
+  occupancy_base_ = queue_.size();
+}
+
+}  // namespace raw::cluster

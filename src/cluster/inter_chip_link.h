@@ -1,0 +1,97 @@
+// One direction of an inter-chip trunk: a seeded, deterministic word FIFO
+// with configurable latency and token-bucket bandwidth throttling.
+//
+// The link is the only state two chips share, and it is built for the
+// epoch-synchronised schedule (FireSim-style "big tokens"): during an epoch
+// the sending chip's trunk card appends to a staging buffer and the
+// receiving chip's trunk card pops only words committed at the previous
+// epoch barrier, so the two sides touch disjoint state and an epoch can run
+// thread-per-chip without locks. commit_epoch() — called single-threaded at
+// the barrier — moves staging into the delivery queue and refreshes the
+// sender's occupancy view. Because the epoch length never exceeds the link
+// latency, a word sent mid-epoch could not have arrived before the next
+// barrier anyway: the relaxed synchronisation is timing-exact, and the
+// serial and threaded schedules are digest-identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "router/line_cards.h"
+
+namespace raw::cluster {
+
+class InterChipLink final : public router::WordTx, public router::WordRx {
+ public:
+  struct Params {
+    common::Cycle latency = 16;
+    std::uint64_t throttle_numer = 1;
+    std::uint64_t throttle_denom = 1;
+    std::size_t capacity_words = 256;
+    /// Uniform extra latency in [0, jitter] per word, monotonically clamped
+    /// so the FIFO never reorders. 0 = none (and the RNG is never drawn).
+    common::Cycle jitter = 0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit InterChipLink(const Params& params);
+
+  // WordTx — sender side (the source chip's trunk egress card).
+  [[nodiscard]] bool can_send(common::Cycle now) override;
+  void send(common::Word w, common::Cycle now) override;
+
+  // WordRx — receiver side (the destination chip's trunk ingress card).
+  [[nodiscard]] bool has_word(common::Cycle now) override;
+  [[nodiscard]] common::Word recv(common::Cycle now) override;
+
+  /// Epoch barrier (single-threaded): commits staged words into the
+  /// delivery queue and refreshes the sender's occupancy view.
+  void commit_epoch();
+
+  /// Conservation counters: words accepted by send() and words handed out
+  /// by recv(). At any epoch barrier,
+  ///   sent_total == delivered_total + in_flight_words().
+  [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
+  [[nodiscard]] std::uint64_t delivered_total() const {
+    return delivered_total_;
+  }
+  /// Words inside the link (queue + staging). Barrier-phase only.
+  [[nodiscard]] std::size_t in_flight_words() const {
+    return queue_.size() + staging_.size();
+  }
+  /// Committed-queue occupancy. Barrier-phase only.
+  [[nodiscard]] std::size_t occupancy() const { return queue_.size(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  /// Credits tokens for the cycles since the last refill (integer
+  /// accumulator, burst cap = numer).
+  void refill(common::Cycle now);
+
+  struct Slot {
+    common::Cycle deliver = 0;
+    common::Word word = 0;
+  };
+
+  Params params_;
+  common::Rng rng_;
+
+  // Sender-side state (touched only by the source chip during an epoch).
+  std::uint64_t tokens_ = 0;
+  std::uint64_t accum_ = 0;
+  common::Cycle last_refill_ = 0;
+  common::Cycle last_deliver_ = 0;
+  std::vector<Slot> staging_;
+  std::size_t sent_this_epoch_ = 0;
+  std::size_t occupancy_base_ = 0;  // queue size at the last barrier
+  std::uint64_t sent_total_ = 0;
+
+  // Receiver-side state (touched only by the destination chip).
+  std::deque<Slot> queue_;
+  std::uint64_t delivered_total_ = 0;
+};
+
+}  // namespace raw::cluster

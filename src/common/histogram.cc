@@ -24,6 +24,15 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  RAW_ASSERT_MSG(bucket_width_ == other.bucket_width_ &&
+                     counts_.size() == other.counts_.size(),
+                 "histogram merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -24,6 +24,11 @@ class Histogram {
   /// interpolated within the containing bucket.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Folds `other` into this histogram bucket-by-bucket, so per-card
+  /// distributions can be aggregated into a cluster-wide one. Both
+  /// histograms must share the same binning (asserted).
+  void merge(const Histogram& other);
+
   /// Compact multi-line ASCII rendering (for bench report output).
   [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
 

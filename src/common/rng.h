@@ -10,6 +10,13 @@
 
 namespace raw::common {
 
+/// splitmix64 finalizer: a high-quality 64-bit mixing function used wherever
+/// a family of independent seeds must be derived from one master seed (soak
+/// epochs, cluster chips, inter-chip links). Derivations follow the pattern
+///   derived = mix64(master ^ mix64(index + salt))
+/// so no two (master, index) pairs ever share an RNG stream.
+std::uint64_t mix64(std::uint64_t x);
+
 class Rng {
  public:
   using result_type = std::uint64_t;

@@ -29,6 +29,30 @@ TrafficGen::TrafficGen(TrafficConfig config, std::uint64_t seed)
       seen[static_cast<std::size_t>(d)] = true;
     }
   }
+  if (!config_.group_of.empty()) {
+    RAW_ASSERT_MSG(
+        config_.group_of.size() == static_cast<std::size_t>(config_.num_ports),
+        "group_of must name a group per port");
+    RAW_ASSERT_MSG(config_.remote_fraction >= 0.0 &&
+                       config_.remote_fraction <= 1.0,
+                   "remote_fraction must be in [0, 1]");
+    int num_groups = 0;
+    for (const int g : config_.group_of) {
+      RAW_ASSERT_MSG(g >= 0, "group ids must be non-negative");
+      num_groups = std::max(num_groups, g + 1);
+    }
+    local_ports_.resize(static_cast<std::size_t>(num_groups));
+    remote_ports_.resize(static_cast<std::size_t>(num_groups));
+    for (int g = 0; g < num_groups; ++g) {
+      for (int p = 0; p < config_.num_ports; ++p) {
+        if (config_.group_of[static_cast<std::size_t>(p)] == g) {
+          local_ports_[static_cast<std::size_t>(g)].push_back(p);
+        } else {
+          remote_ports_[static_cast<std::size_t>(g)].push_back(p);
+        }
+      }
+    }
+  }
   if (config_.pareto_flows) {
     RAW_ASSERT_MSG(config_.pareto_alpha > 0.0, "pareto_alpha must be > 0");
     RAW_ASSERT_MSG(config_.flow_min_packets >= 1 &&
@@ -59,15 +83,28 @@ std::uint64_t TrafficGen::draw_flow_packets(common::Rng& rng) const {
   return static_cast<std::uint64_t>(clamped);
 }
 
+int TrafficGen::draw_grouped(int src_port, common::Rng& rng) {
+  const int g = config_.group_of[static_cast<std::size_t>(src_port)];
+  const auto& remote = remote_ports_[static_cast<std::size_t>(g)];
+  const auto& local = local_ports_[static_cast<std::size_t>(g)];
+  // A single-group cluster has no remote candidates: stay local without
+  // consuming the coin draw (deterministic either way).
+  const bool go_remote = !remote.empty() && rng.chance(config_.remote_fraction);
+  const auto& cand = go_remote ? remote : local;
+  return cand[rng.below(cand.size())];
+}
+
 int TrafficGen::draw_dest(int src_port, common::Rng& rng) {
   const auto n = static_cast<std::uint64_t>(config_.num_ports);
   switch (config_.pattern) {
     case DestPattern::kPermutation:
       return config_.permutation[static_cast<std::size_t>(src_port)];
     case DestPattern::kUniform:
+      if (!config_.group_of.empty()) return draw_grouped(src_port, rng);
       return static_cast<int>(rng.below(n));
     case DestPattern::kHotspot:
       if (rng.chance(config_.hotspot_fraction)) return config_.hotspot_port;
+      if (!config_.group_of.empty()) return draw_grouped(src_port, rng);
       return static_cast<int>(rng.below(n));
     case DestPattern::kLoopback:
       return src_port;

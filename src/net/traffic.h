@@ -52,6 +52,16 @@ struct TrafficConfig {
   /// periods are lumped between bursts at the same long-run load.
   double mean_burst_packets = 1.0;
 
+  /// Cluster grouping (multi-chip fabrics): ports are partitioned into
+  /// groups (one per chip) by `group_of[port]`. When set, destination draws
+  /// for kUniform — and the non-hotspot remainder of kHotspot — first decide
+  /// remote-vs-local with probability `remote_fraction`, then pick uniformly
+  /// inside the chosen set, so the cross-chip share of a workload is an
+  /// explicit knob instead of an artifact of the port count. Empty (the
+  /// default) keeps the flat single-chip behaviour bit-identical.
+  std::vector<int> group_of;
+  double remote_fraction = 0.5;
+
   /// Heavy-tailed flow mode (first slice of the trace tier): packets arrive
   /// in flows whose length in packets is bounded-Pareto distributed
   /// (inverse-CDF on the port's seeded RNG, so fully deterministic) and
@@ -85,6 +95,9 @@ class TrafficGen {
 
  private:
   [[nodiscard]] int draw_dest(int src_port, common::Rng& rng);
+  /// Grouped (cluster) destination draw: remote-vs-local coin, then uniform
+  /// within the chosen candidate set.
+  [[nodiscard]] int draw_grouped(int src_port, common::Rng& rng);
   [[nodiscard]] common::ByteCount draw_size(common::Rng& rng);
   /// Bounded-Pareto flow length in packets, in
   /// [flow_min_packets, flow_max_packets].
@@ -97,6 +110,10 @@ class TrafficGen {
   // flow's pinned destination.
   std::vector<std::uint64_t> flow_left_;
   std::vector<int> flow_dst_;
+  // Grouped-draw candidate sets, indexed by group id: the ports inside the
+  // group and the ports outside it (built once when group_of is set).
+  std::vector<std::vector<int>> local_ports_;
+  std::vector<std::vector<int>> remote_ports_;
 };
 
 }  // namespace raw::net

@@ -1,5 +1,7 @@
 #include "router/line_cards.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 #include "sim/fault_plan.h"
 
@@ -125,20 +127,13 @@ void InputLineCard::collect_queued_uids(std::vector<std::uint64_t>& out) const {
   for (const auto& [uid, words] : queued_packets_) out.push_back(uid);
 }
 
-OutputLineCard::OutputLineCard(sim::Channel* from_chip, int port,
-                               PacketLedger* ledger)
-    : from_chip_(from_chip), port_(port), ledger_(ledger) {
-  RAW_ASSERT(from_chip_ != nullptr && ledger_ != nullptr);
-}
-
-void OutputLineCard::step(sim::Chip& chip) {
-  if (!from_chip_->can_read()) return;
-  current_.push_back(from_chip_->read());
+bool FrameAssembler::push(common::Word w) {
+  current_.push_back(w);
   if (expected_words_ == 0) {
     // Not locked onto a frame: once a full header's worth of words has
     // accumulated, judge the candidate at the front of the buffer. A
     // corrupted stream (bit flip in the length or checksum words) fails the
-    // check; the card then slides forward one word at a time until a
+    // check; the assembler then slides forward one word at a time until a
     // plausible header lines up again, so one torn frame costs one resync
     // episode instead of desynchronising every subsequent packet.
     while (current_.size() >= net::Ipv4Header::kWords) {
@@ -159,15 +154,35 @@ void OutputLineCard::step(sim::Chip& chip) {
       current_.erase(current_.begin());
     }
   }
-  if (expected_words_ != 0 && current_.size() >= expected_words_) {
-    finish_packet(chip);
-  }
+  return expected_words_ != 0 && current_.size() >= expected_words_;
+}
+
+std::vector<common::Word> FrameAssembler::take() {
+  std::vector<common::Word> out = std::move(current_);
+  current_.clear();
+  expected_words_ = 0;
+  return out;
+}
+
+void FrameAssembler::reset() {
+  current_.clear();
+  expected_words_ = 0;
+  in_resync_ = false;
+}
+
+OutputLineCard::OutputLineCard(sim::Channel* from_chip, int port,
+                               PacketLedger* ledger)
+    : from_chip_(from_chip), port_(port), ledger_(ledger) {
+  RAW_ASSERT(from_chip_ != nullptr && ledger_ != nullptr);
+}
+
+void OutputLineCard::step(sim::Chip& chip) {
+  if (!from_chip_->can_read()) return;
+  if (assembler_.push(from_chip_->read())) finish_packet(chip);
 }
 
 void OutputLineCard::finish_packet(sim::Chip& chip) {
-  net::Packet p = net::packet_from_words(std::move(current_));
-  current_.clear();
-  expected_words_ = 0;
+  net::Packet p = net::packet_from_words(assembler_.take());
 
   bool ok = net::checksum_ok(p.header);
   const std::uint64_t uid = uid_of(p.header);
@@ -211,6 +226,37 @@ void OutputLineCard::finish_packet(sim::Chip& chip) {
     ledger_->tracer->record(uid, chip.cycle(), common::PacketEvent::kExitChip,
                             output_card_track(port_),
                             static_cast<std::uint32_t>(p.size_bytes()));
+  }
+}
+
+TrunkEgressCard::TrunkEgressCard(sim::Channel* from_chip, int port, WordTx* tx)
+    : from_chip_(from_chip), port_(port), tx_(tx) {
+  RAW_ASSERT(from_chip_ != nullptr && tx_ != nullptr);
+}
+
+void TrunkEgressCard::step(sim::Chip& chip) {
+  // Always drain the chip (the fabric must never see trunk backpressure),
+  // then forward under link credit: at most one word each per cycle.
+  if (from_chip_->can_read()) {
+    queue_.push_back(from_chip_->read());
+    peak_queued_ = std::max(peak_queued_, queue_.size());
+  }
+  if (!queue_.empty() && tx_->can_send(chip.cycle())) {
+    tx_->send(queue_.front(), chip.cycle());
+    queue_.pop_front();
+    ++words_out_;
+  }
+}
+
+TrunkIngressCard::TrunkIngressCard(sim::Channel* to_chip, int port, WordRx* rx)
+    : to_chip_(to_chip), port_(port), rx_(rx) {
+  RAW_ASSERT(to_chip_ != nullptr && rx_ != nullptr);
+}
+
+void TrunkIngressCard::step(sim::Chip& chip) {
+  if (to_chip_->can_write() && rx_->has_word(chip.cycle())) {
+    to_chip_->write(rx_->recv(chip.cycle()));
+    ++words_in_;
   }
 }
 

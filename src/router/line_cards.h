@@ -71,6 +71,48 @@ struct PacketLedger {
     return present;
   }
 
+  // Cluster fabrics share one ledger across chips whose host cards may step
+  // on different threads (thread-per-chip mode), so every mutation from a
+  // cluster card goes through these locked variants. The final ledger state
+  // is independent of thread interleaving: distinct uids touch distinct map
+  // entries and the outcome counters are commutative sums.
+
+  void insert_in_flight_locked(std::uint64_t uid, const Entry& e) {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    in_flight.emplace(uid, e);
+  }
+
+  /// Erases `uid` and copies its entry to `out` (when non-null). The caller
+  /// must follow up with exactly one credit_* call — validation of the
+  /// reassembled frame decides delivered vs invalid only after the entry is
+  /// taken. Returns whether the uid was present.
+  bool take_in_flight_locked(std::uint64_t uid, Entry* out) {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    const auto it = in_flight.find(uid);
+    if (it == in_flight.end()) return false;
+    if (out != nullptr) *out = it->second;
+    in_flight.erase(it);
+    return true;
+  }
+
+  void credit_delivered_locked() {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    ++erased_delivered;
+  }
+  void credit_invalid_locked() {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    ++erased_invalid;
+  }
+  void credit_lost_locked(std::uint64_t n) {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    erased_lost += n;
+  }
+
+  [[nodiscard]] std::size_t in_flight_size_locked() {
+    const std::lock_guard<std::mutex> lock(ingress_mutex);
+    return in_flight.size();
+  }
+
   std::mutex ingress_mutex;
 };
 
@@ -86,6 +128,58 @@ net::Packet make_test_packet(std::uint64_t uid, int src_port, int dst_port,
                              common::ByteCount bytes);
 std::uint64_t uid_of(const net::Ipv4Header& hdr);
 int src_port_of(const net::Ipv4Header& hdr);
+
+/// Reframes a chip-edge word stream back into packets: accumulates words,
+/// locks onto a plausible IPv4 header, and — after a torn or corrupted frame
+/// — slides forward one word at a time until framing lines up again, so one
+/// bad frame costs one resync episode instead of desynchronising every
+/// subsequent packet. Shared by OutputLineCard and the cluster host egress
+/// card.
+class FrameAssembler {
+ public:
+  /// Feeds one word; returns true when a complete frame is buffered
+  /// (consume it with take()).
+  bool push(common::Word w);
+  /// The completed frame's words (valid only right after push() returned
+  /// true).
+  [[nodiscard]] std::vector<common::Word> take();
+  /// Drops any partially-reassembled frame and realigns on the next header
+  /// word (recovery surgery after a fabric reset).
+  void reset();
+
+  /// Resynchronisation episodes (framing lost mid-stream).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  /// Words discarded while realigning.
+  [[nodiscard]] std::uint64_t resync_words() const { return resync_words_; }
+
+ private:
+  std::vector<common::Word> current_;
+  std::size_t expected_words_ = 0;  // 0 = not locked onto a frame yet
+  bool in_resync_ = false;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t resync_words_ = 0;
+};
+
+/// Abstract word endpoints at the chip boundary. A trunk card moves at most
+/// one word per cycle between a chip-edge channel and one of these; the
+/// cluster fabric implements them on its inter-chip links (latency +
+/// token-bucket bandwidth throttling live behind the interface).
+class WordTx {
+ public:
+  virtual ~WordTx() = default;
+  /// Whether one more word can be accepted at cycle `now` (bandwidth tokens
+  /// and queue space permitting). May refill internal token state.
+  [[nodiscard]] virtual bool can_send(common::Cycle now) = 0;
+  virtual void send(common::Word w, common::Cycle now) = 0;
+};
+
+class WordRx {
+ public:
+  virtual ~WordRx() = default;
+  /// Whether a word has arrived (latency elapsed) by cycle `now`.
+  [[nodiscard]] virtual bool has_word(common::Cycle now) = 0;
+  [[nodiscard]] virtual common::Word recv(common::Cycle now) = 0;
+};
 
 class InputLineCard : public sim::Device {
  public:
@@ -160,9 +254,11 @@ class OutputLineCard : public sim::Device {
   [[nodiscard]] std::uint64_t unmatched_frames() const { return unmatched_frames_; }
   /// Resynchronisation episodes: the card lost framing mid-stream and slid
   /// forward to the next plausible header.
-  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return assembler_.resyncs(); }
   /// Words discarded while realigning.
-  [[nodiscard]] std::uint64_t resync_words() const { return resync_words_; }
+  [[nodiscard]] std::uint64_t resync_words() const {
+    return assembler_.resync_words();
+  }
   [[nodiscard]] const common::RunningStat& latency() const { return latency_; }
   /// End-to-end latency distribution (cycles), for p50/p95/p99 reporting.
   [[nodiscard]] const common::Histogram& latency_histogram() const {
@@ -172,11 +268,7 @@ class OutputLineCard : public sim::Device {
   /// Recovery surgery: drops any partially-reassembled frame and realigns
   /// on the next header word — the words already buffered were severed from
   /// their tail by the fabric reset.
-  void reset_framing() {
-    current_.clear();
-    expected_words_ = 0;
-    in_resync_ = false;
-  }
+  void reset_framing() { assembler_.reset(); }
 
  private:
   void finish_packet(sim::Chip& chip);
@@ -184,18 +276,59 @@ class OutputLineCard : public sim::Device {
   sim::Channel* from_chip_;
   int port_;
   PacketLedger* ledger_;
-  std::vector<common::Word> current_;
-  std::size_t expected_words_ = 0;  // 0 = not locked onto a frame yet
-  bool in_resync_ = false;
+  FrameAssembler assembler_;
   std::uint64_t delivered_packets_ = 0;
   common::ByteCount delivered_bytes_ = 0;
   std::array<std::uint64_t, 4> per_source_{};
   std::uint64_t dropped_invalid_ = 0;
   std::uint64_t unmatched_frames_ = 0;
-  std::uint64_t resyncs_ = 0;
-  std::uint64_t resync_words_ = 0;
   common::RunningStat latency_;
   common::Histogram latency_hist_{16.0, 2048};  // covers 32K cycles + overflow
+};
+
+/// Chip-edge trunk cards for inter-chip links: word-level cut-through, no
+/// reassembly. The egress card drains an output port's channel — one word
+/// per cycle, unconditionally, like a host line card — into an elastic
+/// store-and-forward FIFO, and trickles that FIFO into the WordTx as the
+/// link's tokens and capacity allow. The elasticity is load-bearing: if a
+/// throttled or full link backpressured into the fabric, the stalled
+/// egress would wedge the chip's whole crossbar ring, the chip would stop
+/// draining its *incoming* trunk, and two chips could deadlock each other
+/// (classic store-and-forward deadlock). The ingress card feeds arrived
+/// words into an input port's channel at at most line rate.
+class TrunkEgressCard : public sim::Device {
+ public:
+  TrunkEgressCard(sim::Channel* from_chip, int port, WordTx* tx);
+
+  void step(sim::Chip& chip) override;
+
+  [[nodiscard]] std::uint64_t words_out() const { return words_out_; }
+  /// Words parked in the store-and-forward FIFO awaiting link credit.
+  [[nodiscard]] std::size_t queued_words() const { return queue_.size(); }
+  [[nodiscard]] std::size_t peak_queued_words() const { return peak_queued_; }
+
+ private:
+  sim::Channel* from_chip_;
+  int port_;
+  WordTx* tx_;
+  std::deque<common::Word> queue_;
+  std::size_t peak_queued_ = 0;
+  std::uint64_t words_out_ = 0;
+};
+
+class TrunkIngressCard : public sim::Device {
+ public:
+  TrunkIngressCard(sim::Channel* to_chip, int port, WordRx* rx);
+
+  void step(sim::Chip& chip) override;
+
+  [[nodiscard]] std::uint64_t words_in() const { return words_in_; }
+
+ private:
+  sim::Channel* to_chip_;
+  int port_;
+  WordRx* rx_;
+  std::uint64_t words_in_ = 0;
 };
 
 }  // namespace raw::router

@@ -7,18 +7,14 @@
 #include "common/assert.h"
 #include "common/profiler.h"
 #include "common/resource.h"
+#include "common/rng.h"
 
 namespace raw::router {
 namespace {
 
-// splitmix64: the epoch seed derivation. Every epoch's entire behaviour is a
-// pure function of (master seed, epoch index).
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// common::mix64: the epoch seed derivation. Every epoch's entire behaviour
+// is a pure function of (master seed, epoch index).
+using common::mix64;
 
 // The rotating endurance schedule: every 8 epochs the soak has exercised a
 // clean baseline, every transient fault kind, the reliable-link repair path

@@ -1,0 +1,178 @@
+// Topology::build invariants across every declarative topology: port roles
+// are consistent with the link and host plans, every trunk is full-duplex,
+// next-hop tables are loop-free shortest paths, and the hop matrix matches
+// a walk of the next-hop tables.
+#include <array>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_config.h"
+#include "cluster/topology.h"
+
+namespace raw::cluster {
+namespace {
+
+ClusterConfig make(TopologyKind kind, int chips, int k = 2) {
+  ClusterConfig cfg;
+  cfg.topology = kind;
+  cfg.num_chips = chips;
+  cfg.fat_tree_k = k;
+  cfg.validate();
+  return cfg;
+}
+
+/// Follows next_hop from src_host's chip to dst_host, counting chips, and
+/// fails on any loop (bounded walk) or dead end.
+int walk(const Topology& t, int src_host, int dst_host) {
+  int chip = t.hosts[static_cast<std::size_t>(src_host)].chip;
+  const int dst_chip = t.hosts[static_cast<std::size_t>(dst_host)].chip;
+  const int dst_port = t.hosts[static_cast<std::size_t>(dst_host)].port;
+  int hops = 1;  // the chip a packet enters at counts
+  while (chip != dst_chip) {
+    const int port = t.next_hop[static_cast<std::size_t>(chip)]
+                               [static_cast<std::size_t>(dst_host)];
+    EXPECT_EQ(t.roles[static_cast<std::size_t>(chip)]
+                     [static_cast<std::size_t>(port)],
+              PortRole::kTrunk);
+    const int l = t.link_from(chip, port);
+    EXPECT_GE(l, 0);
+    chip = t.links[static_cast<std::size_t>(l)].dst_chip;
+    ++hops;
+    EXPECT_LE(hops, t.num_chips) << "routing loop toward host " << dst_host;
+    if (hops > t.num_chips) return -1;
+  }
+  EXPECT_EQ(t.next_hop[static_cast<std::size_t>(chip)]
+                      [static_cast<std::size_t>(dst_host)],
+            dst_port);
+  return hops;
+}
+
+void check_invariants(const Topology& t) {
+  // Every link leaves a trunk port and arrives at a trunk port, and the
+  // reverse direction exists.
+  std::set<std::pair<int, int>> sources;
+  std::set<std::pair<int, int>> sinks;
+  for (const LinkPlan& l : t.links) {
+    EXPECT_EQ(t.roles[static_cast<std::size_t>(l.src_chip)]
+                     [static_cast<std::size_t>(l.src_port)],
+              PortRole::kTrunk);
+    EXPECT_EQ(t.roles[static_cast<std::size_t>(l.dst_chip)]
+                     [static_cast<std::size_t>(l.dst_port)],
+              PortRole::kTrunk);
+    EXPECT_TRUE(sources.insert({l.src_chip, l.src_port}).second)
+        << "two links leave chip " << l.src_chip << " port " << l.src_port;
+    EXPECT_TRUE(sinks.insert({l.dst_chip, l.dst_port}).second)
+        << "two links enter chip " << l.dst_chip << " port " << l.dst_port;
+    bool reverse = false;
+    for (const LinkPlan& r : t.links) {
+      if (r.src_chip == l.dst_chip && r.src_port == l.dst_port &&
+          r.dst_chip == l.src_chip && r.dst_port == l.src_port) {
+        reverse = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(reverse) << "trunk is not full-duplex";
+  }
+  // Every trunk port has exactly one outgoing and one incoming link; every
+  // host port has exactly one host plan.
+  for (int c = 0; c < t.num_chips; ++c) {
+    for (int p = 0; p < 4; ++p) {
+      const PortRole role =
+          t.roles[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+      const bool is_source = sources.count({c, p}) != 0;
+      const bool is_sink = sinks.count({c, p}) != 0;
+      const bool is_host = t.host_at(c, p) >= 0;
+      EXPECT_EQ(is_source, role == PortRole::kTrunk);
+      EXPECT_EQ(is_sink, role == PortRole::kTrunk);
+      EXPECT_EQ(is_host, role == PortRole::kHost);
+    }
+  }
+  // Host plans round-trip through host_at.
+  for (std::size_t h = 0; h < t.hosts.size(); ++h) {
+    EXPECT_EQ(t.host_at(t.hosts[h].chip, t.hosts[h].port),
+              static_cast<int>(h));
+  }
+  // Walking the next-hop tables reproduces the hop matrix exactly.
+  for (std::size_t s = 0; s < t.hosts.size(); ++s) {
+    for (std::size_t d = 0; d < t.hosts.size(); ++d) {
+      EXPECT_EQ(walk(t, static_cast<int>(s), static_cast<int>(d)),
+                t.hops[s][d])
+          << "hosts " << s << " -> " << d;
+    }
+  }
+}
+
+TEST(TopologyTest, PointToPointChain) {
+  for (const int n : {2, 3, 8}) {
+    const Topology t =
+        Topology::build(make(TopologyKind::kPointToPoint, n));
+    EXPECT_EQ(t.num_chips, n);
+    // A chain of n chips: ends keep 3 host ports, middles 2.
+    EXPECT_EQ(static_cast<int>(t.hosts.size()), n == 2 ? 6 : 2 * 3 + (n - 2) * 2);
+    EXPECT_EQ(t.links.size(), static_cast<std::size_t>(2 * (n - 1)));
+    check_invariants(t);
+    // End-to-end path visits every chip.
+    EXPECT_EQ(t.hops[0].back(), n);
+  }
+}
+
+TEST(TopologyTest, LeafSpineSmallUsesSingleSpineStar) {
+  const Topology t = Topology::build(make(TopologyKind::kLeafSpine, 4));
+  check_invariants(t);
+  // Chip 0 is the spine: three leaves, each one hop from the spine, so any
+  // cross-leaf path is 3 chips (leaf -> spine -> leaf).
+  for (std::size_t s = 0; s < t.hosts.size(); ++s) {
+    for (std::size_t d = 0; d < t.hosts.size(); ++d) {
+      EXPECT_LE(t.hops[s][d], 3);
+    }
+  }
+}
+
+TEST(TopologyTest, LeafSpineScalesThroughSpineRing) {
+  for (const int n : {6, 10, 16}) {
+    const Topology t = Topology::build(make(TopologyKind::kLeafSpine, n));
+    EXPECT_FALSE(t.hosts.empty());
+    check_invariants(t);
+  }
+}
+
+TEST(TopologyTest, FatTreeK2) {
+  const Topology t = Topology::build(make(TopologyKind::kFatTree, 5, 2));
+  check_invariants(t);
+  // Only edge chips carry hosts in the k=2 tree.
+  for (const HostPlan& h : t.hosts) EXPECT_LT(h.chip, 2);
+}
+
+TEST(TopologyTest, FatTreeK4) {
+  const Topology t = Topology::build(make(TopologyKind::kFatTree, 20, 4));
+  check_invariants(t);
+  // 8 edge chips x 2 spare ports each.
+  EXPECT_EQ(t.hosts.size(), 16u);
+  // Hosts 0/1 and 2/3 sit on the two edge chips of pod 0: same-pod
+  // cross-edge traffic turns at the aggregation layer (3 chips), cross-pod
+  // goes through the core (5 chips).
+  EXPECT_EQ(t.hosts[0].chip, 0);
+  EXPECT_EQ(t.hosts[2].chip, 1);
+  EXPECT_EQ(t.hops[0][2], 3);
+  bool saw_cross_pod = false;
+  for (std::size_t s = 0; s < t.hosts.size(); ++s) {
+    for (std::size_t d = 0; d < t.hosts.size(); ++d) {
+      EXPECT_LE(t.hops[s][d], 5);
+      if (t.hops[s][d] == 5) saw_cross_pod = true;
+    }
+  }
+  EXPECT_TRUE(saw_cross_pod);
+}
+
+TEST(TopologyTest, EcmpNextHopsAreDeterministicAndValid) {
+  const Topology a = Topology::build(make(TopologyKind::kFatTree, 20, 4));
+  const Topology b = Topology::build(make(TopologyKind::kFatTree, 20, 4));
+  EXPECT_EQ(a.next_hop, b.next_hop);
+  EXPECT_EQ(a.hops, b.hops);
+}
+
+}  // namespace
+}  // namespace raw::cluster

@@ -24,6 +24,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "cluster/fabric.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/trace_event.h"
@@ -56,6 +57,8 @@ struct Args {
   bool links = false;     // reliable-link layer (CRC + NACK/retransmit)
   bool recovery = false;  // fault-adaptive crossbar reconfiguration
   bool profile = false;   // engine profiler + live attribution panel
+  int cluster_chips = 0;      // > 0: run a leaf-spine cluster instead
+  double cluster_remote = 0.5;  // fraction of traffic crossing chips
 };
 
 void usage() {
@@ -84,6 +87,12 @@ void usage() {
       "  --profile         attach the engine profiler: live per-phase\n"
       "                    wall-clock attribution panel, profile/... metrics\n"
       "                    in --json, engine tracks merged into --trace\n"
+      "  --cluster N       run an N-chip leaf-spine cluster fabric instead\n"
+      "                    of a single chip: per-chip throughput, link\n"
+      "                    occupancy, and slowest-chip epoch lag panels\n"
+      "                    (honours --cycles/--bytes/--load/--seed/--threads)\n"
+      "  --remote F        cluster mode: fraction of traffic whose\n"
+      "                    destination is on another chip (default 0.5)\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
       "  --threads T       execution-engine worker threads (default: \n"
       "                    RAWSIM_THREADS, else serial; results identical)\n"
@@ -141,6 +150,10 @@ Args parse(int argc, char** argv) {
       a.recovery = true;
     } else if (!std::strcmp(argv[i], "--profile")) {
       a.profile = true;
+    } else if (!std::strcmp(argv[i], "--cluster")) {
+      a.cluster_chips = std::atoi(next("--cluster"));
+    } else if (!std::strcmp(argv[i], "--remote")) {
+      a.cluster_remote = std::strtod(next("--remote"), nullptr);
     } else if (!std::strcmp(argv[i], "--channel-stats")) {
       a.channel_stats = true;
     } else if (!std::strcmp(argv[i], "--threads")) {
@@ -323,10 +336,105 @@ void print_profile_panel(const raw::common::Profiler& prof) {
       static_cast<unsigned long long>(prof.flight_recorded()));
 }
 
+/// The cluster dashboard (--cluster N): aggregate throughput plus the three
+/// panels the fabric exports — per-chip throughput, inter-chip link
+/// occupancy, and the slowest-chip epoch lag (thread-per-chip load balance).
+void print_cluster_dashboard(const Args& args, const MetricRegistry& reg,
+                             const raw::cluster::ClusterFabric& fabric,
+                             Cycle now, bool redraw) {
+  if (redraw) std::printf("\x1b[H\x1b[J");
+  const auto c = [&reg](const std::string& name) {
+    return static_cast<unsigned long long>(reg.counter_value(name));
+  };
+  std::printf(
+      "rawstat --cluster — leaf-spine, %d chips / %d hosts / %zu links, "
+      "%d worker%s, epoch %llu, cycle %llu/%llu\n",
+      fabric.num_chips(), fabric.num_hosts(), fabric.num_links(),
+      fabric.workers(), fabric.workers() == 1 ? "" : "s",
+      static_cast<unsigned long long>(fabric.epoch_cycles()),
+      static_cast<unsigned long long>(now),
+      static_cast<unsigned long long>(args.cycles));
+  std::printf(
+      "cluster: %8.2f Gbps %7.3f Mpps  delivered %llu  errors %llu  "
+      "latency p50/p95/p99 %.0f/%.0f/%.0f\n\n",
+      reg.gauge_value("cluster/gbps"), reg.gauge_value("cluster/mpps"),
+      c("cluster/delivered_packets"), c("cluster/errors"),
+      reg.gauge_value("cluster/latency/p50"),
+      reg.gauge_value("cluster/latency/p95"),
+      reg.gauge_value("cluster/latency/p99"));
+
+  std::printf("%-5s %9s %10s %8s %9s %9s\n", "chip", "offered", "delivered",
+              "Gbps", "wall ms", "lag ms");
+  for (int i = 0; i < fabric.num_chips(); ++i) {
+    const std::string base = "cluster/chip" + std::to_string(i);
+    std::printf("%-5d %9llu %10llu %8.2f %9.2f %9.2f\n", i,
+                c(base + "/offered_packets"), c(base + "/delivered_packets"),
+                reg.gauge_value(base + "/gbps"),
+                static_cast<double>(c(base + "/wall_ns")) / 1e6,
+                static_cast<double>(c(base + "/epoch_lag_ns")) / 1e6);
+  }
+  std::printf("(lag = wall time behind the slowest chip; big lags mean "
+              "thread-per-chip workers idle at the epoch barrier)\n");
+
+  std::printf("\n%-6s %-12s %10s %12s %10s %9s\n", "link", "route",
+              "sent", "delivered", "in-flight", "occ");
+  for (std::size_t l = 0; l < fabric.num_links(); ++l) {
+    const auto& plan = fabric.topology().links[l];
+    const std::string base = "cluster/link" + std::to_string(l);
+    char route[16];
+    std::snprintf(route, sizeof route, "%d.%d -> %d.%d", plan.src_chip,
+                  plan.src_port, plan.dst_chip, plan.dst_port);
+    std::printf("%-6zu %-12s %10llu %12llu %10llu %9llu\n", l, route,
+                c(base + "/sent_words"), c(base + "/delivered_words"),
+                c(base + "/in_flight"), c(base + "/occupancy"));
+  }
+  std::printf("trunk egress elastic buffers: %llu words queued "
+              "(peak %llu)\n",
+              c("cluster/trunk_queued_words"),
+              c("cluster/trunk_peak_queued_words"));
+
+  const std::uint64_t lost = reg.counter_value("cluster/conservation/lost");
+  const std::uint64_t errors = reg.counter_value("cluster/errors");
+  if (lost > 0 || errors > 0) {
+    std::printf("\nVALIDATION: %llu errors, %llu lost\n",
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(lost));
+  }
+  std::fflush(stdout);
+}
+
+int run_cluster(const Args& args) {
+  raw::cluster::ClusterConfig cfg;
+  cfg.topology = raw::cluster::TopologyKind::kLeafSpine;
+  cfg.num_chips = args.cluster_chips;
+  cfg.threads = args.threads;
+  cfg.traffic.size = raw::net::SizeDist::kFixed;
+  cfg.traffic.fixed_bytes = args.bytes;
+  cfg.traffic.load = args.load;
+  cfg.traffic.remote_fraction = args.cluster_remote;
+  raw::cluster::ClusterFabric fabric(cfg, args.seed);
+
+  MetricRegistry registry;
+  const bool quiet = args.json || args.csv;
+  const bool redraw = !quiet && !args.no_refresh && isatty(STDOUT_FILENO) != 0;
+  Cycle now = 0;
+  while (now < args.cycles) {
+    const Cycle chunk = std::min(args.interval, args.cycles - now);
+    fabric.run(chunk);
+    now = fabric.cycle();
+    fabric.export_metrics(registry);
+    if (!quiet) print_cluster_dashboard(args, registry, fabric, now, redraw);
+  }
+  if (args.json) std::printf("%s", registry.to_json().c_str());
+  if (args.csv) std::printf("%s", registry.to_csv().c_str());
+  return fabric.errors() != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.cluster_chips > 0) return run_cluster(args);
 
   raw::router::RouterConfig cfg;
   cfg.runtime.quantum_max_words = args.quantum;
