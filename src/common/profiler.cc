@@ -269,6 +269,14 @@ void Profiler::export_metrics(MetricRegistry& registry,
 
   registry.counter(prefix + "/engine/dense_sweeps").set(dense_sweeps());
   registry.counter(prefix + "/engine/sparse_cycles").set(sparse_cycles());
+  registry.counter(prefix + "/engine/quanta").set(quanta());
+  registry.counter(prefix + "/engine/quantum_cycles").set(quantum_cycles());
+  registry.counter(prefix + "/engine/max_quantum").set(max_quantum());
+  if (quanta() > 0) {
+    registry.gauge(prefix + "/engine/effective_quantum")
+        .set(static_cast<double>(quantum_cycles()) /
+             static_cast<double>(quanta()));
+  }
   registry.counter(prefix + "/engine/flight_snapshots").set(flight_recorded_);
 }
 

@@ -145,6 +145,21 @@ class Profiler {
   void count_sparse_cycle() {
     sparse_cycles_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Batched variant: a whole quantum of sparse cycles at once, so
+  /// dense_sweeps + sparse_cycles keeps summing to simulated cycles.
+  void count_sparse_cycles(std::uint64_t n) {
+    sparse_cycles_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// One batched-quantum engine iteration covering `cycles` simulated cycles
+  /// (1 when the engine clamped to cycle granularity). Serial contexts only
+  /// (quantum edge, worker 0).
+  void count_quantum(std::uint64_t cycles) {
+    quanta_.fetch_add(1, std::memory_order_relaxed);
+    quantum_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+    if (cycles > max_quantum_.load(std::memory_order_relaxed)) {
+      max_quantum_.store(cycles, std::memory_order_relaxed);
+    }
+  }
 
   // ---- Aggregates --------------------------------------------------------
   struct PhaseTotal {
@@ -164,6 +179,19 @@ class Profiler {
   }
   [[nodiscard]] std::uint64_t sparse_cycles() const {
     return sparse_cycles_.load(std::memory_order_relaxed);
+  }
+  /// Batched-quantum engine iterations and the cycles they covered.
+  /// `quantum_cycles() / quanta()` is the effective quantum size (barrier
+  /// amortization: each quantum costs one barrier rendezvous regardless of
+  /// how many cycles it simulates).
+  [[nodiscard]] std::uint64_t quanta() const {
+    return quanta_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quantum_cycles() const {
+    return quantum_cycles_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_quantum() const {
+    return max_quantum_.load(std::memory_order_relaxed);
   }
 
   /// Fraction of `workers * wall_ns()` the phase times account for (the
@@ -224,6 +252,9 @@ class Profiler {
 
   std::atomic<std::uint64_t> dense_sweeps_{0};
   std::atomic<std::uint64_t> sparse_cycles_{0};
+  std::atomic<std::uint64_t> quanta_{0};
+  std::atomic<std::uint64_t> quantum_cycles_{0};
+  std::atomic<std::uint64_t> max_quantum_{0};
 
   bool running_ = false;
   std::uint64_t start_ns_ = 0;

@@ -1,5 +1,8 @@
 #include "exec/parallel_runner.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/assert.h"
 #include "common/profiler.h"
 #include "sim/chip.h"
@@ -7,18 +10,40 @@
 
 namespace raw::exec {
 
+namespace {
+
+/// Resolves the lookahead ceiling: explicit values win, then the
+/// RAWSIM_LOOKAHEAD environment variable, then the built-in default.
+common::Cycle resolve_lookahead(common::Cycle requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("RAWSIM_LOOKAHEAD")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<common::Cycle>(v);
+  }
+  return ParallelRunner::kDefaultMaxLookahead;
+}
+
+}  // namespace
+
 ParallelRunner::ParallelRunner(sim::Chip& chip, int threads)
     : chip_(chip),
       partition_(Partition::build(chip, resolve_threads(threads))),
       barrier_(partition_.workers()),
       sense_(static_cast<std::size_t>(partition_.workers())),
-      progress_(static_cast<std::size_t>(partition_.workers())) {
+      progress_(static_cast<std::size_t>(partition_.workers())),
+      progress_cycle_(static_cast<std::size_t>(partition_.workers())) {
   const int n = partition_.workers();
 
   // One dirty/wake lane per worker. Extra lanes are harmless to the chip's
   // own serial loop (it drains them all); lane w is only ever filled by the
-  // thread running stripe w.
+  // thread running stripe w. Fresh lanes must inherit the chip's clock: a
+  // runner may wrap a chip that has already simulated cycles, and every lane
+  // clock equals engine_.now outside a quantum by invariant.
   chip_.engine_.lanes.resize(static_cast<std::size_t>(n));
+  for (sim::EngineState::Lane& lane : chip_.engine_.lanes) {
+    lane.now = chip_.engine_.now;
+  }
+  quantum_devices_.resize(static_cast<std::size_t>(n));
 
   if (n > 1) {
     // Static links whose endpoint switches land on different workers: their
@@ -27,27 +52,26 @@ ParallelRunner::ParallelRunner(sim::Chip& chip, int threads)
     // reader-side wake happens inside phase C). Edge and dynamic-network
     // channels need neither: their off-stripe endpoint (a device, or the
     // dynamic network) runs in a serial phase, barrier-separated from C.
-    const auto worker_of = [&](int t) {
-      for (int w = 0; w < n; ++w) {
-        const Stripe& s = partition_.stripe(w);
-        if (t >= s.tile_begin && t < s.tile_end) return w;
-      }
-      RAW_UNREACHABLE("tile outside every stripe");
-    };
+    // The same links are the quantum slack set — each records its endpoint
+    // tiles so decide_quantum can test endpoint inertness.
     const sim::GridShape shape = chip_.shape();
     for (int t = 0; t < shape.num_tiles(); ++t) {
       for (const sim::Dir d : sim::kMeshDirs) {
         const sim::TileCoord nb = sim::GridShape::neighbor(shape.coord(t), d);
         if (!shape.contains(nb)) continue;
-        if (worker_of(shape.index(nb)) == worker_of(t)) continue;
+        const int reader = shape.index(nb);
+        if (partition_.worker_of(reader) == partition_.worker_of(t)) continue;
         for (int net = 0; net < sim::kNumStaticNets; ++net) {
           sim::Channel* ch = chip_.out_link(net, t, d);
           ch->set_shared(true);
-          boundary_channels_.push_back(ch);
+          boundary_links_.push_back(BoundaryLink{ch, t, reader});
         }
       }
     }
   }
+  derived_lookahead_ =
+      raw::exec::derived_lookahead(boundary_links_, kDefaultMaxLookahead);
+  max_lookahead_ = resolve_lookahead(lookahead_cfg_);
 
   threads_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   for (int w = 1; w < n; ++w) {
@@ -64,7 +88,7 @@ ParallelRunner::~ParallelRunner() {
   for (std::thread& t : threads_) t.join();
   // Un-flag the boundary channels so a later serial user of the same chip
   // regains full parking freedom on them.
-  for (sim::Channel* ch : boundary_channels_) ch->set_shared(false);
+  for (const BoundaryLink& b : boundary_links_) b.ch->set_shared(false);
 }
 
 void ParallelRunner::set_tracer(common::PacketTracer* tracer) {
@@ -76,6 +100,11 @@ void ParallelRunner::set_profiler(common::Profiler* profiler) {
   profiler_ = profiler;
   if (profiler_ != nullptr) profiler_->ensure_workers(workers());
   chip_.set_profiler(profiler);
+}
+
+void ParallelRunner::set_max_lookahead(common::Cycle lookahead) {
+  lookahead_cfg_ = lookahead;
+  max_lookahead_ = resolve_lookahead(lookahead);
 }
 
 void ParallelRunner::run(common::Cycle cycles) {
@@ -104,6 +133,34 @@ void ParallelRunner::dispatch_and_join(Mode mode, common::Cycle limit,
 
   staging_ = tracer_ != nullptr && tracer_->enabled();
   if (staging_) tracer_->set_staging(true);
+
+  // Static quantum gate for this dispatch. run_until needs its predicate
+  // between every cycle; tracer staging merges per cycle; a link-protected
+  // boundary runs the CRC/NACK protocol on both sides of the cut; a device
+  // without a quantum home tile may touch cross-stripe state. Any of these
+  // pins the whole run to cycle granularity (quantum_k_ stays 1).
+  quantum_capable_ = mode == Mode::kRun && !staging_;
+  for (std::vector<sim::Device*>& v : quantum_devices_) v.clear();
+  if (quantum_capable_) {
+    for (const BoundaryLink& b : boundary_links_) {
+      if (b.ch->link_protected()) {
+        quantum_capable_ = false;
+        break;
+      }
+    }
+  }
+  if (quantum_capable_) {
+    for (sim::Device* d : chip_.devices()) {
+      const int home = d->quantum_home_tile();
+      if (home < 0 || home >= chip_.num_tiles()) {
+        quantum_capable_ = false;
+        break;
+      }
+      quantum_devices_[static_cast<std::size_t>(partition_.worker_of(home))]
+          .push_back(d);
+    }
+  }
+
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     mode_ = mode;
@@ -141,6 +198,85 @@ void ParallelRunner::worker_main(int wid) {
   }
 }
 
+bool ParallelRunner::switch_inert(int tile) const {
+  const std::uint8_t f = chip_.run_flags_[static_cast<std::size_t>(tile)];
+  if ((f & 1u) == 0) {
+    // Parked. An idle park (no wake channel) can only be released at a run
+    // boundary; a blocked park pins a wake channel and may fire mid-run.
+    return chip_.parks_[static_cast<std::size_t>(2 * tile)].chan == nullptr;
+  }
+  return chip_.tile(tile).switch_proc().halted();
+}
+
+bool ParallelRunner::proc_inert(int tile) const {
+  const std::uint8_t f = chip_.run_flags_[static_cast<std::size_t>(tile)];
+  if ((f & 2u) == 0) {
+    return chip_.parks_[static_cast<std::size_t>(2 * tile + 1)].chan == nullptr;
+  }
+  return chip_.tile(tile).program_done();
+}
+
+common::Cycle ParallelRunner::decide_quantum(common::Cycle remaining) {
+  if (!quantum_capable_ || remaining < 2 || max_lookahead_ < 2) return 1;
+  if (chip_.engine_.stats_channels > 0) return 1;  // per-cycle sampling
+  if (chip_.dense_cycle()) return 1;  // forced-dense / freeze / trace window
+  const common::Cycle now = chip_.engine_.now;
+  common::Cycle k = std::min(max_lookahead_, remaining);
+
+  // Stop before a pending utilization-trace window opens (inside it
+  // dense_cycle() already answered).
+  const sim::Trace& trace = chip_.trace_;
+  if (trace.enabled() && now < trace.start()) {
+    k = std::min(k, trace.start() - now);
+  }
+
+  // Fault schedule: no lookahead across an open window, and stop right
+  // before the next unfired event so it fires under cycle-granular stepping
+  // (the K=1 path runs FaultPlan::step; quanta skip it, which is exact only
+  // while no event fires and no window is open).
+  if (sim::FaultPlan* faults = chip_.fault_plan()) {
+    if (faults->windows_active()) return 1;
+    const common::Cycle next = faults->next_event_cycle();
+    if (next != sim::FaultPlan::kNoEvent) {
+      if (next <= now) return 1;
+      k = std::min(k, next - now);
+    }
+  }
+
+  // Dynamic network: quanta skip dyn->step, which is a documented no-op
+  // only while nothing is in flight AND nothing can inject — only tile
+  // processors send on the dynamic network, so all of them must be inert.
+  if (sim::DynamicNetwork* dyn = chip_.dynamic_network()) {
+    if (dyn->words_in_flight() > 0) return 1;
+    for (int t = 0; t < chip_.num_tiles(); ++t) {
+      if (!proc_inert(t)) return 1;
+    }
+  }
+
+  // Per-boundary slack. An active stall decays by wall-clock cycles on both
+  // sides of the cut — cheapest to handle at cycle granularity. A link with
+  // both switches active constrains K to min(max(j,1), max(f,1)): the
+  // reader consumes at most one word per cycle so K <= j keeps it on
+  // pre-quantum words (bit-identical fronts), and the writer commits at
+  // most one per cycle so K <= f keeps its start-of-quantum credit exact.
+  // An inert endpoint lifts its side's constraint entirely (no reads frees
+  // no slots the writer could legally use; no writes starves no reader).
+  for (const BoundaryLink& b : boundary_links_) {
+    if (b.ch->fault_stalled()) return 1;
+    const bool writer_active = !switch_inert(b.writer_tile);
+    const bool reader_active = !switch_inert(b.reader_tile);
+    if (writer_active && reader_active) {
+      const auto occ = static_cast<common::Cycle>(b.ch->occupancy());
+      const auto free_slots =
+          static_cast<common::Cycle>(b.ch->capacity() - b.ch->occupancy());
+      k = std::min(k, std::min(std::max<common::Cycle>(occ, 1),
+                               std::max<common::Cycle>(free_slots, 1)));
+    }
+    if (k < 2) return 1;
+  }
+  return k;
+}
+
 bool ParallelRunner::execute(int wid) {
   if (wid == 0) {
     common::PacketTracer::bind_thread_shard(0);
@@ -169,7 +305,7 @@ bool ParallelRunner::execute(int wid) {
     prof->record_barrier_wait(wid, common::Profiler::now_ns() - t0);
   };
 
-  for (common::Cycle i = 0; i < limit; ++i) {
+  for (common::Cycle done = 0; done < limit;) {
     if (mode == Mode::kRunUntil) {
       // [pred] Worker 0 decides; the barrier publishes the decision.
       if (wid == 0) {
@@ -183,83 +319,160 @@ bool ParallelRunner::execute(int wid) {
       }
     }
 
-    // B: serial on worker 0 — exactly the pre-stepping work of
-    // Chip::step_cycle. Dense-mode transitions empty the parked set first;
-    // fault injection and device stepping are inherently global (RNG draws,
-    // cross-port queues); and the cross-stripe channels are epoch-stamped
-    // here so phase C's concurrent touches of them are pure reads.
+    // B: serial on worker 0 — the quantum decision, then exactly the
+    // pre-stepping work of Chip::step_cycle when the quantum is one cycle.
+    // Dense-mode transitions empty the parked set first; fault injection
+    // and device stepping are inherently global (RNG draws, cross-port
+    // queues); and the cross-stripe channels are epoch-stamped here so
+    // phase C's concurrent touches of them are pure reads. For K > 1 the
+    // boundary channels instead enter quantum mode (deferred commits
+    // against start-of-quantum credit).
     if (wid == 0) {
       common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
-      const bool dense = chip_.dense_cycle();
-      if (prof != nullptr) {
-        if (dense) {
-          prof->count_dense_sweep();
-        } else {
-          prof->count_sparse_cycle();
+      quantum_k_ = decide_quantum(limit - done);
+      if (quantum_k_ == 1) {
+        const bool dense = chip_.dense_cycle();
+        if (prof != nullptr) {
+          if (dense) {
+            prof->count_dense_sweep();
+          } else {
+            prof->count_sparse_cycle();
+          }
         }
+        if (dense) {
+          common::ProfScope pw(prof, common::ProfPhase::kParkWake);
+          chip_.wake_all_parked();
+        }
+        if (sim::FaultPlan* faults = chip_.fault_plan()) faults->step(chip_);
+        for (sim::Device* d : chip_.devices()) d->step(chip_);
+        for (const BoundaryLink& b : boundary_links_) b.ch->refresh();
+      } else {
+        for (const BoundaryLink& b : boundary_links_) b.ch->begin_quantum();
       }
-      if (dense) {
-        common::ProfScope pw(prof, common::ProfPhase::kParkWake);
-        chip_.wake_all_parked();
-      }
-      if (sim::FaultPlan* faults = chip_.fault_plan()) faults->step(chip_);
-      for (sim::Device* d : chip_.devices()) d->step(chip_);
-      for (sim::Channel* ch : boundary_channels_) ch->refresh();
     }
     barrier_wait();
+    const common::Cycle k = quantum_k_;
 
-    // C: tile stepping over the runnable set, striped. Reads of fault/trace
-    // state written in B are ordered by the barrier above.
-    {
-      common::ProfScope ps(prof, common::ProfPhase::kCompute);
-      chip_.step_agents(stripe.tile_begin, stripe.tile_end, chip_.dense_cycle());
-    }
-    barrier_wait();
+    if (k == 1) {
+      // C: tile stepping over the runnable set, striped. Reads of
+      // fault/trace state written in B are ordered by the barrier above.
+      {
+        common::ProfScope ps(prof, common::ProfPhase::kCompute);
+        chip_.step_agents(stripe.tile_begin, stripe.tile_end,
+                          chip_.dense_cycle());
+      }
+      barrier_wait();
 
-    // D: dynamic-network routing touches queues across the whole mesh, so
-    // it runs serial between tile stepping and commit, as in
-    // Chip::step_cycle (and self-skips while nothing is in flight).
-    if (dyn != nullptr) {
+      // D: dynamic-network routing touches queues across the whole mesh, so
+      // it runs serial between tile stepping and commit, as in
+      // Chip::step_cycle (and self-skips while nothing is in flight).
+      if (dyn != nullptr) {
+        if (wid == 0) {
+          common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
+          dyn->step();
+        }
+        barrier_wait();
+      }
+
+      // E: drain our own dirty lane (a channel is staged by exactly one
+      // worker per cycle, so the lanes partition the dirty set); per-worker
+      // progress OR. The stats pass needs every commit to have landed, so
+      // it runs behind one more barrier — only when stats are on at all.
+      {
+        common::ProfScope ps(prof, common::ProfPhase::kChannelCommit);
+        progress_[static_cast<std::size_t>(wid)].value =
+            chip_.commit_lane(static_cast<std::size_t>(wid));
+      }
+      if (chip_.engine_.stats_channels > 0) {
+        barrier_wait();
+        common::ProfScope ps(prof, common::ProfPhase::kStats);
+        chip_.sample_stats_range(stripe.chan_begin, stripe.chan_end);
+      }
+      barrier_wait();
+
+      // F: close the cycle on worker 0: reduce progress, return woken
+      // agents to the runnable set, advance the cycle counter. No trailing
+      // barrier: helper workers race ahead only as far as the next cycle's
+      // phase B barrier, and every phase that reads F's effects sits behind
+      // it. (The flight recorder inside finish_cycle reads the helpers'
+      // relaxed accumulators concurrently by design.)
       if (wid == 0) {
         common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
-        dyn->step();
+        bool any = false;
+        for (const PaddedBool& p : progress_) any |= p.value;
+        {
+          common::ProfScope pw(prof, common::ProfPhase::kParkWake);
+          chip_.apply_wakes();
+        }
+        chip_.finish_cycle(any);
+        ++quanta_;
+        quantum_cycles_ += 1;
+        max_quantum_ = std::max<common::Cycle>(max_quantum_, 1);
+        if (prof != nullptr) prof->count_quantum(1);
+        if (staging_) tracer_->merge_staged();
       }
-      barrier_wait();
+      done += 1;
+      continue;
     }
 
-    // E: drain our own dirty lane (a channel is staged by exactly one
-    // worker per cycle, so the lanes partition the dirty set); per-worker
-    // progress OR. The stats pass needs every commit to have landed, so it
-    // runs behind one more barrier — only when stats are on at all.
+    // Batched quantum: every worker free-runs k local cycles of its stripe
+    // against its own lane clock — no rendezvous until the quantum edge.
+    // Devices with a quantum home tile step with their owner at every local
+    // cycle, preserving the serial order (devices before agents). Parks and
+    // wakes stay exact because they are stamped with the lane clock, and
+    // wakes never cross lanes mid-quantum (see decide_quantum's gates).
     {
-      common::ProfScope ps(prof, common::ProfPhase::kChannelCommit);
-      progress_[static_cast<std::size_t>(wid)].value =
-          chip_.commit_lane(static_cast<std::size_t>(wid));
-    }
-    if (chip_.engine_.stats_channels > 0) {
-      barrier_wait();
-      common::ProfScope ps(prof, common::ProfPhase::kStats);
-      chip_.sample_stats_range(stripe.chan_begin, stripe.chan_end);
+      common::ProfScope ps(prof, common::ProfPhase::kCompute);
+      const common::Cycle start = chip_.engine_.now;
+      sim::EngineState::Lane& lane =
+          chip_.engine_.lanes[static_cast<std::size_t>(wid)];
+      const std::vector<sim::Device*>& devs =
+          quantum_devices_[static_cast<std::size_t>(wid)];
+      bool any = false;
+      common::Cycle prog = 0;
+      for (common::Cycle c = 0; c < k; ++c) {
+        lane.now = start + c;
+        for (sim::Device* d : devs) d->step(chip_);
+        chip_.step_agents(stripe.tile_begin, stripe.tile_end, false);
+        if (chip_.commit_lane(static_cast<std::size_t>(wid))) {
+          any = true;
+          prog = start + c;
+        }
+        chip_.apply_wakes_lane(static_cast<std::size_t>(wid), start + c);
+      }
+      progress_[static_cast<std::size_t>(wid)].value = any;
+      progress_cycle_[static_cast<std::size_t>(wid)].value = prog;
     }
     barrier_wait();
 
-    // F: close the cycle on worker 0: reduce progress, return woken agents
-    // to the runnable set, advance the cycle counter. No trailing barrier:
-    // helper workers race ahead only as far as the next cycle's phase B
-    // barrier, and every phase that reads F's effects sits behind it. (The
-    // flight recorder inside finish_cycle reads the helpers' relaxed
-    // accumulators concurrently by design.)
+    // Quantum edge (worker 0): drain the boundary channels' deferred words
+    // into their FIFOs (word-batch push), reduce progress to the exact last
+    // cycle any lane moved a word, advance the clock by k, and re-sync the
+    // lane clocks. No trailing barrier, same argument as phase F.
     if (wid == 0) {
       common::ProfScope ps(prof, common::ProfPhase::kSerialSection);
       bool any = false;
-      for (const PaddedBool& p : progress_) any |= p.value;
-      {
-        common::ProfScope pw(prof, common::ProfPhase::kParkWake);
-        chip_.apply_wakes();
+      common::Cycle last_progress = 0;
+      for (int w = 0; w < workers(); ++w) {
+        if (!progress_[static_cast<std::size_t>(w)].value) continue;
+        any = true;
+        last_progress = std::max(
+            last_progress, progress_cycle_[static_cast<std::size_t>(w)].value);
       }
-      chip_.finish_cycle(any);
-      if (staging_) tracer_->merge_staged();
+      {
+        common::ProfScope pc(prof, common::ProfPhase::kChannelCommit);
+        for (const BoundaryLink& b : boundary_links_) b.ch->end_quantum();
+      }
+      chip_.finish_quantum(k, any, last_progress);
+      ++quanta_;
+      quantum_cycles_ += k;
+      max_quantum_ = std::max(max_quantum_, k);
+      if (prof != nullptr) {
+        prof->count_quantum(k);
+        prof->count_sparse_cycles(k);
+      }
     }
+    done += k;
   }
 
   // Termination barrier: worker 0 returns to the caller (which may detach or

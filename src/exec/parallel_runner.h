@@ -20,6 +20,26 @@
 //           stats pass over its channel stripe when enabled        (parallel)
 //   F       progress reduction, wake application, cycle close, w0    (serial)
 //
+// Batched quanta (see DESIGN.md "Batched-quantum execution"): the pipeline
+// above rendezvous 4-6 times per simulated cycle, which dominates the ~1 us
+// of real work a cycle costs. When the chip's state permits it, worker 0
+// instead grants a conservative lookahead K derived from the cross-stripe
+// channel FIFOs — with start occupancy j and free space f, a boundary link
+// whose endpoints are both active constrains K to min(max(j,1), max(f,1));
+// links with an inert endpoint (halted or idle-parked switch) constrain
+// nothing — and each worker free-runs K local cycles of its stripe against
+// its own lane clock with NO internal barrier. Boundary channels enter
+// quantum mode for the duration: writers commit against the start-of-
+// quantum credit into a deferred buffer (touching nothing the reader's
+// worker reads), and worker 0 drains the deferred words at the quantum edge
+// with one word-batch push — the same conservative-epoch commit the
+// cluster fabric applies at inter-chip link granularity. K clamps back to 1
+// whenever exactness demands cycle granularity: run_until predicates,
+// dense/trace/stats cycles, tracer staging, fault-plan events or open
+// windows, an armed dynamic network, link-protected boundaries, or devices
+// that do not declare a quantum home tile. Digests remain bit-identical to
+// serial at every K and worker count — the K=1 path *is* the old pipeline.
+//
 // Why this is deterministic (see DESIGN.md "Sparse cycle engine" for the
 // full argument): during C a channel's reader-side state is touched only by
 // the thread owning the reader tile, its writer-side staging only by the
@@ -56,6 +76,7 @@
 namespace raw::sim {
 class Channel;
 class Chip;
+class Device;
 }
 
 namespace raw::common {
@@ -101,11 +122,42 @@ class ParallelRunner {
   void set_profiler(common::Profiler* profiler);
   [[nodiscard]] common::Profiler* profiler() const { return profiler_; }
 
+  /// Default ceiling on the batched-quantum lookahead when neither the
+  /// caller nor RAWSIM_LOOKAHEAD picks one. High enough that inert-boundary
+  /// workloads amortize the barrier thoroughly, low enough that the
+  /// deferred-commit buffers stay cache-resident.
+  static constexpr common::Cycle kDefaultMaxLookahead = 64;
+
+  /// Caps the batched-quantum lookahead. 0 (the default) resolves from the
+  /// RAWSIM_LOOKAHEAD environment variable and falls back to
+  /// kDefaultMaxLookahead; 1 forces cycle-granular execution (the exact
+  /// pre-batching pipeline). Results are bit-identical at every value.
+  void set_max_lookahead(common::Cycle lookahead);
+  /// The resolved lookahead ceiling currently in force.
+  [[nodiscard]] common::Cycle max_lookahead() const { return max_lookahead_; }
+  /// Static safe-lookahead derivation from the boundary FIFO depths (see
+  /// exec::derived_lookahead); the per-quantum decision recomputes slack
+  /// from live occupancy and may exceed this when boundaries are inert.
+  [[nodiscard]] common::Cycle derived_lookahead() const {
+    return derived_lookahead_;
+  }
+
+  /// Quantum statistics for the runs so far (parallel dispatches only; the
+  /// workers()==1 fast path delegates to the chip and records nothing).
+  /// Every engine iteration counts as one quantum of >= 1 cycles, so
+  /// quantum_cycles()/quanta() is the effective barrier amortization.
+  [[nodiscard]] std::uint64_t quanta() const { return quanta_; }
+  [[nodiscard]] std::uint64_t quantum_cycles() const { return quantum_cycles_; }
+  [[nodiscard]] common::Cycle max_quantum() const { return max_quantum_; }
+
  private:
   enum class Mode { kRun, kRunUntil };
 
   struct alignas(64) PaddedBool {
     bool value = false;
+  };
+  struct alignas(64) PaddedCycle {
+    common::Cycle value = 0;
   };
 
   void worker_main(int wid);
@@ -115,15 +167,40 @@ class ParallelRunner {
   void dispatch_and_join(Mode mode, common::Cycle limit,
                          const std::function<bool()>* pred);
 
+  /// Worker 0, start of every engine iteration: the number of cycles the
+  /// next quantum may cover (>= 1), from the clamp chain documented above.
+  common::Cycle decide_quantum(common::Cycle remaining);
+  /// True when `tile`'s switch cannot move a word this run segment: halted,
+  /// or idle-parked (a park with no wake channel can only be released at a
+  /// run boundary, so inertness is stable for any quantum).
+  [[nodiscard]] bool switch_inert(int tile) const;
+  /// Same for the tile processor (idle-parked or its program has finished).
+  [[nodiscard]] bool proc_inert(int tile) const;
+
   sim::Chip& chip_;
   Partition partition_;
   // Channels whose reader and writer tiles land on different workers;
-  // pre-stamped each cycle in phase B (and flagged shared on the channel).
-  std::vector<sim::Channel*> boundary_channels_;
+  // pre-stamped each cycle in phase B (and flagged shared on the channel),
+  // and the unit of the quantum slack computation.
+  std::vector<BoundaryLink> boundary_links_;
   Barrier barrier_;
   std::vector<std::thread> threads_;
   std::vector<PaddedBool> sense_;     // per-worker barrier sense, all runs
   std::vector<PaddedBool> progress_;  // per-worker end_cycle progress OR
+  std::vector<PaddedCycle> progress_cycle_;  // last local cycle a word moved
+
+  // Batched-quantum state. quantum_k_ is written by worker 0 before the
+  // phase-B barrier and read by everyone after it; quantum_devices_ stripes
+  // the quantum-safe devices by home-tile owner at dispatch time.
+  common::Cycle lookahead_cfg_ = 0;   // as passed to set_max_lookahead
+  common::Cycle max_lookahead_ = 1;   // resolved ceiling
+  common::Cycle derived_lookahead_ = 1;
+  common::Cycle quantum_k_ = 1;
+  bool quantum_capable_ = false;      // per-dispatch static gate
+  std::vector<std::vector<sim::Device*>> quantum_devices_;
+  std::uint64_t quanta_ = 0;
+  std::uint64_t quantum_cycles_ = 0;
+  common::Cycle max_quantum_ = 0;
 
   // Job slot: written by the caller under mutex_, read by workers after the
   // generation bump, so no per-field synchronization is needed.

@@ -62,6 +62,24 @@ Partition Partition::build(const sim::Chip& chip, int workers) {
   return build(chip.shape(), chip.all_channels().size(), workers);
 }
 
+int Partition::worker_of(int tile) const {
+  for (int w = 0; w < workers(); ++w) {
+    const Stripe& s = stripes_[static_cast<std::size_t>(w)];
+    if (tile >= s.tile_begin && tile < s.tile_end) return w;
+  }
+  RAW_UNREACHABLE("tile outside every stripe");
+}
+
+common::Cycle derived_lookahead(const std::vector<BoundaryLink>& links,
+                                common::Cycle idle_default) {
+  if (links.empty()) return idle_default;
+  common::Cycle k = ~common::Cycle{0};
+  for (const BoundaryLink& b : links) {
+    k = std::min(k, static_cast<common::Cycle>(b.ch->capacity() / 2));
+  }
+  return std::max<common::Cycle>(k, 1);
+}
+
 int resolve_threads(int requested) {
   if (requested >= 1) return requested;
   if (const char* env = std::getenv("RAWSIM_THREADS")) {

@@ -14,9 +14,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/types.h"
 #include "sim/coords.h"
 
 namespace raw::sim {
+class Channel;
 class Chip;
 }
 
@@ -47,9 +49,37 @@ class Partition {
     return stripes_[static_cast<std::size_t>(w)];
   }
 
+  /// Worker owning `tile` (stripes are contiguous tile ranges).
+  [[nodiscard]] int worker_of(int tile) const;
+
  private:
   std::vector<Stripe> stripes_;
 };
+
+/// One cross-stripe static link: the channel plus the tiles of the switches
+/// that write and read it. The batched-quantum engine derives its per-quantum
+/// lookahead from these links' FIFO state (see derived_lookahead and
+/// exec::ParallelRunner).
+struct BoundaryLink {
+  sim::Channel* ch = nullptr;
+  int writer_tile = -1;
+  int reader_tile = -1;
+};
+
+/// Static lookahead bound derived from the boundary FIFO depths: the deepest
+/// quantum a *loaded* cross-stripe link can ever cover is floor(capacity/2)
+/// cycles (with occupancy j the conservative slack is min(j, capacity - j),
+/// maximized at half-full), so the minimum over all boundary links bounds K
+/// whenever every boundary carries traffic. This is the register-FIFO analog
+/// of the paper's 3-cycle send-to-use rule: a word staged on one side of the
+/// cut cannot influence the far stripe for at least that many cycles. Links
+/// with an inert endpoint relax the bound at runtime (the engine recomputes
+/// per-quantum slack from live occupancy); this static value is the
+/// guaranteed-safe derivation the tests pin. Returns `idle_default` when
+/// there are no boundary links (single worker, or a 1-row cut of a 1-row
+/// grid).
+[[nodiscard]] common::Cycle derived_lookahead(
+    const std::vector<BoundaryLink>& links, common::Cycle idle_default);
 
 /// Resolves a configured thread count: values >= 1 are used as-is; 0 (the
 /// default everywhere) consults the RAWSIM_THREADS environment variable and

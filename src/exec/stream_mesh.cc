@@ -73,16 +73,18 @@ StreamMesh::StreamMesh(StreamMeshConfig config) : config_(config) {
   }
 
   const sim::GridShape shape = config_.shape;
-  auto add_feeder = [&](sim::Channel* ch, std::uint64_t seed) {
+  auto add_feeder = [&](sim::Channel* ch, int home, std::uint64_t seed) {
     auto f = std::make_unique<Feeder>();
     f->ch = ch;
+    f->home = home;
     f->state = seed;
     chip_->add_device(f.get());
     feeders_.push_back(std::move(f));
   };
-  auto add_sink = [&](sim::Channel* ch) {
+  auto add_sink = [&](sim::Channel* ch, int home) {
     auto s = std::make_unique<Sink>();
     s->ch = ch;
+    s->home = home;
     chip_->add_device(s.get());
     sinks_.push_back(std::move(s));
   };
@@ -92,16 +94,16 @@ StreamMesh::StreamMesh(StreamMeshConfig config) : config_(config) {
   for (int r = 0; r < shape.rows; ++r) {
     const int west = shape.index({r, 0});
     const int east = shape.index({r, shape.cols - 1});
-    add_feeder(chip_->io_port(0, west, sim::Dir::kWest).to_chip,
+    add_feeder(chip_->io_port(0, west, sim::Dir::kWest).to_chip, west,
                std::uint64_t{0x57E57000} + static_cast<std::uint64_t>(r));
-    add_sink(chip_->io_port(0, east, sim::Dir::kEast).from_chip);
+    add_sink(chip_->io_port(0, east, sim::Dir::kEast).from_chip, east);
   }
   for (int c = 0; c < shape.cols; ++c) {
     const int north = shape.index({0, c});
     const int south = shape.index({shape.rows - 1, c});
-    add_feeder(chip_->io_port(1, north, sim::Dir::kNorth).to_chip,
+    add_feeder(chip_->io_port(1, north, sim::Dir::kNorth).to_chip, north,
                std::uint64_t{0x0A07B000} + static_cast<std::uint64_t>(c));
-    add_sink(chip_->io_port(1, south, sim::Dir::kSouth).from_chip);
+    add_sink(chip_->io_port(1, south, sim::Dir::kSouth).from_chip, south);
   }
 }
 

@@ -59,16 +59,23 @@ class StreamMesh {
   [[nodiscard]] std::uint64_t digest() const;
 
  private:
+  // Both edge devices touch exactly one I/O channel of one edge tile, so
+  // they declare that tile as their quantum home: the batched-quantum engine
+  // may step them inside the owning worker's free-run loop.
   struct Feeder final : sim::Device {
     sim::Channel* ch = nullptr;
+    int home = -1;
     std::uint64_t state = 0;
     void step(sim::Chip&) override;
+    [[nodiscard]] int quantum_home_tile() const override { return home; }
   };
   struct Sink final : sim::Device {
     sim::Channel* ch = nullptr;
+    int home = -1;
     std::uint64_t count = 0;
     std::uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis
     void step(sim::Chip&) override;
+    [[nodiscard]] int quantum_home_tile() const override { return home; }
   };
 
   StreamMeshConfig config_;

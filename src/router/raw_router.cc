@@ -117,6 +117,7 @@ RawRouter::RawRouter(RouterConfig config, net::RouteTable table,
         config_.link.replay_depth});
   }
   runner_ = std::make_unique<exec::ParallelRunner>(*chip_, config_.threads);
+  runner_->set_max_lookahead(config_.max_lookahead);
 
   core_.chip = chip_.get();
   core_.layout = &layout_;

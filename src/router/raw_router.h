@@ -82,6 +82,14 @@ struct RouterConfig {
   /// resolves via RAWSIM_THREADS and falls back to the serial engine; any
   /// resolved count produces bit-identical results (see exec::ParallelRunner).
   int threads = 0;
+  /// Batched-quantum lookahead cap for the execution engine (see
+  /// exec::ParallelRunner::set_max_lookahead). 0 (default) resolves via
+  /// RAWSIM_LOOKAHEAD and the engine default; 1 pins the engine to
+  /// cycle-granular execution. Results are bit-identical at every value.
+  /// Note the full router holds the engine at K=1 anyway — the line cards
+  /// carry no quantum home tile and the dynamic network stays armed — so
+  /// this knob matters for sweeps and for reduced configurations.
+  common::Cycle max_lookahead = 0;
   /// Reliable-link layer on the static-network wires (off by default).
   LinkProtectionConfig link;
   /// Fault-adaptive reconfiguration around permanently-frozen tiles (off by

@@ -105,7 +105,18 @@ class Channel {
   /// Commits this cycle's staged word; returns true when a word crossed the
   /// link (the chip's forward-progress signal). Called by end_cycle() in
   /// detached mode and by the engine's dirty-lane drain in attached mode.
+  /// In quantum mode the word lands in the deferred side buffer instead of
+  /// the FIFO and no epoch field is touched (see begin_quantum()).
   bool commit() {
+    if (q_mode_) {
+      if (!staged_.has_value()) return false;
+      RAW_ASSERT_MSG(q_credit_ > 0, "quantum commit past granted credit");
+      q_deferred_.push_back(*staged_);
+      staged_.reset();
+      --q_credit_;
+      ++words_transferred_;
+      return true;
+    }
     touch();
     if (!staged_.has_value()) return false;
     buf_.push(*staged_);
@@ -163,12 +174,47 @@ class Channel {
   [[nodiscard]] const Word& front() const { return buf_.front(); }
 
   /// True when this cycle's write slot is free and there is credit based on
-  /// start-of-cycle occupancy.
+  /// start-of-cycle occupancy. In quantum mode the check is against the
+  /// credit granted at the quantum start and deliberately touches nothing:
+  /// the reader's worker exclusively owns the lazily-stamped epoch fields
+  /// for the duration of the quantum.
   [[nodiscard]] bool can_write() const {
+    if (q_mode_) return !staged_.has_value() && q_credit_ > 0;
     touch();
     return !staged_.has_value() && size_at_start_ < buf_.capacity() &&
            now() >= stall_until_;
   }
+
+  /// Enters quantum mode for one batched quantum (parallel engine only; see
+  /// DESIGN.md "Batched-quantum execution"). For the K cycles of the
+  /// quantum the writer side runs against a credit equal to the free space
+  /// at the quantum start and commits into a deferred side buffer — it
+  /// never touches the FIFO or the mutable epoch fields, so the reader's
+  /// worker can step concurrently without a rendezvous. The engine only
+  /// grants K > 1 when the per-channel slack (start occupancy vs. free
+  /// space, see exec::ParallelRunner) proves both sides behave bit-
+  /// identically to cycle-by-cycle execution.
+  void begin_quantum() {
+    RAW_ASSERT_MSG(guard_ == nullptr, "quantum mode on a protected link");
+    RAW_ASSERT_MSG(!staged_.has_value(), "quantum start with a staged word");
+    RAW_ASSERT_MSG(now() >= stall_until_, "quantum start on a stalled link");
+    q_mode_ = true;
+    q_credit_ = static_cast<std::uint32_t>(buf_.capacity() - buf_.size());
+  }
+
+  /// Leaves quantum mode at the barrier-protected quantum edge (worker 0
+  /// only): drains the deferred words into the FIFO as one word-batch push.
+  void end_quantum() {
+    RAW_ASSERT_MSG(!staged_.has_value(), "quantum end with a staged word");
+    q_mode_ = false;
+    q_credit_ = 0;
+    if (!q_deferred_.empty()) {
+      buf_.push_n(q_deferred_.data(), q_deferred_.size());
+      q_deferred_.clear();
+    }
+  }
+
+  [[nodiscard]] bool in_quantum() const { return q_mode_; }
 
   /// Fault injection (sim::FaultPlan): takes the link down for `cycles`
   /// cycles starting now — no reads, no writes, occupancy frozen. Writers see
@@ -434,10 +480,14 @@ class Channel {
     }
   }
 
-  /// Current cycle: the engine's in attached mode, the local begin_cycle
-  /// counter in detached mode.
+  /// Current cycle: the executing worker's lane clock in attached mode, the
+  /// local begin_cycle counter in detached mode. Lane clocks equal the
+  /// engine clock except inside a batched quantum, where each worker runs
+  /// its own lane clock through the quantum's local cycles.
   [[nodiscard]] common::Cycle now() const {
-    return engine_ != nullptr ? engine_->now : local_now_;
+    return engine_ != nullptr
+               ? engine_->lanes[static_cast<std::size_t>(t_engine_lane)].now
+               : local_now_;
   }
 
   /// Attached-mode lazy epoch refresh: on the first touch of a cycle,
@@ -446,7 +496,8 @@ class Channel {
   /// first touches happen.
   void touch() const {
     if (engine_ == nullptr) return;
-    const common::Cycle n = engine_->now;
+    const common::Cycle n =
+        engine_->lanes[static_cast<std::size_t>(t_engine_lane)].now;
     if (last_cycle_ != n) {
       last_cycle_ = n;
       size_at_start_ = buf_.size();
@@ -476,6 +527,10 @@ class Channel {
   std::int32_t wait_writer_ = -1;  // parked writer agent, engine-managed
   std::unique_ptr<LinkGuard> guard_;  // null = link protection off (default)
   std::optional<Word> staged_;
+  // Batched-quantum state (boundary channels only, parallel engine).
+  bool q_mode_ = false;
+  std::uint32_t q_credit_ = 0;
+  std::vector<Word> q_deferred_;
   std::uint64_t words_transferred_ = 0;
   std::uint64_t stats_cycles_ = 0;
   std::uint64_t occupancy_sum_ = 0;

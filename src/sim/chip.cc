@@ -260,9 +260,19 @@ void Chip::apply_wakes() {
   }
 }
 
+void Chip::apply_wakes_lane(std::size_t lane, common::Cycle upto) {
+  EngineState::Lane& ln = engine_.lanes[lane];
+  for (const std::int32_t aid : ln.wakes) wake_agent(aid, upto);
+  ln.wakes.clear();
+}
+
 void Chip::park_agent(std::int32_t aid, AgentState cause, Channel* chan) {
   Park& p = parks_[static_cast<std::size_t>(aid)];
-  p.counted_through = engine_.now;  // this cycle was stepped and counted
+  // This cycle was stepped and counted. The executing worker's lane clock is
+  // the agent's true local time (it trails engine_.now only inside a batched
+  // quantum, where it equals the local cycle being simulated).
+  p.counted_through =
+      engine_.lanes[static_cast<std::size_t>(t_engine_lane)].now;
   p.cause = cause;
   p.chan = chan;
   if (chan != nullptr) {
@@ -586,6 +596,7 @@ void Chip::restore(const Snapshot& s) {
   // parking decisions never change results, so both engines replay alike.
   wake_all_parked();
   engine_.now = s.cycle;
+  for (EngineState::Lane& lane : engine_.lanes) lane.now = engine_.now;
   last_progress_cycle_ = s.last_progress;
   for (std::size_t i = 0; i < all_channels_.size(); ++i) {
     all_channels_[i]->restore_state(s.channels[i]);

@@ -85,6 +85,14 @@ class Chip {
   [[nodiscard]] const std::vector<Device*>& devices() const { return devices_; }
 
   [[nodiscard]] common::Cycle cycle() const { return engine_.now; }
+  /// The simulated cycle as seen by the calling thread's engine lane: equal
+  /// to cycle() everywhere except inside a batched quantum, where each
+  /// worker free-runs its own lane clock ahead of the global one. Devices
+  /// that declare a quantum home tile must use this (not cycle()) for any
+  /// timestamp they record mid-step; channels already resolve time this way.
+  [[nodiscard]] common::Cycle local_cycle() const {
+    return engine_.lanes[static_cast<std::size_t>(t_engine_lane)].now;
+  }
   [[nodiscard]] Trace& trace() { return trace_; }
 
   /// Attaches (or detaches, with nullptr) a fault-injection plan. The plan
@@ -158,6 +166,21 @@ class Chip {
     if (progress) last_progress_cycle_ = engine_.now;
     if (profiler_ != nullptr) profile_tick();
     ++engine_.now;
+    for (EngineState::Lane& lane : engine_.lanes) lane.now = engine_.now;
+  }
+
+  /// Execution-engine hook: closes a K-cycle batched quantum (see
+  /// exec::ParallelRunner and DESIGN.md "Batched-quantum execution").
+  /// Advances the clock by `cycles`, re-synchronizes every worker lane
+  /// clock, and records the exact last cycle at which any lane saw a word
+  /// move — so watchdog stall attribution stays cycle-accurate even though
+  /// no global rendezvous happened inside the quantum.
+  void finish_quantum(common::Cycle cycles, bool progress,
+                      common::Cycle progress_cycle) {
+    if (progress) last_progress_cycle_ = progress_cycle;
+    engine_.now += cycles;
+    for (EngineState::Lane& lane : engine_.lanes) lane.now = engine_.now;
+    if (profiler_ != nullptr) profile_tick();
   }
 
   /// Attaches (or detaches, with nullptr) an engine profiler (see
@@ -297,6 +320,11 @@ class Chip {
   void sample_stats_range(std::size_t begin, std::size_t end);
   /// Applies every lane's queued wakes (end of cycle, before finish_cycle).
   void apply_wakes();
+  /// Applies one lane's queued wakes with credit counted through `upto`.
+  /// Inside a batched quantum each worker drains its own lane at every
+  /// local cycle (wakes never cross lanes mid-quantum: the engine only
+  /// grants K > 1 when boundary wake slots are provably unused).
+  void apply_wakes_lane(std::size_t lane, common::Cycle upto);
 
   /// Whether a blocked agent may park on `chan` and rely on a wake event.
   [[nodiscard]] static bool may_park_on(const Channel* chan, AgentState cause);

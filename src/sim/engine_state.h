@@ -27,6 +27,14 @@ struct EngineState {
   struct alignas(64) Lane {
     std::vector<Channel*> dirty;
     std::vector<std::int32_t> wakes;
+    /// Lane-local cycle clock. Outside a batched quantum every lane clock
+    /// equals `now`; inside one, each exec::ParallelRunner worker advances
+    /// its own lane clock through the K local cycles of the quantum so that
+    /// channel epoch stamping (`Channel::touch`) and park credit accounting
+    /// see the worker's true local time. Worker 0 re-synchronizes all lanes
+    /// to `now` at every quantum edge (and Chip::finish_cycle does the same
+    /// for the serial engine).
+    common::Cycle now = 0;
   };
 
   /// The chip's cycle counter (Chip::cycle() returns this field).

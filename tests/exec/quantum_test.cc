@@ -1,0 +1,370 @@
+// Differential tests for the batched-quantum execution engine.
+//
+// The engine's contract is unchanged by batching: bit-identical simulation
+// at any worker count AND any lookahead cap. These tests sweep K over
+// {1, 2, derived, forced-max, auto} x {dense, sparse} x {1, 2, 4, 8}
+// workers and compare full digests against the serial reference; then pin
+// the sharp edges one by one — a fault event that would land mid-quantum, a
+// stall whose last-progress cycle the watchdog must attribute exactly, the
+// run_until clamp, and the derived-lookahead formula itself.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel_runner.h"
+#include "exec/partition.h"
+#include "exec/stream_mesh.h"
+#include "net/route_table.h"
+#include "net/traffic.h"
+#include "router/raw_router.h"
+#include "sim/channel.h"
+#include "sim/chip.h"
+#include "sim/fault_plan.h"
+#include "sim/switch_isa.h"
+
+namespace raw::exec {
+namespace {
+
+std::shared_ptr<const sim::SwitchProgram> prog(const std::string& src) {
+  std::string err;
+  const sim::SwitchProgram p = sim::assemble(src, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  return std::make_shared<const sim::SwitchProgram>(p);
+}
+
+// ---------------------------------------------------------------------------
+// Digest sweeps
+
+std::uint64_t mesh_digest(int threads, common::Cycle lookahead,
+                          bool force_dense, common::Cycle cycles) {
+  StreamMeshConfig cfg;
+  cfg.shape = sim::GridShape{4, 4};
+  cfg.proc_work = 3;
+  StreamMesh mesh(cfg);
+  mesh.chip().set_force_dense(force_dense);
+  ParallelRunner runner(mesh.chip(), threads);
+  runner.set_max_lookahead(lookahead);
+  runner.run(cycles);
+  return mesh.digest();
+}
+
+TEST(ExecQuantumDifferential, StreamMeshDigestsAcrossLookaheadsAndWorkers) {
+  constexpr common::Cycle kCycles = 3000;
+  const std::uint64_t serial = mesh_digest(1, 0, false, kCycles);
+
+  // The derived (statically safe) lookahead for the default FIFO depth.
+  common::Cycle derived = 0;
+  {
+    StreamMesh probe(StreamMeshConfig{});
+    ParallelRunner runner(probe.chip(), 4);
+    derived = runner.derived_lookahead();
+    EXPECT_GE(derived, 1u);
+  }
+
+  for (const common::Cycle k :
+       {common::Cycle{1}, common::Cycle{2}, derived,
+        ParallelRunner::kDefaultMaxLookahead, common::Cycle{0}}) {
+    for (const int t : {1, 2, 4, 8}) {
+      EXPECT_EQ(mesh_digest(t, k, false, kCycles), serial)
+          << "threads=" << t << " lookahead=" << k;
+    }
+  }
+  // Forced-dense stepping clamps every quantum to one cycle regardless of
+  // the cap, and must still agree.
+  for (const int t : {2, 4}) {
+    EXPECT_EQ(mesh_digest(t, ParallelRunner::kDefaultMaxLookahead, true,
+                          kCycles),
+              serial)
+        << "dense threads=" << t;
+  }
+}
+
+std::uint64_t router_digest(int threads, common::Cycle lookahead) {
+  router::RouterConfig cfg;
+  cfg.threads = threads;
+  cfg.max_lookahead = lookahead;
+  net::TrafficConfig traffic;
+  traffic.num_ports = 4;
+  traffic.pattern = net::DestPattern::kUniform;
+  traffic.size = net::SizeDist::kBimodal;
+  traffic.load = 0.05;  // sparse load: the batching-relevant regime
+  router::RawRouter router(cfg, net::RouteTable::simple4(), traffic, 23);
+  (void)router.run(4000);
+  return router.state_digest();
+}
+
+TEST(ExecQuantumDifferential, RouterLookaheadKnobNeverChangesResults) {
+  const std::uint64_t serial = router_digest(1, 0);
+  for (const common::Cycle k : {common::Cycle{0}, common::Cycle{1},
+                                common::Cycle{8}}) {
+    for (const int t : {2, 4}) {
+      EXPECT_EQ(router_digest(t, k), serial)
+          << "threads=" << t << " lookahead=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quanta must actually engage where they are safe — otherwise this whole
+// subsystem silently degenerates to the old per-cycle pipeline.
+
+TEST(ExecQuantumEngine, IdleMeshQuantaEngageAndMatchSerial) {
+  const auto idle_sum = [](sim::Chip& chip) {
+    std::uint64_t idle = 0;
+    for (int t = 0; t < chip.num_tiles(); ++t) {
+      idle += chip.tile(t).switch_proc().cycles_idle();
+    }
+    return idle;
+  };
+  sim::ChipConfig cfg;
+  cfg.shape = sim::GridShape{8, 8};
+  cfg.with_dynamic_network = false;
+
+  sim::Chip serial(cfg);
+  serial.run(50000);
+
+  sim::Chip par(cfg);
+  ParallelRunner runner(par, 2);
+  runner.set_max_lookahead(0);  // auto
+  runner.run(50000);
+
+  EXPECT_EQ(par.cycle(), serial.cycle());
+  EXPECT_EQ(idle_sum(par), idle_sum(serial));
+  // An all-idle fabric has no boundary constraints: the engine must batch
+  // hard. 50k cycles at K<=64 means far fewer barrier rendezvous than
+  // cycles, and at least one full-size quantum.
+  EXPECT_GT(runner.quanta(), 0u);
+  EXPECT_EQ(runner.quantum_cycles(), 50000u);
+  EXPECT_LT(runner.quanta(), 2000u);  // >25x average amortization
+  EXPECT_EQ(runner.max_quantum(), ParallelRunner::kDefaultMaxLookahead);
+}
+
+TEST(ExecQuantumEngine, RunUntilPinsCycleGranularity) {
+  StreamMeshConfig cfg;
+  cfg.shape = sim::GridShape{4, 4};
+  StreamMesh mesh(cfg);
+  ParallelRunner runner(mesh.chip(), 2);
+  runner.set_max_lookahead(ParallelRunner::kDefaultMaxLookahead);
+  const bool hit = runner.run_until(
+      [&] { return mesh.words_delivered() >= 100; }, 10000);
+  EXPECT_TRUE(hit);
+  // run_until evaluates its predicate between every cycle, so no quantum
+  // may ever cover more than one.
+  EXPECT_LE(runner.max_quantum(), 1u);
+
+  StreamMesh ref(cfg);
+  ParallelRunner sref(ref.chip(), 1);
+  const bool shit = sref.run_until(
+      [&] { return ref.words_delivered() >= 100; }, 10000);
+  EXPECT_TRUE(shit);
+  EXPECT_EQ(mesh.chip().cycle(), ref.chip().cycle());
+  EXPECT_EQ(mesh.digest(), ref.digest());
+}
+
+// ---------------------------------------------------------------------------
+// Derived lookahead: floor(min boundary FIFO depth / 2), clamped to >= 1;
+// engine default when there is no boundary at all.
+
+TEST(ExecQuantumEngine, DerivedLookaheadTracksBoundaryDepth) {
+  const auto derived = [](std::size_t depth, int threads) {
+    StreamMeshConfig cfg;
+    cfg.shape = sim::GridShape{4, 4};
+    cfg.link_fifo_depth = depth;
+    StreamMesh mesh(cfg);
+    ParallelRunner runner(mesh.chip(), threads);
+    return runner.derived_lookahead();
+  };
+  EXPECT_EQ(derived(8, 2), 4u);
+  EXPECT_EQ(derived(6, 2), 3u);
+  EXPECT_EQ(derived(2, 2), 1u);
+  // A single worker has no cross-stripe boundary: the static derivation
+  // falls back to the engine default.
+  EXPECT_EQ(derived(8, 1), ParallelRunner::kDefaultMaxLookahead);
+}
+
+// ---------------------------------------------------------------------------
+// Faults that fire mid-would-be-quantum. A finite stream runs across row 1
+// of a 4x4 chip (rows 2-3 idle, so the cross-stripe boundaries are inert
+// and the engine batches aggressively); a bit flip and a link stall are
+// scheduled at cycles that fall inside those quanta. decide_quantum must
+// clamp each quantum to end right before the event so it fires under
+// cycle-granular stepping, exactly as it does serially.
+
+struct QuantumSource final : sim::Device {
+  sim::Channel* ch = nullptr;
+  int home = -1;
+  std::vector<common::Word> payload;
+  std::size_t next = 0;
+  void step(sim::Chip&) override {
+    if (next < payload.size() && ch->can_write()) {
+      ch->write(payload[next++]);
+    }
+  }
+  [[nodiscard]] int quantum_home_tile() const override { return home; }
+};
+
+struct QuantumSink final : sim::Device {
+  sim::Channel* ch = nullptr;
+  int home = -1;
+  std::vector<common::Word> received;
+  std::vector<common::Cycle> arrival;
+  void step(sim::Chip& chip) override {
+    if (ch->can_read()) {
+      received.push_back(ch->read());
+      arrival.push_back(chip.local_cycle());
+    }
+  }
+  [[nodiscard]] int quantum_home_tile() const override { return home; }
+};
+
+struct Row1Stream {
+  explicit Row1Stream(std::vector<common::Word> payload,
+                      sim::FaultPlan* plan = nullptr) {
+    for (int t : {4, 5, 6, 7}) {
+      chip.tile(t).switch_proc().load(prog("loop: jump loop | W>E"));
+    }
+    src.ch = chip.io_port(0, 4, sim::Dir::kWest).to_chip;
+    src.home = 4;
+    src.payload = std::move(payload);
+    sink.ch = chip.io_port(0, 7, sim::Dir::kEast).from_chip;
+    sink.home = 7;
+    chip.add_device(&src);
+    chip.add_device(&sink);
+    if (plan != nullptr) chip.set_fault_plan(plan);
+  }
+
+  sim::Chip chip;
+  QuantumSource src;
+  QuantumSink sink;
+};
+
+sim::FaultPlan mid_quantum_plan(sim::Chip& probe) {
+  sim::FaultPlan plan;
+  const std::string edge = probe.io_port(0, 4, sim::Dir::kWest).to_chip->name();
+  sim::FaultEvent flip;
+  flip.kind = sim::FaultKind::kBitFlip;
+  flip.at = 37;  // deliberately not a multiple of any quantum boundary
+  flip.channel = edge;
+  flip.bit = 5;
+  plan.add(flip);
+  sim::FaultEvent stall;
+  stall.kind = sim::FaultKind::kLinkStall;
+  stall.at = 53;
+  stall.duration = 6;
+  stall.channel = edge;
+  plan.add(stall);
+  return plan;
+}
+
+std::vector<common::Word> iota_payload(common::Word n) {
+  std::vector<common::Word> p;
+  for (common::Word i = 0; i < n; ++i) p.push_back(i + 1);
+  return p;
+}
+
+TEST(ExecQuantumDifferential, FaultsFiringMidQuantumStayExact) {
+  sim::Chip probe;
+
+  sim::FaultPlan serial_plan = mid_quantum_plan(probe);
+  Row1Stream serial(iota_payload(64), &serial_plan);
+  serial.chip.run(400);
+  EXPECT_EQ(serial_plan.bit_flips_applied(), 1u);
+  EXPECT_EQ(serial_plan.link_stalls(), 1u);
+  ASSERT_EQ(serial.sink.received.size(), 64u);
+
+  for (const int threads : {2, 4}) {
+    sim::FaultPlan plan = mid_quantum_plan(probe);
+    Row1Stream par(iota_payload(64), &plan);
+    ParallelRunner runner(par.chip, threads);
+    runner.set_max_lookahead(ParallelRunner::kDefaultMaxLookahead);
+    runner.run(400);
+    EXPECT_EQ(plan.bit_flips_applied(), 1u) << "threads=" << threads;
+    EXPECT_EQ(plan.link_stalls(), 1u) << "threads=" << threads;
+    EXPECT_EQ(par.sink.received, serial.sink.received)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sink.arrival, serial.sink.arrival)
+        << "threads=" << threads;
+    // The idle lower rows kept the boundary inert, so the engine did batch
+    // between the scheduled events.
+    EXPECT_GT(runner.max_quantum(), 1u) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A stall inside a quantum: the stream runs dry mid-run (no sink drains the
+// final FIFO... actually the source runs out), and the chip's
+// last-progress cycle — the number a watchdog StallReport attributes the
+// stall to — must be the exact serial cycle even though the final words
+// moved deep inside a multi-cycle quantum.
+
+TEST(ExecQuantumEngine, LastProgressCycleExactInsideQuantum) {
+  Row1Stream serial(iota_payload(16));
+  serial.chip.run(600);
+  const common::Cycle expected = serial.chip.last_progress_cycle();
+  ASSERT_EQ(serial.sink.received.size(), 16u);
+  EXPECT_GT(expected, 0u);
+  EXPECT_LT(expected, 600u);  // the stream really did run dry mid-run
+
+  for (const int threads : {2, 4}) {
+    Row1Stream par(iota_payload(16));
+    ParallelRunner runner(par.chip, threads);
+    runner.set_max_lookahead(ParallelRunner::kDefaultMaxLookahead);
+    runner.run(600);
+    EXPECT_EQ(par.chip.last_progress_cycle(), expected)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sink.received, serial.sink.received)
+        << "threads=" << threads;
+    EXPECT_GT(runner.max_quantum(), 1u) << "threads=" << threads;
+  }
+}
+
+// The router-level version: a permanent tile freeze wedges the fabric, the
+// watchdog trips, and the StallReport's cycle attribution must agree across
+// worker counts with the lookahead knob wide open.
+
+TEST(ExecQuantumEngine, WatchdogStallReportExactAcrossLookahead) {
+  const auto stall_cycle = [](int threads, common::Cycle lookahead,
+                              common::Cycle* trip_cycle) {
+    router::RouterConfig cfg;
+    cfg.threads = threads;
+    cfg.max_lookahead = lookahead;
+    net::TrafficConfig traffic;
+    traffic.num_ports = 4;
+    traffic.pattern = net::DestPattern::kUniform;
+    traffic.size = net::SizeDist::kFixed;
+    traffic.fixed_bytes = 128;
+    traffic.load = 0.8;
+    router::RawRouter router(cfg, net::RouteTable::simple4(), traffic, 7);
+    sim::FaultPlan plan;
+    sim::FaultEvent freeze;
+    freeze.kind = sim::FaultKind::kTileFreeze;
+    freeze.at = 2500;
+    freeze.permanent = true;
+    freeze.tile = 5;
+    plan.add(freeze);
+    router.set_fault_plan(&plan);
+    const router::RunStatus st = router.run(60000);
+    EXPECT_EQ(st, router::RunStatus::kStalled);
+    EXPECT_TRUE(router.stall_report().has_value());
+    *trip_cycle = router.chip().cycle();
+    return router.stall_report()->last_progress_cycle;
+  };
+
+  common::Cycle serial_trip = 0;
+  const common::Cycle serial_progress = stall_cycle(1, 0, &serial_trip);
+  for (const int threads : {2, 4}) {
+    for (const common::Cycle k : {common::Cycle{0}, common::Cycle{64}}) {
+      common::Cycle trip = 0;
+      EXPECT_EQ(stall_cycle(threads, k, &trip), serial_progress)
+          << "threads=" << threads << " lookahead=" << k;
+      EXPECT_EQ(trip, serial_trip)
+          << "threads=" << threads << " lookahead=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raw::exec

@@ -8,9 +8,16 @@
 // an end-to-end check of the engine's bit-identical guarantee).
 //
 //   ./rawbench [--suite smoke|scaling|fig7|chaos] [--threads 1,2,4]
-//              [--cycles N] [--out FILE] [--min-speedup X]
-//              [--baseline FILE] [--tolerance F]
+//              [--lookahead 0,1,8] [--cycles N] [--out FILE]
+//              [--min-speedup X] [--baseline FILE] [--tolerance F]
 //              [--profile] [--speedscope FILE]
+//
+// --lookahead sweeps the engine's batched-quantum cap (see
+// exec::ParallelRunner::set_max_lookahead): 0 = auto (engine default), 1 =
+// cycle-granular (the pre-batching pipeline), N = cap at N. Multi-threaded
+// rows run once per value; the serial baseline runs once (the serial engine
+// has no quanta). Digests must agree across the whole sweep — lookahead is
+// a perf knob, never a semantics knob.
 //
 // --profile embeds an engine-profile object into every result row (see
 // common/profiler.h): per-phase wall-time attribution (compute, channel
@@ -34,7 +41,9 @@
 //
 // --min-speedup X   exit nonzero if any multi-thread row's speedup over the
 //                   serial baseline falls below X (default 0: informational
-//                   only — on a 1-core host parallel rows legitimately lose).
+//                   only). Rows flagged oversubscribed (threads beyond the
+//                   host's hardware concurrency) are exempt: their speedup
+//                   measures scheduler contention, not the engine.
 // --baseline FILE   compare each (name, threads) row's cycles/second against
 //                   a previous rawbench JSON report; exit nonzero if any row
 //                   is slower than (1 - tolerance) x baseline.
@@ -73,13 +82,15 @@ struct Case {
   std::string name;
   /// `prof` is null unless --profile; cases attach it to their engine and
   /// bracket the run with prof->start()/stop() (construction excluded), so
-  /// coverage is judged against the simulated region only.
-  std::function<RunOutput(int threads, Profiler* prof)> run;
+  /// coverage is judged against the simulated region only. `lookahead` is
+  /// the batched-quantum cap (0 = engine auto).
+  std::function<RunOutput(int threads, Cycle lookahead, Profiler* prof)> run;
 };
 
 struct Row {
   std::string name;
   int threads = 1;
+  Cycle lookahead = 0;  // configured cap: 0 = auto
   Cycle cycles = 0;
   double wall_seconds = 0.0;
   double cycles_per_sec = 0.0;
@@ -103,9 +114,10 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
                  raw::common::ByteCount bytes, Cycle cycles,
                  double load = 1.0) {
   return Case{
-      std::move(name), [=](int threads, Profiler* prof) {
+      std::move(name), [=](int threads, Cycle lookahead, Profiler* prof) {
         raw::router::RouterConfig cfg;
         cfg.threads = threads;
+        cfg.max_lookahead = lookahead;
         raw::net::TrafficConfig t;
         t.num_ports = 4;
         t.pattern = pattern;
@@ -133,12 +145,13 @@ Case router_case(std::string name, raw::net::DestPattern pattern,
 
 Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
   return Case{
-      std::move(name), [=](int threads, Profiler* prof) {
+      std::move(name), [=](int threads, Cycle lookahead, Profiler* prof) {
         raw::exec::StreamMeshConfig cfg;
         cfg.shape = raw::sim::GridShape{dim, dim};
         cfg.proc_work = proc_work;
         raw::exec::StreamMesh mesh(cfg);
         raw::exec::ParallelRunner runner(mesh.chip(), threads);
+        runner.set_max_lookahead(lookahead);
         if (prof != nullptr) {
           runner.set_profiler(prof);
           prof->start();
@@ -155,12 +168,13 @@ Case mesh_case(std::string name, int dim, Cycle cycles, Cycle proc_work) {
 // park/credit path must keep exactly equal to cycles x tiles.
 Case idle_mesh_case(std::string name, int dim, Cycle cycles) {
   return Case{
-      std::move(name), [=](int threads, Profiler* prof) {
+      std::move(name), [=](int threads, Cycle lookahead, Profiler* prof) {
         raw::sim::ChipConfig cfg;
         cfg.shape = raw::sim::GridShape{dim, dim};
         cfg.with_dynamic_network = false;
         raw::sim::Chip chip(cfg);
         raw::exec::ParallelRunner runner(chip, threads);
+        runner.set_max_lookahead(lookahead);
         if (prof != nullptr) {
           runner.set_profiler(prof);
           prof->start();
@@ -182,7 +196,8 @@ Case idle_mesh_case(std::string name, int dim, Cycle cycles) {
 Case chaos_case(std::string name, const char* mix_str, std::uint64_t seed,
                 Cycle cycles) {
   return Case{
-      std::move(name), [=](int threads, Profiler* prof) {
+      std::move(name), [=](int threads, Cycle lookahead, Profiler* prof) {
+        (void)lookahead;  // chaos runs are fault-saturated: always K=1
         raw::router::ChaosSpec spec;
         raw::router::ChaosMix mix;
         if (!raw::router::parse_mix(mix_str, &mix)) std::abort();
@@ -244,6 +259,8 @@ std::vector<Case> make_suite(const std::string& suite, Cycle cycles_override) {
 struct BaselineRow {
   std::string name;
   int threads = 1;
+  Cycle lookahead = 0;  // absent in pre-sweep baselines -> 0 (auto)
+  bool oversubscribed = false;
   double cycles_per_sec = 0.0;
 };
 
@@ -267,6 +284,11 @@ std::vector<BaselineRow> load_baseline(const char* path) {
     r.name.assign(np, ne);
     r.threads = static_cast<int>(
         std::strtol(tp + std::strlen("\"threads\": "), nullptr, 10));
+    if (const char* lp = std::strstr(line, "\"lookahead\": ")) {
+      r.lookahead = std::strtoull(lp + std::strlen("\"lookahead\": "),
+                                  nullptr, 10);
+    }
+    r.oversubscribed = std::strstr(line, "\"oversubscribed\": true") != nullptr;
     r.cycles_per_sec =
         std::strtod(cp + std::strlen("\"cycles_per_sec\": "), nullptr);
     rows.push_back(std::move(r));
@@ -317,10 +339,22 @@ std::string profile_json(const Profiler& prof) {
                 "\"parks\": %" PRIu64 ", \"wakes\": %" PRIu64
                 ", \"commit_batches\": %" PRIu64 ", \"dirty_channels\": %" PRIu64
                 ", \"dense_sweeps\": %" PRIu64 ", \"sparse_cycles\": %" PRIu64
-                "}",
+                ", ",
                 prof.parks(), prof.wakes(), prof.commit_batches(),
                 prof.dirty_channels(), prof.dense_sweeps(),
                 prof.sparse_cycles());
+  out += buf;
+  // Batched-quantum amortization: quanta = engine iterations (each a full
+  // barrier pipeline), quantum_cycles = simulated cycles they covered, so
+  // effective_quantum = cycles per barrier rendezvous (1.0 = no batching).
+  const std::uint64_t quanta = prof.quanta();
+  std::snprintf(buf, sizeof buf,
+                "\"quanta\": %" PRIu64 ", \"quantum_cycles\": %" PRIu64
+                ", \"max_quantum\": %" PRIu64 ", \"effective_quantum\": %.2f}",
+                quanta, prof.quantum_cycles(), prof.max_quantum(),
+                quanta > 0 ? static_cast<double>(prof.quantum_cycles()) /
+                                 static_cast<double>(quanta)
+                           : 1.0);
   out += buf;
   return out;
 }
@@ -344,11 +378,31 @@ std::vector<int> parse_threads(const char* s) {
   return out;
 }
 
+std::vector<Cycle> parse_lookaheads(const char* s) {
+  std::vector<Cycle> out;
+  while (*s != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || v < 0) {
+      std::fprintf(stderr, "bad --lookahead list\n");
+      std::exit(2);
+    }
+    out.push_back(static_cast<Cycle>(v));
+    s = *end == ',' ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--lookahead list is empty\n");
+    std::exit(2);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string suite = "smoke";
   std::vector<int> threads = {1, 2, 4};
+  std::vector<Cycle> lookaheads = {0};  // auto
   Cycle cycles_override = 0;
   const char* out_path = "BENCH_engine.json";
   const char* baseline_path = nullptr;
@@ -361,6 +415,8 @@ int main(int argc, char** argv) {
       suite = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = parse_threads(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--lookahead") && i + 1 < argc) {
+      lookaheads = parse_lookaheads(argv[++i]);
     } else if (!std::strcmp(argv[i], "--cycles") && i + 1 < argc) {
       cycles_override = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
@@ -379,9 +435,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: rawbench [--suite smoke|scaling|fig7|chaos] "
-                   "[--threads 1,2,4] [--cycles N] [--out FILE] "
-                   "[--min-speedup X] [--baseline FILE] [--tolerance F] "
-                   "[--profile] [--speedscope FILE]\n");
+                   "[--threads 1,2,4] [--lookahead 0,1,8] [--cycles N] "
+                   "[--out FILE] [--min-speedup X] [--baseline FILE] "
+                   "[--tolerance F] [--profile] [--speedscope FILE]\n");
       return 2;
     }
   }
@@ -424,50 +480,70 @@ int main(int argc, char** argv) {
     std::uint64_t ref_digest = 0;
     bool have_ref = false;
     for (const int t : threads) {
-      Row row;
-      row.name = cs.name;
-      row.threads = t;
-      row.oversubscribed = hw > 0 && static_cast<unsigned>(t) > hw;
-      if (profile) row.prof = std::make_unique<Profiler>(t);
+      // The serial engine has no quanta, so t=1 runs only the first sweep
+      // value; it is the one baseline every (t, K) row compares against.
+      const std::size_t sweep = t == 1 ? 1 : lookaheads.size();
+      for (std::size_t li = 0; li < sweep; ++li) {
+        const Cycle la = lookaheads[li];
+        Row row;
+        row.name = cs.name;
+        row.threads = t;
+        row.lookahead = la;
+        row.oversubscribed = hw > 0 && static_cast<unsigned>(t) > hw;
+        if (profile) row.prof = std::make_unique<Profiler>(t);
 
-      const auto t0 = std::chrono::steady_clock::now();
-      const RunOutput out = cs.run(t, row.prof.get());
-      const auto t1 = std::chrono::steady_clock::now();
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunOutput out = cs.run(t, la, row.prof.get());
+        const auto t1 = std::chrono::steady_clock::now();
 
-      row.cycles = out.cycles;
-      row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-      row.cycles_per_sec =
-          static_cast<double>(out.cycles) / row.wall_seconds;
-      row.digest = out.digest;
-      if (!have_ref) {
-        ref_digest = out.digest;
-        have_ref = true;
+        row.cycles = out.cycles;
+        row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+        row.cycles_per_sec =
+            static_cast<double>(out.cycles) / row.wall_seconds;
+        row.digest = out.digest;
+        if (!have_ref) {
+          ref_digest = out.digest;
+          have_ref = true;
+        }
+        row.deterministic = out.digest == ref_digest;
+        all_deterministic &= row.deterministic;
+        if (t == 1) serial_wall = row.wall_seconds;
+        row.speedup = serial_wall > 0.0 ? serial_wall / row.wall_seconds : 1.0;
+        char kbuf[24];
+        if (la == 0) {
+          std::snprintf(kbuf, sizeof kbuf, "K=auto");
+        } else {
+          std::snprintf(kbuf, sizeof kbuf, "K=%" PRIu64,
+                        static_cast<std::uint64_t>(la));
+        }
+        std::printf("  %-24s t=%d %-7s %9" PRIu64 " cycles  %8.0f cyc/s  "
+                    "speedup %.2fx  digest %016" PRIx64 "%s%s\n",
+                    cs.name.c_str(), t, kbuf,
+                    static_cast<std::uint64_t>(row.cycles),
+                    row.cycles_per_sec, row.speedup, row.digest,
+                    row.oversubscribed ? "  [oversubscribed]" : "",
+                    row.deterministic ? "" : "  <-- MISMATCH");
+        if (row.prof != nullptr) {
+          const std::uint64_t quanta = row.prof->quanta();
+          const double eff =
+              quanta > 0 ? static_cast<double>(row.prof->quantum_cycles()) /
+                               static_cast<double>(quanta)
+                         : 1.0;
+          std::printf("    %-22s coverage %3.0f%%  barrier wait %3.0f%%  "
+                      "parks %" PRIu64 "  wakes %" PRIu64
+                      "  dense sweeps %" PRIu64 "  eff quantum %.2f\n",
+                      "profile:", row.prof->coverage() * 100.0,
+                      row.prof->barrier_wait_share() * 100.0, row.prof->parks(),
+                      row.prof->wakes(), row.prof->dense_sweeps(), eff);
+        }
+        if (row.oversubscribed) {
+          std::fprintf(stderr,
+                       "rawbench: WARNING: %s t=%d oversubscribed (host has %u "
+                       "hardware threads) — speedup not meaningful\n",
+                       cs.name.c_str(), t, hw);
+        }
+        rows.push_back(std::move(row));
       }
-      row.deterministic = out.digest == ref_digest;
-      all_deterministic &= row.deterministic;
-      if (t == 1) serial_wall = row.wall_seconds;
-      row.speedup = serial_wall > 0.0 ? serial_wall / row.wall_seconds : 1.0;
-      std::printf("  %-24s t=%d  %9" PRIu64 " cycles  %8.0f cyc/s  "
-                  "speedup %.2fx  digest %016" PRIx64 "%s%s\n",
-                  cs.name.c_str(), t, static_cast<std::uint64_t>(row.cycles),
-                  row.cycles_per_sec, row.speedup, row.digest,
-                  row.oversubscribed ? "  [oversubscribed]" : "",
-                  row.deterministic ? "" : "  <-- MISMATCH");
-      if (row.prof != nullptr) {
-        std::printf("    %-22s coverage %3.0f%%  barrier wait %3.0f%%  "
-                    "parks %" PRIu64 "  wakes %" PRIu64 "  dense sweeps %" PRIu64
-                    "\n",
-                    "profile:", row.prof->coverage() * 100.0,
-                    row.prof->barrier_wait_share() * 100.0, row.prof->parks(),
-                    row.prof->wakes(), row.prof->dense_sweeps());
-      }
-      if (row.oversubscribed) {
-        std::fprintf(stderr,
-                     "rawbench: WARNING: %s t=%d oversubscribed (host has %u "
-                     "hardware threads) — speedup not meaningful\n",
-                     cs.name.c_str(), t, hw);
-      }
-      rows.push_back(std::move(row));
     }
   }
 
@@ -491,11 +567,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"threads\": %d, \"cycles\": %" PRIu64
+                 "    {\"name\": \"%s\", \"threads\": %d, \"lookahead\": %" PRIu64
+                 ", \"cycles\": %" PRIu64
                  ", \"wall_seconds\": %.6f, \"cycles_per_sec\": %.1f, "
                  "\"speedup_vs_serial\": %.3f, \"digest\": \"%016" PRIx64
                  "\", \"deterministic\": %s, \"oversubscribed\": %s",
                  r.name.c_str(), r.threads,
+                 static_cast<std::uint64_t>(r.lookahead),
                  static_cast<std::uint64_t>(r.cycles), r.wall_seconds,
                  r.cycles_per_sec, r.speedup, r.digest,
                  r.deterministic ? "true" : "false",
@@ -514,8 +592,9 @@ int main(int argc, char** argv) {
     std::vector<raw::common::ProfiledRun> pruns;
     for (const Row& r : rows) {
       if (r.prof == nullptr) continue;
-      pruns.push_back({r.name + "/t" + std::to_string(r.threads),
-                       r.prof.get()});
+      std::string label = r.name + "/t" + std::to_string(r.threads);
+      if (r.lookahead != 0) label += "/K" + std::to_string(r.lookahead);
+      pruns.push_back({std::move(label), r.prof.get()});
     }
     std::FILE* sf = std::fopen(speedscope_path, "w");
     if (sf == nullptr) {
@@ -531,12 +610,18 @@ int main(int argc, char** argv) {
   bool speedup_ok = true;
   if (min_speedup > 0.0) {
     for (const Row& r : rows) {
-      if (r.threads > 1 && r.speedup < min_speedup) {
+      if (r.threads <= 1 || r.speedup >= min_speedup) continue;
+      if (r.oversubscribed) {
         std::fprintf(stderr,
-                     "min-speedup violation: %s t=%d speedup %.2fx < %.2fx\n",
-                     r.name.c_str(), r.threads, r.speedup, min_speedup);
-        speedup_ok = false;
+                     "min-speedup: skipping %s t=%d (oversubscribed: host has "
+                     "%u hardware threads) — speedup %.2fx not assessed\n",
+                     r.name.c_str(), r.threads, hw, r.speedup);
+        continue;
       }
+      std::fprintf(stderr,
+                   "min-speedup violation: %s t=%d speedup %.2fx < %.2fx\n",
+                   r.name.c_str(), r.threads, r.speedup, min_speedup);
+      speedup_ok = false;
     }
   }
 
@@ -545,7 +630,10 @@ int main(int argc, char** argv) {
     const std::vector<BaselineRow> base = load_baseline(baseline_path);
     for (const Row& r : rows) {
       for (const BaselineRow& b : base) {
-        if (b.name != r.name || b.threads != r.threads) continue;
+        if (b.name != r.name || b.threads != r.threads ||
+            b.lookahead != r.lookahead) {
+          continue;
+        }
         const double floor = b.cycles_per_sec * (1.0 - tolerance);
         if (r.cycles_per_sec < floor) {
           std::fprintf(stderr,

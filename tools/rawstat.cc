@@ -54,6 +54,7 @@ struct Args {
   const char* chaos = nullptr;  // fault mix, e.g. "flip+stall"
   std::uint64_t chaos_seed = 1;
   int threads = 0;  // execution-engine workers (0: RAWSIM_THREADS)
+  Cycle lookahead = 0;  // batched-quantum cap (0: RAWSIM_LOOKAHEAD/auto)
   bool links = false;     // reliable-link layer (CRC + NACK/retransmit)
   bool recovery = false;  // fault-adaptive crossbar reconfiguration
   bool profile = false;   // engine profiler + live attribution panel
@@ -96,6 +97,9 @@ void usage() {
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
       "  --threads T       execution-engine worker threads (default: \n"
       "                    RAWSIM_THREADS, else serial; results identical)\n"
+      "  --lookahead K     batched-quantum lookahead cap (0: RAWSIM_LOOKAHEAD,\n"
+      "                    else engine default; 1: cycle-granular; results\n"
+      "                    identical at every value)\n"
       "  --no-refresh      append dashboard frames instead of redrawing\n");
 }
 
@@ -158,6 +162,14 @@ Args parse(int argc, char** argv) {
       a.channel_stats = true;
     } else if (!std::strcmp(argv[i], "--threads")) {
       a.threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--lookahead")) {
+      const char* v = next("--lookahead");
+      char* end = nullptr;
+      a.lookahead = std::strtoull(v, &end, 10);
+      if (v[0] == '-' || end == v || *end != '\0') {
+        std::fprintf(stderr, "bad --lookahead '%s'\n", v);
+        std::exit(2);
+      }
     } else if (!std::strcmp(argv[i], "--no-refresh")) {
       a.no_refresh = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -334,6 +346,21 @@ void print_profile_panel(const raw::common::Profiler& prof) {
       static_cast<unsigned long long>(prof.dense_sweeps()),
       static_cast<unsigned long long>(prof.sparse_cycles()),
       static_cast<unsigned long long>(prof.flight_recorded()));
+  // Batched-quantum amortization: how many simulated cycles each barrier
+  // rendezvous covers on average (1.00 = cycle-granular, no batching).
+  const std::uint64_t quanta = prof.quanta();
+  if (quanta > 0) {
+    std::printf(
+        "  quanta: %llu quanta / %llu cycles, effective quantum %.2f "
+        "(max %llu) — barrier cost amortized %.1fx\n",
+        static_cast<unsigned long long>(quanta),
+        static_cast<unsigned long long>(prof.quantum_cycles()),
+        static_cast<double>(prof.quantum_cycles()) /
+            static_cast<double>(quanta),
+        static_cast<unsigned long long>(prof.max_quantum()),
+        static_cast<double>(prof.quantum_cycles()) /
+            static_cast<double>(quanta));
+  }
 }
 
 /// The cluster dashboard (--cluster N): aggregate throughput plus the three
@@ -440,6 +467,7 @@ int main(int argc, char** argv) {
   cfg.runtime.quantum_max_words = args.quantum;
   cfg.channel_stats = args.channel_stats;
   cfg.threads = args.threads;
+  cfg.max_lookahead = args.lookahead;
   cfg.link.enabled = args.links;
   cfg.recovery.enabled = args.recovery;
 
