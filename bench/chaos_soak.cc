@@ -6,6 +6,14 @@
 //   ./chaos_soak [--seeds N] [--cycles N] [--threads T]
 //                [--links] [--recovery] [--invariants]
 //                [--repro-dir DIR] [--flight-dir DIR]
+//   ./chaos_soak --cluster [--seeds N] [--cycles N] [--chips N]
+//                [--threads T] [--repro-dir DIR]
+//
+// --cluster sweeps the *inter-chip* fault mixes (cluster/chaos.h) instead:
+// seeds x 8 mixes against a multi-chip fabric with reliable trunks and
+// fail-over armed, every recovery invariant checked. With --repro-dir,
+// every failing combination writes a replayable JSON bundle there
+// (rawchaos --cluster --replay).
 //
 // --links/--recovery run the whole sweep with the self-healing layers on
 // (reliable links + fault-adaptive reconfiguration). With --invariants,
@@ -29,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/chaos.h"
 #include "common/profiler.h"
 #include "router/chaos.h"
 #include "router/repro.h"
@@ -42,6 +51,8 @@ struct Args {
   bool links = false;
   bool recovery = false;
   bool invariants = false;
+  bool cluster = false;
+  int chips = 4;
   const char* repro_dir = nullptr;
   const char* flight_dir = nullptr;
 };
@@ -61,6 +72,10 @@ Args parse(int argc, char** argv) {
       a.recovery = true;
     } else if (!std::strcmp(argv[i], "--invariants")) {
       a.invariants = true;
+    } else if (!std::strcmp(argv[i], "--cluster")) {
+      a.cluster = true;
+    } else if (!std::strcmp(argv[i], "--chips") && i + 1 < argc) {
+      a.chips = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--repro-dir") && i + 1 < argc) {
       a.repro_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--flight-dir") && i + 1 < argc) {
@@ -195,10 +210,104 @@ raw::router::ChaosSweepSummary sweep_local(const Args& args,
   return summary;
 }
 
+/// Cluster sweep: seeds x the 8 standard inter-chip mixes with reliable
+/// trunks + fail-over armed. Failing combinations each write a replayable
+/// bundle to `repro_dir` (when given).
+int run_cluster_sweep(const Args& args) {
+  std::printf("cluster chaos soak: %d seeds x %zu mixes, %d chips, "
+              "%llu cycles per run\n\n",
+              args.seeds, raw::cluster::standard_cluster_mixes().size(),
+              args.chips, static_cast<unsigned long long>(args.cycles));
+
+  struct MixAgg {
+    int runs = 0, passed = 0, degraded = 0;
+    std::uint64_t delivered = 0, errors = 0, lost = 0, retransmits = 0,
+                  written_off = 0, abandoned = 0;
+  };
+  std::map<std::string, MixAgg> by_mix;
+  int total = 0;
+  int passed = 0;
+  for (const raw::cluster::ClusterChaosMix& mix :
+       raw::cluster::standard_cluster_mixes()) {
+    for (int s = 1; s <= args.seeds; ++s) {
+      raw::cluster::ClusterChaosSpec spec;
+      spec.seed = static_cast<std::uint64_t>(s);
+      spec.mix = mix;
+      spec.num_chips = args.chips;
+      spec.run_cycles = args.cycles;
+      spec.threads = args.threads;
+      spec.reliable_links = true;
+      spec.failover = true;
+      const std::vector<raw::cluster::ClusterFaultEvent> events =
+          raw::cluster::make_cluster_fault_events(spec);
+      const raw::cluster::ClusterChaosResult r =
+          raw::cluster::run_cluster_chaos_events(spec, events);
+      ++total;
+      if (r.pass) ++passed;
+      MixAgg& agg = by_mix[r.mix.empty() ? "clean" : r.mix];
+      ++agg.runs;
+      if (r.pass) ++agg.passed;
+      if (r.degraded) ++agg.degraded;
+      agg.delivered += r.delivered;
+      agg.errors += r.errors;
+      agg.lost += r.lost;
+      agg.retransmits += r.retransmits;
+      agg.written_off += r.written_off_words;
+      agg.abandoned += r.abandoned_packets;
+      if (!r.pass) {
+        std::printf("FAIL %s seed %llu: %s\n",
+                    r.mix.empty() ? "clean" : r.mix.c_str(),
+                    static_cast<unsigned long long>(r.seed),
+                    r.failure.c_str());
+        if (args.repro_dir != nullptr) {
+          raw::cluster::ClusterChaosRepro repro;
+          repro.spec = spec;
+          repro.events = events;
+          repro.pass = r.pass;
+          repro.failure = r.failure;
+          repro.degraded = r.degraded;
+          repro.drained = r.drained;
+          repro.digest = r.digest;
+          const std::string path = std::string(args.repro_dir) + "/cluster_" +
+                                   (r.mix.empty() ? "clean" : r.mix) +
+                                   "_seed" + std::to_string(r.seed) +
+                                   ".repro.json";
+          FILE* f = std::fopen(path.c_str(), "w");
+          if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+          } else {
+            const std::string json = raw::cluster::to_json(repro);
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("  bundle: %s\n", path.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("%-28s %9s %10s %6s %6s %7s %7s %7s %5s\n", "mix", "pass",
+              "delivered", "errors", "lost", "retrans", "wroff", "aband",
+              "degr");
+  for (const auto& [mix, agg] : by_mix) {
+    std::printf("%-28s %4d/%-4d %10llu %6llu %6llu %7llu %7llu %7llu %5d\n",
+                mix.c_str(), agg.passed, agg.runs,
+                static_cast<unsigned long long>(agg.delivered),
+                static_cast<unsigned long long>(agg.errors),
+                static_cast<unsigned long long>(agg.lost),
+                static_cast<unsigned long long>(agg.retransmits),
+                static_cast<unsigned long long>(agg.written_off),
+                static_cast<unsigned long long>(agg.abandoned), agg.degraded);
+  }
+  std::printf("\n%d/%d combinations passed\n", passed, total);
+  return passed == total ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.cluster) return run_cluster_sweep(args);
   std::printf("chaos soak: %d seeds x %zu mixes, %llu cycles per run%s%s%s\n\n",
               args.seeds, raw::router::standard_mixes().size(),
               static_cast<unsigned long long>(args.cycles),

@@ -44,6 +44,12 @@ class ClusterInputCard : public sim::Device {
 
   void stop() { stopped_ = true; }
 
+  /// Fail-over surgery (this card's chip is confirmed dead): stops the
+  /// arrival process and writes off every queued packet — fully queued or
+  /// partially streamed into the dead chip — as lost through the shared
+  /// ledger. Barrier phase only. Returns the number written off.
+  std::uint64_t abandon();
+
   [[nodiscard]] std::uint64_t offered_packets() const { return offered_packets_; }
   [[nodiscard]] common::ByteCount offered_bytes() const { return offered_bytes_; }
   [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_packets_; }
@@ -59,6 +65,11 @@ class ClusterInputCard : public sim::Device {
   router::PacketLedger* ledger_;
   std::size_t queue_capacity_words_;
   std::deque<common::Word> queue_;
+  // Packet boundaries of `queue_` — (uid, total words), oldest first — so
+  // abandon() can settle the ledger entry of every queued packet. The front
+  // packet may be partially written into the chip already.
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> queued_packets_;
+  std::uint32_t front_words_sent_ = 0;
   common::Cycle next_arrival_ = 0;
   std::uint64_t next_seq_ = 1;
   bool stopped_ = false;
@@ -76,6 +87,14 @@ class ClusterOutputCard : public sim::Device {
                     const std::vector<std::vector<int>>* hops);
 
   void step(sim::Chip& chip) override;
+
+  /// Degraded-mode validation (after a fail-over reroute): surviving paths
+  /// may be longer or shorter than the as-built hop matrix, so the TTL
+  /// check relaxes from "exactly hops[src][dst] decrements" to "between 1
+  /// and the chip count" — payload, addressing and size stay exact.
+  void set_degraded(int max_ttl_decrements) {
+    degraded_max_hops_ = max_ttl_decrements;
+  }
 
   [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
   [[nodiscard]] common::ByteCount delivered_bytes() const { return delivered_bytes_; }
@@ -100,6 +119,7 @@ class ClusterOutputCard : public sim::Device {
   int host_id_;
   router::PacketLedger* ledger_;
   const std::vector<std::vector<int>>* hops_;
+  int degraded_max_hops_ = 0;  // 0 = healthy, exact hop validation
   router::FrameAssembler assembler_;
   std::uint64_t delivered_packets_ = 0;
   common::ByteCount delivered_bytes_ = 0;

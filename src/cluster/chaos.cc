@@ -1,0 +1,706 @@
+#include "cluster/chaos.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/fabric.h"
+#include "cluster/topology.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "sim/invariants.h"
+
+namespace raw::cluster {
+
+std::string ClusterChaosMix::name() const {
+  if (!any()) return "clean";
+  std::string s;
+  const auto add = [&s](const char* kind) {
+    if (!s.empty()) s += '+';
+    s += kind;
+  };
+  if (corrupts) add("corrupt");
+  if (stalls) add("stall");
+  if (cuts) add("cut");
+  if (freezes) add("freeze");
+  return s;
+}
+
+ClusterConfig cluster_config_for(const ClusterChaosSpec& spec) {
+  ClusterConfig cfg;
+  cfg.num_chips = spec.num_chips;
+  cfg.topology = spec.topology;
+  cfg.threads = spec.threads;
+  cfg.reliable_links = spec.reliable_links;
+  cfg.failover = spec.failover;
+  cfg.watchdog_interval = spec.watchdog_interval;
+  cfg.traffic.load = spec.load;
+  cfg.traffic.fixed_bytes = spec.bytes;
+  cfg.traffic.remote_fraction = spec.remote_fraction;
+  return cfg;
+}
+
+std::vector<ClusterFaultEvent> make_cluster_fault_events(
+    const ClusterChaosSpec& spec) {
+  // The schedule targets real geometry, so build the (fault-free) topology
+  // the run will use.
+  const Topology topo = Topology::build(cluster_config_for(spec));
+  const std::size_t num_links = topo.links.size();
+  RAW_ASSERT(num_links >= 2 && num_links % 2 == 0);  // trunks come in pairs
+
+  common::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x0c1f);
+  std::vector<ClusterFaultEvent> events;
+  // Faults land in the middle half of the run: late enough that traffic is
+  // flowing, early enough that recovery has room to prove itself (and a
+  // permanent fault leaves at least one watchdog interval before drain).
+  const common::Cycle lo = spec.run_cycles / 4;
+  const common::Cycle hi = std::max<common::Cycle>(lo + 1,
+                                                   3 * spec.run_cycles / 4);
+  const auto when = [&] { return lo + rng.below(hi - lo); };
+
+  if (spec.mix.corrupts) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      ClusterFaultEvent e;
+      e.kind = ClusterFaultKind::kTrunkCorrupt;
+      e.at = when();
+      e.link = static_cast<int>(rng.below(num_links));
+      e.bit = static_cast<std::uint32_t>(rng.below(32));
+      events.push_back(e);
+    }
+  }
+  if (spec.mix.stalls) {
+    for (int i = 0; i < spec.faults_per_kind; ++i) {
+      ClusterFaultEvent e;
+      e.kind = ClusterFaultKind::kTrunkStall;
+      e.at = when();
+      e.link = static_cast<int>(rng.below(num_links));
+      e.duration = 64 + rng.below(449);  // 64..512 cycles
+      events.push_back(e);
+    }
+  }
+  if (spec.mix.cuts) {
+    // One trunk-pair cut per run: a fiber cut takes both directions of one
+    // trunk (the builder wires them consecutively, so trunk t is links
+    // {2t, 2t+1}). Capped at one so a schedule never shreds the fabric.
+    const std::uint64_t trunk = rng.below(num_links / 2);
+    const common::Cycle at = when();
+    for (int dir = 0; dir < 2; ++dir) {
+      ClusterFaultEvent e;
+      e.kind = ClusterFaultKind::kTrunkCut;
+      e.at = at;
+      e.link = static_cast<int>(2 * trunk + static_cast<std::uint64_t>(dir));
+      events.push_back(e);
+    }
+  }
+  if (spec.mix.freezes) {
+    // One chip death per run, drawn from the host-bearing chips and only
+    // when another host-bearing chip survives it — a dead fabric that
+    // delivers nothing would mask every other invariant.
+    std::vector<char> has_host(static_cast<std::size_t>(topo.num_chips), 0);
+    for (const HostPlan& h : topo.hosts) {
+      has_host[static_cast<std::size_t>(h.chip)] = 1;
+    }
+    std::vector<int> candidates;
+    for (int c = 0; c < topo.num_chips; ++c) {
+      if (has_host[static_cast<std::size_t>(c)] != 0) candidates.push_back(c);
+    }
+    if (candidates.size() >= 2) {
+      ClusterFaultEvent e;
+      e.kind = ClusterFaultKind::kChipFreeze;
+      e.at = when();
+      e.chip = candidates[rng.below(candidates.size())];
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+ClusterChaosResult run_cluster_chaos(const ClusterChaosSpec& spec) {
+  return run_cluster_chaos_events(spec, make_cluster_fault_events(spec));
+}
+
+ClusterChaosResult run_cluster_chaos_events(
+    const ClusterChaosSpec& spec,
+    const std::vector<ClusterFaultEvent>& events) {
+  // Expectations come from the events themselves, so a hand-edited or
+  // replayed schedule is judged by the same rules as a generated one.
+  bool corrupting = false;
+  bool permanent = false;
+  for (const ClusterFaultEvent& e : events) {
+    corrupting |= e.kind == ClusterFaultKind::kTrunkCorrupt;
+    permanent |= e.kind == ClusterFaultKind::kTrunkCut ||
+                 e.kind == ClusterFaultKind::kChipFreeze;
+  }
+
+  ClusterConfig cfg = cluster_config_for(spec);
+  cfg.faults = events;
+  ClusterFabric fabric(cfg, spec.seed);
+
+  sim::InvariantMonitor monitor;
+  fabric.register_invariants(monitor);
+
+  ClusterChaosResult r;
+  r.seed = spec.seed;
+  r.mix = spec.mix.name();
+
+  // Run in watchdog-interval segments with an invariant sweep between each,
+  // so a broken book is caught near where it broke.
+  const common::Cycle segment =
+      std::max<common::Cycle>(spec.watchdog_interval, fabric.epoch_cycles());
+  common::Cycle remaining = spec.run_cycles;
+  while (remaining > 0) {
+    const common::Cycle step = std::min(segment, remaining);
+    fabric.run(step);
+    remaining -= step;
+    monitor.sweep(fabric.cycle());
+  }
+  r.drained = fabric.drain(spec.drain_cycles);
+  monitor.sweep(fabric.cycle());
+
+  r.degraded = fabric.degraded();
+  r.offered = fabric.offered_packets();
+  r.delivered = fabric.delivered_packets();
+  r.dropped_card = fabric.dropped_at_card();
+  r.errors = fabric.errors();
+  r.lost = fabric.lost_packets();
+  r.faults_injected = fabric.fault_plan().fired();
+  r.retransmits = fabric.total_retransmits();
+  r.delivered_corrupt = fabric.total_delivered_corrupt();
+  r.written_off_words = fabric.written_off_words();
+  r.abandoned_packets = fabric.abandoned_packets();
+  r.failover_generation = fabric.failover_generation();
+  r.unreachable_hosts = fabric.unreachable_hosts().size();
+  if (!monitor.ok()) {
+    const sim::InvariantViolation& v = monitor.violations().front();
+    r.invariant_failure = v.name + ": " + v.detail;
+  }
+  r.digest = fabric.cluster_digest();
+
+  // ---- Invariant checks, most fundamental first. -------------------------
+  const auto fail = [&r](std::string why) {
+    if (r.failure.empty()) r.failure = std::move(why);
+  };
+
+  if (!r.invariant_failure.empty()) {
+    fail("invariant monitor: " + r.invariant_failure);
+  }
+  // Conservation: ClusterFabric::drain already asserted the packet books;
+  // re-derive them here so a failure is reported, not aborted.
+  const std::uint64_t accounted = r.dropped_card +
+                                  fabric.ledger().erased_total() +
+                                  fabric.ledger().in_flight.size();
+  if (r.offered != accounted) {
+    fail("conservation: offered " + std::to_string(r.offered) +
+         " != accounted " + std::to_string(accounted));
+  }
+  for (std::size_t l = 0; l < fabric.num_links(); ++l) {
+    const InterChipLink& lk = fabric.link(l);
+    if (lk.sent_total() !=
+        lk.delivered_total() + lk.in_flight_words() + lk.written_off_total()) {
+      fail("link books: link " + std::to_string(l) +
+           " sent != delivered + in_flight + written_off");
+    }
+    if (!lk.seq_books_ok()) {
+      fail("link seq books: link " + std::to_string(l));
+    }
+  }
+  if (!events.empty() && r.faults_injected != events.size()) {
+    fail("fault plan fired " + std::to_string(r.faults_injected) + " of " +
+         std::to_string(events.size()) + " events");
+  }
+  if (corrupting && spec.reliable_links && !permanent) {
+    // The whole point of the reliable layer: corrupt words become
+    // retransmits with zero damage.
+    if (r.errors != 0 || r.lost != 0 || r.delivered_corrupt != 0) {
+      fail("reliable links leaked damage: errors " + std::to_string(r.errors) +
+           " lost " + std::to_string(r.lost) + " delivered_corrupt " +
+           std::to_string(r.delivered_corrupt));
+    }
+    if (fabric.fault_plan().corrupt_applied() > 0 && r.retransmits == 0) {
+      fail("corrupt words applied but no retransmits recorded");
+    }
+  }
+  if (!corrupting && !permanent) {
+    // Timing-only mixes (stalls, clean) must be damage-free regardless of
+    // the reliable layer.
+    if (r.errors != 0 || r.lost != 0) {
+      fail("timing-only mix did damage: errors " + std::to_string(r.errors) +
+           " lost " + std::to_string(r.lost));
+    }
+    if (!r.drained) fail("timing-only mix failed to drain");
+    if (r.degraded) fail("timing-only mix ended degraded");
+  }
+  if (permanent && spec.failover) {
+    if (!r.degraded) fail("permanent fault but the run never went degraded");
+    if (r.failover_generation < 1) fail("permanent fault but no reroute");
+    if (!r.drained) {
+      fail("degraded run did not drain cleanly (losses unexplained)");
+    }
+  }
+  if (r.delivered == 0) fail("no packets delivered");
+
+  r.pass = r.failure.empty();
+  return r;
+}
+
+std::vector<ClusterChaosMix> standard_cluster_mixes() {
+  std::vector<ClusterChaosMix> mixes;
+  ClusterChaosMix m;
+  mixes.push_back(m);  // clean control
+  m = {}; m.corrupts = true; mixes.push_back(m);
+  m = {}; m.stalls = true; mixes.push_back(m);
+  m = {}; m.cuts = true; mixes.push_back(m);
+  m = {}; m.freezes = true; mixes.push_back(m);
+  m = {}; m.corrupts = true; m.stalls = true; mixes.push_back(m);
+  m = {}; m.corrupts = true; m.cuts = true; mixes.push_back(m);
+  m = {}; m.stalls = true; m.freezes = true; mixes.push_back(m);
+  return mixes;
+}
+
+bool parse_cluster_mix(const std::string& s, ClusterChaosMix* out) {
+  ClusterChaosMix mix;
+  if (s != "clean") {
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t next = s.find('+', pos);
+      const std::string kind =
+          s.substr(pos, next == std::string::npos ? next : next - pos);
+      if (kind == "corrupt") {
+        mix.corrupts = true;
+      } else if (kind == "stall") {
+        mix.stalls = true;
+      } else if (kind == "cut") {
+        mix.cuts = true;
+      } else if (kind == "freeze") {
+        mix.freezes = true;
+      } else {
+        return false;
+      }
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+    if (!mix.any()) return false;
+  }
+  *out = mix;
+  return true;
+}
+
+ClusterChaosSweepSummary cluster_chaos_sweep(int num_seeds,
+                                             common::Cycle run_cycles,
+                                             int num_chips, int threads) {
+  ClusterChaosSweepSummary summary;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(num_seeds);
+       ++seed) {
+    for (const ClusterChaosMix& mix : standard_cluster_mixes()) {
+      ClusterChaosSpec spec;
+      spec.seed = seed;
+      spec.mix = mix;
+      spec.num_chips = num_chips;
+      spec.threads = threads;
+      spec.run_cycles = run_cycles;
+      spec.reliable_links = true;
+      spec.failover = true;
+      ClusterChaosResult r = run_cluster_chaos(spec);
+      ++summary.total;
+      if (r.pass) ++summary.passed;
+      summary.results.push_back(std::move(r));
+    }
+  }
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// Repro bundles. The schema is small and fixed, so the writer is a handful
+// of append helpers and the reader a minimal recursive-descent pass over
+// exactly what to_json emits (same approach as router/repro.cc).
+
+namespace {
+
+void append_escaped(std::string& s, const std::string& v) {
+  s += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': s += "\\\""; break;
+      case '\\': s += "\\\\"; break;
+      case '\n': s += "\\n"; break;
+      case '\t': s += "\\t"; break;
+      case '\r': s += "\\r"; break;
+      default: s += c; break;
+    }
+  }
+  s += '"';
+}
+
+void append_double(std::string& s, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  s += buf;
+}
+
+void append_hex64(std::string& s, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  s += '"';
+  s += buf;
+  s += '"';
+}
+
+const char* topology_name(TopologyKind t) {
+  switch (t) {
+    case TopologyKind::kPointToPoint: return "point_to_point";
+    case TopologyKind::kLeafSpine: return "leaf_spine";
+    case TopologyKind::kFatTree: return "fat_tree";
+  }
+  return "leaf_spine";
+}
+
+bool topology_from_name(const std::string& s, TopologyKind* out) {
+  if (s == "point_to_point") {
+    *out = TopologyKind::kPointToPoint;
+  } else if (s == "leaf_spine") {
+    *out = TopologyKind::kLeafSpine;
+  } else if (s == "fat_tree") {
+    *out = TopologyKind::kFatTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what + " at offset " + std::to_string(i);
+    return false;
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r' || s[i] == ',')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        const char e = s[i++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: c = e; break;
+        }
+      }
+      *out += c;
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) return fail("expected number");
+    *out = std::strtod(s.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (s.compare(i, 4, "true") == 0) {
+      *out = true;
+      i += 4;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      *out = false;
+      i += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_hex64(std::uint64_t* out) {
+    std::string hex;
+    if (!parse_string(&hex)) return false;
+    *out = std::strtoull(hex.c_str(), nullptr, 16);
+    return true;
+  }
+
+  bool skip_value();  // skip any value (unknown keys)
+};
+
+bool Parser::skip_value() {
+  skip_ws();
+  if (i >= s.size()) return fail("unexpected end");
+  if (s[i] == '"') {
+    std::string tmp;
+    return parse_string(&tmp);
+  }
+  if (s[i] == '{' || s[i] == '[') {
+    const char open = s[i];
+    const char close = open == '{' ? '}' : ']';
+    int depth = 0;
+    bool in_string = false;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == open) ++depth;
+      if (c == close && --depth == 0) {
+        ++i;
+        return true;
+      }
+    }
+    return fail("unterminated value");
+  }
+  double tmp = 0;
+  bool b = false;
+  if (s[i] == 't' || s[i] == 'f') return parse_bool(&b);
+  return parse_number(&tmp);
+}
+
+}  // namespace
+
+std::string to_json(const ClusterChaosRepro& repro) {
+  std::string j = "{\n  \"schema\": \"raw-cluster-chaos-repro/v1\",\n";
+  j += "  \"spec\": {";
+  j += "\"seed\": " + std::to_string(repro.spec.seed);
+  j += ", \"mix\": ";
+  append_escaped(j, repro.spec.mix.name());
+  j += ", \"num_chips\": " + std::to_string(repro.spec.num_chips);
+  j += ", \"topology\": ";
+  append_escaped(j, topology_name(repro.spec.topology));
+  j += ", \"run_cycles\": " + std::to_string(repro.spec.run_cycles);
+  j += ", \"drain_cycles\": " + std::to_string(repro.spec.drain_cycles);
+  j += ", \"faults_per_kind\": " + std::to_string(repro.spec.faults_per_kind);
+  j += ", \"threads\": " + std::to_string(repro.spec.threads);
+  j += std::string(", \"reliable_links\": ") +
+       (repro.spec.reliable_links ? "true" : "false");
+  j += std::string(", \"failover\": ") +
+       (repro.spec.failover ? "true" : "false");
+  j += ", \"watchdog_interval\": " +
+       std::to_string(repro.spec.watchdog_interval);
+  j += ", \"load\": ";
+  append_double(j, repro.spec.load);
+  j += ", \"bytes\": " + std::to_string(repro.spec.bytes);
+  j += ", \"remote_fraction\": ";
+  append_double(j, repro.spec.remote_fraction);
+  j += "},\n  \"events\": [";
+  for (std::size_t k = 0; k < repro.events.size(); ++k) {
+    const ClusterFaultEvent& e = repro.events[k];
+    if (k != 0) j += ",";
+    j += "\n    {\"kind\": ";
+    append_escaped(j, cluster_fault_kind_name(e.kind));
+    j += ", \"at\": " + std::to_string(e.at);
+    j += ", \"duration\": " + std::to_string(e.duration);
+    j += ", \"link\": " + std::to_string(e.link);
+    j += ", \"chip\": " + std::to_string(e.chip);
+    j += ", \"bit\": " + std::to_string(e.bit);
+    j += "}";
+  }
+  j += "\n  ],\n";
+  j += std::string("  \"pass\": ") + (repro.pass ? "true" : "false") + ",\n";
+  j += "  \"failure\": ";
+  append_escaped(j, repro.failure);
+  j += ",\n";
+  j += std::string("  \"degraded\": ") + (repro.degraded ? "true" : "false") +
+       ",\n";
+  j += std::string("  \"drained\": ") + (repro.drained ? "true" : "false") +
+       ",\n";
+  j += "  \"digest\": ";
+  append_hex64(j, repro.digest);
+  j += "\n}\n";
+  return j;
+}
+
+bool from_json(const std::string& text, ClusterChaosRepro* out,
+               std::string* error) {
+  Parser p{text, 0, {}};
+  ClusterChaosRepro r;
+  const auto done = [&](bool ok) {
+    if (!ok && error != nullptr) *error = p.err;
+    if (ok) *out = std::move(r);
+    return ok;
+  };
+  if (!p.consume('{')) return done(false);
+  std::string key;
+  while (!p.peek('}')) {
+    if (!p.parse_string(&key) || !p.consume(':')) return done(false);
+    double num = 0;
+    std::string str;
+    if (key == "schema") {
+      if (!p.parse_string(&str)) return done(false);
+      if (str != "raw-cluster-chaos-repro/v1") {
+        p.fail("unknown schema " + str);
+        return done(false);
+      }
+    } else if (key == "spec") {
+      if (!p.consume('{')) return done(false);
+      while (!p.peek('}')) {
+        if (!p.parse_string(&key) || !p.consume(':')) return done(false);
+        if (key == "seed") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.seed = static_cast<std::uint64_t>(num);
+        } else if (key == "mix") {
+          if (!p.parse_string(&str)) return done(false);
+          if (!parse_cluster_mix(str, &r.spec.mix)) {
+            p.fail("unknown mix " + str);
+            return done(false);
+          }
+        } else if (key == "num_chips") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.num_chips = static_cast<int>(num);
+        } else if (key == "topology") {
+          if (!p.parse_string(&str)) return done(false);
+          if (!topology_from_name(str, &r.spec.topology)) {
+            p.fail("unknown topology " + str);
+            return done(false);
+          }
+        } else if (key == "run_cycles") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.run_cycles = static_cast<common::Cycle>(num);
+        } else if (key == "drain_cycles") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.drain_cycles = static_cast<common::Cycle>(num);
+        } else if (key == "faults_per_kind") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.faults_per_kind = static_cast<int>(num);
+        } else if (key == "threads") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.threads = static_cast<int>(num);
+        } else if (key == "reliable_links") {
+          if (!p.parse_bool(&r.spec.reliable_links)) return done(false);
+        } else if (key == "failover") {
+          if (!p.parse_bool(&r.spec.failover)) return done(false);
+        } else if (key == "watchdog_interval") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.watchdog_interval = static_cast<common::Cycle>(num);
+        } else if (key == "load") {
+          if (!p.parse_number(&r.spec.load)) return done(false);
+        } else if (key == "bytes") {
+          if (!p.parse_number(&num)) return done(false);
+          r.spec.bytes = static_cast<common::ByteCount>(num);
+        } else if (key == "remote_fraction") {
+          if (!p.parse_number(&r.spec.remote_fraction)) return done(false);
+        } else {
+          if (!p.skip_value()) return done(false);
+        }
+      }
+      if (!p.consume('}')) return done(false);
+    } else if (key == "events") {
+      if (!p.consume('[')) return done(false);
+      while (!p.peek(']')) {
+        if (!p.consume('{')) return done(false);
+        ClusterFaultEvent e;
+        while (!p.peek('}')) {
+          if (!p.parse_string(&key) || !p.consume(':')) return done(false);
+          if (key == "kind") {
+            if (!p.parse_string(&str)) return done(false);
+            if (str == "trunk_corrupt") {
+              e.kind = ClusterFaultKind::kTrunkCorrupt;
+            } else if (str == "trunk_stall") {
+              e.kind = ClusterFaultKind::kTrunkStall;
+            } else if (str == "trunk_cut") {
+              e.kind = ClusterFaultKind::kTrunkCut;
+            } else if (str == "chip_freeze") {
+              e.kind = ClusterFaultKind::kChipFreeze;
+            } else {
+              p.fail("unknown fault kind " + str);
+              return done(false);
+            }
+          } else if (key == "at") {
+            if (!p.parse_number(&num)) return done(false);
+            e.at = static_cast<common::Cycle>(num);
+          } else if (key == "duration") {
+            if (!p.parse_number(&num)) return done(false);
+            e.duration = static_cast<std::uint64_t>(num);
+          } else if (key == "link") {
+            if (!p.parse_number(&num)) return done(false);
+            e.link = static_cast<int>(num);
+          } else if (key == "chip") {
+            if (!p.parse_number(&num)) return done(false);
+            e.chip = static_cast<int>(num);
+          } else if (key == "bit") {
+            if (!p.parse_number(&num)) return done(false);
+            e.bit = static_cast<std::uint32_t>(num);
+          } else {
+            if (!p.skip_value()) return done(false);
+          }
+        }
+        if (!p.consume('}')) return done(false);
+        r.events.push_back(e);
+      }
+      if (!p.consume(']')) return done(false);
+    } else if (key == "pass") {
+      if (!p.parse_bool(&r.pass)) return done(false);
+    } else if (key == "failure") {
+      if (!p.parse_string(&r.failure)) return done(false);
+    } else if (key == "degraded") {
+      if (!p.parse_bool(&r.degraded)) return done(false);
+    } else if (key == "drained") {
+      if (!p.parse_bool(&r.drained)) return done(false);
+    } else if (key == "digest") {
+      if (!p.parse_hex64(&r.digest)) return done(false);
+    } else {
+      if (!p.skip_value()) return done(false);
+    }
+  }
+  if (!p.consume('}')) return done(false);
+  return done(true);
+}
+
+ClusterChaosResult replay_cluster_repro(const ClusterChaosRepro& repro,
+                                        std::string* why) {
+  ClusterChaosResult r = run_cluster_chaos_events(repro.spec, repro.events);
+  std::string mismatch;
+  if (r.digest != repro.digest) {
+    mismatch = "digest mismatch";
+  } else if (r.degraded != repro.degraded) {
+    mismatch = "degraded-status mismatch";
+  } else if (r.drained != repro.drained) {
+    mismatch = "drain-outcome mismatch";
+  }
+  if (!mismatch.empty()) {
+    r.pass = false;
+    if (r.failure.empty()) r.failure = "replay: " + mismatch;
+    if (why != nullptr) *why = mismatch;
+  }
+  return r;
+}
+
+}  // namespace raw::cluster

@@ -1,0 +1,181 @@
+// Cluster chaos harness: seeded inter-chip fault mixes driven through a
+// whole ClusterFabric with the recovery invariants checked afterwards.
+//
+// Each (seed, mix) combination builds a ClusterFaultPlan from the mix's
+// fault kinds, runs the cluster under grouped uniform traffic with the
+// cluster invariant checks swept between run segments, drains, and
+// verifies:
+//
+//   * packet conservation with write-off accounting — every offered packet
+//     ends as delivered, dropped at a card, invalid, ingress-dropped,
+//     abandoned/written off, or lost at drain;
+//   * link books — per link, sent == delivered + in_flight + written_off,
+//     and the CRC/seq retransmit window holds contiguous sequence numbers;
+//   * zero damage under reliable links — a corrupting mix on CRC+seq trunks
+//     produces retransmits, not errors or losses;
+//   * clean degradation — a permanent fault (trunk cut, chip freeze) with
+//     fail-over armed must end kDegraded with a *clean* drain (losses
+//     explained by the confirmed failure) and a rerouted generation;
+//   * the cluster still forwards — end-to-end validated deliveries stay
+//     nonzero.
+//
+// Used by tools/rawchaos --cluster (interactive), tools/rawsoak --cluster
+// (rotating mixes), bench/chaos_soak --cluster (full sweep), and the tier2
+// ctest soak (bounded sweep). Deterministic: the same (spec, events) pair
+// produces the same ClusterChaosResult — and the same cluster digest — at
+// any worker count, which is what makes a recorded repro replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/cluster_faults.h"
+
+namespace raw::cluster {
+
+/// Which inter-chip fault kinds a run injects.
+struct ClusterChaosMix {
+  bool corrupts = false;  // trunk word bit flips
+  bool stalls = false;    // transient link flaps
+  bool cuts = false;      // permanent trunk-pair cuts
+  bool freezes = false;   // permanent whole-chip death
+
+  /// Only bit flips corrupt words; everything else perturbs timing or
+  /// connectivity.
+  [[nodiscard]] bool corrupting() const { return corrupts; }
+  /// Permanent faults make a degraded finish the expected outcome.
+  [[nodiscard]] bool permanent() const { return cuts || freezes; }
+  [[nodiscard]] bool any() const {
+    return corrupts || stalls || cuts || freezes;
+  }
+  [[nodiscard]] std::string name() const;
+};
+
+struct ClusterChaosSpec {
+  std::uint64_t seed = 1;
+  ClusterChaosMix mix;
+  int num_chips = 4;
+  TopologyKind topology = TopologyKind::kLeafSpine;
+  common::Cycle run_cycles = 20000;
+  common::Cycle drain_cycles = 600000;
+  /// Scheduled events per enabled transient kind (corrupts, stalls).
+  /// Permanent kinds are capped independently: at most one trunk-pair cut
+  /// and one chip freeze per run, so a schedule never severs everything.
+  int faults_per_kind = 3;
+  /// Thread-per-chip workers (ClusterConfig::threads semantics).
+  int threads = 0;
+  /// CRC+seq reliable trunks: corrupting mixes must then do zero damage.
+  bool reliable_links = false;
+  /// Watchdog + deterministic reroute: permanent mixes must then end
+  /// kDegraded with a clean drain.
+  bool failover = false;
+  common::Cycle watchdog_interval = 256;
+  double load = 0.8;
+  common::ByteCount bytes = 128;
+  double remote_fraction = 0.6;
+};
+
+struct ClusterChaosResult {
+  bool pass = false;
+  std::string failure;  // first violated invariant, empty on pass
+  std::uint64_t seed = 0;
+  std::string mix;
+  bool degraded = false;
+  bool drained = false;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_card = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t faults_injected = 0;  // plan events fired
+  std::uint64_t retransmits = 0;
+  std::uint64_t delivered_corrupt = 0;
+  std::uint64_t written_off_words = 0;
+  std::uint64_t abandoned_packets = 0;
+  int failover_generation = 0;
+  std::uint64_t unreachable_hosts = 0;
+  /// First invariant-monitor violation ("name: detail"), empty when clean.
+  std::string invariant_failure;
+  /// ClusterFabric::cluster_digest() at exit: the replay fingerprint.
+  std::uint64_t digest = 0;
+};
+
+/// The ClusterConfig a chaos run builds from `spec` (without the fault
+/// schedule) — exported so replay reconstructs the identical fabric.
+ClusterConfig cluster_config_for(const ClusterChaosSpec& spec);
+
+/// Builds the seeded fault schedule for `spec`. Cut events sever both
+/// directions of one trunk at the same barrier (a fiber cut takes the
+/// pair); freeze events kill one host-bearing chip, leaving at least one
+/// other host-bearing chip alive so the fabric keeps forwarding.
+std::vector<ClusterFaultEvent> make_cluster_fault_events(
+    const ClusterChaosSpec& spec);
+
+/// Runs one (seed, mix) combination and checks every invariant.
+ClusterChaosResult run_cluster_chaos(const ClusterChaosSpec& spec);
+
+/// Runs `spec`'s cluster under an *explicit* fault schedule instead of the
+/// seed-derived one — the replay path. Validation derives its expectations
+/// from the events themselves (any kTrunkCorrupt => corrupting, any
+/// kTrunkCut/kChipFreeze => permanent); spec.mix is used only for
+/// labelling.
+ClusterChaosResult run_cluster_chaos_events(
+    const ClusterChaosSpec& spec, const std::vector<ClusterFaultEvent>& events);
+
+/// The 8 standard cluster mixes: each kind alone, corrupt+stall,
+/// corrupt+cut, stall+freeze, everything, and the clean-fabric control.
+std::vector<ClusterChaosMix> standard_cluster_mixes();
+
+/// Parses a '+'-separated mix string ("corrupt+stall+cut+freeze") into
+/// `out`. Returns false on an unknown kind name.
+bool parse_cluster_mix(const std::string& s, ClusterChaosMix* out);
+
+struct ClusterChaosSweepSummary {
+  int total = 0;
+  int passed = 0;
+  std::vector<ClusterChaosResult> results;  // every combination, in run order
+  [[nodiscard]] bool all_passed() const { return passed == total; }
+};
+
+/// Sweeps seeds x standard_cluster_mixes(): seeds 1..num_seeds against
+/// every mix, with reliable links + fail-over armed for every combination.
+ClusterChaosSweepSummary cluster_chaos_sweep(int num_seeds,
+                                             common::Cycle run_cycles,
+                                             int num_chips = 4,
+                                             int threads = 0);
+
+// ---------------------------------------------------------------------------
+// Repro bundles: record a failing (spec, events) pair as JSON, replay it
+// bit-identically. Cluster schedules are a handful of events, so there is
+// no ddmin here — the bundle is already near-minimal.
+
+struct ClusterChaosRepro {
+  ClusterChaosSpec spec;
+  std::vector<ClusterFaultEvent> events;
+  bool pass = true;
+  std::string failure;  // failure class recorded at capture
+  bool degraded = false;
+  bool drained = false;
+  std::uint64_t digest = 0;
+};
+
+/// Serializes a repro as a self-contained JSON document (schema version 1;
+/// the digest is written as a hex string because 64-bit values exceed
+/// JSON's interoperable integer range).
+[[nodiscard]] std::string to_json(const ClusterChaosRepro& repro);
+
+/// Parses a document produced by to_json. On failure returns false and, if
+/// `error` is non-null, stores a one-line description.
+bool from_json(const std::string& text, ClusterChaosRepro* out,
+               std::string* error = nullptr);
+
+/// Replays a recorded bundle and verifies the run reproduces the recorded
+/// digest, status and drain outcome. Returns the replay result with `pass`
+/// reflecting the comparison (a faithfully reproduced *failure* is a
+/// replay pass).
+ClusterChaosResult replay_cluster_repro(const ClusterChaosRepro& repro,
+                                        std::string* why = nullptr);
+
+}  // namespace raw::cluster

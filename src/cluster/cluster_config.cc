@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cluster/topology.h"
 #include "net/ipv4.h"
 
 namespace raw::cluster {
@@ -81,6 +82,33 @@ void ClusterConfig::validate() const {
     throw std::invalid_argument(
         "ClusterConfig.traffic.remote_fraction must be in [0, 1]; got " +
         std::to_string(traffic.remote_fraction));
+  }
+  if (reliable_links && link_retransmit_limit == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig.link_retransmit_limit must be >= 1 when "
+        "reliable_links is on: a zero retransmit budget delivers every "
+        "corrupt word anyway, which is the unreliable link spelled "
+        "expensively");
+  }
+  if (reliable_links && link_retransmit_rtt == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig.link_retransmit_rtt must be >= 1 when reliable_links "
+        "is on: a retransmit takes at least one cycle of round trip");
+  }
+  if (failover && watchdog_interval == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig.watchdog_interval must be positive when failover is "
+        "on: the watchdog samples chip and link health once per interval, "
+        "and a zero interval never samples at all");
+  }
+  if (!faults.empty()) {
+    // Range-check the fault targets against the topology this config
+    // actually builds (every earlier check has passed, so the build is
+    // well-defined). A plan that silently targets nothing would report a
+    // vacuous chaos pass.
+    const Topology topo = Topology::build(*this);
+    ClusterFaultPlan plan(faults);
+    plan.bind(topo.links.size(), num_chips);  // throws std::invalid_argument
   }
 }
 

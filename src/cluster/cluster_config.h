@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "cluster/cluster_faults.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/traffic.h"
@@ -53,6 +55,29 @@ struct ClusterConfig {
   /// serial epoch schedule.
   int threads = 0;
 
+  /// CRC+seq reliable trunk links: corrupted words become retransmits with
+  /// zero damage instead of propagating into the chips. Off by default (and
+  /// bit-neutral when off): the faultless digests match builds that predate
+  /// the layer.
+  bool reliable_links = false;
+  /// Retransmits per word before a reliable link gives up and delivers the
+  /// corrupt word. Must be >= 1 when reliable_links is on.
+  std::uint32_t link_retransmit_limit = 3;
+  /// Delivery slip per NACK round trip, in cycles.
+  common::Cycle link_retransmit_rtt = 4;
+
+  /// Epoch-granular cluster watchdog + deterministic fail-over: a confirmed
+  /// permanent link cut or chip death triggers rerouting around the failed
+  /// element and the run continues degraded. Off by default.
+  bool failover = false;
+  /// Cycles between watchdog samples of per-chip and per-link health. Must
+  /// be positive when failover is on (detection latency is one interval).
+  common::Cycle watchdog_interval = 512;
+
+  /// Scheduled inter-chip faults, applied at epoch barriers (empty = none,
+  /// zero cost). Targets are range-checked by validate().
+  std::vector<ClusterFaultEvent> faults;
+
   /// Per-chip settings, mirroring RouterConfig.
   std::size_t link_fifo_depth = 8;
   std::size_t line_card_queue_words = 1 << 15;
@@ -65,7 +90,10 @@ struct ClusterConfig {
 
   /// Rejects nonsensical knobs (zero chips, zero link latency, a throttle
   /// that exceeds line rate, an epoch longer than the lookahead window, a
-  /// malformed fat-tree). Throws std::invalid_argument naming the field.
+  /// malformed fat-tree, a zero retransmit budget on reliable links, a zero
+  /// watchdog interval with fail-over armed, a fault event targeting a link
+  /// or chip outside the topology). Throws std::invalid_argument naming the
+  /// field.
   void validate() const;
 };
 

@@ -1,0 +1,91 @@
+#include "cluster/cluster_faults.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace raw::cluster {
+
+const char* cluster_fault_kind_name(ClusterFaultKind k) {
+  switch (k) {
+    case ClusterFaultKind::kTrunkCorrupt:
+      return "trunk_corrupt";
+    case ClusterFaultKind::kTrunkStall:
+      return "trunk_stall";
+    case ClusterFaultKind::kTrunkCut:
+      return "trunk_cut";
+    case ClusterFaultKind::kChipFreeze:
+      return "chip_freeze";
+  }
+  return "?";
+}
+
+ClusterFaultPlan::ClusterFaultPlan(std::vector<ClusterFaultEvent> events)
+    : events_(std::move(events)) {}
+
+bool ClusterFaultPlan::has_permanent_fault() const {
+  return std::any_of(events_.begin(), events_.end(), [](const auto& e) {
+    return e.kind == ClusterFaultKind::kTrunkCut ||
+           e.kind == ClusterFaultKind::kChipFreeze;
+  });
+}
+
+void ClusterFaultPlan::bind(std::size_t num_links, int num_chips) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const ClusterFaultEvent& e = events_[i];
+    if (e.kind == ClusterFaultKind::kChipFreeze) {
+      if (e.chip < 0 || e.chip >= num_chips) {
+        throw std::invalid_argument(
+            "ClusterFaultPlan event " + std::to_string(i) +
+            " (chip_freeze) targets chip " + std::to_string(e.chip) +
+            " but the cluster has chips 0.." + std::to_string(num_chips - 1));
+      }
+    } else {
+      if (e.link < 0 || static_cast<std::size_t>(e.link) >= num_links) {
+        throw std::invalid_argument(
+            "ClusterFaultPlan event " + std::to_string(i) + " (" +
+            cluster_fault_kind_name(e.kind) + ") targets link " +
+            std::to_string(e.link) + " but the topology has " +
+            std::to_string(num_links) +
+            " unidirectional links (indices 0.." +
+            std::to_string(num_links == 0 ? 0 : num_links - 1) + ")");
+      }
+    }
+    if (e.kind == ClusterFaultKind::kTrunkStall && e.duration == 0) {
+      throw std::invalid_argument(
+          "ClusterFaultPlan event " + std::to_string(i) +
+          " (trunk_stall) has a zero-cycle duration; use trunk_cut for a "
+          "permanent outage");
+    }
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+  next_ = 0;
+  bound_ = true;
+}
+
+std::vector<const ClusterFaultEvent*> ClusterFaultPlan::take_due(
+    common::Cycle barrier_cycle) {
+  RAW_ASSERT_MSG(bound_, "ClusterFaultPlan::take_due before bind");
+  std::vector<const ClusterFaultEvent*> due;
+  while (next_ < events_.size() && events_[next_].at <= barrier_cycle) {
+    due.push_back(&events_[next_]);
+    ++next_;
+    ++fired_;
+  }
+  return due;
+}
+
+void ClusterFaultPlan::export_metrics(common::MetricRegistry& registry,
+                                      const std::string& prefix) const {
+  registry.counter(prefix + "/injected").set(events_.size());
+  registry.counter(prefix + "/fired").set(fired_);
+  registry.counter(prefix + "/corrupt_words").set(corrupt_applied_);
+  registry.counter(prefix + "/corrupt_missed").set(corrupt_missed_);
+  registry.counter(prefix + "/link_stalls").set(link_stalls_);
+  registry.counter(prefix + "/link_cuts").set(link_cuts_);
+  registry.counter(prefix + "/chip_freezes").set(chip_freezes_);
+}
+
+}  // namespace raw::cluster

@@ -1,0 +1,113 @@
+// Seeded, cycle-scheduled inter-chip faults for a cluster fabric — the
+// cluster-tier mirror of sim::FaultPlan.
+//
+// Four fault kinds cover the dominant multi-chip failure domains:
+//
+//   * kTrunkCorrupt — XOR one bit of the wire word nearest the reader of an
+//                     InterChipLink (a single-event upset on a trunk lane);
+//   * kTrunkStall   — take one link direction down for N cycles (transient
+//                     open / link flap: no sends, no deliveries);
+//   * kTrunkCut     — permanently sever one link direction (fiber cut);
+//   * kChipFreeze   — stop stepping a whole chip forever (chip death: its
+//                     tiles, cards and trunk endpoints all stop).
+//
+// Events fire at epoch barriers only — the single-threaded commit phase —
+// so a fault schedule perturbs the cluster identically under the serial
+// schedule and exec::ClusterRunner at any worker count. Epoch granularity
+// is the honest resolution for inter-chip faults: nothing crosses a link
+// mid-epoch anyway (see cluster/inter_chip_link.h). A fabric with an empty
+// plan pays one cursor comparison per barrier and stays digest-identical
+// to a faultless build.
+//
+// Everything the plan does is counted and exported under
+// `cluster/faults/...`, so a chaos run can reconcile observed damage
+// against injected damage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace raw::cluster {
+
+enum class ClusterFaultKind : std::uint8_t {
+  kTrunkCorrupt = 0,
+  kTrunkStall = 1,
+  kTrunkCut = 2,
+  kChipFreeze = 3,
+};
+
+const char* cluster_fault_kind_name(ClusterFaultKind k);
+
+struct ClusterFaultEvent {
+  ClusterFaultKind kind = ClusterFaultKind::kTrunkCorrupt;
+  common::Cycle at = 0;        // barrier cycle the fault fires at (rounded
+                               // up to the next epoch barrier >= at)
+  std::uint64_t duration = 1;  // kTrunkStall window, in cycles
+  int link = -1;               // trunk faults: unidirectional link index
+  int chip = -1;               // kChipFreeze: chip index
+  std::uint32_t bit = 0;       // kTrunkCorrupt: bit position (mod 32)
+};
+
+/// Sorted fault schedule bound to a fabric's link/chip counts. The fabric
+/// owns the plan and applies due events at each epoch barrier.
+class ClusterFaultPlan {
+ public:
+  ClusterFaultPlan() = default;
+  explicit ClusterFaultPlan(std::vector<ClusterFaultEvent> events);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<ClusterFaultEvent>& events() const {
+    return events_;
+  }
+
+  /// True when the schedule contains a permanent fault (a cut or a chip
+  /// freeze) — a degraded finish is then an expected outcome, not a bug.
+  [[nodiscard]] bool has_permanent_fault() const;
+
+  /// Range-checks every event against the fabric's geometry and sorts the
+  /// schedule. Throws std::invalid_argument naming the offending event.
+  void bind(std::size_t num_links, int num_chips);
+
+  /// Events scheduled at or before `barrier_cycle` that have not fired yet
+  /// (the fabric applies them and the cursor advances). Barrier phase only.
+  [[nodiscard]] std::vector<const ClusterFaultEvent*> take_due(
+      common::Cycle barrier_cycle);
+
+  // Application outcome counters, recorded by the fabric.
+  void count_corrupt(bool applied) {
+    applied ? ++corrupt_applied_ : ++corrupt_missed_;
+  }
+  void count_stall() { ++link_stalls_; }
+  void count_cut() { ++link_cuts_; }
+  void count_freeze() { ++chip_freezes_; }
+
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t corrupt_applied() const { return corrupt_applied_; }
+  [[nodiscard]] std::uint64_t corrupt_missed() const { return corrupt_missed_; }
+  [[nodiscard]] std::uint64_t link_stalls() const { return link_stalls_; }
+  [[nodiscard]] std::uint64_t link_cuts() const { return link_cuts_; }
+  [[nodiscard]] std::uint64_t chip_freezes() const { return chip_freezes_; }
+
+  /// Publishes `<prefix>/{injected,fired,corrupt_words,corrupt_missed,
+  /// link_stalls,link_cuts,chip_freezes}`.
+  void export_metrics(common::MetricRegistry& registry,
+                      const std::string& prefix = "cluster/faults") const;
+
+ private:
+  std::vector<ClusterFaultEvent> events_;
+  std::size_t next_ = 0;  // first unfired event after bind()
+  bool bound_ = false;
+  std::uint64_t fired_ = 0;
+  std::uint64_t corrupt_applied_ = 0;
+  std::uint64_t corrupt_missed_ = 0;
+  std::uint64_t link_stalls_ = 0;
+  std::uint64_t link_cuts_ = 0;
+  std::uint64_t chip_freezes_ = 0;
+};
+
+}  // namespace raw::cluster

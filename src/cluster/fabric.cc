@@ -4,8 +4,13 @@
 
 #include "common/assert.h"
 #include "net/ipv4.h"
+#include "sim/invariants.h"
 
 namespace raw::cluster {
+
+const char* cluster_status_name(ClusterStatus s) {
+  return s == ClusterStatus::kHealthy ? "healthy" : "degraded";
+}
 
 ClusterFabric::ClusterFabric(ClusterConfig config, std::uint64_t seed)
     : config_(std::move(config)), seed_(seed) {
@@ -30,8 +35,17 @@ ClusterFabric::ClusterFabric(ClusterConfig config, std::uint64_t seed)
     p.capacity_words = config_.link_capacity_words;
     p.jitter = config_.link_jitter;
     p.seed = link_seed(seed_, static_cast<int>(l));
+    p.reliable = config_.reliable_links;
+    p.retransmit_limit = config_.link_retransmit_limit;
+    p.retransmit_rtt = config_.link_retransmit_rtt;
     links_.push_back(std::make_unique<InterChipLink>(p));
   }
+
+  plan_ = ClusterFaultPlan(config_.faults);
+  plan_.bind(topo_.links.size(), num_chips());
+  link_dead_.assign(topo_.links.size(), false);
+  chip_dead_.assign(static_cast<std::size_t>(num_chips()), false);
+  watchdog_chip_cycle_.assign(static_cast<std::size_t>(num_chips()), 0);
 
   inputs_.resize(topo_.hosts.size());
   outputs_.resize(topo_.hosts.size());
@@ -157,6 +171,142 @@ void ClusterFabric::commit_links() {
   for (auto& l : links_) l->commit_epoch();
 }
 
+void ClusterFabric::barrier_maintenance() {
+  // Single-threaded barrier tail: every worker is parked, links are
+  // committed, and cycles_run_ names this barrier — the only place fault
+  // and fail-over state may change, which is what keeps any fault schedule
+  // digest-identical at every worker count.
+  apply_due_faults();
+  if (config_.failover &&
+      cycles_run_ - last_watchdog_ >= config_.watchdog_interval) {
+    watchdog_sample();
+    last_watchdog_ = cycles_run_;
+  }
+}
+
+void ClusterFabric::apply_due_faults() {
+  if (plan_.empty()) return;
+  for (const ClusterFaultEvent* e : plan_.take_due(cycles_run_)) {
+    switch (e->kind) {
+      case ClusterFaultKind::kTrunkCorrupt:
+        plan_.count_corrupt(
+            links_[static_cast<std::size_t>(e->link)]->corrupt_front(e->bit));
+        break;
+      case ClusterFaultKind::kTrunkStall:
+        links_[static_cast<std::size_t>(e->link)]->stall_until(cycles_run_ +
+                                                               e->duration);
+        plan_.count_stall();
+        break;
+      case ClusterFaultKind::kTrunkCut:
+        links_[static_cast<std::size_t>(e->link)]->cut();
+        plan_.count_cut();
+        break;
+      case ClusterFaultKind::kChipFreeze:
+        runner_->set_chip_active(static_cast<std::size_t>(e->chip), false);
+        plan_.count_freeze();
+        break;
+    }
+  }
+}
+
+void ClusterFabric::watchdog_sample() {
+  std::vector<int> new_dead_chips;
+  std::vector<int> new_dead_links;
+  for (int c = 0; c < num_chips(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const common::Cycle now = nodes_[ci]->chip->cycle();
+    // A healthy chip advances every epoch, so one full interval of zero
+    // progress is conclusive (detection latency: at most two intervals
+    // after the freeze — one to re-baseline, one to observe the stall).
+    if (!chip_dead_[ci] && now == watchdog_chip_cycle_[ci]) {
+      new_dead_chips.push_back(c);
+    }
+    watchdog_chip_cycle_[ci] = now;
+  }
+  // Cut links report loss of signal; the sample confirms them within one
+  // interval of the cut.
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (!link_dead_[l] && links_[l]->is_cut()) {
+      new_dead_links.push_back(static_cast<int>(l));
+    }
+  }
+  if (!new_dead_chips.empty() || !new_dead_links.empty()) {
+    fail_over(std::move(new_dead_chips), std::move(new_dead_links));
+  }
+}
+
+void ClusterFabric::fail_over(std::vector<int> new_dead_chips,
+                              std::vector<int> new_dead_links) {
+  FailoverReport report;
+  report.cycle = cycles_run_;
+  for (const int c : new_dead_chips) {
+    chip_dead_[static_cast<std::size_t>(c)] = true;
+    runner_->set_chip_active(static_cast<std::size_t>(c), false);
+  }
+  // Every link touching a dead chip dies with it: nothing will drain its
+  // far end again.
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (link_dead_[l]) continue;
+    const LinkPlan& p = topo_.links[l];
+    if (chip_dead_[static_cast<std::size_t>(p.src_chip)] ||
+        chip_dead_[static_cast<std::size_t>(p.dst_chip)]) {
+      new_dead_links.push_back(static_cast<int>(l));
+    }
+  }
+  std::sort(new_dead_links.begin(), new_dead_links.end());
+  new_dead_links.erase(
+      std::unique(new_dead_links.begin(), new_dead_links.end()),
+      new_dead_links.end());
+  for (const int l : new_dead_links) {
+    const auto li = static_cast<std::size_t>(l);
+    link_dead_[li] = true;
+    links_[li]->cut();  // idempotent for watchdog-confirmed cuts
+    // Conservation-exact write-off: the words die here, not silently.
+    report.written_off_words += links_[li]->write_off_in_flight();
+  }
+  // Dead chips' host inputs stop offering; their queued packets are lost.
+  for (std::size_t h = 0; h < topo_.hosts.size(); ++h) {
+    if (chip_dead_[static_cast<std::size_t>(topo_.hosts[h].chip)]) {
+      report.abandoned_packets += inputs_[h]->abandon();
+    }
+  }
+  written_off_words_ += report.written_off_words;
+  abandoned_packets_ += report.abandoned_packets;
+
+  // Deterministic reroute over the survivor fabric, then rebuild every
+  // alive chip's tables in place (heap-stable addresses: the tile programs
+  // keep their RouterCore pointers).
+  const Topology::RerouteResult rr = topo_.reroute(link_dead_, chip_dead_);
+  unreachable_hosts_ = rr.unreachable_hosts;
+  for (int c = 0; c < num_chips(); ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (chip_dead_[ci]) continue;
+    ChipNode& node = *nodes_[ci];
+    node.table = net::RouteTable();
+    for (std::size_t h = 0; h < topo_.hosts.size(); ++h) {
+      const int hop = rr.next_hop[ci][h];
+      if (hop < 0) continue;  // unreachable: lookup miss -> no_route drop
+      node.table.add_route(
+          net::make_addr(10, static_cast<std::uint8_t>(h), 0, 0), 16, hop);
+    }
+    node.forwarding = net::SmallTable::build(node.table.trie());
+  }
+  // Rerouted paths no longer match the as-built hop matrix; relax the TTL
+  // check on every surviving output card.
+  for (std::size_t h = 0; h < topo_.hosts.size(); ++h) {
+    if (!chip_dead_[static_cast<std::size_t>(topo_.hosts[h].chip)]) {
+      outputs_[h]->set_degraded(num_chips());
+    }
+  }
+
+  report.dead_chips = std::move(new_dead_chips);
+  report.dead_links = std::move(new_dead_links);
+  report.unreachable_hosts = unreachable_hosts_;
+  failover_reports_.push_back(std::move(report));
+  ++failover_generation_;
+  status_ = ClusterStatus::kDegraded;
+}
+
 void ClusterFabric::run(common::Cycle cycles) {
   common::Cycle remaining = cycles;
   while (remaining > 0) {
@@ -165,6 +315,7 @@ void ClusterFabric::run(common::Cycle cycles) {
     commit_links();
     remaining -= e;
     cycles_run_ += e;
+    barrier_maintenance();
   }
 }
 
@@ -190,6 +341,7 @@ bool ClusterFabric::drain(common::Cycle max_cycles) {
     commit_links();
     elapsed += epoch_;
     cycles_run_ += epoch_;
+    barrier_maintenance();
     const std::size_t in_flight = ledger_.in_flight.size();
     if (in_flight == 0 && inputs_idle()) {
       drained_ = true;
@@ -199,12 +351,24 @@ bool ClusterFabric::drain(common::Cycle max_cycles) {
     if (in_flight != last_in_flight) {
       last_in_flight = in_flight;
       last_shrink = elapsed;
-    } else if (inputs_idle() && elapsed - last_shrink >= stall_bound) {
+    } else if ((inputs_idle() || status_ == ClusterStatus::kDegraded) &&
+               elapsed - last_shrink >= stall_bound) {
+      // In a degraded run the residue is explained by the confirmed
+      // failure: frames wedged behind a cut trunk or inside a dead chip,
+      // and input queues backed up behind a blocked egress that will never
+      // unblock. Writing all of it off closes the books and the quiesce is
+      // a clean exit. In a healthy run the same residue means something is
+      // wedged — fail (and a healthy run only reaches here inputs-idle).
+      if (status_ == ClusterStatus::kDegraded) {
+        for (auto& in : inputs_) {
+          if (!in->idle()) abandoned_packets_ += in->abandon();
+        }
+      }
       ledger_.erased_lost += ledger_.in_flight.size();
       ledger_.in_flight.clear();
-      drained_ = false;
+      drained_ = (status_ == ClusterStatus::kDegraded);
       check_conservation();
-      return false;
+      return drained_;
     }
   }
   drained_ = false;
@@ -220,6 +384,84 @@ void ClusterFabric::check_conservation() const {
                  "cluster packet conservation violated: offered != "
                  "dropped_at_card + delivered + invalid + ingress_drops + "
                  "lost + in_flight");
+}
+
+std::uint64_t ClusterFabric::total_retransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->retransmits();
+  return n;
+}
+
+std::uint64_t ClusterFabric::total_delivered_corrupt() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->delivered_corrupt();
+  return n;
+}
+
+void ClusterFabric::register_invariants(sim::InvariantMonitor& monitor) {
+  monitor.add_check(
+      "cluster/link-books",
+      [this]() -> std::string {
+        for (std::size_t l = 0; l < links_.size(); ++l) {
+          const InterChipLink& lk = *links_[l];
+          if (lk.sent_total() != lk.delivered_total() + lk.in_flight_words() +
+                                     lk.written_off_total()) {
+            return "link " + std::to_string(l) +
+                   ": sent != delivered + in_flight + written_off";
+          }
+        }
+        return {};
+      },
+      /*deterministic=*/true);
+  monitor.add_check(
+      "cluster/link-seq",
+      [this]() -> std::string {
+        for (std::size_t l = 0; l < links_.size(); ++l) {
+          if (!links_[l]->seq_books_ok()) {
+            return "link " + std::to_string(l) +
+                   ": sequence books broken (gap or duplicate in the "
+                   "retransmit window)";
+          }
+        }
+        return {};
+      },
+      /*deterministic=*/true);
+  monitor.add_check(
+      "cluster/conservation",
+      [this]() -> std::string {
+        const std::uint64_t offered = offered_packets();
+        const std::uint64_t accounted = dropped_at_card() +
+                                        ledger_.erased_total() +
+                                        ledger_.in_flight.size();
+        if (offered != accounted) {
+          return "offered " + std::to_string(offered) + " != accounted " +
+                 std::to_string(accounted) +
+                 " (dropped + erased + in_flight)";
+        }
+        return {};
+      },
+      /*deterministic=*/true);
+  monitor.add_check(
+      "cluster/chip-liveness",
+      [this, baseline = std::vector<common::Cycle>(
+                 static_cast<std::size_t>(num_chips()), 0)]() mutable
+      -> std::string {
+        for (int c = 0; c < num_chips(); ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          const common::Cycle now = nodes_[ci]->chip->cycle();
+          // A chip the runner has deactivated (injected freeze awaiting
+          // watchdog confirmation, or already failed over) is excused.
+          if (!chip_dead_[ci] && runner_->chip_active(ci) &&
+              now <= baseline[ci] && now != 0) {
+            return "chip " + std::to_string(c) +
+                   " made no progress between sweeps but is not confirmed "
+                   "dead";
+          }
+          baseline[ci] = now;
+        }
+        return {};
+      },
+      /*deterministic=*/false);
 }
 
 void ClusterFabric::set_force_dense(bool on) {
@@ -319,6 +561,36 @@ std::uint64_t ClusterFabric::cluster_digest() const {
   mix(ledger_.in_flight.size());
   mix(cycles_run_);
   mix(drained_ ? 1 : 0);
+  // Robustness state folds in only when one of the robustness features is
+  // configured, so a faults-off fabric's digest stays byte-identical to the
+  // pre-recovery implementation.
+  if (config_.reliable_links || config_.failover || !config_.faults.empty()) {
+    for (const auto& l : links_) {
+      mix(l->retransmits());
+      mix(l->delivered_corrupt());
+      mix(l->written_off_total());
+    }
+    mix(plan_.fired());
+    mix(plan_.corrupt_applied());
+    mix(plan_.corrupt_missed());
+    mix(plan_.link_stalls());
+    mix(plan_.link_cuts());
+    mix(plan_.chip_freezes());
+    mix(static_cast<std::uint64_t>(status_));
+    mix(static_cast<std::uint64_t>(failover_generation_));
+    mix(written_off_words_);
+    mix(abandoned_packets_);
+    mix(unreachable_hosts_.size());
+    for (const int u : unreachable_hosts_) {
+      mix(static_cast<std::uint64_t>(u));
+    }
+    for (std::size_t l = 0; l < link_dead_.size(); ++l) {
+      mix(link_dead_[l] ? 1 : 0);
+    }
+    for (std::size_t c = 0; c < chip_dead_.size(); ++c) {
+      mix(chip_dead_[c] ? 1 : 0);
+    }
+  }
   return h;
 }
 
@@ -398,7 +670,33 @@ void ClusterFabric::export_metrics(common::MetricRegistry& registry,
         .set(links_[l]->delivered_total());
     registry.counter(link + "/occupancy").set(links_[l]->occupancy());
     registry.counter(link + "/in_flight").set(links_[l]->in_flight_words());
+    registry.counter(link + "/retransmits").set(links_[l]->retransmits());
+    registry.counter(link + "/written_off")
+        .set(links_[l]->written_off_total());
+    registry.counter(link + "/dead").set(link_dead_[l] ? 1 : 0);
   }
+
+  // Recovery and fail-over observability.
+  registry.counter(prefix + "/recovered/retransmits").set(total_retransmits());
+  registry.counter(prefix + "/recovered/delivered_corrupt")
+      .set(total_delivered_corrupt());
+  registry.counter(prefix + "/status")
+      .set(static_cast<std::uint64_t>(status_));
+  registry.counter(prefix + "/failover/generation")
+      .set(static_cast<std::uint64_t>(failover_generation_));
+  registry.counter(prefix + "/failover/dead_links")
+      .set(static_cast<std::uint64_t>(
+          std::count(link_dead_.begin(), link_dead_.end(), true)));
+  registry.counter(prefix + "/failover/dead_chips")
+      .set(static_cast<std::uint64_t>(
+          std::count(chip_dead_.begin(), chip_dead_.end(), true)));
+  registry.counter(prefix + "/failover/unreachable_hosts")
+      .set(unreachable_hosts_.size());
+  registry.counter(prefix + "/failover/written_off_words")
+      .set(written_off_words_);
+  registry.counter(prefix + "/failover/abandoned_packets")
+      .set(abandoned_packets_);
+  if (!plan_.empty()) plan_.export_metrics(registry, prefix + "/faults");
 }
 
 }  // namespace raw::cluster

@@ -23,6 +23,7 @@
 
 #include "cluster/cards.h"
 #include "cluster/cluster_config.h"
+#include "cluster/cluster_faults.h"
 #include "cluster/inter_chip_link.h"
 #include "cluster/topology.h"
 #include "common/histogram.h"
@@ -37,7 +38,29 @@
 #include "router/tile_programs.h"
 #include "sim/chip.h"
 
+namespace raw::sim {
+class InvariantMonitor;
+}
+
 namespace raw::cluster {
+
+/// Run health: a fabric is degraded once a confirmed permanent failure (a
+/// trunk cut or a chip death) has triggered a fail-over reroute. Degraded
+/// is a live state, not an exit: surviving chips keep forwarding, and write
+/// offs keep the conservation identity exact.
+enum class ClusterStatus : std::uint8_t { kHealthy = 0, kDegraded = 1 };
+
+const char* cluster_status_name(ClusterStatus s);
+
+/// One fail-over episode, recorded at the barrier that confirmed it.
+struct FailoverReport {
+  common::Cycle cycle = 0;           // barrier cycle of the reroute
+  std::vector<int> dead_chips;       // chips newly confirmed dead
+  std::vector<int> dead_links;       // links newly excluded (incl. chip-adjacent)
+  std::vector<int> unreachable_hosts;  // total after this reroute
+  std::uint64_t written_off_words = 0;   // link words written off here
+  std::uint64_t abandoned_packets = 0;   // dead-chip input packets written off
+};
 
 class ClusterFabric {
  public:
@@ -50,10 +73,49 @@ class ClusterFabric {
 
   /// Stops the arrival processes and runs until every offered packet is
   /// accounted for (true), the in-flight set stops shrinking (packets are
-  /// written off as lost; false), or `max_cycles` elapse (false). Packet
+  /// written off as lost), or `max_cycles` elapse (false). In a degraded
+  /// run the write-off quiesce is a *clean* exit (true): the losses are
+  /// explained by the confirmed failure and the books still close. Packet
   /// conservation is asserted on every exit path.
   [[nodiscard]] bool drain(common::Cycle max_cycles);
   [[nodiscard]] bool drained() const { return drained_; }
+
+  // Fault-tolerance observability.
+  [[nodiscard]] ClusterStatus status() const { return status_; }
+  [[nodiscard]] bool degraded() const {
+    return status_ == ClusterStatus::kDegraded;
+  }
+  [[nodiscard]] const ClusterFaultPlan& fault_plan() const { return plan_; }
+  [[nodiscard]] const std::vector<bool>& dead_links() const {
+    return link_dead_;
+  }
+  [[nodiscard]] const std::vector<bool>& dead_chips() const {
+    return chip_dead_;
+  }
+  /// Hosts some alive chip can no longer reach (sorted; empty when healthy).
+  [[nodiscard]] const std::vector<int>& unreachable_hosts() const {
+    return unreachable_hosts_;
+  }
+  [[nodiscard]] int failover_generation() const { return failover_generation_; }
+  [[nodiscard]] const std::vector<FailoverReport>& failover_reports() const {
+    return failover_reports_;
+  }
+  [[nodiscard]] std::uint64_t written_off_words() const {
+    return written_off_words_;
+  }
+  [[nodiscard]] std::uint64_t abandoned_packets() const {
+    return abandoned_packets_;
+  }
+  /// Reliable-layer totals across every link.
+  [[nodiscard]] std::uint64_t total_retransmits() const;
+  [[nodiscard]] std::uint64_t total_delivered_corrupt() const;
+
+  /// Registers the cluster's continuous checks on `monitor` (sweep between
+  /// epochs only): per-link word/sequence books, the cluster conservation
+  /// identity with write-off accounting, and per-chip liveness (every chip
+  /// not confirmed dead must advance between sweeps). `this` must outlive
+  /// the monitor's sweeps.
+  void register_invariants(sim::InvariantMonitor& monitor);
 
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
@@ -137,6 +199,18 @@ class ClusterFabric {
   void build_cards(int c);
   /// Epoch barrier: commits every link (single-threaded).
   void commit_links();
+  /// Barrier tail (single-threaded, after commit_links and the cycle
+  /// bookkeeping): fires due fault events, then samples the watchdog.
+  void barrier_maintenance();
+  void apply_due_faults();
+  /// Watchdog sample: a cut link reports loss of signal; a chip that made
+  /// no cycle progress over a full interval is confirmed dead.
+  void watchdog_sample();
+  /// Deterministic fail-over: excludes the newly dead elements, writes off
+  /// their in-flight words, abandons dead-chip inputs, and recomputes every
+  /// surviving chip's routes (same BFS + ECMP rule as the build).
+  void fail_over(std::vector<int> new_dead_chips,
+                 std::vector<int> new_dead_links);
   void check_conservation() const;
 
   ClusterConfig config_;
@@ -155,6 +229,19 @@ class ClusterFabric {
   common::Cycle epoch_ = 0;
   common::Cycle cycles_run_ = 0;
   bool drained_ = true;
+
+  // Fault injection + fail-over state (all barrier-phase only).
+  ClusterFaultPlan plan_;
+  ClusterStatus status_ = ClusterStatus::kHealthy;
+  std::vector<bool> link_dead_;
+  std::vector<bool> chip_dead_;
+  std::vector<int> unreachable_hosts_;
+  std::vector<FailoverReport> failover_reports_;
+  int failover_generation_ = 0;
+  std::uint64_t written_off_words_ = 0;
+  std::uint64_t abandoned_packets_ = 0;
+  common::Cycle last_watchdog_ = 0;
+  std::vector<common::Cycle> watchdog_chip_cycle_;
 };
 
 }  // namespace raw::cluster

@@ -6,13 +6,28 @@
 
 namespace raw::cluster {
 
-InterChipLink::InterChipLink(const Params& params)
-    : params_(params), rng_(params.seed) {
+InterChipLink::InterChipLink(const Params& params) : params_(params) {
   RAW_ASSERT_MSG(params_.latency >= 1, "link latency must be >= 1");
   RAW_ASSERT_MSG(params_.throttle_numer >= 1 && params_.throttle_denom >= 1,
                  "throttle numer/denom must be >= 1");
   RAW_ASSERT_MSG(params_.capacity_words >= 1, "link capacity must be >= 1");
+  RAW_ASSERT_MSG(!params_.reliable || params_.retransmit_limit >= 1,
+                 "reliable link needs a retransmit budget");
   tokens_ = params_.throttle_numer;  // the bucket starts full
+}
+
+std::uint8_t InterChipLink::link_crc8(common::Word w, std::uint64_t seq) {
+  std::uint64_t data =
+      (static_cast<std::uint64_t>(seq & 0xffff) << 32) | w;
+  std::uint8_t crc = 0;
+  for (int i = 0; i < 48; ++i) {
+    const std::uint8_t in = static_cast<std::uint8_t>((data >> 47) & 1);
+    data <<= 1;
+    const std::uint8_t top = static_cast<std::uint8_t>((crc >> 7) & 1);
+    crc = static_cast<std::uint8_t>(crc << 1);
+    if (top ^ in) crc ^= 0x07;
+  }
+  return crc;
 }
 
 void InterChipLink::refill(common::Cycle now) {
@@ -29,6 +44,7 @@ void InterChipLink::refill(common::Cycle now) {
 }
 
 bool InterChipLink::can_send(common::Cycle now) {
+  if (cut_ || now < stall_until_) return false;
   refill(now);
   return tokens_ >= 1 &&
          occupancy_base_ + sent_this_epoch_ < params_.capacity_words;
@@ -37,25 +53,56 @@ bool InterChipLink::can_send(common::Cycle now) {
 void InterChipLink::send(common::Word w, common::Cycle now) {
   RAW_ASSERT_MSG(tokens_ >= 1, "send without a token (call can_send first)");
   --tokens_;
+  const std::uint64_t seq = sent_total_;
   common::Cycle deliver = now + params_.latency;
-  if (params_.jitter > 0) deliver += rng_.below(params_.jitter + 1);
+  if (params_.jitter > 0) {
+    // Pure function of (seed, seq) — never of arrival order — so the draw
+    // for word N is identical whether or not earlier words were replayed.
+    deliver += common::mix64(params_.seed ^ common::mix64(seq + 1)) %
+               (params_.jitter + 1);
+  }
   // Monotonic clamp: the link is a FIFO; jitter stretches gaps but never
   // reorders words.
   deliver = std::max(deliver, last_deliver_);
   last_deliver_ = deliver;
-  staging_.push_back(Slot{deliver, w});
+  staging_.push_back(Slot{deliver, w, w, seq, link_crc8(w, seq)});
   ++sent_this_epoch_;
   ++sent_total_;
 }
 
+bool InterChipLink::front_intact(common::Cycle now) {
+  Slot& s = queue_.front();
+  if (link_crc8(s.wire, s.seq) == s.tag) return true;
+  if (front_retries_ >= params_.retransmit_limit) {
+    // Budget exhausted: deliver the corrupt word (recv counts it).
+    return true;
+  }
+  // NACK: repair from the sender's replay copy and slip delivery by one
+  // retransmit round trip. The next check sees a clean word, so this
+  // mutates exactly once per corruption episode.
+  ++front_retries_;
+  ++retransmits_;
+  s.wire = s.word;
+  s.deliver = now + params_.retransmit_rtt;
+  return false;
+}
+
 bool InterChipLink::has_word(common::Cycle now) {
-  return !queue_.empty() && queue_.front().deliver <= now;
+  if (cut_ || now < stall_until_) return false;
+  if (queue_.empty() || queue_.front().deliver > now) return false;
+  if (params_.reliable) return front_intact(now);
+  return true;
 }
 
 common::Word InterChipLink::recv(common::Cycle now) {
   RAW_ASSERT_MSG(has_word(now), "recv on an empty or not-yet-due link");
-  const common::Word w = queue_.front().word;
+  const Slot& s = queue_.front();
+  const common::Word w = s.wire;
+  if (params_.reliable && link_crc8(s.wire, s.seq) != s.tag) {
+    ++delivered_corrupt_;
+  }
   queue_.pop_front();
+  front_retries_ = 0;
   ++delivered_total_;
   return w;
 }
@@ -65,6 +112,42 @@ void InterChipLink::commit_epoch() {
   staging_.clear();
   sent_this_epoch_ = 0;
   occupancy_base_ = queue_.size();
+}
+
+bool InterChipLink::corrupt_front(std::uint32_t bit) {
+  if (queue_.empty()) return false;
+  queue_.front().wire ^= common::Word{1} << (bit % 32);
+  return true;
+}
+
+void InterChipLink::stall_until(common::Cycle until) {
+  stall_until_ = std::max(stall_until_, until);
+}
+
+std::uint64_t InterChipLink::write_off_in_flight() {
+  const std::uint64_t n = queue_.size() + staging_.size();
+  queue_.clear();
+  staging_.clear();
+  front_retries_ = 0;
+  sent_this_epoch_ = 0;
+  occupancy_base_ = 0;
+  written_off_total_ += n;
+  return n;
+}
+
+bool InterChipLink::seq_books_ok() const {
+  if (sent_total_ !=
+      delivered_total_ + in_flight_words() + written_off_total_) {
+    return false;
+  }
+  std::uint64_t expect = delivered_total_ + written_off_total_;
+  for (const Slot& s : queue_) {
+    if (s.seq != expect++) return false;
+  }
+  for (const Slot& s : staging_) {
+    if (s.seq != expect++) return false;
+  }
+  return expect == sent_total_;
 }
 
 }  // namespace raw::cluster

@@ -1,5 +1,6 @@
 // One direction of an inter-chip trunk: a seeded, deterministic word FIFO
-// with configurable latency and token-bucket bandwidth throttling.
+// with configurable latency, token-bucket bandwidth throttling, and an
+// optional CRC+sequence reliable layer.
 //
 // The link is the only state two chips share, and it is built for the
 // epoch-synchronised schedule (FireSim-style "big tokens"): during an epoch
@@ -12,6 +13,25 @@
 // latency, a word sent mid-epoch could not have arrived before the next
 // barrier anyway: the relaxed synchronisation is timing-exact, and the
 // serial and threaded schedules are digest-identical.
+//
+// Reliable mode mirrors the single-chip sim::LinkGuard protocol at trunk
+// scale: every word carries a sequence number and a CRC-8 tag over
+// (word, seq), and the sender keeps the clean copy (its replay buffer)
+// alongside the wire word. When the receiver's front-of-FIFO check catches
+// a tag mismatch it NACKs: the word is repaired from the replay copy and
+// its delivery slips by retransmit_rtt — one retransmit round trip — up to
+// retransmit_limit times per word, after which the corrupt word is
+// delivered and counted. The repair happens entirely on the receiver's
+// side of the epoch split, so reliability composes with thread-per-chip
+// execution unchanged.
+//
+// Fault hooks (corrupt_front / stall_until / cut / write_off_in_flight) are
+// barrier-phase only: cluster::ClusterFaultPlan and the fail-over
+// controller call them between epochs, which keeps every schedule
+// digest-identical at any worker count. The word conservation identity is
+//   sent_total == delivered_total + in_flight_words + written_off_total
+// at every barrier (written_off_total stays 0 until a fail-over writes a
+// dead link's in-flight words off).
 #pragma once
 
 #include <cstdint>
@@ -32,9 +52,20 @@ class InterChipLink final : public router::WordTx, public router::WordRx {
     std::uint64_t throttle_denom = 1;
     std::size_t capacity_words = 256;
     /// Uniform extra latency in [0, jitter] per word, monotonically clamped
-    /// so the FIFO never reorders. 0 = none (and the RNG is never drawn).
+    /// so the FIFO never reorders. 0 = none. The draw is a pure function of
+    /// (seed, word sequence number) — never of arrival order — so jitter
+    /// composes with retransmit replay without perturbing later words.
     common::Cycle jitter = 0;
     std::uint64_t seed = 1;
+    /// CRC+seq reliable layer: corrupted words are repaired by bounded
+    /// retransmit instead of delivered as damage.
+    bool reliable = false;
+    /// Retransmits per word before the link gives up and delivers the
+    /// corrupt word (counted in delivered_corrupt). Must be >= 1 when
+    /// reliable.
+    std::uint32_t retransmit_limit = 3;
+    /// Delivery slip per NACK round trip, in cycles.
+    common::Cycle retransmit_rtt = 4;
   };
 
   explicit InterChipLink(const Params& params);
@@ -51,12 +82,29 @@ class InterChipLink final : public router::WordTx, public router::WordRx {
   /// delivery queue and refreshes the sender's occupancy view.
   void commit_epoch();
 
-  /// Conservation counters: words accepted by send() and words handed out
-  /// by recv(). At any epoch barrier,
-  ///   sent_total == delivered_total + in_flight_words().
+  // Fault hooks — barrier phase only (see cluster/cluster_faults.h).
+
+  /// Flips `bit` (mod 32) of the wire word nearest the reader. Returns
+  /// false when the link has no committed word to corrupt.
+  bool corrupt_front(std::uint32_t bit);
+  /// Takes the link down until `until` (transient open: no sends, no
+  /// deliveries). Extends but never shortens an open window.
+  void stall_until(common::Cycle until);
+  /// Permanently severs the link: can_send and has_word are false forever.
+  void cut() { cut_ = true; }
+  [[nodiscard]] bool is_cut() const { return cut_; }
+  /// Writes off every in-flight word (queue + staging) — fail-over
+  /// accounting for a confirmed-dead link. Returns the number written off.
+  std::uint64_t write_off_in_flight();
+
+  /// Conservation counters: at any epoch barrier,
+  ///   sent_total == delivered_total + in_flight_words + written_off_total.
   [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
   [[nodiscard]] std::uint64_t delivered_total() const {
     return delivered_total_;
+  }
+  [[nodiscard]] std::uint64_t written_off_total() const {
+    return written_off_total_;
   }
   /// Words inside the link (queue + staging). Barrier-phase only.
   [[nodiscard]] std::size_t in_flight_words() const {
@@ -64,20 +112,45 @@ class InterChipLink final : public router::WordTx, public router::WordRx {
   }
   /// Committed-queue occupancy. Barrier-phase only.
   [[nodiscard]] std::size_t occupancy() const { return queue_.size(); }
+
+  // Reliable-layer counters (zero when the layer is off).
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t delivered_corrupt() const {
+    return delivered_corrupt_;
+  }
+
+  /// Sequence-book identity (barrier phase): words are numbered 0,1,2,... at
+  /// send, popped in order, and written off from the front, so the oldest
+  /// in-flight word's seq must equal delivered + written_off and the books
+  /// must span exactly [delivered + written_off, sent).
+  [[nodiscard]] bool seq_books_ok() const;
+
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
   /// Credits tokens for the cycles since the last refill (integer
   /// accumulator, burst cap = numer).
   void refill(common::Cycle now);
+  /// Reliable front check: true when the front word may be delivered as-is
+  /// (clean, or past its retransmit budget); on a detected mismatch the
+  /// word is repaired, delivery slips one round trip, and false is
+  /// returned.
+  bool front_intact(common::Cycle now);
+
+  /// CRC-8 (poly 0x07) over the 32-bit word and sequence number — the same
+  /// code the single-chip reliable links use (sim::Channel::link_crc8).
+  [[nodiscard]] static std::uint8_t link_crc8(common::Word w,
+                                              std::uint64_t seq);
 
   struct Slot {
     common::Cycle deliver = 0;
-    common::Word word = 0;
+    common::Word word = 0;  // clean copy (the sender's replay buffer)
+    common::Word wire = 0;  // what the trunk actually carries
+    std::uint64_t seq = 0;
+    std::uint8_t tag = 0;  // link_crc8(word, seq), computed at send
   };
 
   Params params_;
-  common::Rng rng_;
 
   // Sender-side state (touched only by the source chip during an epoch).
   std::uint64_t tokens_ = 0;
@@ -92,6 +165,14 @@ class InterChipLink final : public router::WordTx, public router::WordRx {
   // Receiver-side state (touched only by the destination chip).
   std::deque<Slot> queue_;
   std::uint64_t delivered_total_ = 0;
+  std::uint32_t front_retries_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t delivered_corrupt_ = 0;
+
+  // Fault state (written at barriers only; read by both sides).
+  common::Cycle stall_until_ = 0;
+  bool cut_ = false;
+  std::uint64_t written_off_total_ = 0;
 };
 
 }  // namespace raw::cluster

@@ -133,6 +133,20 @@ int Topology::link_from(int chip, int port) const {
   return -1;
 }
 
+int Topology::link_into(int chip, int port) const {
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    if (links[l].dst_chip == chip && links[l].dst_port == port) {
+      return static_cast<int>(l);
+    }
+  }
+  return -1;
+}
+
+int Topology::reverse_link(int l) const {
+  const LinkPlan& f = links[static_cast<std::size_t>(l)];
+  return link_from(f.dst_chip, f.dst_port);
+}
+
 Topology Topology::build(const ClusterConfig& cfg) {
   Builder b(cfg.num_chips);
   switch (cfg.topology) {
@@ -214,6 +228,86 @@ Topology Topology::build(const ClusterConfig& cfg) {
     }
   }
   return t;
+}
+
+Topology::RerouteResult Topology::reroute(
+    const std::vector<bool>& link_dead,
+    const std::vector<bool>& chip_dead) const {
+  RAW_ASSERT_MSG(link_dead.size() == links.size() &&
+                     chip_dead.size() == static_cast<std::size_t>(num_chips),
+                 "reroute mask sizes must match the topology");
+  const auto n = static_cast<std::size_t>(num_chips);
+
+  // Survivor adjacency, port-sorted like build() so the equal-cost
+  // candidate order — and therefore the ECMP hash pick — is stable.
+  std::vector<std::vector<std::pair<int, int>>> adj(n);  // (port, neighbor)
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    const LinkPlan& p = links[l];
+    if (link_dead[l]) continue;
+    if (chip_dead[static_cast<std::size_t>(p.src_chip)] ||
+        chip_dead[static_cast<std::size_t>(p.dst_chip)]) {
+      continue;
+    }
+    adj[static_cast<std::size_t>(p.src_chip)].emplace_back(p.src_port,
+                                                           p.dst_chip);
+  }
+  for (auto& a : adj) std::sort(a.begin(), a.end());
+
+  // BFS distances over the survivor fabric; -1 marks severed pairs instead
+  // of asserting connectivity — a partition is a reportable degraded state.
+  std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+  for (std::size_t s = 0; s < n; ++s) {
+    if (chip_dead[s]) continue;
+    dist[s][s] = 0;
+    std::queue<int> q;
+    q.push(static_cast<int>(s));
+    while (!q.empty()) {
+      const int c = q.front();
+      q.pop();
+      for (const auto& [port, nb] : adj[static_cast<std::size_t>(c)]) {
+        if (dist[s][static_cast<std::size_t>(nb)] == -1) {
+          dist[s][static_cast<std::size_t>(nb)] =
+              dist[s][static_cast<std::size_t>(c)] + 1;
+          q.push(nb);
+        }
+      }
+    }
+  }
+
+  RerouteResult r;
+  const std::size_t num_hosts = hosts.size();
+  r.next_hop.assign(n, std::vector<int>(num_hosts, -1));
+  std::vector<bool> unreachable(num_hosts, false);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (chip_dead[c]) continue;
+    for (std::size_t h = 0; h < num_hosts; ++h) {
+      const auto home = static_cast<std::size_t>(hosts[h].chip);
+      if (chip_dead[home]) {
+        unreachable[h] = true;
+        continue;
+      }
+      if (home == c) {
+        r.next_hop[c][h] = hosts[h].port;
+        continue;
+      }
+      if (dist[c][home] == -1) {
+        unreachable[h] = true;  // severed by a partition, from this chip
+        continue;
+      }
+      std::vector<int> candidates;
+      for (const auto& [port, nb] : adj[c]) {
+        if (dist[static_cast<std::size_t>(nb)][home] == dist[c][home] - 1) {
+          candidates.push_back(port);
+        }
+      }
+      RAW_ASSERT_MSG(!candidates.empty(), "reachable host without a trunk");
+      r.next_hop[c][h] = candidates[h % candidates.size()];
+    }
+  }
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    if (unreachable[h]) r.unreachable_hosts.push_back(static_cast<int>(h));
+  }
+  return r;
 }
 
 }  // namespace raw::cluster

@@ -57,9 +57,32 @@ struct Topology {
   [[nodiscard]] int host_at(int chip, int port) const;
   /// index into `links` of the plan leaving (chip, port), or -1.
   [[nodiscard]] int link_from(int chip, int port) const;
+  /// index into `links` of the plan arriving at (chip, port), or -1.
+  [[nodiscard]] int link_into(int chip, int port) const;
+  /// The reverse direction of unidirectional link `l` (same trunk), or -1.
+  [[nodiscard]] int reverse_link(int l) const;
 
   /// Builds the wiring for `cfg` (cfg.validate() must have passed).
   static Topology build(const ClusterConfig& cfg);
+
+  /// Fail-over routing: next_hop recomputed over the surviving fabric.
+  struct RerouteResult {
+    /// next_hop[chip][host]: local output port toward `host`, or -1 when no
+    /// surviving path exists (rows of dead chips are all -1). Survivors use
+    /// the same shortest-path + destination-hash ECMP rule as build(), so
+    /// the result is deterministic for a given failure set.
+    std::vector<std::vector<int>> next_hop;
+    /// Hosts some alive chip can no longer reach (sorted): hosts on dead
+    /// chips, plus hosts severed from part of the fabric by a partition.
+    std::vector<int> unreachable_hosts;
+  };
+
+  /// Recomputes routes excluding `link_dead` links (indexed like `links`),
+  /// `chip_dead` chips, and every link touching a dead chip. Unlike
+  /// build(), a disconnected survivor fabric is not an error: unreachable
+  /// (chip, host) pairs get next_hop -1 and the host is reported.
+  [[nodiscard]] RerouteResult reroute(const std::vector<bool>& link_dead,
+                                      const std::vector<bool>& chip_dead) const;
 };
 
 }  // namespace raw::cluster

@@ -39,6 +39,7 @@ ClusterRunner::ClusterRunner(std::vector<sim::Chip*> chips, int threads)
     : chips_(std::move(chips)) {
   RAW_ASSERT_MSG(!chips_.empty(), "cluster runner needs at least one chip");
   wall_ns_.assign(chips_.size(), 0);
+  active_.assign(chips_.size(), 1);
   workers_ = std::clamp(resolve_threads(threads), 1,
                         static_cast<int>(chips_.size()));
   for (int w = 1; w < workers_; ++w) {
@@ -61,6 +62,7 @@ void ClusterRunner::work() {
   for (;;) {
     const std::size_t i = next_chip_.fetch_add(1, std::memory_order_relaxed);
     if (i >= chips_.size()) return;
+    if (active_[i] == 0) continue;  // frozen chip: its clock stands still
     const auto t0 = std::chrono::steady_clock::now();
     chips_[i]->run(epoch_cycles_);
     const auto t1 = std::chrono::steady_clock::now();
@@ -94,6 +96,11 @@ void ClusterRunner::worker_main() {
     work();
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
+}
+
+void ClusterRunner::set_chip_active(std::size_t chip, bool active) {
+  RAW_ASSERT_MSG(chip < active_.size(), "set_chip_active out of range");
+  active_[chip] = active ? 1 : 0;
 }
 
 void ClusterRunner::run_epoch(common::Cycle cycles) {

@@ -47,9 +47,19 @@ class ClusterRunner {
 
   [[nodiscard]] int workers() const { return workers_; }
 
-  /// Advances every chip by `cycles` cycles (one epoch). Returns when all
-  /// chips are done; the caller then commits the links serially.
+  /// Advances every active chip by `cycles` cycles (one epoch). Returns
+  /// when all chips are done; the caller then commits the links serially.
   void run_epoch(common::Cycle cycles);
+
+  /// Removes a chip from (or restores it to) the epoch schedule — the
+  /// cluster fault plan's chip-freeze hook. Barrier phase only: the mask is
+  /// read concurrently by workers during an epoch, so it may only change
+  /// between run_epoch calls. A frozen chip's cycle counter stops, which is
+  /// exactly what the cluster watchdog detects as chip death.
+  void set_chip_active(std::size_t chip, bool active);
+  [[nodiscard]] bool chip_active(std::size_t chip) const {
+    return active_[chip] != 0;
+  }
 
   /// Accumulated per-chip wall time (ns) spent inside run_epoch, for the
   /// slowest-chip lag panel. Read between epochs only.
@@ -66,6 +76,9 @@ class ClusterRunner {
   int workers_ = 1;
   std::vector<std::thread> threads_;
   std::vector<std::uint64_t> wall_ns_;
+  // Epoch eligibility per chip (char, not bool: workers read it while the
+  // barrier phase is the only writer). 0 = frozen.
+  std::vector<char> active_;
 
   common::Cycle epoch_cycles_ = 0;
   std::atomic<std::size_t> next_chip_{0};

@@ -1,0 +1,157 @@
+// Cluster chaos harness: every standard mix passes with reliable links and
+// fail-over armed, repro bundles round-trip through JSON and replay
+// bit-identically, and the validation rules catch what they claim to.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/chaos.h"
+
+namespace raw::cluster {
+namespace {
+
+ClusterChaosSpec quick_spec(std::uint64_t seed) {
+  ClusterChaosSpec spec;
+  spec.seed = seed;
+  spec.num_chips = 4;
+  spec.run_cycles = 8000;
+  spec.drain_cycles = 400000;
+  spec.reliable_links = true;
+  spec.failover = true;
+  return spec;
+}
+
+TEST(ClusterChaosTest, MixNamesRoundTripThroughParse) {
+  for (const ClusterChaosMix& mix : standard_cluster_mixes()) {
+    ClusterChaosMix parsed;
+    ASSERT_TRUE(parse_cluster_mix(mix.name(), &parsed)) << mix.name();
+    EXPECT_EQ(parsed.name(), mix.name());
+  }
+  ClusterChaosMix out;
+  EXPECT_FALSE(parse_cluster_mix("meteor", &out));
+  EXPECT_FALSE(parse_cluster_mix("", &out));
+}
+
+TEST(ClusterChaosTest, StandardMixesPassWithRecoveryArmed) {
+  for (const ClusterChaosMix& mix : standard_cluster_mixes()) {
+    ClusterChaosSpec spec = quick_spec(3);
+    spec.mix = mix;
+    const ClusterChaosResult r = run_cluster_chaos(spec);
+    EXPECT_TRUE(r.pass) << mix.name() << ": " << r.failure;
+    EXPECT_GT(r.delivered, 0u) << mix.name();
+    if (mix.any()) {
+      EXPECT_GT(r.faults_injected, 0u) << mix.name();
+    }
+    if (mix.permanent()) {
+      EXPECT_TRUE(r.degraded) << mix.name();
+      EXPECT_GE(r.failover_generation, 1) << mix.name();
+    } else {
+      EXPECT_FALSE(r.degraded) << mix.name();
+    }
+  }
+}
+
+TEST(ClusterChaosTest, CorruptingMixDoesZeroDamageOnReliableLinks) {
+  ClusterChaosSpec spec = quick_spec(5);
+  spec.mix.corrupts = true;
+  spec.faults_per_kind = 6;
+  const ClusterChaosResult r = run_cluster_chaos(spec);
+  EXPECT_TRUE(r.pass) << r.failure;
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.delivered_corrupt, 0u);
+}
+
+TEST(ClusterChaosTest, RunsAreDeterministicAcrossWorkerCounts) {
+  ClusterChaosSpec spec = quick_spec(7);
+  spec.mix.corrupts = true;
+  spec.mix.cuts = true;
+  spec.threads = 1;
+  const ClusterChaosResult serial = run_cluster_chaos(spec);
+  for (const int workers : {2, 4}) {
+    spec.threads = workers;
+    const ClusterChaosResult r = run_cluster_chaos(spec);
+    EXPECT_EQ(r.digest, serial.digest) << workers << " workers";
+    EXPECT_EQ(r.delivered, serial.delivered) << workers << " workers";
+    EXPECT_EQ(r.degraded, serial.degraded) << workers << " workers";
+  }
+}
+
+TEST(ClusterChaosTest, ReproBundleRoundTripsThroughJson) {
+  ClusterChaosSpec spec = quick_spec(11);
+  spec.mix.stalls = true;
+  spec.mix.freezes = true;
+  ClusterChaosRepro repro;
+  repro.spec = spec;
+  repro.events = make_cluster_fault_events(spec);
+  const ClusterChaosResult r = run_cluster_chaos_events(spec, repro.events);
+  repro.pass = r.pass;
+  repro.failure = r.failure;
+  repro.degraded = r.degraded;
+  repro.drained = r.drained;
+  repro.digest = r.digest;
+
+  const std::string json = to_json(repro);
+  ClusterChaosRepro parsed;
+  std::string error;
+  ASSERT_TRUE(from_json(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.spec.seed, spec.seed);
+  EXPECT_EQ(parsed.spec.mix.name(), spec.mix.name());
+  EXPECT_EQ(parsed.spec.num_chips, spec.num_chips);
+  EXPECT_EQ(parsed.spec.reliable_links, spec.reliable_links);
+  EXPECT_EQ(parsed.spec.failover, spec.failover);
+  ASSERT_EQ(parsed.events.size(), repro.events.size());
+  for (std::size_t i = 0; i < parsed.events.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(parsed.events[i].kind),
+              static_cast<int>(repro.events[i].kind));
+    EXPECT_EQ(parsed.events[i].at, repro.events[i].at);
+    EXPECT_EQ(parsed.events[i].link, repro.events[i].link);
+    EXPECT_EQ(parsed.events[i].chip, repro.events[i].chip);
+  }
+  EXPECT_EQ(parsed.digest, repro.digest);
+  EXPECT_EQ(parsed.degraded, repro.degraded);
+
+  // The parsed bundle replays bit-identically.
+  std::string why;
+  const ClusterChaosResult replayed = replay_cluster_repro(parsed, &why);
+  EXPECT_TRUE(why.empty()) << why;
+  EXPECT_EQ(replayed.digest, repro.digest);
+}
+
+TEST(ClusterChaosTest, ReplayFlagsATamperedDigest) {
+  ClusterChaosSpec spec = quick_spec(13);
+  spec.mix.corrupts = true;
+  ClusterChaosRepro repro;
+  repro.spec = spec;
+  repro.events = make_cluster_fault_events(spec);
+  const ClusterChaosResult r = run_cluster_chaos_events(spec, repro.events);
+  repro.degraded = r.degraded;
+  repro.drained = r.drained;
+  repro.digest = r.digest ^ 1;  // tamper
+  std::string why;
+  const ClusterChaosResult replayed = replay_cluster_repro(repro, &why);
+  EXPECT_FALSE(replayed.pass);
+  EXPECT_EQ(why, "digest mismatch");
+}
+
+TEST(ClusterChaosTest, FromJsonRejectsGarbage) {
+  ClusterChaosRepro out;
+  std::string error;
+  EXPECT_FALSE(from_json("not json", &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(from_json("{\"schema\": \"wrong/v9\"}", &out, &error));
+}
+
+TEST(ClusterChaosTest, BoundedSweepPasses) {
+  const ClusterChaosSweepSummary summary = cluster_chaos_sweep(
+      /*num_seeds=*/1, /*run_cycles=*/6000, /*num_chips=*/4, /*threads=*/2);
+  EXPECT_TRUE(summary.all_passed());
+  for (const ClusterChaosResult& r : summary.results) {
+    EXPECT_TRUE(r.pass) << r.mix << " seed " << r.seed << ": " << r.failure;
+  }
+}
+
+}  // namespace
+}  // namespace raw::cluster

@@ -123,5 +123,71 @@ TEST(ClusterConfigTest, SeedDerivationsAreDistinct) {
   EXPECT_NE(link_seed(7, 0), link_seed(8, 0));
 }
 
+// Robustness knobs: a reliable link needs a real retransmit budget and a
+// nonzero NACK round trip, an armed fail-over needs a watchdog that
+// actually samples, and fault events must target links/chips the topology
+// actually has.
+TEST(ClusterConfigTest, RejectsZeroRetransmitBudgetOnReliableLinks) {
+  ClusterConfig cfg = valid_config();
+  cfg.reliable_links = true;
+  cfg.link_retransmit_limit = 0;
+  expect_throws_mentioning(cfg, "link_retransmit_limit");
+  cfg = valid_config();
+  cfg.reliable_links = true;
+  cfg.link_retransmit_rtt = 0;
+  expect_throws_mentioning(cfg, "link_retransmit_rtt");
+  // Off the reliable layer the knobs are dormant and anything goes.
+  cfg = valid_config();
+  cfg.link_retransmit_limit = 0;
+  cfg.link_retransmit_rtt = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClusterConfigTest, RejectsZeroWatchdogIntervalWithFailover) {
+  ClusterConfig cfg = valid_config();
+  cfg.failover = true;
+  cfg.watchdog_interval = 0;
+  expect_throws_mentioning(cfg, "watchdog_interval");
+  cfg.watchdog_interval = 128;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg = valid_config();
+  cfg.watchdog_interval = 0;  // dormant without failover
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ClusterConfigTest, RejectsFaultEventsOutsideTheTopology) {
+  // A 4-chip leaf-spine has 3 trunks = 6 unidirectional links (0..5).
+  ClusterConfig cfg = valid_config();
+  ClusterFaultEvent e;
+  e.kind = ClusterFaultKind::kTrunkCut;
+  e.link = 6;
+  cfg.faults = {e};
+  expect_throws_mentioning(cfg, "link");
+  e.link = -1;
+  cfg.faults = {e};
+  expect_throws_mentioning(cfg, "link");
+  e.link = 5;
+  cfg.faults = {e};
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = valid_config();
+  ClusterFaultEvent f;
+  f.kind = ClusterFaultKind::kChipFreeze;
+  f.chip = 4;
+  cfg.faults = {f};
+  expect_throws_mentioning(cfg, "chip");
+  f.chip = 3;
+  cfg.faults = {f};
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = valid_config();
+  ClusterFaultEvent s;
+  s.kind = ClusterFaultKind::kTrunkStall;
+  s.link = 0;
+  s.duration = 0;
+  cfg.faults = {s};
+  expect_throws_mentioning(cfg, "duration");
+}
+
 }  // namespace
 }  // namespace raw::cluster

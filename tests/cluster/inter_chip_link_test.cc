@@ -151,5 +151,142 @@ TEST(InterChipLinkTest, JitterNeverReordersAndIsDeterministic) {
   }
 }
 
+// The jitter draw is a pure function of (seed, sequence number): different
+// seeds must give different arrival schedules (satellite: jitter
+// determinism under retransmit replay — arrival order never feeds the
+// draw, the seed does).
+TEST(InterChipLinkTest, JitterIsSeedSensitive) {
+  InterChipLink::Params p = params(8);
+  p.jitter = 7;
+  std::vector<std::vector<common::Cycle>> schedules;
+  for (const std::uint64_t seed :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{0xfeed}}) {
+    p.seed = seed;
+    InterChipLink link(p);
+    std::vector<common::Cycle> arrivals;
+    for (common::Cycle now = 0; now < 512; ++now) {
+      if (link.can_send(now)) link.send(static_cast<common::Word>(now), now);
+      if ((now + 1) % 8 == 0) link.commit_epoch();
+      while (link.has_word(now)) {
+        (void)link.recv(now);
+        arrivals.push_back(now);
+      }
+    }
+    ASSERT_FALSE(arrivals.empty());
+    schedules.push_back(std::move(arrivals));
+  }
+  EXPECT_NE(schedules[0], schedules[1]);
+  EXPECT_NE(schedules[0], schedules[2]);
+  EXPECT_NE(schedules[1], schedules[2]);
+}
+
+InterChipLink::Params reliable_params(common::Cycle latency) {
+  InterChipLink::Params p;
+  p.latency = latency;
+  p.capacity_words = 64;
+  p.reliable = true;
+  p.retransmit_limit = 3;
+  p.retransmit_rtt = 4;
+  return p;
+}
+
+TEST(InterChipLinkTest, ReliableLinkRepairsCorruptWordByRetransmit) {
+  InterChipLink link(reliable_params(8));
+  link.send(0xdeadbeef, 0);
+  link.commit_epoch();
+  ASSERT_TRUE(link.corrupt_front(5));
+  // The corrupted word fails its CRC at delivery time and slips one NACK
+  // round trip...
+  EXPECT_FALSE(link.has_word(8));
+  EXPECT_EQ(link.retransmits(), 1u);
+  // ...then arrives repaired, with zero damage counted.
+  ASSERT_TRUE(link.has_word(8 + 4));
+  EXPECT_EQ(link.recv(8 + 4), 0xdeadbeefu);
+  EXPECT_EQ(link.delivered_corrupt(), 0u);
+  EXPECT_EQ(link.delivered_total(), 1u);
+}
+
+TEST(InterChipLinkTest, UnreliableLinkDeliversTheCorruptWord) {
+  InterChipLink link(params(8));
+  link.send(0xdeadbeef, 0);
+  link.commit_epoch();
+  ASSERT_TRUE(link.corrupt_front(0));
+  ASSERT_TRUE(link.has_word(8));
+  EXPECT_EQ(link.recv(8), 0xdeadbeefu ^ 1u);
+}
+
+TEST(InterChipLinkTest, ReliableLinkGivesUpAfterRetransmitBudget) {
+  InterChipLink::Params p = reliable_params(8);
+  p.retransmit_limit = 2;
+  InterChipLink link(p);
+  link.send(0xcafef00d, 0);
+  link.commit_epoch();
+  // An adversary that re-corrupts the wire after every repair: the link
+  // burns its budget, then delivers the corrupt word and counts it.
+  common::Cycle now = 8;
+  for (std::uint32_t round = 0; round < 2; ++round) {
+    ASSERT_TRUE(link.corrupt_front(3));
+    EXPECT_FALSE(link.has_word(now));
+    now += p.retransmit_rtt;
+  }
+  ASSERT_TRUE(link.corrupt_front(3));
+  ASSERT_TRUE(link.has_word(now));
+  EXPECT_EQ(link.recv(now), 0xcafef00du ^ (1u << 3));
+  EXPECT_EQ(link.retransmits(), 2u);
+  EXPECT_EQ(link.delivered_corrupt(), 1u);
+}
+
+TEST(InterChipLinkTest, StallBlocksBothSidesThenRecovers) {
+  InterChipLink link(params(4));
+  link.send(7, 0);
+  link.commit_epoch();
+  link.stall_until(100);
+  EXPECT_FALSE(link.can_send(50));
+  EXPECT_FALSE(link.has_word(50));
+  EXPECT_TRUE(link.can_send(100));
+  ASSERT_TRUE(link.has_word(100));
+  EXPECT_EQ(link.recv(100), 7u);
+}
+
+TEST(InterChipLinkTest, CutAndWriteOffKeepTheBooksExact) {
+  // 8/8 throttle = full rate with an 8-word burst bucket, so five sends
+  // can land on the same cycle.
+  InterChipLink link(params(4, 8, 8));
+  for (int i = 0; i < 5; ++i) link.send(static_cast<common::Word>(i), 0);
+  link.commit_epoch();
+  link.send(99, 1);  // staged, uncommitted
+  link.cut();
+  EXPECT_FALSE(link.can_send(1000));
+  EXPECT_FALSE(link.has_word(1000));
+  EXPECT_TRUE(link.is_cut());
+  // Fail-over writes off everything in flight — queue and staging both.
+  EXPECT_EQ(link.write_off_in_flight(), 6u);
+  EXPECT_EQ(link.in_flight_words(), 0u);
+  EXPECT_EQ(link.written_off_total(), 6u);
+  EXPECT_EQ(link.sent_total(), link.delivered_total() +
+                                   link.in_flight_words() +
+                                   link.written_off_total());
+  EXPECT_TRUE(link.seq_books_ok());
+}
+
+TEST(InterChipLinkTest, SeqBooksHoldThroughReliableTraffic) {
+  InterChipLink link(reliable_params(8));
+  std::uint64_t sent = 0;
+  for (common::Cycle now = 0; now < 512; ++now) {
+    if (link.can_send(now)) link.send(static_cast<common::Word>(sent++), now);
+    if ((now + 1) % 8 == 0) {
+      link.commit_epoch();
+      EXPECT_TRUE(link.seq_books_ok());
+      if (now % 32 == 7) {
+        (void)link.corrupt_front(static_cast<std::uint32_t>(now));
+      }
+    }
+    while (link.has_word(now)) (void)link.recv(now);
+  }
+  EXPECT_GT(link.retransmits(), 0u);
+  EXPECT_EQ(link.delivered_corrupt(), 0u);
+  EXPECT_TRUE(link.seq_books_ok());
+}
+
 }  // namespace
 }  // namespace raw::cluster

@@ -18,6 +18,15 @@
 //                                             # the nearest checkpoint AND
 //                                             # from zero, digests must agree
 //
+// Cluster mode (cluster/chaos.h) injects *inter-chip* faults — trunk word
+// corruption, link flaps, permanent trunk cuts, whole-chip freezes — into a
+// multi-chip fabric with reliable links and fail-over armed:
+//
+//   ./rawchaos --cluster                      # 8 cluster mixes x 4 seeds
+//   ./rawchaos --cluster --chips 8 --mix corrupt+cut --seed 3 --threads 4
+//   ./rawchaos --cluster --mix freeze --seed 5 --record bug.json
+//   ./rawchaos --cluster --replay bug.json    # digest/status must reproduce
+//
 // In sweep mode --record captures the first *failing* combination; with a
 // single --mix/--seed combination it always records.
 //
@@ -36,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/chaos.h"
 #include "common/profiler.h"
 #include "router/chaos.h"
 #include "router/repro.h"
@@ -60,6 +70,8 @@ struct Args {
   bool links = false;        // reliable links: CRC + NACK/retransmit
   bool recovery = false;     // fault-adaptive crossbar reconfiguration
   bool force_dense = false;  // dense reference engine (differential runs)
+  bool cluster = false;      // inter-chip chaos on a multi-chip fabric
+  int chips = 4;             // cluster mode: fabric size
   const char* record = nullptr;    // write a replayable repro JSON here
   const char* replay = nullptr;    // re-run a recorded repro
   const char* minimize = nullptr;  // ddmin a recorded repro
@@ -77,7 +89,11 @@ void usage() {
                "                [--record FILE] [--flight-dir DIR]\n"
                "       rawchaos --replay FILE\n"
                "       rawchaos --minimize FILE [--out FILE]\n"
-               "       rawchaos --from-checkpoint FILE\n");
+               "       rawchaos --from-checkpoint FILE\n"
+               "       rawchaos --cluster [--chips N] [--seeds N] [--seed S]\n"
+               "                [--mix corrupt+stall+cut+freeze] [--cycles N]\n"
+               "                [--threads T] [--record FILE]\n"
+               "       rawchaos --cluster --replay FILE\n");
 }
 
 Args parse(int argc, char** argv) {
@@ -99,6 +115,10 @@ Args parse(int argc, char** argv) {
       a.recovery = true;
     } else if (!std::strcmp(argv[i], "--force-dense")) {
       a.force_dense = true;
+    } else if (!std::strcmp(argv[i], "--cluster")) {
+      a.cluster = true;
+    } else if (!std::strcmp(argv[i], "--chips") && i + 1 < argc) {
+      a.chips = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       a.threads = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--record") && i + 1 < argc) {
@@ -302,10 +322,144 @@ int do_from_checkpoint(const Args& args) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster mode: inter-chip fault mixes against a multi-chip fabric.
+
+using raw::cluster::ClusterChaosMix;
+using raw::cluster::ClusterChaosRepro;
+using raw::cluster::ClusterChaosResult;
+using raw::cluster::ClusterChaosSpec;
+
+void print_cluster_result(const ClusterChaosResult& r) {
+  std::printf("%-28s seed %-4llu %-5s %-10s dlv %-7llu err %-4llu lost %-4llu "
+              "faults %llu\n",
+              r.mix.empty() ? "clean" : r.mix.c_str(),
+              static_cast<unsigned long long>(r.seed),
+              r.pass ? "PASS" : "FAIL", r.degraded ? "DEGRADED" : "healthy",
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.errors),
+              static_cast<unsigned long long>(r.lost),
+              static_cast<unsigned long long>(r.faults_injected));
+  if (!r.pass) std::printf("  -> %s\n", r.failure.c_str());
+  if (r.retransmits > 0 || r.failover_generation > 0) {
+    std::printf("  recovery: %llu retransmits, reroute gen %d, "
+                "%llu words written off, %llu packets abandoned, "
+                "%llu hosts unreachable\n",
+                static_cast<unsigned long long>(r.retransmits),
+                r.failover_generation,
+                static_cast<unsigned long long>(r.written_off_words),
+                static_cast<unsigned long long>(r.abandoned_packets),
+                static_cast<unsigned long long>(r.unreachable_hosts));
+  }
+}
+
+ClusterChaosSpec cluster_spec_from(const Args& args, std::uint64_t seed,
+                                   const ClusterChaosMix& mix) {
+  ClusterChaosSpec spec;
+  spec.seed = seed;
+  spec.mix = mix;
+  spec.num_chips = args.chips;
+  spec.run_cycles = args.cycles;
+  spec.threads = args.threads;
+  // Cluster chaos is about the *recovery* machinery, so reliable links and
+  // fail-over are on by default; --links/--recovery are accepted no-ops.
+  spec.reliable_links = true;
+  spec.failover = true;
+  return spec;
+}
+
+int do_cluster_replay(const Args& args) {
+  std::string text;
+  if (!read_file(args.replay, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", args.replay);
+    return 2;
+  }
+  ClusterChaosRepro repro;
+  std::string error;
+  if (!raw::cluster::from_json(text, &repro, &error)) {
+    std::fprintf(stderr, "%s: %s\n", args.replay, error.c_str());
+    return 2;
+  }
+  std::printf("replaying %zu cluster events: recorded digest %016llx, %s\n",
+              repro.events.size(),
+              static_cast<unsigned long long>(repro.digest),
+              repro.degraded ? "degraded" : "healthy");
+  std::string why;
+  const ClusterChaosResult r =
+      raw::cluster::replay_cluster_repro(repro, &why);
+  print_cluster_result(r);
+  std::printf("digest: %016llx (%s)\n",
+              static_cast<unsigned long long>(r.digest),
+              why.empty() ? "match" : why.c_str());
+  return why.empty() ? 0 : 1;
+}
+
+int run_cluster(const Args& args) {
+  if (args.replay != nullptr) return do_cluster_replay(args);
+
+  std::vector<ClusterChaosMix> mixes;
+  if (args.mix != nullptr) {
+    ClusterChaosMix m;
+    if (!raw::cluster::parse_cluster_mix(args.mix, &m)) {
+      std::fprintf(stderr, "unknown cluster fault mix '%s'\n", args.mix);
+      return 2;
+    }
+    mixes.push_back(m);
+  } else {
+    mixes = raw::cluster::standard_cluster_mixes();
+  }
+  std::vector<std::uint64_t> seeds;
+  if (args.seed != 0) {
+    seeds.push_back(args.seed);
+  } else {
+    for (int s = 1; s <= args.seeds; ++s) {
+      seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+  const bool single = mixes.size() == 1 && seeds.size() == 1;
+
+  int total = 0;
+  int passed = 0;
+  bool recorded = false;
+  for (const ClusterChaosMix& mix : mixes) {
+    for (const std::uint64_t seed : seeds) {
+      const ClusterChaosSpec spec = cluster_spec_from(args, seed, mix);
+      const std::vector<raw::cluster::ClusterFaultEvent> events =
+          raw::cluster::make_cluster_fault_events(spec);
+      const ClusterChaosResult r =
+          raw::cluster::run_cluster_chaos_events(spec, events);
+      ++total;
+      if (r.pass) ++passed;
+      print_cluster_result(r);
+
+      if (args.record != nullptr && !recorded && (single || !r.pass)) {
+        ClusterChaosRepro repro;
+        repro.spec = spec;
+        repro.events = events;
+        repro.pass = r.pass;
+        repro.failure = r.failure;
+        repro.degraded = r.degraded;
+        repro.drained = r.drained;
+        repro.digest = r.digest;
+        if (!write_file(args.record, raw::cluster::to_json(repro))) {
+          std::fprintf(stderr, "cannot write %s\n", args.record);
+          return 2;
+        }
+        std::printf("  recorded %zu-event cluster repro to %s\n",
+                    events.size(), args.record);
+        recorded = true;
+      }
+    }
+  }
+  std::printf("\n%d/%d cluster combinations passed\n", passed, total);
+  return passed == total ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.cluster) return run_cluster(args);
   if (args.replay != nullptr) return do_replay(args);
   if (args.minimize != nullptr) return do_minimize(args);
   if (args.from_checkpoint != nullptr) return do_from_checkpoint(args);

@@ -24,6 +24,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "cluster/chaos.h"
 #include "cluster/fabric.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
@@ -91,7 +92,11 @@ void usage() {
       "  --cluster N       run an N-chip leaf-spine cluster fabric instead\n"
       "                    of a single chip: per-chip throughput, link\n"
       "                    occupancy, and slowest-chip epoch lag panels\n"
-      "                    (honours --cycles/--bytes/--load/--seed/--threads)\n"
+      "                    (honours --cycles/--bytes/--load/--seed/--threads;\n"
+      "                    --links arms CRC+retransmit trunks, --recovery\n"
+      "                    the watchdog + fail-over reroute, --chaos takes\n"
+      "                    cluster mixes corrupt|stall|cut|freeze and shows\n"
+      "                    the recovery panel)\n"
       "  --remote F        cluster mode: fraction of traffic whose\n"
       "                    destination is on another chip (default 0.5)\n"
       "  --channel-stats   sample per-channel occupancy/backpressure\n"
@@ -403,22 +408,67 @@ void print_cluster_dashboard(const Args& args, const MetricRegistry& reg,
   std::printf("(lag = wall time behind the slowest chip; big lags mean "
               "thread-per-chip workers idle at the epoch barrier)\n");
 
-  std::printf("\n%-6s %-12s %10s %12s %10s %9s\n", "link", "route",
-              "sent", "delivered", "in-flight", "occ");
-  for (std::size_t l = 0; l < fabric.num_links(); ++l) {
-    const auto& plan = fabric.topology().links[l];
-    const std::string base = "cluster/link" + std::to_string(l);
-    char route[16];
-    std::snprintf(route, sizeof route, "%d.%d -> %d.%d", plan.src_chip,
-                  plan.src_port, plan.dst_chip, plan.dst_port);
-    std::printf("%-6zu %-12s %10llu %12llu %10llu %9llu\n", l, route,
-                c(base + "/sent_words"), c(base + "/delivered_words"),
-                c(base + "/in_flight"), c(base + "/occupancy"));
+  const bool recovery_armed = fabric.config().reliable_links ||
+                              fabric.config().failover ||
+                              !fabric.config().faults.empty();
+  if (recovery_armed) {
+    std::printf("\n%-6s %-12s %10s %12s %10s %9s %8s %5s\n", "link", "route",
+                "sent", "delivered", "in-flight", "rexmit", "wroff", "dead");
+    for (std::size_t l = 0; l < fabric.num_links(); ++l) {
+      const auto& plan = fabric.topology().links[l];
+      const std::string base = "cluster/link" + std::to_string(l);
+      char route[16];
+      std::snprintf(route, sizeof route, "%d.%d -> %d.%d", plan.src_chip,
+                    plan.src_port, plan.dst_chip, plan.dst_port);
+      std::printf("%-6zu %-12s %10llu %12llu %10llu %9llu %8llu %5s\n", l,
+                  route, c(base + "/sent_words"), c(base + "/delivered_words"),
+                  c(base + "/in_flight"), c(base + "/retransmits"),
+                  c(base + "/written_off"),
+                  c(base + "/dead") != 0 ? "DEAD" : "-");
+    }
+  } else {
+    std::printf("\n%-6s %-12s %10s %12s %10s %9s\n", "link", "route",
+                "sent", "delivered", "in-flight", "occ");
+    for (std::size_t l = 0; l < fabric.num_links(); ++l) {
+      const auto& plan = fabric.topology().links[l];
+      const std::string base = "cluster/link" + std::to_string(l);
+      char route[16];
+      std::snprintf(route, sizeof route, "%d.%d -> %d.%d", plan.src_chip,
+                    plan.src_port, plan.dst_chip, plan.dst_port);
+      std::printf("%-6zu %-12s %10llu %12llu %10llu %9llu\n", l, route,
+                  c(base + "/sent_words"), c(base + "/delivered_words"),
+                  c(base + "/in_flight"), c(base + "/occupancy"));
+    }
   }
   std::printf("trunk egress elastic buffers: %llu words queued "
               "(peak %llu)\n",
               c("cluster/trunk_queued_words"),
               c("cluster/trunk_peak_queued_words"));
+
+  // Recovery panel: what the self-healing machinery has done so far — CRC
+  // repairs on the trunks, faults fired, and the fail-over ledger when a
+  // confirmed failure degraded the fabric.
+  if (recovery_armed) {
+    std::printf("\nrecovery: %s  retransmits %llu  delivered-corrupt %llu  "
+                "faults fired %llu\n",
+                fabric.status() == raw::cluster::ClusterStatus::kDegraded
+                    ? "DEGRADED"
+                    : "healthy",
+                c("cluster/recovered/retransmits"),
+                c("cluster/recovered/delivered_corrupt"),
+                c("cluster/faults/fired"));
+    if (fabric.failover_generation() > 0) {
+      std::printf("  reroute gen %llu: %llu dead links, %llu dead chips, "
+                  "%llu unreachable hosts, %llu words written off, "
+                  "%llu packets abandoned\n",
+                  c("cluster/failover/generation"),
+                  c("cluster/failover/dead_links"),
+                  c("cluster/failover/dead_chips"),
+                  c("cluster/failover/unreachable_hosts"),
+                  c("cluster/failover/written_off_words"),
+                  c("cluster/failover/abandoned_packets"));
+    }
+  }
 
   const std::uint64_t lost = reg.counter_value("cluster/conservation/lost");
   const std::uint64_t errors = reg.counter_value("cluster/errors");
@@ -439,6 +489,23 @@ int run_cluster(const Args& args) {
   cfg.traffic.fixed_bytes = args.bytes;
   cfg.traffic.load = args.load;
   cfg.traffic.remote_fraction = args.cluster_remote;
+  cfg.reliable_links = args.links;
+  cfg.failover = args.recovery;
+  if (args.chaos != nullptr) {
+    // Cluster chaos mixes name inter-chip fault kinds; the schedule is the
+    // same seeded one the chaos harness would build for this geometry.
+    raw::cluster::ClusterChaosSpec spec;
+    if (!raw::cluster::parse_cluster_mix(args.chaos, &spec.mix)) {
+      std::fprintf(stderr,
+                   "unknown cluster fault mix '%s' (corrupt|stall|cut|freeze)\n",
+                   args.chaos);
+      return 2;
+    }
+    spec.seed = args.chaos_seed;
+    spec.num_chips = args.cluster_chips;
+    spec.run_cycles = args.cycles;
+    cfg.faults = raw::cluster::make_cluster_fault_events(spec);
+  }
   raw::cluster::ClusterFabric fabric(cfg, args.seed);
 
   MetricRegistry registry;
